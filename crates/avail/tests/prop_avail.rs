@@ -1,0 +1,73 @@
+//! Property tests for availability modelling.
+
+use bce_avail::{AvailTrace, OnOffSpec};
+use bce_sim::Rng;
+use bce_types::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Traces round-trip through the text format.
+    #[test]
+    fn trace_roundtrip(transitions in proptest::collection::vec((0.0f64..1e6, any::<bool>()), 0..50)) {
+        let mut ts: Vec<(f64, bool)> = transitions;
+        ts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let trace = AvailTrace::new(
+            true,
+            ts.iter().map(|&(t, s)| (SimTime::from_secs(t), s)).collect(),
+        );
+        let rendered = trace.render();
+        let parsed = AvailTrace::parse(&rendered).unwrap();
+        // State agrees everywhere after the first transition (the initial
+        // state is only recoverable when a t=0 transition pins it).
+        for &(t, _) in &ts {
+            prop_assert_eq!(
+                parsed.state_at(SimTime::from_secs(t + 0.25)),
+                trace.state_at(SimTime::from_secs(t + 0.25))
+            );
+        }
+    }
+
+    /// On/off processes alternate strictly and times are monotone.
+    #[test]
+    fn process_alternates(seed in any::<u64>(), up in 1.0f64..1e4, down in 1.0f64..1e4) {
+        let spec = OnOffSpec::Exponential {
+            up_mean: SimDuration::from_secs(up),
+            down_mean: SimDuration::from_secs(down),
+            start_on: true,
+        };
+        let mut p = spec.instantiate(Rng::from_seed(seed));
+        let mut prev_t = SimTime::ZERO;
+        let mut prev_state = p.state();
+        for _ in 0..50 {
+            let t = p.next_transition();
+            prop_assert!(t > prev_t);
+            p.advance(t);
+            prop_assert_ne!(p.state(), prev_state);
+            prev_t = t;
+            prev_state = p.state();
+        }
+    }
+
+    /// Long-run on-fraction approaches the duty cycle.
+    #[test]
+    fn duty_cycle_converges(seed in any::<u64>(), frac in 0.1f64..0.9) {
+        let spec = OnOffSpec::duty_cycle(frac, SimDuration::from_secs(1000.0));
+        let mut p = spec.instantiate(Rng::from_seed(seed));
+        let horizon = 2e6;
+        let mut on = 0.0;
+        let mut now = SimTime::ZERO;
+        while now.secs() < horizon {
+            let next = p.next_transition().min(SimTime::from_secs(horizon));
+            if p.state() {
+                on += (next - now).secs();
+            }
+            now = next;
+            p.advance(now);
+        }
+        let measured = on / horizon;
+        // 2000 expected cycles: generous tolerance.
+        prop_assert!((measured - frac).abs() < 0.08, "measured {measured} vs {frac}");
+    }
+}

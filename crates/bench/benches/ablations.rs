@@ -1,0 +1,139 @@
+//! Ablation benches for the design choices DESIGN.md calls out. These use
+//! Criterion's timing harness, but the interesting output is printed once
+//! per group: the figures-of-merit deltas between the ablated variants.
+//!
+//! * checkpoint period (and never-checkpointing apps) vs. wasted fraction,
+//! * runtime-estimate error vs. wasted fraction,
+//! * scheduling-period granularity vs. runtime cost,
+//! * deadline-order heuristics (EDF / LLF / deadline-density) on a
+//!   multiprocessor (§6.2: "EDF is optimal for uniprocessors but not
+//!   multiprocessors").
+
+use bce_client::{ClientConfig, DeadlineOrder, JobSchedPolicy};
+use bce_core::{Emulator, EmulatorConfig, Scenario};
+use bce_scenarios::scenario1;
+use bce_types::{
+    AppClass, EstErrorModel, Hardware, Preferences, ProjectSpec, SimDuration,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn one_day() -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_days(1.0), ..Default::default() }
+}
+
+/// A contended scenario where preemption (and hence checkpointing)
+/// matters: tight jobs keep preempting loose ones.
+fn contended(checkpoint: Option<f64>, est_error: EstErrorModel) -> Scenario {
+    Scenario::new("ablation", Hardware::cpu_only(1, 1e9))
+        .with_seed(21)
+        .with_prefs(Preferences {
+            work_buf_min: SimDuration::from_secs(2000.0),
+            work_buf_extra: SimDuration::from_secs(2000.0),
+            ..Default::default()
+        })
+        .with_project(ProjectSpec::new(0, "tight", 100.0).with_app(
+            AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_secs(1800.0))
+                .with_cv(0.1)
+                .with_est_error(est_error),
+        ))
+        .with_project(ProjectSpec::new(1, "loose", 100.0).with_app(
+            AppClass::cpu(1, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
+                .with_cv(0.1)
+                .with_checkpoint(checkpoint.map(SimDuration::from_secs))
+                .with_est_error(est_error),
+        ))
+}
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_merit_deltas() {
+    PRINT_ONCE.call_once(|| {
+        println!("\n=== ablation figures of merit (1 emulated day) ===");
+        for (label, cp) in [
+            ("checkpoint 60s", Some(60.0)),
+            ("checkpoint 600s", Some(600.0)),
+            ("checkpoint 3600s", Some(3600.0)),
+            ("no checkpointing", None),
+        ] {
+            let r = Emulator::new(contended(cp, EstErrorModel::Exact), ClientConfig::default(), one_day())
+                .run();
+            println!(
+                "  {label:<18} wasted={:.4} jobs={}",
+                r.merit.wasted_fraction, r.jobs_completed
+            );
+        }
+        for (label, e) in [
+            ("estimates exact", EstErrorModel::Exact),
+            ("estimates 2x over", EstErrorModel::Systematic { factor: 2.0 }),
+            ("estimates 2x under", EstErrorModel::Systematic { factor: 0.5 }),
+            ("estimates lognormal", EstErrorModel::LogNormal { sigma: 0.5 }),
+        ] {
+            let r = Emulator::new(contended(Some(60.0), e), ClientConfig::default(), one_day()).run();
+            println!(
+                "  {label:<18} wasted={:.4} rpcs/job={:.3}",
+                r.merit.wasted_fraction, r.merit.rpcs_per_job
+            );
+        }
+        for order in [DeadlineOrder::Edf, DeadlineOrder::Llf, DeadlineOrder::Density] {
+            let pol = JobSchedPolicy { deadline_order: order, ..JobSchedPolicy::GLOBAL };
+            let cfg = ClientConfig { sched_policy: pol, ..Default::default() };
+            let mut s = contended(Some(60.0), EstErrorModel::Exact);
+            s.hardware = Hardware::cpu_only(4, 1e9); // multiprocessor
+            let r = Emulator::new(s, cfg, one_day()).run();
+            println!(
+                "  {:<18} wasted={:.4} share_viol={:.4}",
+                pol.name(),
+                r.merit.wasted_fraction,
+                r.merit.share_violation
+            );
+        }
+        println!();
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_merit_deltas();
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // Scheduling-period granularity: runtime cost of finer decisions.
+    for period in [60.0, 600.0, 3600.0] {
+        g.bench_function(format!("sched_period_{period}s"), |b| {
+            let cfg = EmulatorConfig {
+                duration: SimDuration::from_days(1.0),
+                sched_period: SimDuration::from_secs(period),
+                ..Default::default()
+            };
+            b.iter(|| {
+                let em = Emulator::new(
+                    scenario1(SimDuration::from_secs(1500.0)),
+                    ClientConfig::default(),
+                    cfg.clone(),
+                );
+                black_box(em.run())
+            })
+        });
+    }
+
+    // Checkpoint handling cost (rollback bookkeeping).
+    for (label, cp) in [("with_checkpoints", Some(60.0)), ("no_checkpoints", None)] {
+        g.bench_function(format!("run_{label}"), |b| {
+            b.iter(|| {
+                let em = Emulator::new(
+                    contended(cp, EstErrorModel::Exact),
+                    ClientConfig::default(),
+                    one_day(),
+                );
+                black_box(em.run())
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Full-emulation throughput: simulated days per wall second for each
+//! paper scenario under the default policy set. This is the end-to-end
+//! number a BCE user cares about (the web form must answer in seconds).
+
+use bce_client::ClientConfig;
+use bce_core::{Emulator, EmulatorConfig};
+use bce_scenarios::{scenario1, scenario2, scenario3, scenario4};
+use bce_types::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    g.sample_size(10);
+    let cfg = EmulatorConfig { duration: SimDuration::from_days(1.0), ..Default::default() };
+
+    let scenarios = [
+        ("scenario1", scenario1(SimDuration::from_secs(1500.0))),
+        ("scenario2", scenario2()),
+        ("scenario3", scenario3()),
+        ("scenario4", scenario4()),
+    ];
+    for (name, scenario) in scenarios {
+        g.bench_function(format!("{name}_1day"), |b| {
+            b.iter(|| {
+                let em = Emulator::new(
+                    black_box(scenario.clone()),
+                    ClientConfig::default(),
+                    cfg.clone(),
+                );
+                black_box(em.run())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

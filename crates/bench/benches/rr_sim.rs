@@ -1,0 +1,59 @@
+//! Round-robin simulation cost vs. queue depth. The RR simulation runs at
+//! every scheduling decision (§3.2), so its cost bounds emulator speed —
+//! especially in many-project scenarios like Scenario 4.
+
+use bce_client::{rr_simulate, RrJob, RrPlatform};
+use bce_sim::Rng;
+use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn make_jobs(njobs: usize, nprojects: usize, rng: &mut Rng) -> Vec<RrJob> {
+    (0..njobs)
+        .map(|i| {
+            let gpu = i % 5 == 0;
+            RrJob {
+                id: JobId(i as u64),
+                project: ProjectId((i % nprojects) as u32),
+                proc_type: if gpu { ProcType::NvidiaGpu } else { ProcType::Cpu },
+                instances: 1.0,
+                remaining: SimDuration::from_secs(rng.range(100.0, 5000.0)),
+                deadline: SimTime::from_secs(rng.range(5_000.0, 100_000.0)),
+            }
+        })
+        .collect()
+}
+
+fn bench_rr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rr_sim");
+    for (njobs, nprojects) in [(8usize, 2usize), (32, 4), (128, 20), (512, 50)] {
+        let mut rng = Rng::from_seed(42);
+        let jobs = make_jobs(njobs, nprojects, &mut rng);
+        let mut ninstances = ProcMap::zero();
+        ninstances[ProcType::Cpu] = 4.0;
+        ninstances[ProcType::NvidiaGpu] = 1.0;
+        let platform = RrPlatform {
+            now: SimTime::ZERO,
+            ninstances,
+            on_frac: 1.0,
+            shares: (0..nprojects).map(|p| (ProjectId(p as u32), 1.0)).collect(),
+        };
+        g.bench_with_input(
+            BenchmarkId::new("jobs_projects", format!("{njobs}x{nprojects}")),
+            &jobs,
+            |b, jobs| {
+                b.iter(|| {
+                    black_box(rr_simulate(
+                        &platform,
+                        black_box(jobs),
+                        SimDuration::from_hours(2.0),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rr);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! State-file ingest throughput: parse + render of a realistic
+//! `client_state.xml` (the web-form path, §4.3).
+
+use bce_scenarios::{doc_from_scenario, scenario4};
+use bce_statefile::ClientStateDoc;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_statefile(c: &mut Criterion) {
+    let doc = doc_from_scenario(&scenario4());
+    let xml = doc.render();
+    let mut g = c.benchmark_group("statefile");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("parse_20_project_state", |b| {
+        b.iter(|| black_box(ClientStateDoc::parse_str(black_box(&xml)).unwrap()))
+    });
+    g.bench_function("render_20_project_state", |b| {
+        b.iter(|| black_box(doc.render()))
+    });
+    g.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let d = ClientStateDoc::parse_str(black_box(&xml)).unwrap();
+            black_box(d.render())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_statefile);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 3: "A job-scheduling policy that incorporates deadlines wastes
+//! less processing time."
+//!
+//! Scenario 1 (CPU only, two projects); project 0's job runtime is 1000 s
+//! and its latency bound sweeps 1000 → 2000 s. With zero slack neither
+//! policy can meet the deadlines (~half the processing wasted); with more
+//! slack the deadline-aware policies (JS-LOCAL/JS-GLOBAL) waste far less
+//! than JS-WRR, which keeps missing until the slack covers the queueing
+//! delay behind the other project's jobs.
+
+use bce_bench::{sched_policies, FigOpts};
+use bce_controller::{line_chart, save_text, sweep, Metric};
+use bce_scenarios::scenario1;
+use bce_types::SimDuration;
+
+fn main() {
+    let opts = FigOpts::parse(10.0);
+    let points: Vec<f64> = if opts.quick {
+        vec![1000.0, 1400.0, 2000.0]
+    } else {
+        (0..=10).map(|i| 1000.0 + 100.0 * i as f64).collect()
+    };
+
+    println!("Figure 3 — wasted fraction vs. slack (job runtime 1000 s)");
+    println!(
+        "scenario 1: 1 CPU, two equal-share projects; latency bound of project 'tight' swept\n"
+    );
+
+    let result = sweep(
+        "latency_bound_s",
+        &points,
+        &sched_policies(),
+        &opts.emulator(),
+        0,
+        |latency| scenario1(SimDuration::from_secs(latency)),
+    );
+
+    let table = result.table(Metric::Wasted);
+    println!("{}", table.render());
+    println!(
+        "{}",
+        line_chart(
+            "wasted fraction vs latency bound (slack = bound - 1000 s)",
+            &result.series(Metric::Wasted),
+            64,
+            16,
+        )
+    );
+    println!("paper shape: at zero slack all policies waste ~0.5; with slack the");
+    println!("deadline-aware policies drop sharply while JS-WRR only recovers as the");
+    println!("bound approaches 2x the runtime.");
+
+    let path = bce_bench::figures_dir().join("fig3.csv");
+    if save_text(&path, &table.to_csv()).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

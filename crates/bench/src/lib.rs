@@ -1,0 +1,98 @@
+//! # bce-bench — figure regeneration and performance benchmarks
+//!
+//! One binary per figure of the paper (`fig1` … `fig6`), each printing the
+//! series the paper reports (tables + ASCII charts) and writing CSV to
+//! `target/figures/`. Criterion benches cover the engine's performance and
+//! the design-choice ablations called out in DESIGN.md.
+
+use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy};
+use bce_core::EmulatorConfig;
+use bce_types::SimDuration;
+
+/// Standard labelled policy sets used across the figure binaries.
+pub fn sched_policies() -> Vec<(String, ClientConfig)> {
+    [JobSchedPolicy::WRR, JobSchedPolicy::LOCAL, JobSchedPolicy::GLOBAL]
+        .into_iter()
+        .map(|p| {
+            (p.name(), ClientConfig { sched_policy: p, ..Default::default() })
+        })
+        .collect()
+}
+
+pub fn fetch_policies() -> Vec<(String, ClientConfig)> {
+    [FetchPolicy::Orig, FetchPolicy::Hysteresis]
+        .into_iter()
+        .map(|p| {
+            (p.name().to_string(), ClientConfig { fetch_policy: p, ..Default::default() })
+        })
+        .collect()
+}
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct FigOpts {
+    /// Emulated days (figures default to the paper's 10; fig6 to 60).
+    pub days: f64,
+    /// Quick mode shrinks durations/sweeps for CI-style smoke runs.
+    pub quick: bool,
+}
+
+impl FigOpts {
+    /// Parse `--days N` and `--quick` from `std::env::args`.
+    pub fn parse(default_days: f64) -> Self {
+        let mut days = default_days;
+        let mut quick = false;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => quick = true,
+                "--days" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        days = v;
+                        i += 1;
+                    }
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+            i += 1;
+        }
+        if quick {
+            days = days.min(1.0);
+        }
+        FigOpts { days, quick }
+    }
+
+    pub fn emulator(&self) -> EmulatorConfig {
+        EmulatorConfig {
+            duration: SimDuration::from_days(self.days),
+            ..Default::default()
+        }
+    }
+}
+
+/// Where figure CSVs land.
+pub fn figures_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("target/figures")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_sets_are_labelled() {
+        let s = sched_policies();
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().any(|(l, _)| l == "JS-WRR"));
+        let f = fetch_policies();
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|(l, _)| l == "JF-HYSTERESIS"));
+    }
+
+    #[test]
+    fn opts_default() {
+        let o = FigOpts { days: 10.0, quick: false };
+        assert_eq!(o.emulator().duration, SimDuration::from_days(10.0));
+    }
+}

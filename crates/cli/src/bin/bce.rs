@@ -1,0 +1,12 @@
+//! The `bce` command-line tool. See `bce help`.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match bce_cli::dispatch(raw) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

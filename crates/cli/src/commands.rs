@@ -1,0 +1,465 @@
+//! `bce` subcommand implementations. Each returns its output as a string
+//! so tests can assert on it; the binary prints it.
+
+use crate::args::{ArgError, Args};
+use bce_client::{ClientConfig, DeadlineOrder, FetchPolicy, JobSchedPolicy};
+use bce_controller::{compare_policies, population_study, population_table, Metric};
+use bce_core::{render_timeline, Emulator, EmulatorConfig, Scenario};
+use bce_scenarios::{
+    doc_from_scenario, scenario1, scenario2, scenario3, scenario4, scenario_from_state_file,
+    PopulationModel, PopulationSampler,
+};
+use bce_fleet::{assign_shares, run_fleet, Fleet, FleetHost, ShareStrategy};
+use bce_sim::Level;
+use bce_types::{AppClass, Hardware, ProcType, ProjectSpec, SimDuration};
+
+pub const HELP: &str = "\
+bce — BOINC client emulator (reproduction of Anderson, 'Emulating
+Volunteer Computing Scheduling Policies', 2011)
+
+USAGE:
+  bce run <state_file.xml | scenario1..scenario4> [options]
+      --days N        emulated days (default 10)
+      --sched P       wrr | local | global | local-llf | global-dd
+      --fetch P       orig | hysteresis
+      --half-life S   REC half-life in seconds (global accounting)
+      --deadline-check P   strict | grace:SECS | none (server-side, §4.3)
+      --timeline      print the per-instance usage timeline
+      --log           print the scheduling message log
+      --seed N        override the scenario seed
+
+  bce compare <state_file.xml | scenarioN> [--days N]
+      run every scheduling x fetch policy combination and tabulate
+
+  bce population [--hosts N] [--days N] [--seed N]
+      Monte-Carlo policy study over a sampled host population
+
+  bce export <scenarioN> [--out FILE]
+      write the scenario as a client_state.xml template
+
+  bce validate <state_file.xml>
+      parse and validate a state file, reporting precise errors
+
+  bce fleet [--days N]
+      cross-host share-enforcement study on a demo heterogeneous fleet
+
+  bce help
+";
+
+/// A command error carrying the message to print on stderr.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+const VALUE_OPTS: &[&str] = &[
+    "days",
+    "sched",
+    "fetch",
+    "half-life",
+    "deadline-check",
+    "seed",
+    "hosts",
+    "out",
+    "width",
+];
+
+/// Parse and run a full command line (without the program name). Returns
+/// the text to print.
+pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliError> {
+    let args = Args::parse(raw, VALUE_OPTS)?;
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("help");
+    let out = match cmd {
+        "run" => cmd_run(&args)?,
+        "compare" => cmd_compare(&args)?,
+        "population" => cmd_population(&args)?,
+        "export" => cmd_export(&args)?,
+        "validate" => cmd_validate(&args)?,
+        "fleet" => cmd_fleet(&args)?,
+        "help" | "--help" => {
+            return Ok(HELP.to_string());
+        }
+        other => return Err(CliError(format!("unknown command {other:?}\n\n{HELP}"))),
+    };
+    args.reject_unknown()?;
+    Ok(out)
+}
+
+fn load_scenario(args: &Args) -> Result<Scenario, CliError> {
+    let target = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError("expected a scenario name or state-file path".into()))?;
+    let mut scenario = match target.as_str() {
+        "scenario1" => scenario1(SimDuration::from_secs(1500.0)),
+        "scenario2" => scenario2(),
+        "scenario3" => scenario3(),
+        "scenario4" => scenario4(),
+        path => {
+            let xml = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            scenario_from_state_file(&xml, path)
+                .map_err(|e| CliError(format!("{path}: {e}")))?
+        }
+    };
+    if let Some(seed) = args.opt_parse::<u64>("seed")? {
+        scenario.seed = seed;
+    }
+    scenario.validate().map_err(|e| CliError(format!("invalid scenario: {e}")))?;
+    Ok(scenario)
+}
+
+fn parse_sched(name: &str) -> Result<JobSchedPolicy, CliError> {
+    Ok(match name {
+        "wrr" => JobSchedPolicy::WRR,
+        "local" => JobSchedPolicy::LOCAL,
+        "global" => JobSchedPolicy::GLOBAL,
+        "local-llf" => JobSchedPolicy { deadline_order: DeadlineOrder::Llf, ..JobSchedPolicy::LOCAL },
+        "global-dd" => {
+            JobSchedPolicy { deadline_order: DeadlineOrder::Density, ..JobSchedPolicy::GLOBAL }
+        }
+        other => return Err(CliError(format!("unknown scheduling policy {other:?}"))),
+    })
+}
+
+fn parse_fetch(name: &str) -> Result<FetchPolicy, CliError> {
+    Ok(match name {
+        "orig" => FetchPolicy::Orig,
+        "hysteresis" | "hyst" => FetchPolicy::Hysteresis,
+        other => return Err(CliError(format!("unknown fetch policy {other:?}"))),
+    })
+}
+
+fn client_config(args: &Args) -> Result<ClientConfig, CliError> {
+    let mut cfg = ClientConfig::default();
+    if let Some(s) = args.opt("sched") {
+        cfg.sched_policy = parse_sched(s)?;
+    }
+    if let Some(f) = args.opt("fetch") {
+        cfg.fetch_policy = parse_fetch(f)?;
+    }
+    if let Some(hl) = args.opt_parse::<f64>("half-life")? {
+        if hl <= 0.0 {
+            return Err(CliError("--half-life must be positive".into()));
+        }
+        cfg.rec_half_life = SimDuration::from_secs(hl);
+    }
+    Ok(cfg)
+}
+
+fn parse_deadline_check(v: &str) -> Result<bce_server::DeadlineCheckPolicy, CliError> {
+    use bce_server::DeadlineCheckPolicy as DC;
+    if v == "strict" {
+        return Ok(DC::Strict);
+    }
+    if v == "none" {
+        return Ok(DC::None);
+    }
+    if let Some(secs) = v.strip_prefix("grace:") {
+        let g: f64 = secs
+            .parse()
+            .map_err(|_| CliError(format!("--deadline-check grace:SECS, got {v:?}")))?;
+        if g < 0.0 {
+            return Err(CliError("--deadline-check grace must be non-negative".into()));
+        }
+        return Ok(DC::Grace(SimDuration::from_secs(g)));
+    }
+    Err(CliError(format!("unknown deadline-check policy {v:?}")))
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let scenario = load_scenario(args)?;
+    let client = client_config(args)?;
+    let days: f64 = args.opt_or("days", 10.0)?;
+    let want_timeline = args.flag("timeline");
+    let want_log = args.flag("log");
+    let mut emu = EmulatorConfig {
+        duration: SimDuration::from_days(days),
+        record_timeline: want_timeline,
+        log_capacity: if want_log { 200_000 } else { 0 },
+        log_level: Level::Info,
+        ..Default::default()
+    };
+    if let Some(dc) = args.opt("deadline-check") {
+        emu.server.deadline_check = parse_deadline_check(dc)?;
+    }
+    let result = Emulator::new(scenario, client, emu).run();
+    let mut out = format!("{result}");
+    if want_timeline {
+        if let Some(tl) = &result.timeline {
+            let width: usize = args.opt_or("width", 96usize)?;
+            out.push('\n');
+            out.push_str(&render_timeline(tl, width));
+        }
+    }
+    if want_log {
+        out.push_str("\nscheduling log:\n");
+        out.push_str(&result.log.render());
+    }
+    Ok(out)
+}
+
+fn all_policies() -> Vec<(String, ClientConfig)> {
+    let mut v = Vec::new();
+    for sched in [JobSchedPolicy::WRR, JobSchedPolicy::LOCAL, JobSchedPolicy::GLOBAL] {
+        for fetch in [FetchPolicy::Orig, FetchPolicy::Hysteresis] {
+            v.push((
+                format!("{}+{}", sched.name(), fetch.name()),
+                ClientConfig { sched_policy: sched, fetch_policy: fetch, ..Default::default() },
+            ));
+        }
+    }
+    v
+}
+
+fn cmd_compare(args: &Args) -> Result<String, CliError> {
+    let scenario = load_scenario(args)?;
+    let days: f64 = args.opt_or("days", 10.0)?;
+    let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let cmp = compare_policies(&scenario, &all_policies(), &emu, 0);
+    let mut out = format!("policy comparison on {} ({days} days):\n\n", cmp.scenario_name);
+    out.push_str(&cmp.table().render());
+    out.push('\n');
+    out.push_str(&cmp.bars(Metric::ShareViolation, 40));
+    out.push_str(&cmp.bars(Metric::RpcsPerJob, 40));
+    Ok(out)
+}
+
+fn cmd_population(args: &Args) -> Result<String, CliError> {
+    let hosts: usize = args.opt_or("hosts", 16usize)?;
+    let days: f64 = args.opt_or("days", 2.0)?;
+    let seed: u64 = args.opt_or("seed", 1u64)?;
+    let mut sampler = PopulationSampler::new(PopulationModel::default(), seed);
+    let scenarios = sampler.sample_many(hosts);
+    let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let policies = vec![
+        ("GLOBAL+HYST".to_string(), ClientConfig::default()),
+        (
+            "LOCAL+ORIG".to_string(),
+            ClientConfig {
+                sched_policy: JobSchedPolicy::LOCAL,
+                fetch_policy: FetchPolicy::Orig,
+                ..Default::default()
+            },
+        ),
+    ];
+    let outcomes = population_study(&scenarios, &policies, &emu, 0);
+    let mut out = format!("population study: {hosts} hosts x {days} days (seed {seed})\n\n");
+    out.push_str(&population_table(&outcomes).render());
+    Ok(out)
+}
+
+fn cmd_export(args: &Args) -> Result<String, CliError> {
+    let scenario = load_scenario(args)?;
+    let xml = doc_from_scenario(&scenario).render();
+    match args.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &xml)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote {path} ({} bytes)\n", xml.len()))
+        }
+        None => Ok(xml),
+    }
+}
+
+fn cmd_validate(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError("expected a state-file path".into()))?;
+    let xml = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let scenario =
+        scenario_from_state_file(&xml, path).map_err(|e| CliError(format!("{path}: {e}")))?;
+    scenario.validate().map_err(|e| CliError(format!("{path}: {e}")))?;
+    Ok(format!(
+        "{path}: OK — {} projects, {} initial jobs, host {:.1} GFLOPS\n",
+        scenario.projects.len(),
+        scenario.initial_queue.len(),
+        scenario.hardware.total_peak_flops() / 1e9
+    ))
+}
+
+fn demo_fleet() -> Fleet {
+    Fleet {
+        hosts: vec![
+            FleetHost::new("cpu-box", Hardware::cpu_only(8, 2e9)),
+            FleetHost::new(
+                "gpu-box",
+                Hardware::cpu_only(2, 1e9).with_group(ProcType::NvidiaGpu, 1, 2e10),
+            ),
+            FleetHost::new("laptop", Hardware::cpu_only(2, 1.5e9)),
+        ],
+        projects: vec![
+            ProjectSpec::new(0, "mixed", 100.0)
+                .with_app(AppClass::gpu(
+                    0,
+                    ProcType::NvidiaGpu,
+                    SimDuration::from_secs(1000.0),
+                    SimDuration::from_hours(24.0),
+                ))
+                .with_app(AppClass::cpu(
+                    1,
+                    SimDuration::from_secs(2000.0),
+                    SimDuration::from_hours(24.0),
+                )),
+            ProjectSpec::new(1, "cpu_only", 100.0).with_app(AppClass::cpu(
+                2,
+                SimDuration::from_secs(1000.0),
+                SimDuration::from_hours(24.0),
+            )),
+        ],
+        seed: 11,
+    }
+}
+
+fn cmd_fleet(args: &Args) -> Result<String, CliError> {
+    let days: f64 = args.opt_or("days", 1.0)?;
+    let fleet = demo_fleet();
+    let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let mut out = format!(
+        "cross-host share enforcement (§6.2): {} hosts, {} projects, {days} days/host\n\n",
+        fleet.hosts.len(),
+        fleet.projects.len()
+    );
+    for strategy in [ShareStrategy::PerHost, ShareStrategy::CrossHost] {
+        let assignment = assign_shares(&fleet, strategy);
+        let r = run_fleet(&fleet, strategy, ClientConfig::default(), &emu, 0);
+        out.push_str(&format!(
+            "{}: fleet share violation {:.4}, total {:.2} TFLOP-days\n",
+            strategy.name(),
+            r.fleet_share_violation,
+            r.total_flops / 1e12 / 86_400.0
+        ));
+        for (host, shares) in fleet.hosts.iter().zip(&assignment) {
+            let total: f64 = shares.iter().map(|(_, s)| s).sum();
+            let detail: Vec<String> = shares
+                .iter()
+                .map(|(p, s)| {
+                    let name = &fleet.projects.iter().find(|q| q.id == *p).unwrap().name;
+                    format!("{name} {:.0}%", 100.0 * s / total.max(1e-9))
+                })
+                .collect();
+            out.push_str(&format!("  {:<8} {}\n", host.name, detail.join(", ")));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmd: &str) -> Result<String, CliError> {
+        dispatch(cmd.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run("help").unwrap().contains("USAGE"));
+        assert!(run("").unwrap().contains("USAGE"));
+        assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn run_paper_scenario() {
+        let out = run("run scenario1 --days 0.2 --sched local --fetch hysteresis").unwrap();
+        assert!(out.contains("figures of merit"), "{out}");
+        assert!(out.contains("tight"), "{out}");
+    }
+
+    #[test]
+    fn run_with_timeline_and_log() {
+        let out = run("run scenario2 --days 0.05 --timeline --log").unwrap();
+        assert!(out.contains("timeline:"), "{out}");
+        assert!(out.contains("scheduling log:"), "{out}");
+    }
+
+    #[test]
+    fn bad_policy_is_error() {
+        assert!(run("run scenario1 --sched bogus").is_err());
+        assert!(run("run scenario1 --fetch bogus").is_err());
+        assert!(run("run scenario1 --half-life -5").is_err());
+    }
+
+    #[test]
+    fn unknown_option_is_error() {
+        let e = run("run scenario1 --days 0.1 --wibble").unwrap_err();
+        assert!(e.to_string().contains("wibble"));
+    }
+
+    #[test]
+    fn compare_runs() {
+        let out = run("compare scenario1 --days 0.1").unwrap();
+        assert!(out.contains("JS-WRR+JF-ORIG"), "{out}");
+        assert!(out.contains("JS-GLOBAL+JF-HYSTERESIS"), "{out}");
+    }
+
+    #[test]
+    fn export_validate_run_cycle() {
+        let dir = std::env::temp_dir().join("bce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s2.xml");
+        let p = path.to_str().unwrap();
+        let out = run(&format!("export scenario2 --out {p}")).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let out = run(&format!("validate {p}")).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        let out = run(&format!("run {p} --days 0.1")).unwrap();
+        assert!(out.contains("figures of merit"), "{out}");
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let dir = std::env::temp_dir().join("bce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.xml");
+        std::fs::write(&path, "<client_state><project/></client_state>").unwrap();
+        assert!(run(&format!("validate {}", path.to_str().unwrap())).is_err());
+    }
+
+    #[test]
+    fn deadline_check_option() {
+        assert!(run("run scenario1 --days 0.1 --deadline-check none").is_ok());
+        assert!(run("run scenario1 --days 0.1 --deadline-check grace:3600").is_ok());
+        assert!(run("run scenario1 --days 0.1 --deadline-check bogus").is_err());
+        assert!(run("run scenario1 --days 0.1 --deadline-check grace:-5").is_err());
+    }
+
+    #[test]
+    fn fleet_demo() {
+        let out = run("fleet --days 0.05").unwrap();
+        assert!(out.contains("per-host"), "{out}");
+        assert!(out.contains("cross-host"), "{out}");
+        assert!(out.contains("gpu-box"), "{out}");
+    }
+
+    #[test]
+    fn population_small() {
+        let out = run("population --hosts 2 --days 0.05").unwrap();
+        assert!(out.contains("GLOBAL+HYST"), "{out}");
+        assert!(out.contains("monotony"), "{out}");
+    }
+
+    #[test]
+    fn seed_override_changes_results() {
+        let a = run("run scenario1 --days 0.3 --seed 1").unwrap();
+        let b = run("run scenario1 --days 0.3 --seed 2").unwrap();
+        let c = run("run scenario1 --days 0.3 --seed 1").unwrap();
+        assert_eq!(a, c, "same seed same output");
+        assert_ne!(a, b, "different seed different output");
+    }
+}

@@ -1,0 +1,387 @@
+//! Resource-share accounting (§3.1).
+//!
+//! The client must decide whether each project has used too much or too
+//! little resource relative to its share. Two approaches, compared in §5.2
+//! and §5.4:
+//!
+//! * **Local accounting** (JS-LOCAL): per (project, processor type) *debts*
+//!   `D(P,T)`, incremented in proportion to the project's share and
+//!   decremented as it uses instances of that type.
+//!   `PRIO_sched(P,T) = D(P,T)`; `PRIO_fetch(P)` is the peak-FLOPS-weighted
+//!   sum of the per-type debts.
+//! * **Global accounting** (JS-GLOBAL): `REC(P)`, an exponentially-weighted
+//!   recent average of the peak FLOPS used by the project *across all
+//!   processor types*; priority compares share fraction against REC
+//!   fraction. The averaging half-life `A` is the parameter swept in §5.4
+//!   (Figure 6).
+
+use bce_types::{Hardware, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Which accounting scheme is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountingKind {
+    Local,
+    Global,
+}
+
+/// Debt magnitude clamp (seconds of instance time), mirroring the BOINC
+/// client's debt limits so one starved project cannot build unbounded
+/// claim on the host.
+const MAX_DEBT: f64 = 86_400.0;
+
+/// Per-interval usage report fed to [`Accounting::update`].
+#[derive(Debug, Clone, Default)]
+pub struct UsageSample {
+    /// Instances of each type in use by each project over the interval.
+    pub used: BTreeMap<ProjectId, ProcMap<f64>>,
+    /// Projects with runnable/queued work of each type. Short-term
+    /// (scheduling) debt accrues only while a project can actually use the
+    /// resource; §2.1 leaves this unspecified and we follow the BOINC
+    /// client.
+    pub runnable: ProcMap<Vec<ProjectId>>,
+    /// Projects that *supply* jobs of each type, whether or not any are
+    /// queued right now. Long-term (fetch) debt accrues over these, so a
+    /// project the client never asked for work still builds its claim —
+    /// without this, whichever project wins the first tie monopolizes
+    /// fetch forever.
+    pub fetchable: ProcMap<Vec<ProjectId>>,
+}
+
+/// Resource-share accounting state.
+#[derive(Debug, Clone)]
+pub struct Accounting {
+    kind: AccountingKind,
+    shares: Vec<(ProjectId, f64)>,
+    /// Local: per-project, per-type short-term debt in instance-seconds
+    /// (drives job scheduling).
+    debts: BTreeMap<ProjectId, ProcMap<f64>>,
+    /// Local: per-project, per-type long-term debt (drives work fetch).
+    lt_debts: BTreeMap<ProjectId, ProcMap<f64>>,
+    /// Global: REC value and its last-update instant (decay is applied
+    /// lazily).
+    rec: BTreeMap<ProjectId, f64>,
+    rec_updated: SimTime,
+    half_life: SimDuration,
+}
+
+impl Accounting {
+    pub fn new(
+        kind: AccountingKind,
+        shares: impl IntoIterator<Item = (ProjectId, f64)>,
+        half_life: SimDuration,
+    ) -> Self {
+        let shares: Vec<_> = shares.into_iter().collect();
+        let debts: BTreeMap<ProjectId, ProcMap<f64>> =
+            shares.iter().map(|&(p, _)| (p, ProcMap::zero())).collect();
+        let lt_debts = debts.clone();
+        let rec = shares.iter().map(|&(p, _)| (p, 0.0)).collect();
+        Accounting { kind, shares, debts, lt_debts, rec, rec_updated: SimTime::ZERO, half_life }
+    }
+
+    pub fn kind(&self) -> AccountingKind {
+        self.kind
+    }
+
+    pub fn half_life(&self) -> SimDuration {
+        self.half_life
+    }
+
+    fn share_of(&self, p: ProjectId) -> f64 {
+        self.shares.iter().find(|(id, _)| *id == p).map_or(0.0, |(_, s)| *s)
+    }
+
+    /// `P`'s fraction of the total resource share.
+    pub fn share_frac(&self, p: ProjectId) -> f64 {
+        let total: f64 = self.shares.iter().map(|(_, s)| *s).sum();
+        if total > 0.0 {
+            self.share_of(p) / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Account an interval `[prev, now)` of usage.
+    pub fn update(&mut self, prev: SimTime, now: SimTime, hw: &Hardware, sample: &UsageSample) {
+        let dt = (now - prev).secs();
+        if dt <= 0.0 {
+            return;
+        }
+        match self.kind {
+            AccountingKind::Local => self.update_local(dt, hw, sample),
+            AccountingKind::Global => self.update_global(now, hw, sample),
+        }
+    }
+
+    fn update_local(&mut self, dt: f64, hw: &Hardware, sample: &UsageSample) {
+        Self::update_debt_map(&mut self.debts, &self.shares, dt, hw, &sample.used, &sample.runnable);
+        Self::update_debt_map(
+            &mut self.lt_debts,
+            &self.shares,
+            dt,
+            hw,
+            &sample.used,
+            &sample.fetchable,
+        );
+    }
+
+    fn update_debt_map(
+        debts: &mut BTreeMap<ProjectId, ProcMap<f64>>,
+        shares: &[(ProjectId, f64)],
+        dt: f64,
+        hw: &Hardware,
+        used: &BTreeMap<ProjectId, ProcMap<f64>>,
+        membership: &ProcMap<Vec<ProjectId>>,
+    ) {
+        let share_of = |p: ProjectId| -> f64 {
+            shares.iter().find(|(id, _)| *id == p).map_or(0.0, |(_, s)| *s)
+        };
+        for t in ProcType::ALL {
+            let ninst = hw.ninstances(t) as f64;
+            if ninst <= 0.0 {
+                continue;
+            }
+            let eligible = &membership[t];
+            if eligible.is_empty() {
+                continue;
+            }
+            let share_sum: f64 = eligible.iter().map(|&p| share_of(p)).sum();
+            if share_sum <= 0.0 {
+                continue;
+            }
+            // Accrue: entitled instance-seconds minus used instance-seconds.
+            for &p in eligible {
+                let entitled = share_of(p) / share_sum * ninst;
+                let u = used.get(&p).map_or(0.0, |m| m[t]);
+                let d = debts.entry(p).or_insert_with(ProcMap::zero);
+                d[t] += dt * (entitled - u);
+            }
+            // Projects not eligible still pay for use (e.g. finishing a
+            // last job while out of further work).
+            for (&p, used_map) in used {
+                if !eligible.contains(&p) && used_map[t] > 0.0 {
+                    let d = debts.entry(p).or_insert_with(ProcMap::zero);
+                    d[t] -= dt * used_map[t];
+                }
+            }
+            // Normalize to zero mean over eligible projects and clamp.
+            let mean: f64 =
+                eligible.iter().map(|&p| debts[&p][t]).sum::<f64>() / eligible.len() as f64;
+            for &p in eligible {
+                let d = debts.get_mut(&p).expect("debt entry");
+                d[t] = (d[t] - mean).clamp(-MAX_DEBT, MAX_DEBT);
+            }
+        }
+    }
+
+    fn update_global(&mut self, now: SimTime, hw: &Hardware, sample: &UsageSample) {
+        let dt = (now - self.rec_updated).secs();
+        if dt <= 0.0 {
+            return;
+        }
+        let ln2 = std::f64::consts::LN_2;
+        let hl = self.half_life.secs();
+        let decay = (-ln2 * dt / hl).exp();
+        let gain = hl / ln2 * (1.0 - decay);
+        for (p, rec) in self.rec.iter_mut() {
+            // Peak FLOPS in use by this project over the interval.
+            let rate: f64 = sample.used.get(p).map_or(0.0, |m| {
+                ProcType::ALL.iter().map(|&t| m[t] * hw.flops_per_inst(t)).sum()
+            });
+            *rec = *rec * decay + rate * gain;
+        }
+        self.rec_updated = now;
+    }
+
+    /// `PRIO_sched(P, T)`: higher means the project deserves the processor
+    /// more.
+    pub fn prio_sched(&self, p: ProjectId, t: ProcType) -> f64 {
+        match self.kind {
+            AccountingKind::Local => self.debts.get(&p).map_or(0.0, |d| d[t]),
+            AccountingKind::Global => self.global_prio(p),
+        }
+    }
+
+    /// `PRIO_fetch(P)`: higher means new work should come from this
+    /// project.
+    pub fn prio_fetch(&self, p: ProjectId, hw: &Hardware) -> f64 {
+        match self.kind {
+            AccountingKind::Local => self.lt_debts.get(&p).map_or(0.0, |d| {
+                ProcType::ALL.iter().map(|&t| d[t] * hw.peak_flops(t)).sum()
+            }),
+            AccountingKind::Global => self.global_prio(p),
+        }
+    }
+
+    fn global_prio(&self, p: ProjectId) -> f64 {
+        let share_sum: f64 = self.shares.iter().map(|(_, s)| *s).sum();
+        let share_frac = if share_sum > 0.0 { self.share_of(p) / share_sum } else { 0.0 };
+        let rec_sum: f64 = self.rec.values().sum();
+        let rec_frac = if rec_sum > 0.0 { self.rec.get(&p).copied().unwrap_or(0.0) / rec_sum } else { 0.0 };
+        share_frac - rec_frac
+    }
+
+    /// Raw REC value (global accounting), for inspection/plots.
+    pub fn rec_of(&self, p: ProjectId) -> f64 {
+        *self.rec.get(&p).unwrap_or(&0.0)
+    }
+
+    /// Raw short-term debt (local accounting).
+    pub fn debt_of(&self, p: ProjectId, t: ProcType) -> f64 {
+        self.debts.get(&p).map_or(0.0, |d| d[t])
+    }
+
+    /// Raw long-term (fetch) debt (local accounting).
+    pub fn lt_debt_of(&self, p: ProjectId, t: ProcType) -> f64 {
+        self.lt_debts.get(&p).map_or(0.0, |d| d[t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> Hardware {
+        Hardware::cpu_only(4, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10)
+    }
+
+    fn shares2() -> Vec<(ProjectId, f64)> {
+        vec![(ProjectId(0), 1.0), (ProjectId(1), 1.0)]
+    }
+
+    fn sample(
+        used: &[(u32, f64, f64)], // (project, cpus, gpus)
+        runnable_cpu: &[u32],
+        runnable_gpu: &[u32],
+    ) -> UsageSample {
+        let mut s = UsageSample::default();
+        for &(p, c, g) in used {
+            let mut m = ProcMap::zero();
+            m[ProcType::Cpu] = c;
+            m[ProcType::NvidiaGpu] = g;
+            s.used.insert(ProjectId(p), m);
+        }
+        s.runnable[ProcType::Cpu] = runnable_cpu.iter().map(|&p| ProjectId(p)).collect();
+        s.runnable[ProcType::NvidiaGpu] = runnable_gpu.iter().map(|&p| ProjectId(p)).collect();
+        s.fetchable = s.runnable.clone();
+        s
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn local_debt_rises_for_starved_project() {
+        let mut a = Accounting::new(AccountingKind::Local, shares2(), SimDuration::from_days(10.0));
+        // P0 uses all 4 CPUs; both runnable; P1 starves.
+        let s = sample(&[(0, 4.0, 0.0)], &[0, 1], &[]);
+        a.update(t(0.0), t(100.0), &hw(), &s);
+        assert!(a.prio_sched(ProjectId(1), ProcType::Cpu) > 0.0);
+        assert!(a.prio_sched(ProjectId(0), ProcType::Cpu) < 0.0);
+        // Zero-mean normalization.
+        let sum = a.debt_of(ProjectId(0), ProcType::Cpu) + a.debt_of(ProjectId(1), ProcType::Cpu);
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn local_debt_balanced_when_fairly_shared() {
+        let mut a = Accounting::new(AccountingKind::Local, shares2(), SimDuration::from_days(10.0));
+        let s = sample(&[(0, 2.0, 0.0), (1, 2.0, 0.0)], &[0, 1], &[]);
+        a.update(t(0.0), t(1000.0), &hw(), &s);
+        assert!(a.prio_sched(ProjectId(0), ProcType::Cpu).abs() < 1e-6);
+        assert!(a.prio_sched(ProjectId(1), ProcType::Cpu).abs() < 1e-6);
+    }
+
+    #[test]
+    fn local_debts_are_per_type() {
+        // This is the §5.2 mechanism: CPU debts balance independently of
+        // the GPU, so local accounting splits the CPU evenly even when one
+        // project hogs a big GPU.
+        let mut a = Accounting::new(AccountingKind::Local, shares2(), SimDuration::from_days(10.0));
+        let s = sample(&[(0, 2.0, 0.0), (1, 2.0, 1.0)], &[0, 1], &[1]);
+        a.update(t(0.0), t(1000.0), &hw(), &s);
+        assert!(a.prio_sched(ProjectId(0), ProcType::Cpu).abs() < 1e-6);
+        assert!(a.prio_sched(ProjectId(1), ProcType::Cpu).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_prio_penalizes_gpu_hog() {
+        // Same situation under global accounting: P1's GPU FLOPS dwarf
+        // P0's CPU share, so P0's priority is higher on every resource.
+        let mut a =
+            Accounting::new(AccountingKind::Global, shares2(), SimDuration::from_days(10.0));
+        let s = sample(&[(0, 2.0, 0.0), (1, 2.0, 1.0)], &[0, 1], &[1]);
+        a.update(t(0.0), t(10_000.0), &hw(), &s);
+        assert!(a.prio_sched(ProjectId(0), ProcType::Cpu) > a.prio_sched(ProjectId(1), ProcType::Cpu));
+        assert!(a.prio_fetch(ProjectId(0), &hw()) > a.prio_fetch(ProjectId(1), &hw()));
+    }
+
+    #[test]
+    fn global_rec_decays_with_half_life() {
+        let hl = SimDuration::from_secs(1000.0);
+        let mut a = Accounting::new(AccountingKind::Global, shares2(), hl);
+        let s = sample(&[(0, 4.0, 0.0)], &[0, 1], &[]);
+        a.update(t(0.0), t(100.0), &hw(), &s);
+        let r0 = a.rec_of(ProjectId(0));
+        assert!(r0 > 0.0);
+        // One half-life of idleness halves REC.
+        let idle = sample(&[], &[0, 1], &[]);
+        a.update(t(100.0), t(1100.0), &hw(), &idle);
+        assert!((a.rec_of(ProjectId(0)) / r0 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_half_life_forgets_faster() {
+        // The Figure 6 mechanism: after the same burst of use, a short
+        // half-life erases the over-share memory sooner.
+        let mk = |hl: f64| {
+            let mut a = Accounting::new(
+                AccountingKind::Global,
+                shares2(),
+                SimDuration::from_secs(hl),
+            );
+            // P0 monopolizes the host for a while, then P1 does.
+            let s0 = sample(&[(0, 4.0, 0.0)], &[0, 1], &[]);
+            a.update(t(0.0), t(1000.0), &hw(), &s0);
+            let s1 = sample(&[(1, 4.0, 0.0)], &[0, 1], &[]);
+            a.update(t(1000.0), t(11_000.0), &hw(), &s1);
+            a.global_prio(ProjectId(0))
+        };
+        let short = mk(500.0);
+        let long = mk(50_000.0);
+        // Short memory forgets P0's monopolization entirely (prio back near
+        // +share_frac); long memory still holds it against P0.
+        assert!(long < short, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn fetch_prio_weights_by_peak_flops() {
+        let mut a = Accounting::new(AccountingKind::Local, shares2(), SimDuration::from_days(10.0));
+        // P0 starved on GPU (10 GF) but even on CPU: GPU debt dominates
+        // fetch priority.
+        let s = sample(&[(1, 0.0, 1.0)], &[], &[0, 1]);
+        a.update(t(0.0), t(100.0), &hw(), &s);
+        assert!(a.prio_fetch(ProjectId(0), &hw()) > 0.0);
+        assert!(a.prio_fetch(ProjectId(1), &hw()) < 0.0);
+    }
+
+    #[test]
+    fn debt_clamped() {
+        let mut a = Accounting::new(AccountingKind::Local, shares2(), SimDuration::from_days(10.0));
+        let s = sample(&[(0, 4.0, 0.0)], &[0, 1], &[]);
+        // Enormous starvation interval: debt must clamp at MAX_DEBT.
+        a.update(t(0.0), t(1e9), &hw(), &s);
+        assert!(a.prio_sched(ProjectId(1), ProcType::Cpu) <= MAX_DEBT + 1e-9);
+        assert!(a.prio_sched(ProjectId(0), ProcType::Cpu) >= -MAX_DEBT - 1e-9);
+    }
+
+    #[test]
+    fn non_eligible_user_still_pays() {
+        let mut a = Accounting::new(AccountingKind::Local, shares2(), SimDuration::from_days(10.0));
+        // P1 uses CPU while not eligible (no runnable work listed).
+        let s = sample(&[(1, 2.0, 0.0)], &[0], &[]);
+        a.update(t(0.0), t(100.0), &hw(), &s);
+        assert!(a.debt_of(ProjectId(1), ProcType::Cpu) < 0.0);
+    }
+}

@@ -1,0 +1,697 @@
+//! The emulated BOINC client: owns the task queue, accounting, transfer
+//! queues and policy state, and exposes the operations the emulator's
+//! event loop drives (advance time, reschedule, decide fetches, ingest
+//! replies).
+//!
+//! This module is the "emulation" half of BCE (§4.3): job scheduling, job
+//! fetch and preference enforcement behave as the real client; job
+//! execution, servers and availability are simulated around it.
+
+use crate::accounting::{Accounting, UsageSample};
+use crate::fetch::{self, Backoff, FetchDecision, FetchPolicy, FetchProject};
+use crate::rr_sim::{self, RrJob, RrOutcome, RrPlatform};
+use crate::sched::{self, JobSchedPolicy, PlanInput};
+use crate::task::{Task, TaskState};
+use crate::xfer::{NetworkModel, Transfers};
+use bce_avail::HostRunState;
+use bce_types::{
+    Hardware, JobId, JobSpec, Preferences, ProcMap, ProcType, ProjectId, SimDuration, SimTime,
+};
+
+/// Client-wide policy/configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientConfig {
+    pub sched_policy: JobSchedPolicy,
+    pub fetch_policy: FetchPolicy,
+    /// Half-life `A` of the REC average (global accounting; Figure 6).
+    pub rec_half_life: SimDuration,
+    /// Optional link model; `None` = transfers are instant.
+    pub network: Option<NetworkModel>,
+}
+
+impl Default for ClientConfig {
+    /// The paper's "current" policy set: global accounting with EDF
+    /// promotion and hysteresis-based fetch.
+    fn default() -> Self {
+        ClientConfig {
+            sched_policy: JobSchedPolicy::GLOBAL,
+            fetch_policy: FetchPolicy::Hysteresis,
+            rec_half_life: SimDuration::from_days(10.0),
+            network: None,
+        }
+    }
+}
+
+/// Client-side per-project state.
+#[derive(Debug, Clone)]
+pub struct ClientProject {
+    pub id: ProjectId,
+    pub name: String,
+    pub share: f64,
+    /// Which processor types the project supplies jobs for.
+    pub supplies: ProcMap<bool>,
+    backoff: Backoff,
+    /// Server-imposed minimum delay until the next RPC.
+    next_rpc_allowed: SimTime,
+}
+
+/// What changed during [`Client::advance`].
+#[derive(Debug, Clone, Default)]
+pub struct AdvanceEvents {
+    /// Jobs whose computation completed in the interval.
+    pub computed: Vec<JobId>,
+    /// Jobs whose input download finished (now runnable).
+    pub ready: Vec<JobId>,
+    /// Jobs whose output upload finished (now reportable).
+    pub uploaded: Vec<JobId>,
+}
+
+/// What changed during [`Client::reschedule`].
+#[derive(Debug, Clone)]
+pub struct Reschedule {
+    pub started: Vec<JobId>,
+    pub preempted: Vec<JobId>,
+    /// The round-robin simulation snapshot the decision was based on.
+    pub rr: RrOutcome,
+}
+
+/// The emulated client.
+pub struct Client {
+    pub cfg: ClientConfig,
+    pub hw: Hardware,
+    pub prefs: Preferences,
+    projects: Vec<ClientProject>,
+    tasks: Vec<Task>,
+    finished: Vec<Task>,
+    accounting: Accounting,
+    transfers: Transfers,
+    last_advance: SimTime,
+    rpcs_issued: u64,
+}
+
+impl Client {
+    pub fn new(
+        hw: Hardware,
+        prefs: Preferences,
+        projects: Vec<ClientProject>,
+        cfg: ClientConfig,
+    ) -> Self {
+        let accounting = Accounting::new(
+            cfg.sched_policy.accounting,
+            projects.iter().map(|p| (p.id, p.share)),
+            cfg.rec_half_life,
+        );
+        let transfers = Transfers::new(cfg.network);
+        Client {
+            cfg,
+            hw,
+            prefs,
+            projects,
+            tasks: Vec::new(),
+            finished: Vec::new(),
+            accounting,
+            transfers,
+            last_advance: SimTime::ZERO,
+            rpcs_issued: 0,
+        }
+    }
+
+    /// Build per-project state from `(id, name, share, supplied types)`.
+    pub fn project(
+        id: u32,
+        name: impl Into<String>,
+        share: f64,
+        supplies: &[ProcType],
+    ) -> ClientProject {
+        let mut s = ProcMap::from_fn(|_| false);
+        for &t in supplies {
+            s[t] = true;
+        }
+        ClientProject {
+            id: ProjectId(id),
+            name: name.into(),
+            share,
+            supplies: s,
+            backoff: Backoff::new(),
+            next_rpc_allowed: SimTime::ZERO,
+        }
+    }
+
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    pub fn finished(&self) -> &[Task] {
+        &self.finished
+    }
+
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    pub fn projects(&self) -> &[ClientProject] {
+        &self.projects
+    }
+
+    pub fn rpcs_issued(&self) -> u64 {
+        self.rpcs_issued
+    }
+
+    fn task_mut(&mut self, id: JobId) -> Option<&mut Task> {
+        self.tasks.iter_mut().find(|t| t.spec.id == id)
+    }
+
+    pub fn task(&self, id: JobId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.spec.id == id)
+    }
+
+    /// RAM budget under the busy/idle preference pair.
+    pub fn mem_budget(&self, run_state: HostRunState) -> f64 {
+        let frac = if run_state.user_active {
+            self.prefs.ram_max_frac_busy
+        } else {
+            self.prefs.ram_max_frac_idle
+        };
+        self.hw.mem_bytes * frac
+    }
+
+    /// Restore an in-flight job from an imported state file, with its
+    /// recorded execution progress.
+    pub fn add_initial_task(&mut self, spec: JobSpec, progress: SimDuration) {
+        let task = Task::with_progress(spec, progress);
+        if task.state() == TaskState::Downloading {
+            self.transfers.downloads.enqueue(task.spec.id, task.spec.input_bytes);
+        }
+        self.tasks.push(task);
+    }
+
+    /// Can this job ever run on this host? (The real client errors out
+    /// tasks that need more instances than the host has.)
+    pub fn job_feasible(&self, spec: &JobSpec) -> bool {
+        ProcType::ALL.iter().all(|&t| {
+            spec.usage.instances_of(t) <= self.hw.ninstances(t) as f64 + 1e-9
+        })
+    }
+
+    /// Ingest jobs from a scheduler reply. Infeasible jobs are rejected
+    /// (client-side error, as in the real client) and their ids returned.
+    pub fn add_jobs(&mut self, jobs: Vec<JobSpec>) -> Vec<JobId> {
+        let mut rejected = Vec::new();
+        for spec in jobs {
+            if !self.job_feasible(&spec) {
+                rejected.push(spec.id);
+                continue;
+            }
+            let task = Task::new(spec);
+            if task.state() == TaskState::Downloading {
+                self.transfers.downloads.enqueue(task.spec.id, task.spec.input_bytes);
+            }
+            self.tasks.push(task);
+        }
+        rejected
+    }
+
+    /// Progress running tasks, transfers and accounting to `now`. The
+    /// running set and run state must be constant over the interval (the
+    /// emulator reschedules at every event boundary).
+    pub fn advance(&mut self, now: SimTime, run_state: HostRunState) -> AdvanceEvents {
+        let mut ev = AdvanceEvents::default();
+        let dt = now - self.last_advance;
+        if !dt.is_positive() {
+            self.last_advance = now;
+            return ev;
+        }
+
+        // Accounting sees the interval's usage before tasks mutate.
+        let sample = self.usage_sample();
+        self.accounting.update(self.last_advance, now, &self.hw, &sample);
+
+        // Transfers progress first: uploads enqueued by completions later
+        // in this interval must not receive this interval's bandwidth.
+        for id in self.transfers.downloads.advance(dt, run_state.net_up) {
+            if let Some(task) = self.task_mut(id) {
+                task.download_done();
+                ev.ready.push(id);
+            }
+        }
+        ev.uploaded.extend(self.transfers.uploads.advance(dt, run_state.net_up));
+
+        for task in &mut self.tasks {
+            if task.is_running() && task.advance(dt, now) {
+                ev.computed.push(task.spec.id);
+            }
+        }
+        // Completed jobs with output files start uploading; others are
+        // immediately reportable (handled by the caller).
+        for &id in &ev.computed {
+            let out_bytes = self.task(id).map(|t| t.spec.output_bytes).unwrap_or(0.0);
+            if out_bytes > 0.0 {
+                self.transfers.uploads.enqueue(id, out_bytes);
+            } else {
+                ev.uploaded.push(id);
+            }
+        }
+
+        self.last_advance = now;
+        ev
+    }
+
+    /// Usage/runnability snapshot for accounting.
+    fn usage_sample(&self) -> UsageSample {
+        let mut sample = UsageSample::default();
+        for p in &self.projects {
+            for t in ProcType::ALL {
+                if p.supplies[t] && self.hw.ninstances(t) > 0 {
+                    sample.fetchable[t].push(p.id);
+                }
+            }
+        }
+        for task in &self.tasks {
+            if task.is_running() {
+                let entry = sample.used.entry(task.spec.project).or_insert_with(ProcMap::zero);
+                entry[ProcType::Cpu] += task.spec.usage.avg_cpus;
+                if let Some((t, n)) = task.spec.usage.coproc {
+                    entry[t] += n;
+                }
+            }
+            if !task.is_complete() {
+                let t = task.spec.usage.main_proc_type();
+                let list = &mut sample.runnable[t];
+                if !list.contains(&task.spec.project) {
+                    list.push(task.spec.project);
+                }
+            }
+        }
+        sample
+    }
+
+    /// Run the round-robin simulation over the current queue (§3.2), with
+    /// the shortfall horizon at `max_queue`.
+    pub fn rr_simulate(&self, now: SimTime, run_state: HostRunState, on_frac: f64) -> RrOutcome {
+        let ninstances = ProcMap::from_fn(|t| match t {
+            ProcType::Cpu => {
+                if run_state.can_compute {
+                    self.prefs.usable_cpus(self.hw.ninstances(ProcType::Cpu)) as f64
+                } else {
+                    0.0
+                }
+            }
+            _ => {
+                if run_state.can_gpu {
+                    self.hw.ninstances(t) as f64
+                } else {
+                    0.0
+                }
+            }
+        });
+        let platform = RrPlatform {
+            now,
+            ninstances,
+            on_frac,
+            shares: self.projects.iter().map(|p| (p.id, p.share)).collect(),
+        };
+        // Include every uncompleted task (even ones still downloading):
+        // they are committed work for queue-sizing purposes.
+        let jobs: Vec<RrJob> = self
+            .tasks
+            .iter()
+            .filter(|t| !t.is_complete())
+            .map(|t| RrJob {
+                id: t.spec.id,
+                project: t.spec.project,
+                proc_type: t.spec.usage.main_proc_type(),
+                instances: t.spec.usage.instances_of(t.spec.usage.main_proc_type()),
+                remaining: t.remaining_est(),
+                deadline: t.spec.deadline(),
+            })
+            .collect();
+        rr_sim::simulate(&platform, &jobs, self.prefs.work_buf_max())
+    }
+
+    /// Apply the job-scheduling policy (§3.3): start/preempt tasks so the
+    /// running set matches the plan.
+    pub fn reschedule(&mut self, now: SimTime, run_state: HostRunState, on_frac: f64) -> Reschedule {
+        let rr = self.rr_simulate(now, run_state, on_frac);
+        let plan = {
+            let input = PlanInput {
+                now,
+                tasks: &self.tasks,
+                rr: &rr,
+                accounting: &self.accounting,
+                hw: &self.hw,
+                prefs: &self.prefs,
+                run_state,
+                mem_budget: self.mem_budget(run_state),
+            };
+            sched::plan(self.cfg.sched_policy, &input)
+        };
+        let mut started = Vec::new();
+        let mut preempted = Vec::new();
+        let keep_in_memory = self.prefs.leave_apps_in_memory;
+        for (i, task) in self.tasks.iter_mut().enumerate() {
+            let should_run = plan.contains(i);
+            if task.is_running() && !should_run {
+                task.preempt(keep_in_memory);
+                preempted.push(task.spec.id);
+            } else if !task.is_running() && should_run {
+                task.start();
+                started.push(task.spec.id);
+            }
+        }
+        Reschedule { started, preempted, rr }
+    }
+
+    /// Apply the job-fetch policy (§3.4) to the given RR snapshot.
+    pub fn fetch_decision(
+        &self,
+        now: SimTime,
+        run_state: HostRunState,
+        rr: &RrOutcome,
+    ) -> Option<FetchDecision> {
+        if !run_state.net_up {
+            return None;
+        }
+        let projects: Vec<FetchProject> = self
+            .projects
+            .iter()
+            .map(|p| FetchProject {
+                id: p.id,
+                share: p.share,
+                supplies: p.supplies,
+                backoff_until: p.backoff.until.max(p.next_rpc_allowed),
+            })
+            .collect();
+        fetch::decide(
+            self.cfg.fetch_policy,
+            now,
+            rr,
+            &self.hw,
+            &self.prefs,
+            &self.accounting,
+            &projects,
+            run_state.can_gpu,
+        )
+    }
+
+    /// Record the result of an RPC: jobs received (or not) and the
+    /// server-imposed delay.
+    pub fn record_reply(
+        &mut self,
+        now: SimTime,
+        project: ProjectId,
+        jobs: Vec<JobSpec>,
+        delay: SimDuration,
+    ) {
+        self.rpcs_issued += 1;
+        let njobs = jobs.len();
+        let rejected = self.add_jobs(jobs);
+        let accepted_any = rejected.len() < njobs;
+        if let Some(p) = self.projects.iter_mut().find(|p| p.id == project) {
+            p.next_rpc_allowed = now + delay;
+            // An empty reply, or a reply whose every job was infeasible,
+            // backs the project off — otherwise a project supplying only
+            // unrunnable jobs would monopolize fetch forever.
+            if accepted_any {
+                p.backoff.succeed();
+            } else {
+                p.backoff.fail(now);
+            }
+        }
+    }
+
+    /// Record an RPC that failed to reach the server.
+    pub fn record_rpc_failure(&mut self, now: SimTime, project: ProjectId) {
+        self.rpcs_issued += 1;
+        if let Some(p) = self.projects.iter_mut().find(|p| p.id == project) {
+            p.backoff.fail(now);
+        }
+    }
+
+    /// Remove a reported task from the live set (kept in `finished` for
+    /// statistics).
+    pub fn retire(&mut self, id: JobId) -> Option<&Task> {
+        let idx = self.tasks.iter().position(|t| t.spec.id == id)?;
+        let task = self.tasks.swap_remove(idx);
+        self.finished.push(task);
+        self.finished.last()
+    }
+
+    /// The earliest future instant at which something happens without
+    /// outside intervention: a running task completes or a transfer
+    /// finishes.
+    pub fn next_event_after(&self, now: SimTime) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        for task in &self.tasks {
+            if task.is_running() {
+                let eta = now + task.remaining();
+                next = Some(next.map_or(eta, |n| n.min(eta)));
+            }
+        }
+        if let Some(t) = self.transfers.next_event_after(now) {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
+    }
+
+    /// Earliest time a currently-blocked fetch could unblock (backoffs /
+    /// server delays), used by the emulator to schedule retries.
+    pub fn next_fetch_unblock(&self, now: SimTime) -> Option<SimTime> {
+        self.projects
+            .iter()
+            .map(|p| p.backoff.until.max(p.next_rpc_allowed))
+            .filter(|&t| t > now)
+            .min()
+    }
+
+    /// Instances of each type currently in use (for metrics/timeline).
+    pub fn instances_in_use(&self) -> ProcMap<f64> {
+        let mut used = ProcMap::zero();
+        for task in &self.tasks {
+            if task.is_running() {
+                used[ProcType::Cpu] += task.spec.usage.avg_cpus;
+                if let Some((t, n)) = task.spec.usage.coproc {
+                    used[t] += n;
+                }
+            }
+        }
+        used
+    }
+
+    /// Peak FLOPS in use per project right now (for metrics). GPU jobs'
+    /// CPU feeder fractions may overcommit the CPU (as in the real
+    /// client); for accounting purposes the per-type usage is scaled back
+    /// so delivered FLOPS never exceed the hardware's capacity.
+    pub fn flops_in_use_by_project(&self) -> Vec<(ProjectId, f64)> {
+        let used = self.instances_in_use();
+        let scale = ProcMap::from_fn(|t| {
+            let n = self.hw.ninstances(t) as f64;
+            if used[t] > n && used[t] > 0.0 {
+                n / used[t]
+            } else {
+                1.0
+            }
+        });
+        let mut by_project: Vec<(ProjectId, f64)> = Vec::new();
+        for task in &self.tasks {
+            if task.is_running() {
+                let u = task.spec.usage;
+                let mut f = u.avg_cpus
+                    * scale[ProcType::Cpu]
+                    * self.hw.flops_per_inst(ProcType::Cpu);
+                if let Some((t, n)) = u.coproc {
+                    f += n * scale[t] * self.hw.flops_per_inst(t);
+                }
+                match by_project.iter_mut().find(|(p, _)| *p == task.spec.project) {
+                    Some((_, acc)) => *acc += f,
+                    None => by_project.push((task.spec.project, f)),
+                }
+            }
+        }
+        by_project
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_types::{AppId, ResourceUsage};
+
+    fn run_state() -> HostRunState {
+        HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false }
+    }
+
+    fn spec(id: u64, project: u32, dur: f64, latency: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            project: ProjectId(project),
+            app: AppId(0),
+            usage: ResourceUsage::one_cpu(),
+            duration: SimDuration::from_secs(dur),
+            duration_est: SimDuration::from_secs(dur),
+            latency_bound: SimDuration::from_secs(latency),
+            checkpoint_period: Some(SimDuration::from_secs(60.0)),
+            working_set_bytes: 1e8,
+            input_bytes: 0.0,
+            output_bytes: 0.0,
+            received: SimTime::ZERO,
+        }
+    }
+
+    fn client() -> Client {
+        Client::new(
+            Hardware::cpu_only(1, 1e9),
+            Preferences::default(),
+            vec![
+                Client::project(0, "alpha", 1.0, &[ProcType::Cpu]),
+                Client::project(1, "beta", 1.0, &[ProcType::Cpu]),
+            ],
+            ClientConfig {
+                sched_policy: JobSchedPolicy::LOCAL,
+                fetch_policy: FetchPolicy::Hysteresis,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn lifecycle_run_to_completion() {
+        let mut c = client();
+        c.add_jobs(vec![spec(1, 0, 100.0, 1000.0)]);
+        let rs = run_state();
+        let r = c.reschedule(SimTime::ZERO, rs, 1.0);
+        assert_eq!(r.started, vec![JobId(1)]);
+        let next = c.next_event_after(SimTime::ZERO).unwrap();
+        assert_eq!(next, SimTime::from_secs(100.0));
+        let ev = c.advance(next, rs);
+        assert_eq!(ev.computed, vec![JobId(1)]);
+        assert_eq!(ev.uploaded, vec![JobId(1)]); // no output file: instant
+        assert!(c.task(JobId(1)).unwrap().met_deadline());
+        c.retire(JobId(1));
+        assert!(c.tasks().is_empty());
+        assert_eq!(c.finished().len(), 1);
+    }
+
+    #[test]
+    fn reschedule_preempts_for_endangered() {
+        let mut c = client();
+        c.add_jobs(vec![spec(1, 0, 1000.0, 1e6)]);
+        let rs = run_state();
+        c.reschedule(SimTime::ZERO, rs, 1.0);
+        // Run 120 s so the running task passes a checkpoint.
+        c.advance(SimTime::from_secs(120.0), rs);
+        // A tight-deadline job arrives from the other project.
+        c.add_jobs(vec![spec(2, 1, 500.0, 600.0)]);
+        let r = c.reschedule(SimTime::from_secs(120.0), rs, 1.0);
+        assert!(r.rr.is_endangered(JobId(2)));
+        assert_eq!(r.started, vec![JobId(2)]);
+        assert_eq!(r.preempted, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn fetch_blocked_without_network() {
+        let c = client();
+        let rr = c.rr_simulate(SimTime::ZERO, run_state(), 1.0);
+        let mut rs = run_state();
+        rs.net_up = false;
+        assert!(c.fetch_decision(SimTime::ZERO, rs, &rr).is_none());
+    }
+
+    #[test]
+    fn fetch_on_empty_queue() {
+        let c = client();
+        let rs = run_state();
+        let rr = c.rr_simulate(SimTime::ZERO, rs, 1.0);
+        let d = c.fetch_decision(SimTime::ZERO, rs, &rr).expect("empty queue must fetch");
+        // Entire shortfall = max_queue × 1 instance.
+        let expected = c.prefs.work_buf_max().secs();
+        assert!((d.request.secs[ProcType::Cpu] - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn reply_backoff_and_delay() {
+        let mut c = client();
+        c.record_reply(SimTime::ZERO, ProjectId(0), vec![], SimDuration::from_secs(60.0));
+        assert_eq!(c.rpcs_issued(), 1);
+        // Empty reply → backoff; next fetch can't pick P0 immediately.
+        let rr = c.rr_simulate(SimTime::ZERO, run_state(), 1.0);
+        let d = c.fetch_decision(SimTime::from_secs(1.0), run_state(), &rr).unwrap();
+        assert_eq!(d.project, ProjectId(1));
+        // Unblock time reported.
+        assert!(c.next_fetch_unblock(SimTime::from_secs(1.0)).is_some());
+    }
+
+    #[test]
+    fn usage_accumulates_in_accounting() {
+        let mut c = client();
+        c.add_jobs(vec![spec(1, 0, 5000.0, 1e6), spec(2, 1, 5000.0, 1e6)]);
+        let rs = run_state();
+        c.reschedule(SimTime::ZERO, rs, 1.0);
+        c.advance(SimTime::from_secs(1000.0), rs);
+        // One CPU, both runnable: whoever ran owes debt to the other.
+        let d0 = c.accounting().debt_of(ProjectId(0), ProcType::Cpu);
+        let d1 = c.accounting().debt_of(ProjectId(1), ProcType::Cpu);
+        assert!((d0 + d1).abs() < 1e-6);
+        assert!(d0.abs() > 100.0, "imbalance should accrue, d0={d0}");
+    }
+
+    #[test]
+    fn download_gates_execution() {
+        let mut c = Client::new(
+            Hardware::cpu_only(1, 1e9),
+            Preferences::default(),
+            vec![Client::project(0, "alpha", 1.0, &[ProcType::Cpu])],
+            ClientConfig {
+                network: Some(NetworkModel::symmetric(1000.0)),
+                ..Default::default()
+            },
+        );
+        let mut s = spec(1, 0, 100.0, 1e6);
+        s.input_bytes = 2000.0; // 2 s download at 1000 B/s
+        c.add_jobs(vec![s]);
+        let rs = run_state();
+        let r = c.reschedule(SimTime::ZERO, rs, 1.0);
+        assert!(r.started.is_empty(), "not downloaded yet");
+        let ev = c.advance(SimTime::from_secs(2.0), rs);
+        assert_eq!(ev.ready, vec![JobId(1)]);
+        let r = c.reschedule(SimTime::from_secs(2.0), rs, 1.0);
+        assert_eq!(r.started, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn output_upload_delays_reportability() {
+        let mut c = Client::new(
+            Hardware::cpu_only(1, 1e9),
+            Preferences::default(),
+            vec![Client::project(0, "alpha", 1.0, &[ProcType::Cpu])],
+            ClientConfig {
+                network: Some(NetworkModel::symmetric(1000.0)),
+                ..Default::default()
+            },
+        );
+        let mut s = spec(1, 0, 10.0, 1e6);
+        s.output_bytes = 5000.0;
+        c.add_jobs(vec![s]);
+        let rs = run_state();
+        c.reschedule(SimTime::ZERO, rs, 1.0);
+        let ev = c.advance(SimTime::from_secs(10.0), rs);
+        assert_eq!(ev.computed, vec![JobId(1)]);
+        assert!(ev.uploaded.is_empty());
+        // Upload takes 5 s.
+        let next = c.next_event_after(SimTime::from_secs(10.0)).unwrap();
+        assert_eq!(next, SimTime::from_secs(15.0));
+        let ev = c.advance(next, rs);
+        assert_eq!(ev.uploaded, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn instances_in_use_tracks_running() {
+        let mut c = client();
+        c.add_jobs(vec![spec(1, 0, 100.0, 1e6), spec(2, 1, 100.0, 1e6)]);
+        c.reschedule(SimTime::ZERO, run_state(), 1.0);
+        // One CPU: exactly one running.
+        assert!((c.instances_in_use()[ProcType::Cpu] - 1.0).abs() < 1e-9);
+        let by_proj = c.flops_in_use_by_project();
+        assert_eq!(by_proj.len(), 1);
+        assert!((by_proj[0].1 - 1e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,448 @@
+//! Round-robin simulation (§3.2).
+//!
+//! The client's policies predict the behaviour of the system under
+//! weighted round-robin using a *continuous approximation*: rather than
+//! modelling individual timeslices, each project's unfinished jobs of a
+//! processor type receive a fraction of that type's instances proportional
+//! to the project's resource share. The simulation outputs:
+//!
+//! * which jobs are projected to miss their deadlines
+//!   ("deadline-endangered"),
+//! * per processor type, how long the type stays saturated — `SAT(T)`,
+//! * per processor type, the idle instance-seconds within the work-buffer
+//!   window — `SHORTFALL(T)`.
+
+use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// One job as seen by the simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct RrJob {
+    pub id: JobId,
+    pub project: ProjectId,
+    /// The processor type whose instances bound this job.
+    pub proc_type: ProcType,
+    /// Instances of `proc_type` the job occupies while running.
+    pub instances: f64,
+    /// Estimated remaining dedicated-execution seconds.
+    pub remaining: SimDuration,
+    pub deadline: SimTime,
+}
+
+/// Static description of the simulated platform.
+#[derive(Debug, Clone)]
+pub struct RrPlatform {
+    /// The simulation's "now": deadlines are absolute, the simulated
+    /// clock is an offset from this instant.
+    pub now: SimTime,
+    /// Usable instances per type (after preference limits).
+    pub ninstances: ProcMap<f64>,
+    /// Long-run fraction of time computing is allowed — scales effective
+    /// execution rates like the real client's `on_frac` correction.
+    pub on_frac: f64,
+    /// `(project, share)` pairs; shares are relative weights.
+    pub shares: Vec<(ProjectId, f64)>,
+}
+
+impl RrPlatform {
+    fn share_of(&self, p: ProjectId) -> f64 {
+        self.shares.iter().find(|(id, _)| *id == p).map_or(0.0, |(_, s)| *s)
+    }
+}
+
+/// Simulation outputs (§3.2, Figure 2).
+#[derive(Debug, Clone)]
+pub struct RrOutcome {
+    /// Jobs projected to miss their deadline under WRR.
+    pub missed: HashSet<JobId>,
+    /// For each type, how long all its instances stay busy from now.
+    pub sat: ProcMap<SimDuration>,
+    /// For each type, idle instance-seconds within the buffer window.
+    pub shortfall: ProcMap<f64>,
+    /// Projected completion offset of each job (from now).
+    pub finish: Vec<(JobId, SimDuration)>,
+    /// Instances of each type busy at the start (the present workload).
+    pub busy_now: ProcMap<f64>,
+}
+
+impl RrOutcome {
+    pub fn is_endangered(&self, id: JobId) -> bool {
+        self.missed.contains(&id)
+    }
+}
+
+/// Run the round-robin simulation over `jobs` on `platform`, evaluating
+/// shortfall within `buf_window` (the `max_queue` horizon, §3.4).
+///
+/// ```
+/// use bce_client::{rr_simulate, RrJob, RrPlatform};
+/// use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+///
+/// let mut ninstances = ProcMap::zero();
+/// ninstances[ProcType::Cpu] = 1.0;
+/// let platform = RrPlatform {
+///     now: SimTime::ZERO,
+///     ninstances,
+///     on_frac: 1.0,
+///     shares: vec![(ProjectId(0), 1.0), (ProjectId(1), 1.0)],
+/// };
+/// // Two 1000 s jobs share the CPU: both projected to finish at 2000 s,
+/// // so the 1500 s deadline is endangered.
+/// let job = |id, project, deadline: f64| RrJob {
+///     id: JobId(id), project: ProjectId(project), proc_type: ProcType::Cpu,
+///     instances: 1.0, remaining: SimDuration::from_secs(1000.0),
+///     deadline: SimTime::from_secs(deadline),
+/// };
+/// let out = rr_simulate(&platform, &[job(1, 0, 1500.0), job(2, 1, 86_400.0)],
+///                       SimDuration::from_hours(1.0));
+/// assert!(out.is_endangered(JobId(1)));
+/// assert!(!out.is_endangered(JobId(2)));
+/// ```
+pub fn simulate(platform: &RrPlatform, jobs: &[RrJob], buf_window: SimDuration) -> RrOutcome {
+    // Mutable remaining work; simulation proceeds between job-completion
+    // events with piecewise-constant rates.
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.remaining.secs().max(0.0)).collect();
+    let mut done: Vec<bool> = remaining.iter().map(|&r| r <= 0.0).collect();
+    let mut missed = HashSet::new();
+    let mut finish: Vec<(JobId, SimDuration)> = Vec::with_capacity(jobs.len());
+    let mut sat = ProcMap::from_fn(|_| SimDuration::ZERO);
+    let mut sat_open = ProcMap::from_fn(|t| platform.ninstances[t] > 0.0);
+    let mut shortfall = ProcMap::zero();
+    let mut busy_now = ProcMap::zero();
+
+    let on_frac = platform.on_frac.clamp(1e-6, 1.0);
+    let horizon = buf_window.secs().max(0.0);
+    let mut t = 0.0f64; // offset from now
+    let mut first_step = true;
+
+    loop {
+        // Per-type, per-project allocation under weighted round robin.
+        // rate[i] = fraction of dedicated speed job i runs at.
+        let mut rates: Vec<f64> = vec![0.0; jobs.len()];
+        let mut busy = ProcMap::zero();
+
+        for pt in ProcType::ALL {
+            let ninst = platform.ninstances[pt];
+            if ninst <= 0.0 {
+                continue;
+            }
+            // Projects with unfinished jobs of this type, with their total
+            // instance demand.
+            let mut proj: Vec<(ProjectId, f64, f64)> = Vec::new(); // (id, share, demand)
+            for (i, j) in jobs.iter().enumerate() {
+                if done[i] || j.proc_type != pt {
+                    continue;
+                }
+                let demand = j.instances.max(1e-9);
+                match proj.iter_mut().find(|(id, _, _)| *id == j.project) {
+                    Some(entry) => entry.2 += demand,
+                    None => proj.push((j.project, platform.share_of(j.project), demand)),
+                }
+            }
+            if proj.is_empty() {
+                continue;
+            }
+            // Share-weighted instance allocation with redistribution of
+            // surplus from projects whose demand is below their share.
+            let mut alloc: Vec<f64> = vec![0.0; proj.len()];
+            let mut capacity = ninst;
+            let mut active: Vec<usize> = (0..proj.len()).collect();
+            for _ in 0..proj.len() + 1 {
+                let wsum: f64 = active.iter().map(|&k| proj[k].1).sum();
+                if wsum <= 0.0 || capacity <= 1e-12 || active.is_empty() {
+                    break;
+                }
+                let mut next_active = Vec::new();
+                let mut used = 0.0;
+                for &k in &active {
+                    let fair = capacity * proj[k].1 / wsum;
+                    let need = proj[k].2 - alloc[k];
+                    if need <= fair + 1e-12 {
+                        alloc[k] += need.max(0.0);
+                        used += need.max(0.0);
+                    } else {
+                        alloc[k] += fair;
+                        used += fair;
+                        next_active.push(k);
+                    }
+                }
+                capacity -= used;
+                if next_active.len() == active.len() {
+                    break; // nobody saturated; no surplus to redistribute
+                }
+                active = next_active;
+            }
+            // Distribute each project's allocation over its jobs
+            // (proportional to per-job demand).
+            for (k, &(pid, _, demand)) in proj.iter().enumerate() {
+                let frac = (alloc[k] / demand).min(1.0);
+                for (i, j) in jobs.iter().enumerate() {
+                    if !done[i] && j.proc_type == pt && j.project == pid {
+                        rates[i] = frac * on_frac;
+                        busy[pt] += frac * j.instances;
+                    }
+                }
+            }
+        }
+
+        if first_step {
+            busy_now = busy;
+            first_step = false;
+        }
+
+        // Next completion event.
+        let mut dt = f64::INFINITY;
+        for i in 0..jobs.len() {
+            if !done[i] && rates[i] > 0.0 {
+                dt = dt.min(remaining[i] / rates[i]);
+            }
+        }
+
+        // Accrue saturation and shortfall over [t, t+dt).
+        let seg_end = if dt.is_finite() { t + dt } else { t };
+        for pt in ProcType::ALL {
+            let ninst = platform.ninstances[pt];
+            if ninst <= 0.0 {
+                continue;
+            }
+            if sat_open[pt] && busy[pt] < ninst - 1e-9 {
+                sat[pt] = SimDuration::from_secs(t);
+                sat_open[pt] = false;
+            }
+            // Idle instance-seconds within the buffer window.
+            let w_end = seg_end.min(horizon);
+            if w_end > t {
+                shortfall[pt] += (ninst - busy[pt]).max(0.0) * (w_end - t);
+            }
+        }
+
+        if !dt.is_finite() {
+            // Nothing runnable: remaining window is pure shortfall.
+            for pt in ProcType::ALL {
+                let ninst = platform.ninstances[pt];
+                if ninst > 0.0 {
+                    if sat_open[pt] {
+                        sat[pt] = SimDuration::from_secs(t);
+                        sat_open[pt] = false;
+                    }
+                    if horizon > t {
+                        shortfall[pt] += ninst * (horizon - t);
+                    }
+                }
+            }
+            break;
+        }
+
+        // Advance to the event.
+        t += dt;
+        for i in 0..jobs.len() {
+            if done[i] || rates[i] <= 0.0 {
+                continue;
+            }
+            remaining[i] -= rates[i] * dt;
+            if remaining[i] <= 1e-6 {
+                done[i] = true;
+                let fin = SimDuration::from_secs(t);
+                finish.push((jobs[i].id, fin));
+                if jobs[i].deadline < platform.now + fin {
+                    missed.insert(jobs[i].id);
+                }
+            }
+        }
+        if done.iter().all(|&d| d) {
+            for pt in ProcType::ALL {
+                let ninst = platform.ninstances[pt];
+                if ninst > 0.0 {
+                    if sat_open[pt] {
+                        sat[pt] = SimDuration::from_secs(t);
+                        sat_open[pt] = false;
+                    }
+                    if horizon > t {
+                        shortfall[pt] += ninst * (horizon - t);
+                    }
+                }
+            }
+            break;
+        }
+        if t > 3650.0 * 86_400.0 {
+            // Safety valve: pathological workloads (e.g. zero rates from
+            // extreme preference limits) must not hang the emulator.
+            break;
+        }
+    }
+
+    RrOutcome { missed, sat, shortfall, finish, busy_now }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn cpu_platform(ncpus: f64, shares: &[(u32, f64)]) -> RrPlatform {
+        let mut ninstances = ProcMap::zero();
+        ninstances[ProcType::Cpu] = ncpus;
+        RrPlatform {
+            now: SimTime::ZERO,
+            ninstances,
+            on_frac: 1.0,
+            shares: shares.iter().map(|&(p, s)| (ProjectId(p), s)).collect(),
+        }
+    }
+
+    fn job(id: u64, project: u32, remaining: f64, deadline: f64) -> RrJob {
+        RrJob {
+            id: JobId(id),
+            project: ProjectId(project),
+            proc_type: ProcType::Cpu,
+            instances: 1.0,
+            remaining: d(remaining),
+            deadline: t(deadline),
+        }
+    }
+
+    #[test]
+    fn single_job_finishes_at_remaining() {
+        let p = cpu_platform(1.0, &[(0, 1.0)]);
+        let out = simulate(&p, &[job(1, 0, 100.0, 1000.0)], d(0.0));
+        assert_eq!(out.finish.len(), 1);
+        assert!((out.finish[0].1.secs() - 100.0).abs() < 1e-6);
+        assert!(out.missed.is_empty());
+        assert_eq!(out.sat[ProcType::Cpu], d(100.0));
+        assert_eq!(out.busy_now[ProcType::Cpu], 1.0);
+    }
+
+    #[test]
+    fn equal_shares_halve_rates() {
+        // Two projects, one job each, 1 CPU: both run at rate 1/2; the
+        // equal-length jobs finish together at 2x their length.
+        let p = cpu_platform(1.0, &[(0, 1.0), (1, 1.0)]);
+        let jobs = [job(1, 0, 100.0, 150.0), job(2, 1, 100.0, 250.0)];
+        let out = simulate(&p, &jobs, d(0.0));
+        let f1 = out.finish.iter().find(|(id, _)| *id == JobId(1)).unwrap().1;
+        let f2 = out.finish.iter().find(|(id, _)| *id == JobId(2)).unwrap().1;
+        assert!((f1.secs() - 200.0).abs() < 1e-6);
+        assert!((f2.secs() - 200.0).abs() < 1e-6);
+        // Job 1's deadline (150) is before its projected finish (200).
+        assert!(out.is_endangered(JobId(1)));
+        assert!(!out.is_endangered(JobId(2)));
+    }
+
+    #[test]
+    fn share_weighting_speeds_up_heavy_project() {
+        let p = cpu_platform(1.0, &[(0, 3.0), (1, 1.0)]);
+        let jobs = [job(1, 0, 75.0, 1e9), job(2, 1, 100.0, 1e9)];
+        let out = simulate(&p, &jobs, d(0.0));
+        let f1 = out.finish.iter().find(|(id, _)| *id == JobId(1)).unwrap().1;
+        // Project 0 runs at rate 3/4 until its job finishes at t=100.
+        assert!((f1.secs() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn surplus_share_redistributes() {
+        // 4 CPUs, two projects equal shares, but project 0 has only one
+        // job (demand 1 < fair 2): project 1's two jobs get the surplus.
+        let p = cpu_platform(4.0, &[(0, 1.0), (1, 1.0)]);
+        let jobs = [job(1, 0, 100.0, 1e9), job(2, 1, 100.0, 1e9), job(3, 1, 100.0, 1e9)];
+        let out = simulate(&p, &jobs, d(0.0));
+        for (_, f) in &out.finish {
+            assert!((f.secs() - 100.0).abs() < 1e-6, "all dedicated: {f}");
+        }
+        // Only 3 instances busy on a 4-CPU host.
+        assert!((out.busy_now[ProcType::Cpu] - 3.0).abs() < 1e-9);
+        assert_eq!(out.sat[ProcType::Cpu], SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shortfall_measures_idle_window() {
+        // One job of 100 s on 1 CPU, window 300 s: idle 200 instance-sec.
+        let p = cpu_platform(1.0, &[(0, 1.0)]);
+        let out = simulate(&p, &[job(1, 0, 100.0, 1e9)], d(300.0));
+        assert!((out.shortfall[ProcType::Cpu] - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_queue_is_all_shortfall() {
+        let p = cpu_platform(2.0, &[(0, 1.0)]);
+        let out = simulate(&p, &[], d(100.0));
+        assert!((out.shortfall[ProcType::Cpu] - 200.0).abs() < 1e-6);
+        assert_eq!(out.sat[ProcType::Cpu], SimDuration::ZERO);
+        assert_eq!(out.busy_now[ProcType::Cpu], 0.0);
+    }
+
+    #[test]
+    fn gpu_and_cpu_independent() {
+        let mut ninst = ProcMap::zero();
+        ninst[ProcType::Cpu] = 1.0;
+        ninst[ProcType::NvidiaGpu] = 1.0;
+        let p = RrPlatform { now: SimTime::ZERO, ninstances: ninst, on_frac: 1.0, shares: vec![(ProjectId(0), 1.0)] };
+        let gpu_job = RrJob {
+            id: JobId(2),
+            project: ProjectId(0),
+            proc_type: ProcType::NvidiaGpu,
+            instances: 1.0,
+            remaining: d(50.0),
+            deadline: t(1e9),
+        };
+        let out = simulate(&p, &[job(1, 0, 100.0, 1e9), gpu_job], d(200.0));
+        assert_eq!(out.sat[ProcType::Cpu], d(100.0));
+        assert_eq!(out.sat[ProcType::NvidiaGpu], d(50.0));
+        // GPU idle 150 s of the 200 s window, CPU idle 100 s.
+        assert!((out.shortfall[ProcType::NvidiaGpu] - 150.0).abs() < 1e-6);
+        assert!((out.shortfall[ProcType::Cpu] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn on_frac_slows_execution() {
+        let mut p = cpu_platform(1.0, &[(0, 1.0)]);
+        p.on_frac = 0.5;
+        let out = simulate(&p, &[job(1, 0, 100.0, 150.0)], d(0.0));
+        let f = out.finish[0].1;
+        assert!((f.secs() - 200.0).abs() < 1e-6);
+        assert!(out.is_endangered(JobId(1)));
+    }
+
+    #[test]
+    fn fig3_shape_queued_jobs_endangered_under_wrr() {
+        // Scenario-1-like: 1 CPU, equal shares, both projects hold a
+        // 1000 s job with latency bound 1500. Under WRR both finish at
+        // 2000 > 1500: both endangered.
+        let p = cpu_platform(1.0, &[(0, 1.0), (1, 1.0)]);
+        let jobs = [job(1, 0, 1000.0, 1500.0), job(2, 1, 1000.0, 1500.0)];
+        let out = simulate(&p, &jobs, d(0.0));
+        assert!(out.is_endangered(JobId(1)));
+        assert!(out.is_endangered(JobId(2)));
+    }
+
+    #[test]
+    fn zero_instance_types_ignored() {
+        let p = cpu_platform(0.0, &[(0, 1.0)]);
+        let out = simulate(&p, &[job(1, 0, 100.0, 1e9)], d(100.0));
+        // No CPU: job never finishes, no saturation tracked.
+        assert!(out.finish.is_empty());
+        assert_eq!(out.shortfall[ProcType::Cpu], 0.0);
+    }
+
+    #[test]
+    fn multi_cpu_job_demand() {
+        // A 2-CPU job on a 4-CPU host occupies 2 instances.
+        let p = cpu_platform(4.0, &[(0, 1.0)]);
+        let wide = RrJob {
+            id: JobId(1),
+            project: ProjectId(0),
+            proc_type: ProcType::Cpu,
+            instances: 2.0,
+            remaining: d(100.0),
+            deadline: t(1e9),
+        };
+        let out = simulate(&p, &[wide], d(100.0));
+        assert!((out.busy_now[ProcType::Cpu] - 2.0).abs() < 1e-9);
+        assert!((out.shortfall[ProcType::Cpu] - 2.0 * 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,530 @@
+//! Client job scheduling (§3.3): given the runnable jobs, decide which to
+//! run, which to preempt.
+//!
+//! The default policy: run round-robin simulation; build an ordered job
+//! list in which running-but-uncheckpointed jobs come first, then
+//! deadline-endangered jobs (earliest deadline first), then the rest in
+//! order of `PRIO_sched(P,T)`; GPU jobs have precedence over CPU jobs.
+//! Scan the list, allocating instances and memory; skip jobs that do not
+//! fit; stop when the processors are fully utilized.
+//!
+//! Policy variants compared in the paper:
+//! * `JS-WRR`    — local accounting, deadlines ignored (pure weighted RR),
+//! * `JS-LOCAL`  — local accounting + EDF promotion,
+//! * `JS-GLOBAL` — global (REC) accounting + EDF promotion.
+//!
+//! As §6.2 extensions, the deadline tier can also be ordered by least
+//! laxity or deadline density instead of EDF.
+
+use crate::accounting::{Accounting, AccountingKind};
+use crate::rr_sim::RrOutcome;
+use crate::task::Task;
+use bce_avail::HostRunState;
+use bce_types::{Hardware, Preferences, ProcMap, ProcType, ProjectId, SimTime};
+use std::collections::BTreeMap;
+
+/// How deadline-endangered jobs are ordered among themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineOrder {
+    /// Earliest deadline first (BOINC's choice; optimal on uniprocessors).
+    Edf,
+    /// Least laxity first (deadline − now − remaining estimate).
+    Llf,
+    /// Highest deadline density (remaining / time-to-deadline) first.
+    Density,
+}
+
+/// A job-scheduling policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSchedPolicy {
+    pub accounting: AccountingKind,
+    /// Promote deadline-endangered jobs? (false = pure WRR)
+    pub use_deadlines: bool,
+    pub deadline_order: DeadlineOrder,
+}
+
+impl JobSchedPolicy {
+    /// The paper's JS-WRR variant.
+    pub const WRR: JobSchedPolicy = JobSchedPolicy {
+        accounting: AccountingKind::Local,
+        use_deadlines: false,
+        deadline_order: DeadlineOrder::Edf,
+    };
+    /// The paper's JS-LOCAL variant.
+    pub const LOCAL: JobSchedPolicy = JobSchedPolicy {
+        accounting: AccountingKind::Local,
+        use_deadlines: true,
+        deadline_order: DeadlineOrder::Edf,
+    };
+    /// The paper's JS-GLOBAL variant.
+    pub const GLOBAL: JobSchedPolicy = JobSchedPolicy {
+        accounting: AccountingKind::Global,
+        use_deadlines: true,
+        deadline_order: DeadlineOrder::Edf,
+    };
+
+    pub fn name(&self) -> String {
+        if !self.use_deadlines {
+            return "JS-WRR".into();
+        }
+        let base = match self.accounting {
+            AccountingKind::Local => "JS-LOCAL",
+            AccountingKind::Global => "JS-GLOBAL",
+        };
+        match self.deadline_order {
+            DeadlineOrder::Edf => base.to_string(),
+            DeadlineOrder::Llf => format!("{base}+LLF"),
+            DeadlineOrder::Density => format!("{base}+DD"),
+        }
+    }
+}
+
+/// Everything the planner looks at.
+pub struct PlanInput<'a> {
+    pub now: SimTime,
+    pub tasks: &'a [Task],
+    pub rr: &'a RrOutcome,
+    pub accounting: &'a Accounting,
+    pub hw: &'a Hardware,
+    pub prefs: &'a Preferences,
+    pub run_state: HostRunState,
+    /// RAM available to tasks right now (depends on user activity).
+    pub mem_budget: f64,
+}
+
+/// The planner's decision: indices into `tasks` that should be running.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunPlan {
+    pub run: Vec<usize>,
+    /// Runnable jobs skipped because memory would be exceeded (§3.3).
+    pub skipped_mem: usize,
+}
+
+impl RunPlan {
+    pub fn contains(&self, idx: usize) -> bool {
+        self.run.contains(&idx)
+    }
+}
+
+/// Build the run plan. Deterministic: ties break on dispatch order.
+pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
+    let hw = input.hw;
+    let mut free = ProcMap::from_fn(|t| match t {
+        ProcType::Cpu => {
+            if input.run_state.can_compute {
+                input.prefs.usable_cpus(hw.ninstances(ProcType::Cpu)) as f64
+            } else {
+                0.0
+            }
+        }
+        _ => {
+            if input.run_state.can_gpu {
+                hw.ninstances(t) as f64
+            } else {
+                0.0
+            }
+        }
+    });
+    let mut mem_left = input.mem_budget;
+    let mut plan = RunPlan::default();
+    if !input.run_state.can_compute && !input.run_state.can_gpu {
+        return plan;
+    }
+
+    // Candidate indices, classed. Class 0: running & uncheckpointed.
+    // Class 1: deadline-endangered. Class 2: the rest.
+    let mut classes: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, task) in input.tasks.iter().enumerate() {
+        if !task.is_runnable() {
+            continue;
+        }
+        if task.is_running() && !task.checkpointed_since_start() {
+            classes[0].push(i);
+        } else if policy.use_deadlines && input.rr.is_endangered(task.spec.id) {
+            classes[1].push(i);
+        } else {
+            classes[2].push(i);
+        }
+    }
+
+    // Class-1 order: GPU before CPU, then the configured deadline order.
+    let now = input.now;
+    classes[1].sort_by(|&a, &b| {
+        let (ta, tb) = (&input.tasks[a], &input.tasks[b]);
+        let gpu_a = ta.spec.usage.is_gpu_job();
+        let gpu_b = tb.spec.usage.is_gpu_job();
+        gpu_b.cmp(&gpu_a).then_with(|| {
+            let key = |t: &Task| -> f64 {
+                match policy.deadline_order {
+                    DeadlineOrder::Edf => t.spec.deadline().secs(),
+                    DeadlineOrder::Llf => {
+                        (t.spec.deadline() - now).secs() - t.remaining_est().secs()
+                    }
+                    DeadlineOrder::Density => {
+                        let ttd = (t.spec.deadline() - now).secs().max(1.0);
+                        -(t.remaining_est().secs() / ttd)
+                    }
+                }
+            };
+            key(ta).partial_cmp(&key(tb)).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    });
+
+    // Allocation helper: try to place task `i`.
+    let try_place = |i: usize, free: &mut ProcMap<f64>, mem_left: &mut f64, plan: &mut RunPlan| {
+        let task = &input.tasks[i];
+        let usage = task.spec.usage;
+        // Device feasibility.
+        if let Some((gt, n)) = usage.coproc {
+            if free[gt] + 1e-9 < n {
+                return false;
+            }
+            // GPU jobs may overcommit the CPU by their (small) CPU
+            // fraction, as the real client does.
+        } else if free[ProcType::Cpu] + 1e-9 < usage.avg_cpus {
+            return false;
+        }
+        if task.spec.working_set_bytes > *mem_left + 1e-6 {
+            plan.skipped_mem += 1;
+            return false;
+        }
+        if let Some((gt, n)) = usage.coproc {
+            // The GPU job's small CPU feeder fraction overcommits the CPU
+            // rather than displacing CPU jobs, as in the real client.
+            free[gt] -= n;
+        } else {
+            free[ProcType::Cpu] -= usage.avg_cpus;
+        }
+        *mem_left -= task.spec.working_set_bytes;
+        plan.run.push(i);
+        true
+    };
+
+    // Class 0 and class 1 go in list order.
+    for &i in classes[0].iter().chain(classes[1].iter()) {
+        try_place(i, &mut free, &mut mem_left, &mut plan);
+    }
+
+    // Class 2: repeated argmax with anticipated-debt adjustment so a
+    // single scan interleaves projects instead of letting whichever
+    // project is microscopically ahead fill every instance.
+    let mut adj: BTreeMap<(ProjectId, usize), f64> = BTreeMap::new();
+    let mut remaining: Vec<usize> = classes[2]
+        .iter()
+        .copied()
+        .filter(|&i| !plan.contains(i))
+        .collect();
+    const ADJ_SLICE: f64 = 3600.0;
+    while !remaining.is_empty() {
+        // Stop early if nothing can fit at all.
+        let cpu_space = free[ProcType::Cpu] > 1e-9;
+        let gpu_space = ProcType::ALL.iter().any(|&t| t.is_gpu() && free[t] > 1e-9);
+        if !cpu_space && !gpu_space {
+            break;
+        }
+        let mut best: Option<(usize, (bool, f64, f64))> = None; // (pos, (gpu, prio, -recv))
+        for (pos, &i) in remaining.iter().enumerate() {
+            let task = &input.tasks[i];
+            let pt = task.spec.usage.main_proc_type();
+            let base = input.accounting.prio_sched(task.spec.project, pt);
+            let adj_v = adj.get(&(task.spec.project, pt.index())).copied().unwrap_or(0.0);
+            let key = (
+                task.spec.usage.is_gpu_job(),
+                base + adj_v,
+                -task.spec.received.secs(),
+            );
+            let better = match &best {
+                None => true,
+                Some((_, bk)) => {
+                    key.0
+                        .cmp(&bk.0)
+                        .then(key.1.partial_cmp(&bk.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(key.2.partial_cmp(&bk.2).unwrap_or(std::cmp::Ordering::Equal))
+                        == std::cmp::Ordering::Greater
+                }
+            };
+            if better {
+                best = Some((pos, key));
+            }
+        }
+        let Some((pos, _)) = best else { break };
+        let i = remaining.swap_remove(pos);
+        let task = &input.tasks[i];
+        let pt = task.spec.usage.main_proc_type();
+        let placed = try_place(i, &mut free, &mut mem_left, &mut plan);
+        if placed {
+            // Anticipated debt: the project just claimed a slice of this
+            // type, so its effective priority drops — scaled inversely by
+            // its share so the single scan interleaves projects in share
+            // proportion (a project with 3x the share gets 3x the slots
+            // before parity).
+            let ninst = input.hw.ninstances(pt).max(1) as f64;
+            let share = input.accounting.share_frac(task.spec.project).max(1e-6);
+            let delta = task.spec.usage.instances_of(pt) / ninst * ADJ_SLICE / share;
+            *adj.entry((task.spec.project, pt.index())).or_insert(0.0) -= delta;
+        }
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr_sim::{simulate, RrJob, RrPlatform};
+    use bce_types::{
+        AppId, JobId, JobSpec, ResourceUsage, SimDuration,
+    };
+
+    fn spec(id: u64, project: u32, usage: ResourceUsage, dur: f64, latency: f64, recv: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            project: ProjectId(project),
+            app: AppId(0),
+            usage,
+            duration: SimDuration::from_secs(dur),
+            duration_est: SimDuration::from_secs(dur),
+            latency_bound: SimDuration::from_secs(latency),
+            checkpoint_period: Some(SimDuration::from_secs(60.0)),
+            working_set_bytes: 1e8,
+            input_bytes: 0.0,
+            output_bytes: 0.0,
+            received: SimTime::from_secs(recv),
+        }
+    }
+
+    fn rr_for(tasks: &[Task], hw: &Hardware, shares: &[(u32, f64)]) -> RrOutcome {
+        let platform = RrPlatform {
+            now: SimTime::ZERO,
+            ninstances: ProcMap::from_fn(|t| hw.ninstances(t) as f64),
+            on_frac: 1.0,
+            shares: shares.iter().map(|&(p, s)| (ProjectId(p), s)).collect(),
+        };
+        let jobs: Vec<RrJob> = tasks
+            .iter()
+            .map(|t| RrJob {
+                id: t.spec.id,
+                project: t.spec.project,
+                proc_type: t.spec.usage.main_proc_type(),
+                instances: t.spec.usage.instances_of(t.spec.usage.main_proc_type()),
+                remaining: t.remaining_est(),
+                deadline: t.spec.deadline(),
+            })
+            .collect();
+        simulate(&platform, &jobs, SimDuration::from_secs(3600.0))
+    }
+
+    fn accounting(shares: &[(u32, f64)]) -> Accounting {
+        Accounting::new(
+            AccountingKind::Local,
+            shares.iter().map(|&(p, s)| (ProjectId(p), s)),
+            SimDuration::from_days(10.0),
+        )
+    }
+
+    fn run_plan(
+        policy: JobSchedPolicy,
+        tasks: &[Task],
+        hw: &Hardware,
+        shares: &[(u32, f64)],
+        acct: &Accounting,
+    ) -> RunPlan {
+        let rr = rr_for(tasks, hw, shares);
+        let input = PlanInput {
+            now: SimTime::ZERO,
+            tasks,
+            rr: &rr,
+            accounting: acct,
+            hw,
+            prefs: &Preferences::default(),
+            run_state: HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false },
+            mem_budget: 4e9,
+        };
+        plan(policy, &input)
+    }
+
+    #[test]
+    fn fills_all_cpus() {
+        let hw = Hardware::cpu_only(2, 1e9);
+        let shares = [(0, 1.0)];
+        let tasks: Vec<Task> = (0..4)
+            .map(|i| Task::new(spec(i, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, i as f64)))
+            .collect();
+        let p = run_plan(JobSchedPolicy::LOCAL, &tasks, &hw, &shares, &accounting(&shares));
+        assert_eq!(p.run.len(), 2);
+        // FIFO among equal priorities.
+        assert!(p.contains(0) && p.contains(1));
+    }
+
+    #[test]
+    fn edf_promotes_endangered_job() {
+        let hw = Hardware::cpu_only(1, 1e9);
+        let shares = [(0, 1.0), (1, 1.0)];
+        // Task 0: plenty of slack, received earlier. Task 1: tight deadline.
+        let tasks = vec![
+            Task::new(spec(0, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, 0.0)),
+            Task::new(spec(1, 1, ResourceUsage::one_cpu(), 1000.0, 1100.0, 1.0)),
+        ];
+        let p = run_plan(JobSchedPolicy::LOCAL, &tasks, &hw, &shares, &accounting(&shares));
+        assert_eq!(p.run, vec![1], "endangered job must run first");
+        // Same scenario under WRR ignores deadlines: FIFO/priority order.
+        let p_wrr = run_plan(JobSchedPolicy::WRR, &tasks, &hw, &shares, &accounting(&shares));
+        assert_eq!(p_wrr.run.len(), 1);
+        assert_eq!(p_wrr.run, vec![0]);
+    }
+
+    #[test]
+    fn gpu_jobs_precede_cpu_jobs() {
+        let hw = Hardware::cpu_only(1, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
+        let shares = [(0, 1.0)];
+        let tasks = vec![
+            Task::new(spec(0, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, 0.0)),
+            Task::new(spec(1, 0, ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1), 1000.0, 1e6, 5.0)),
+        ];
+        let p = run_plan(JobSchedPolicy::LOCAL, &tasks, &hw, &shares, &accounting(&shares));
+        // Both fit (GPU job overcommits CPU slightly); GPU selected first.
+        assert_eq!(p.run[0], 1);
+        assert!(p.contains(0));
+    }
+
+    #[test]
+    fn scan_interleaves_projects() {
+        // 4 CPUs, 2 projects with equal shares and 4 queued jobs each:
+        // the anticipated-debt adjustment must pick 2 of each, not 4 of
+        // whichever has epsilon-higher debt.
+        let hw = Hardware::cpu_only(4, 1e9);
+        let shares = [(0, 1.0), (1, 1.0)];
+        let mut tasks = Vec::new();
+        for i in 0..4 {
+            tasks.push(Task::new(spec(i, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, i as f64)));
+        }
+        for i in 4..8 {
+            tasks.push(Task::new(spec(i, 1, ResourceUsage::one_cpu(), 1000.0, 1e6, i as f64)));
+        }
+        let p = run_plan(JobSchedPolicy::LOCAL, &tasks, &hw, &shares, &accounting(&shares));
+        assert_eq!(p.run.len(), 4);
+        let p0 = p.run.iter().filter(|&&i| tasks[i].spec.project == ProjectId(0)).count();
+        assert_eq!(p0, 2, "expected 2 jobs from each project, run={:?}", p.run);
+    }
+
+    #[test]
+    fn share_weighted_interleaving() {
+        // 4 CPUs; shares 3:1 → 3 jobs from P0, 1 from P1.
+        let hw = Hardware::cpu_only(4, 1e9);
+        let shares = [(0, 3.0), (1, 1.0)];
+        let mut tasks = Vec::new();
+        for i in 0..4 {
+            tasks.push(Task::new(spec(i, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, i as f64)));
+        }
+        for i in 4..8 {
+            tasks.push(Task::new(spec(i, 1, ResourceUsage::one_cpu(), 1000.0, 1e6, i as f64)));
+        }
+        let p = run_plan(JobSchedPolicy::LOCAL, &tasks, &hw, &shares, &accounting(&shares));
+        let p0 = p.run.iter().filter(|&&i| tasks[i].spec.project == ProjectId(0)).count();
+        assert_eq!(p0, 3, "run={:?}", p.run);
+    }
+
+    #[test]
+    fn memory_limit_skips_jobs() {
+        let hw = Hardware::cpu_only(4, 1e9);
+        let shares = [(0, 1.0)];
+        let mut tasks: Vec<Task> = (0..3)
+            .map(|i| Task::new(spec(i, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, i as f64)))
+            .collect();
+        // Make each working set 1 GB with a 2 GB budget: only 2 fit.
+        for t in &mut tasks {
+            // rebuild with bigger working set
+            let mut s = t.spec.clone();
+            s.working_set_bytes = 1e9;
+            *t = Task::new(s);
+        }
+        let rr = rr_for(&tasks, &hw, &shares);
+        let acct = accounting(&shares);
+        let input = PlanInput {
+            now: SimTime::ZERO,
+            tasks: &tasks,
+            rr: &rr,
+            accounting: &acct,
+            hw: &hw,
+            prefs: &Preferences::default(),
+            run_state: HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false },
+            mem_budget: 2e9,
+        };
+        let p = plan(JobSchedPolicy::LOCAL, &input);
+        assert_eq!(p.run.len(), 2);
+        assert_eq!(p.skipped_mem, 1);
+    }
+
+    #[test]
+    fn gpu_suspended_runs_cpu_only() {
+        let hw = Hardware::cpu_only(1, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
+        let shares = [(0, 1.0)];
+        let tasks = vec![
+            Task::new(spec(0, 0, ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1), 1000.0, 1e6, 0.0)),
+            Task::new(spec(1, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, 1.0)),
+        ];
+        let rr = rr_for(&tasks, &hw, &shares);
+        let acct = accounting(&shares);
+        let input = PlanInput {
+            now: SimTime::ZERO,
+            tasks: &tasks,
+            rr: &rr,
+            accounting: &acct,
+            hw: &hw,
+            prefs: &Preferences::default(),
+            run_state: HostRunState { can_compute: true, can_gpu: false, net_up: true, user_active: false },
+            mem_budget: 4e9,
+        };
+        let p = plan(JobSchedPolicy::LOCAL, &input);
+        assert_eq!(p.run, vec![1]);
+    }
+
+    #[test]
+    fn nothing_runs_when_suspended() {
+        let hw = Hardware::cpu_only(4, 1e9);
+        let shares = [(0, 1.0)];
+        let tasks = vec![Task::new(spec(0, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, 0.0))];
+        let rr = rr_for(&tasks, &hw, &shares);
+        let acct = accounting(&shares);
+        let input = PlanInput {
+            now: SimTime::ZERO,
+            tasks: &tasks,
+            rr: &rr,
+            accounting: &acct,
+            hw: &hw,
+            prefs: &Preferences::default(),
+            run_state: HostRunState::OFF,
+            mem_budget: 4e9,
+        };
+        assert!(plan(JobSchedPolicy::LOCAL, &input).run.is_empty());
+    }
+
+    #[test]
+    fn running_uncheckpointed_keeps_cpu() {
+        let hw = Hardware::cpu_only(1, 1e9);
+        let shares = [(0, 1.0), (1, 1.0)];
+        let mut tasks = vec![
+            Task::new(spec(0, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, 0.0)),
+            Task::new(spec(1, 1, ResourceUsage::one_cpu(), 1000.0, 2000.0, 1.0)),
+        ];
+        // Task 0 is running and has progressed past no checkpoint (30 s in,
+        // checkpoints every 60 s).
+        tasks[0].start();
+        tasks[0].advance(SimDuration::from_secs(30.0), SimTime::from_secs(30.0));
+        assert!(!tasks[0].checkpointed_since_start());
+        let p = run_plan(JobSchedPolicy::LOCAL, &tasks, &hw, &shares, &accounting(&shares));
+        // Even though task 1 is deadline-endangered, task 0 keeps the CPU.
+        assert_eq!(p.run, vec![0]);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(JobSchedPolicy::WRR.name(), "JS-WRR");
+        assert_eq!(JobSchedPolicy::LOCAL.name(), "JS-LOCAL");
+        assert_eq!(JobSchedPolicy::GLOBAL.name(), "JS-GLOBAL");
+        let llf = JobSchedPolicy { deadline_order: DeadlineOrder::Llf, ..JobSchedPolicy::LOCAL };
+        assert_eq!(llf.name(), "JS-LOCAL+LLF");
+        let dd = JobSchedPolicy { deadline_order: DeadlineOrder::Density, ..JobSchedPolicy::GLOBAL };
+        assert_eq!(dd.name(), "JS-GLOBAL+DD");
+    }
+}

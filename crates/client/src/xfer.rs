@@ -1,0 +1,211 @@
+//! File-transfer modelling (§6.2 future work, implemented here).
+//!
+//! Jobs with input files only become runnable after their download
+//! completes; jobs with output files are only reportable after their upload
+//! completes. Active transfers in one direction share the link bandwidth
+//! equally. With no network model configured, transfers complete instantly
+//! (the paper's base assumption: "jobs are assumed to be runnable
+//! immediately after dispatch").
+
+use bce_types::{JobId, SimDuration, SimTime};
+
+/// Host link speeds in bytes/second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    pub down_bps: f64,
+    pub up_bps: f64,
+}
+
+impl NetworkModel {
+    pub fn symmetric(bps: f64) -> Self {
+        NetworkModel { down_bps: bps, up_bps: bps }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transfer {
+    job: JobId,
+    bytes_remaining: f64,
+}
+
+/// A single-direction transfer queue with equal bandwidth sharing.
+#[derive(Debug, Clone)]
+pub struct TransferQueue {
+    rate_bps: f64,
+    active: Vec<Transfer>,
+}
+
+impl TransferQueue {
+    pub fn new(rate_bps: f64) -> Self {
+        debug_assert!(rate_bps > 0.0);
+        TransferQueue { rate_bps, active: Vec::new() }
+    }
+
+    /// Add a transfer. Zero-byte transfers complete immediately (returned
+    /// as `false` = nothing queued).
+    pub fn enqueue(&mut self, job: JobId, bytes: f64) -> bool {
+        if bytes <= 0.0 {
+            return false;
+        }
+        self.active.push(Transfer { job, bytes_remaining: bytes });
+        true
+    }
+
+    /// Progress transfers over `dt` (only while the network is up);
+    /// returns jobs whose transfer finished.
+    pub fn advance(&mut self, dt: SimDuration, net_up: bool) -> Vec<JobId> {
+        let mut done = Vec::new();
+        if !net_up || self.active.is_empty() || !dt.is_positive() {
+            return done;
+        }
+        // Equal sharing with completion cascades inside the interval.
+        let mut budget = dt.secs();
+        while budget > 1e-12 && !self.active.is_empty() {
+            let share = self.rate_bps / self.active.len() as f64;
+            // Time until the smallest transfer completes.
+            let min_bytes =
+                self.active.iter().map(|t| t.bytes_remaining).fold(f64::INFINITY, f64::min);
+            let t_complete = min_bytes / share;
+            let step = t_complete.min(budget);
+            for t in &mut self.active {
+                t.bytes_remaining -= share * step;
+            }
+            self.active.retain(|t| {
+                if t.bytes_remaining <= 1e-6 {
+                    done.push(t.job);
+                    false
+                } else {
+                    true
+                }
+            });
+            budget -= step;
+        }
+        done
+    }
+
+    /// Time until the next completion assuming the network stays up and
+    /// the active set is fixed (completions only speed things up, so this
+    /// is an upper bound — the emulator reschedules after each event).
+    pub fn next_completion_in(&self) -> Option<SimDuration> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let share = self.rate_bps / self.active.len() as f64;
+        let min_bytes =
+            self.active.iter().map(|t| t.bytes_remaining).fold(f64::INFINITY, f64::min);
+        // Quantize to 1 ms so a microscopic residue (left by a prior
+        // partial advance) cannot produce a completion time that rounds
+        // to "now" and stalls the event loop.
+        Some(SimDuration::from_secs((min_bytes / share).max(1e-3)))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    pub fn contains(&self, job: JobId) -> bool {
+        self.active.iter().any(|t| t.job == job)
+    }
+}
+
+/// Both directions plus the completion-time helper the emulator polls.
+#[derive(Debug, Clone)]
+pub struct Transfers {
+    pub downloads: TransferQueue,
+    pub uploads: TransferQueue,
+}
+
+impl Transfers {
+    pub fn new(model: Option<NetworkModel>) -> Self {
+        // "Instant" = effectively infinite bandwidth.
+        let m = model.unwrap_or(NetworkModel::symmetric(1e18));
+        Transfers {
+            downloads: TransferQueue::new(m.down_bps),
+            uploads: TransferQueue::new(m.up_bps),
+        }
+    }
+
+    pub fn next_event_after(&self, now: SimTime) -> Option<SimTime> {
+        let d = self.downloads.next_completion_in();
+        let u = self.uploads.next_completion_in();
+        match (d, u) {
+            (None, None) => None,
+            (Some(a), None) => Some(now + a),
+            (None, Some(b)) => Some(now + b),
+            (Some(a), Some(b)) => Some(now + a.min(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let mut q = TransferQueue::new(1000.0); // 1000 B/s
+        assert!(q.enqueue(JobId(1), 5000.0));
+        assert_eq!(q.next_completion_in(), Some(d(5.0)));
+        assert!(q.advance(d(4.0), true).is_empty());
+        let done = q.advance(d(1.0), true);
+        assert_eq!(done, vec![JobId(1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_sharing_halves_rate() {
+        let mut q = TransferQueue::new(1000.0);
+        q.enqueue(JobId(1), 1000.0);
+        q.enqueue(JobId(2), 1000.0);
+        // Each gets 500 B/s: 2 s to finish both.
+        assert_eq!(q.next_completion_in(), Some(d(2.0)));
+        let done = q.advance(d(2.0), true);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn completion_cascade_within_interval() {
+        let mut q = TransferQueue::new(1000.0);
+        q.enqueue(JobId(1), 500.0);
+        q.enqueue(JobId(2), 2000.0);
+        // First second: 500 B/s each; J1 done at t=1. Then J2 gets full
+        // 1000 B/s: 1500 B remaining → done at t=2.5.
+        let done = q.advance(d(2.5), true);
+        assert_eq!(done, vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn network_down_stalls() {
+        let mut q = TransferQueue::new(1000.0);
+        q.enqueue(JobId(1), 100.0);
+        assert!(q.advance(d(100.0), false).is_empty());
+        assert!(q.contains(JobId(1)));
+    }
+
+    #[test]
+    fn zero_bytes_never_queued() {
+        let mut q = TransferQueue::new(1000.0);
+        assert!(!q.enqueue(JobId(1), 0.0));
+        assert!(q.is_empty());
+        assert_eq!(q.next_completion_in(), None);
+    }
+
+    #[test]
+    fn transfers_facade() {
+        let mut t = Transfers::new(Some(NetworkModel { down_bps: 100.0, up_bps: 50.0 }));
+        t.downloads.enqueue(JobId(1), 200.0);
+        t.uploads.enqueue(JobId(2), 200.0);
+        let now = SimTime::from_secs(10.0);
+        // Download in 2 s, upload in 4 s: next event at 12 s.
+        assert_eq!(t.next_event_after(now), Some(SimTime::from_secs(12.0)));
+        assert_eq!(Transfers::new(None).next_event_after(now), None);
+    }
+}

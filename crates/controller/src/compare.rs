@@ -1,0 +1,125 @@
+//! Policy comparison matrices: "compare scheduling policies across one or
+//! more scenarios" (§4.3). This regenerates the Figure 4 / Figure 5 style
+//! results (grouped bars of the figures of merit per policy).
+
+use crate::plot::bar_chart;
+use crate::run::{run_all, RunSpec};
+use crate::sweep::Metric;
+use crate::table::{f, Table};
+use bce_client::ClientConfig;
+use bce_core::{EmulationResult, EmulatorConfig, Scenario};
+
+/// Results of comparing policies on one scenario.
+pub struct Comparison {
+    pub scenario_name: String,
+    pub results: Vec<(String, EmulationResult)>,
+}
+
+impl Comparison {
+    /// Table with one row per policy and one column per figure of merit.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "policy",
+            "idle",
+            "wasted",
+            "share_viol",
+            "monotony",
+            "rpcs/job",
+            "jobs",
+            "missed",
+        ]);
+        for (label, r) in &self.results {
+            t.row(&[
+                label.clone(),
+                f(r.merit.idle_fraction),
+                f(r.merit.wasted_fraction),
+                f(r.merit.share_violation),
+                f(r.merit.monotony),
+                format!("{:.3}", r.merit.rpcs_per_job),
+                r.jobs_completed.to_string(),
+                r.jobs_missed_deadline.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Bar chart of one metric across the compared policies.
+    pub fn bars(&self, metric: Metric, width: usize) -> String {
+        let bars: Vec<(String, f64)> = self
+            .results
+            .iter()
+            .map(|(label, r)| (label.clone(), metric.extract(&r.merit)))
+            .collect();
+        bar_chart(
+            &format!("{} — {}", self.scenario_name, metric.name()),
+            &bars,
+            width,
+        )
+    }
+
+    pub fn get(&self, label: &str) -> Option<&EmulationResult> {
+        self.results.iter().find(|(l, _)| l == label).map(|(_, r)| r)
+    }
+}
+
+/// Run every `(label, config)` policy against `scenario`.
+pub fn compare_policies(
+    scenario: &Scenario,
+    policies: &[(String, ClientConfig)],
+    emulator: &EmulatorConfig,
+    threads: usize,
+) -> Comparison {
+    let specs: Vec<RunSpec> = policies
+        .iter()
+        .map(|(label, client)| {
+            RunSpec::new(label.clone(), scenario.clone(), *client)
+                .with_emulator(emulator.clone())
+        })
+        .collect();
+    Comparison { scenario_name: scenario.name.clone(), results: run_all(specs, threads) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_client::JobSchedPolicy;
+    use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
+
+    fn scenario() -> Scenario {
+        Scenario::new("cmp", Hardware::cpu_only(2, 1e9))
+            .with_seed(5)
+            .with_project(ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
+                0,
+                SimDuration::from_secs(600.0),
+                SimDuration::from_hours(8.0),
+            )))
+            .with_project(ProjectSpec::new(1, "b", 100.0).with_app(AppClass::cpu(
+                1,
+                SimDuration::from_secs(600.0),
+                SimDuration::from_hours(8.0),
+            )))
+    }
+
+    #[test]
+    fn comparison_runs_and_renders() {
+        let policies = vec![
+            (
+                "JS-LOCAL".to_string(),
+                ClientConfig { sched_policy: JobSchedPolicy::LOCAL, ..Default::default() },
+            ),
+            (
+                "JS-GLOBAL".to_string(),
+                ClientConfig { sched_policy: JobSchedPolicy::GLOBAL, ..Default::default() },
+            ),
+        ];
+        let emu = EmulatorConfig { duration: SimDuration::from_hours(3.0), ..Default::default() };
+        let c = compare_policies(&scenario(), &policies, &emu, 0);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.get("JS-LOCAL").is_some());
+        assert!(c.get("nope").is_none());
+        let table = c.table().render();
+        assert!(table.contains("JS-LOCAL") && table.contains("JS-GLOBAL"));
+        let bars = c.bars(Metric::Idle, 30);
+        assert!(bars.contains("idle"));
+    }
+}

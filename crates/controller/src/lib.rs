@@ -1,0 +1,35 @@
+//! # bce-controller — the experiment controller
+//!
+//! The paper's "controller script that does multiple BCE runs and
+//! generates graphs summarizing the figures of merit" (§4.3): parallel
+//! run execution, parameter sweeps, policy comparisons, Monte-Carlo
+//! population studies, and terminal-friendly tables/plots plus CSV export.
+
+pub mod compare;
+pub mod montecarlo;
+pub mod plot;
+pub mod run;
+pub mod sweep;
+pub mod table;
+
+pub use compare::{compare_policies, Comparison};
+pub use montecarlo::{population_study, population_table, MetricStats, PopulationOutcome};
+pub use plot::{bar_chart, line_chart, Series};
+pub use run::{run_all, RunSpec};
+pub use sweep::{sweep, Metric, SweepResult};
+pub use table::Table;
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Write text (a rendered table, CSV, or chart) to a file, creating parent
+/// directories. Experiment binaries use this to drop CSVs under
+/// `target/figures/`.
+pub fn save_text(path: impl AsRef<Path>, text: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())
+}

@@ -1,0 +1,124 @@
+//! Monte-Carlo population studies (§6.2 future work): evaluate policies
+//! over a whole sampled population of scenarios rather than hand-picked
+//! points, and aggregate the figures-of-merit distributions.
+
+use crate::run::{run_all, RunSpec};
+use crate::sweep::Metric;
+use crate::table::Table;
+use bce_client::ClientConfig;
+use bce_core::{EmulatorConfig, Scenario};
+use bce_sim::OnlineStats;
+
+/// Aggregated distribution of one metric over the population.
+#[derive(Debug, Clone)]
+pub struct MetricStats {
+    pub metric: Metric,
+    pub stats: OnlineStats,
+    /// 95th percentile (exact, from the retained sample).
+    pub p95: f64,
+}
+
+/// Population-level outcome for one policy.
+#[derive(Debug, Clone)]
+pub struct PopulationOutcome {
+    pub label: String,
+    pub per_metric: Vec<MetricStats>,
+    pub scenarios_run: usize,
+}
+
+impl PopulationOutcome {
+    pub fn metric(&self, m: Metric) -> &MetricStats {
+        self.per_metric.iter().find(|s| s.metric == m).expect("all metrics present")
+    }
+}
+
+/// Evaluate each policy over the given scenario population.
+pub fn population_study(
+    scenarios: &[Scenario],
+    policies: &[(String, ClientConfig)],
+    emulator: &EmulatorConfig,
+    threads: usize,
+) -> Vec<PopulationOutcome> {
+    let mut outcomes = Vec::new();
+    for (label, client) in policies {
+        let specs: Vec<RunSpec> = scenarios
+            .iter()
+            .map(|s| {
+                RunSpec::new(format!("{label}/{}", s.name), s.clone(), *client)
+                    .with_emulator(emulator.clone())
+            })
+            .collect();
+        let results = run_all(specs, threads);
+        let per_metric = Metric::ALL
+            .iter()
+            .map(|&metric| {
+                let mut stats = OnlineStats::new();
+                let mut values: Vec<f64> = Vec::with_capacity(results.len());
+                for (_, r) in &results {
+                    let v = metric.extract(&r.merit);
+                    stats.push(v);
+                    values.push(v);
+                }
+                values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let p95 = if values.is_empty() {
+                    0.0
+                } else {
+                    values[((values.len() as f64 * 0.95) as usize).min(values.len() - 1)]
+                };
+                MetricStats { metric, stats, p95 }
+            })
+            .collect();
+        outcomes.push(PopulationOutcome {
+            label: label.clone(),
+            per_metric,
+            scenarios_run: scenarios.len(),
+        });
+    }
+    outcomes
+}
+
+/// Summary table: one row per (policy, metric) with mean/sd/min/max/p95.
+pub fn population_table(outcomes: &[PopulationOutcome]) -> Table {
+    let mut t = Table::new(&["policy", "metric", "mean", "sd", "min", "max", "p95"]);
+    for o in outcomes {
+        for ms in &o.per_metric {
+            t.row(&[
+                o.label.clone(),
+                ms.metric.name().to_string(),
+                format!("{:.4}", ms.stats.mean()),
+                format!("{:.4}", ms.stats.std_dev()),
+                format!("{:.4}", ms.stats.min()),
+                format!("{:.4}", ms.stats.max()),
+                format!("{:.4}", ms.p95),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_scenarios::{PopulationModel, PopulationSampler};
+    use bce_types::SimDuration;
+
+    #[test]
+    fn study_over_small_population() {
+        let mut sampler = PopulationSampler::new(PopulationModel::default(), 3);
+        let scenarios = sampler.sample_many(4);
+        let policies = vec![("default".to_string(), ClientConfig::default())];
+        let emu = EmulatorConfig { duration: SimDuration::from_hours(2.0), ..Default::default() };
+        let outcomes = population_study(&scenarios, &policies, &emu, 0);
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        assert_eq!(o.scenarios_run, 4);
+        assert_eq!(o.per_metric.len(), 5);
+        let idle = o.metric(Metric::Idle);
+        assert_eq!(idle.stats.count(), 4);
+        assert!(idle.stats.mean() >= 0.0 && idle.stats.mean() <= 1.0);
+        assert!(idle.p95 >= idle.stats.min() && idle.p95 <= idle.stats.max());
+        let table = population_table(&outcomes).render();
+        assert!(table.contains("default"));
+        assert!(table.contains("monotony"));
+    }
+}

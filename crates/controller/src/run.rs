@@ -1,0 +1,126 @@
+//! Parallel experiment execution: the controller "does multiple BCE runs
+//! and generates graphs summarizing the figures of merit" (§4.3). Runs are
+//! independent emulations, parallelized across OS threads with
+//! `std::thread::scope`; results come back in submission order so reports
+//! stay deterministic.
+
+use bce_client::ClientConfig;
+use bce_core::{EmulationResult, Emulator, EmulatorConfig, Scenario};
+
+/// One unit of work: a scenario plus client policy configuration.
+#[derive(Clone)]
+pub struct RunSpec {
+    pub label: String,
+    pub scenario: Scenario,
+    pub client: ClientConfig,
+    pub emulator: EmulatorConfig,
+}
+
+impl RunSpec {
+    pub fn new(label: impl Into<String>, scenario: Scenario, client: ClientConfig) -> Self {
+        RunSpec {
+            label: label.into(),
+            scenario,
+            client,
+            emulator: EmulatorConfig::default(),
+        }
+    }
+
+    pub fn with_emulator(mut self, cfg: EmulatorConfig) -> Self {
+        self.emulator = cfg;
+        self
+    }
+}
+
+/// Execute all runs, using up to `threads` worker threads (0 = one per
+/// available CPU). Results are returned in input order.
+pub fn run_all(specs: Vec<RunSpec>, threads: usize) -> Vec<(String, EmulationResult)> {
+    let nthreads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+    let n = specs.len();
+    let mut results: Vec<Option<(String, EmulationResult)>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let specs_ref = &specs;
+    let results_mx = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..nthreads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = &specs_ref[i];
+                let result =
+                    Emulator::new(spec.scenario.clone(), spec.client, spec.emulator.clone()).run();
+                let entry = (spec.label.clone(), result);
+                results_mx.lock().expect("results lock")[i] = Some(entry);
+            });
+        }
+    });
+
+    results.into_iter().map(|r| r.expect("all runs completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
+
+    fn tiny_scenario(seed: u64) -> Scenario {
+        Scenario::new(format!("tiny{seed}"), Hardware::cpu_only(1, 1e9))
+            .with_seed(seed)
+            .with_project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
+                0,
+                SimDuration::from_secs(500.0),
+                SimDuration::from_hours(4.0),
+            )))
+    }
+
+    fn short() -> EmulatorConfig {
+        EmulatorConfig { duration: SimDuration::from_hours(3.0), ..Default::default() }
+    }
+
+    #[test]
+    fn results_in_submission_order() {
+        let specs: Vec<RunSpec> = (0..8)
+            .map(|i| {
+                RunSpec::new(format!("run{i}"), tiny_scenario(i), ClientConfig::default())
+                    .with_emulator(short())
+            })
+            .collect();
+        let results = run_all(specs, 4);
+        assert_eq!(results.len(), 8);
+        for (i, (label, r)) in results.iter().enumerate() {
+            assert_eq!(label, &format!("run{i}"));
+            assert!(r.jobs_completed > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mk = || {
+            vec![
+                RunSpec::new("a", tiny_scenario(1), ClientConfig::default())
+                    .with_emulator(short()),
+                RunSpec::new("b", tiny_scenario(2), ClientConfig::default())
+                    .with_emulator(short()),
+            ]
+        };
+        let par = run_all(mk(), 2);
+        let ser = run_all(mk(), 1);
+        for ((_, a), (_, b)) in par.iter().zip(&ser) {
+            assert_eq!(a.jobs_completed, b.jobs_completed);
+            assert_eq!(a.total_flops_used.to_bits(), b.total_flops_used.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_specs() {
+        assert!(run_all(vec![], 4).is_empty());
+    }
+}

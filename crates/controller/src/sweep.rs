@@ -1,0 +1,190 @@
+//! Parameter sweeps: "do a parameter sweep over a scenario parameter"
+//! (§4.3). A sweep evaluates one or more policy configurations at each
+//! value of a scenario parameter and collects the figures of merit as
+//! series ready for plotting/tabulation — this is what regenerates
+//! Figures 3 and 6.
+
+use crate::plot::Series;
+use crate::run::{run_all, RunSpec};
+use crate::table::{f, Table};
+use bce_client::ClientConfig;
+use bce_core::{EmulationResult, EmulatorConfig, FiguresOfMerit, Scenario};
+
+/// Which figure of merit a series extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    Idle,
+    Wasted,
+    ShareViolation,
+    Monotony,
+    RpcsPerJob,
+}
+
+impl Metric {
+    pub fn extract(&self, m: &FiguresOfMerit) -> f64 {
+        match self {
+            Metric::Idle => m.idle_fraction,
+            Metric::Wasted => m.wasted_fraction,
+            Metric::ShareViolation => m.share_violation,
+            Metric::Monotony => m.monotony,
+            Metric::RpcsPerJob => m.rpcs_per_job,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Idle => "idle",
+            Metric::Wasted => "wasted",
+            Metric::ShareViolation => "share_violation",
+            Metric::Monotony => "monotony",
+            Metric::RpcsPerJob => "rpcs_per_job",
+        }
+    }
+
+    pub const ALL: [Metric; 5] = [
+        Metric::Idle,
+        Metric::Wasted,
+        Metric::ShareViolation,
+        Metric::Monotony,
+        Metric::RpcsPerJob,
+    ];
+}
+
+/// Results of a sweep: for each policy, for each parameter value, the full
+/// emulation result.
+pub struct SweepResult {
+    pub param_name: String,
+    pub params: Vec<f64>,
+    /// One row per policy: `(label, results by param index)`.
+    pub by_policy: Vec<(String, Vec<EmulationResult>)>,
+}
+
+impl SweepResult {
+    /// One plot series per policy for the given metric.
+    pub fn series(&self, metric: Metric) -> Vec<Series> {
+        self.by_policy
+            .iter()
+            .map(|(label, results)| {
+                Series::new(
+                    label.clone(),
+                    self.params
+                        .iter()
+                        .zip(results)
+                        .map(|(&x, r)| (x, metric.extract(&r.merit)))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Table: one row per parameter value, one column per policy.
+    pub fn table(&self, metric: Metric) -> Table {
+        let mut header: Vec<&str> = vec![self.param_name.as_str()];
+        let labels: Vec<&str> = self.by_policy.iter().map(|(l, _)| l.as_str()).collect();
+        header.extend(&labels);
+        let mut t = Table::new(&header);
+        for (i, &p) in self.params.iter().enumerate() {
+            let mut row = vec![f(p)];
+            for (_, results) in &self.by_policy {
+                row.push(f(metric.extract(&results[i].merit)));
+            }
+            t.row(&row);
+        }
+        t
+    }
+}
+
+/// Run a sweep. `make_scenario(param)` builds the scenario for a value;
+/// each `(label, config)` policy is evaluated at every value.
+pub fn sweep(
+    param_name: &str,
+    params: &[f64],
+    policies: &[(String, ClientConfig)],
+    emulator: &EmulatorConfig,
+    threads: usize,
+    make_scenario: impl Fn(f64) -> Scenario,
+) -> SweepResult {
+    let mut specs = Vec::new();
+    for (label, client) in policies {
+        for &p in params {
+            specs.push(
+                RunSpec::new(format!("{label}@{p}"), make_scenario(p), *client)
+                    .with_emulator(emulator.clone()),
+            );
+        }
+    }
+    let results = run_all(specs, threads);
+    let mut by_policy = Vec::new();
+    let mut it = results.into_iter();
+    for (label, _) in policies {
+        let row: Vec<EmulationResult> = (0..params.len())
+            .map(|_| it.next().expect("result per spec").1)
+            .collect();
+        by_policy.push((label.clone(), row));
+    }
+    SweepResult { param_name: param_name.to_string(), params: params.to_vec(), by_policy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_client::{FetchPolicy, JobSchedPolicy};
+    use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
+
+    fn scenario(runtime: f64) -> Scenario {
+        Scenario::new("sweep-test", Hardware::cpu_only(1, 1e9))
+            .with_seed(9)
+            .with_project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
+                0,
+                SimDuration::from_secs(runtime),
+                SimDuration::from_hours(8.0),
+            )))
+    }
+
+    #[test]
+    fn sweep_shapes() {
+        let policies = vec![
+            (
+                "GLOBAL".to_string(),
+                ClientConfig { sched_policy: JobSchedPolicy::GLOBAL, ..Default::default() },
+            ),
+            (
+                "ORIG".to_string(),
+                ClientConfig { fetch_policy: FetchPolicy::Orig, ..Default::default() },
+            ),
+        ];
+        let emu = EmulatorConfig { duration: SimDuration::from_hours(2.0), ..Default::default() };
+        let params = [500.0, 1000.0];
+        let r = sweep("runtime", &params, &policies, &emu, 0, scenario);
+        assert_eq!(r.by_policy.len(), 2);
+        assert_eq!(r.by_policy[0].1.len(), 2);
+        let series = r.series(Metric::Idle);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].points.len(), 2);
+        assert_eq!(series[0].points[0].0, 500.0);
+        let t = r.table(Metric::RpcsPerJob);
+        assert_eq!(t.nrows(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("GLOBAL"));
+        assert!(rendered.contains("runtime"));
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let m = FiguresOfMerit {
+            idle_fraction: 0.1,
+            wasted_fraction: 0.2,
+            share_violation: 0.3,
+            monotony: 0.4,
+            rpcs_per_job: 5.0,
+        };
+        assert_eq!(Metric::Idle.extract(&m), 0.1);
+        assert_eq!(Metric::Wasted.extract(&m), 0.2);
+        assert_eq!(Metric::ShareViolation.extract(&m), 0.3);
+        assert_eq!(Metric::Monotony.extract(&m), 0.4);
+        assert_eq!(Metric::RpcsPerJob.extract(&m), 5.0);
+        for m2 in Metric::ALL {
+            assert!(!m2.name().is_empty());
+        }
+    }
+}

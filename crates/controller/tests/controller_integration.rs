@@ -1,0 +1,79 @@
+//! Integration tests for the experiment controller against real
+//! emulations: sweeps produce plottable series, comparisons produce
+//! consistent tables, and text artifacts land on disk.
+
+use bce_client::{ClientConfig, JobSchedPolicy};
+use bce_controller::{
+    compare_policies, line_chart, save_text, sweep, Metric, Series,
+};
+use bce_core::{EmulatorConfig, Scenario};
+use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
+
+fn scenario(runtime: f64) -> Scenario {
+    Scenario::new("ctl", Hardware::cpu_only(2, 1e9))
+        .with_seed(77)
+        .with_project(ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
+            0,
+            SimDuration::from_secs(runtime),
+            SimDuration::from_hours(6.0),
+        )))
+}
+
+fn emu() -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_hours(2.0), ..Default::default() }
+}
+
+#[test]
+fn sweep_series_and_csv_roundtrip() {
+    let policies = vec![("G".to_string(), ClientConfig::default())];
+    let r = sweep("runtime", &[400.0, 800.0], &policies, &emu(), 2, scenario);
+    // More jobs complete with shorter runtimes.
+    let jobs_short = r.by_policy[0].1[0].jobs_completed;
+    let jobs_long = r.by_policy[0].1[1].jobs_completed;
+    assert!(jobs_short > jobs_long, "{jobs_short} vs {jobs_long}");
+    // Tables carry one row per parameter and render to CSV.
+    let t = r.table(Metric::Idle);
+    let csv = t.to_csv();
+    assert_eq!(csv.lines().count(), 3); // header + 2 rows
+    assert!(csv.starts_with("runtime,G"));
+    // Chart renders without panicking on real data.
+    let chart = line_chart("idle", &r.series(Metric::Idle), 40, 10);
+    assert!(chart.contains("= G"));
+}
+
+#[test]
+fn comparison_table_is_consistent_with_results() {
+    let policies = vec![
+        (
+            "LOCAL".to_string(),
+            ClientConfig { sched_policy: JobSchedPolicy::LOCAL, ..Default::default() },
+        ),
+        (
+            "WRR".to_string(),
+            ClientConfig { sched_policy: JobSchedPolicy::WRR, ..Default::default() },
+        ),
+    ];
+    let c = compare_policies(&scenario(600.0), &policies, &emu(), 0);
+    let rendered = c.table().render();
+    for (label, r) in &c.results {
+        assert!(rendered.contains(label.as_str()));
+        assert!(rendered.contains(&r.jobs_completed.to_string()));
+    }
+}
+
+#[test]
+fn save_text_creates_directories() {
+    let dir = std::env::temp_dir().join("bce-controller-test").join("nested");
+    let path = dir.join("out.csv");
+    let _ = std::fs::remove_file(&path);
+    save_text(&path, "a,b\n1,2\n").unwrap();
+    let content = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(content, "a,b\n1,2\n");
+}
+
+#[test]
+fn chart_handles_single_point_series() {
+    let s = Series::new("solo", vec![(1.0, 0.5)]);
+    let out = line_chart("one point", &[s], 30, 8);
+    assert!(out.contains('*'));
+}

@@ -1,0 +1,505 @@
+//! BCE — the BOINC client emulator (§4.3).
+//!
+//! Takes a [`Scenario`] plus policy flags, emulates the client over a
+//! period of simulated time, and reports the figures of merit, a
+//! per-instance usage timeline and a message log of scheduling decisions.
+//!
+//! Structure: a discrete-event loop with piecewise-constant allocation.
+//! Between events the running set is fixed, so task progress and metrics
+//! accrue in closed form. Events: periodic scheduling points, availability
+//! transitions, predicted task/transfer completions (generation-stamped so
+//! stale predictions are ignored), and fetch-retry wakeups.
+
+use crate::metrics::{FiguresOfMerit, MetricsAccum, ProjectReport};
+use crate::scenario::Scenario;
+use bce_avail::HostRunState;
+use bce_client::{Client, ClientConfig, ClientProject, FetchPolicy, JobSchedPolicy};
+use bce_server::{ProjectServer, RpcOutcome, SchedulerRequest, ServerConfig, TypeRequest};
+use bce_sim::{Component, EventQueue, Level, MsgLog, Occupancy, Rng, Timeline};
+use bce_types::{
+    InstanceId, JobId, ProcType, ProjectId, SimDuration, SimTime,
+};
+use std::collections::BTreeMap;
+
+/// Emulator tuning knobs (separate from the client's policy config).
+#[derive(Debug, Clone)]
+pub struct EmulatorConfig {
+    /// Emulated period (default 10 days, as in §5).
+    pub duration: SimDuration,
+    /// Upper bound between scheduling decisions; events also trigger them.
+    pub sched_period: SimDuration,
+    /// Monotony averaging window.
+    pub monotony_window: SimDuration,
+    /// Record the per-instance timeline? (costs memory on long runs)
+    pub record_timeline: bool,
+    /// Message-log verbosity.
+    pub log_level: Level,
+    /// Message-log capacity (0 disables logging entirely).
+    pub log_capacity: usize,
+    pub server: ServerConfig,
+    /// Upper bound on scheduler RPCs issued per decision point.
+    pub max_rpcs_per_point: usize,
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        EmulatorConfig {
+            duration: SimDuration::from_days(10.0),
+            sched_period: SimDuration::from_secs(60.0),
+            monotony_window: SimDuration::from_hours(1.0),
+            record_timeline: false,
+            log_level: Level::Info,
+            log_capacity: 0,
+            server: ServerConfig::default(),
+            max_rpcs_per_point: 4,
+        }
+    }
+}
+
+/// Events driving the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Periodic scheduling point.
+    SchedPoint,
+    /// Predicted client event (task or transfer completion); stale when
+    /// its generation is outdated.
+    ClientEvent { generation: u64 },
+    /// Availability signal may change here.
+    AvailChange,
+    /// A project backoff/delay expires; work fetch may unblock.
+    FetchRetry { generation: u64 },
+}
+
+/// The complete result of one emulation run.
+#[derive(Debug, Clone)]
+pub struct EmulationResult {
+    pub scenario_name: String,
+    pub merit: FiguresOfMerit,
+    pub projects: Vec<ProjectReport>,
+    pub jobs_completed: u64,
+    pub jobs_missed_deadline: u64,
+    pub jobs_unfinished: u64,
+    pub available_fraction: f64,
+    pub total_flops_used: f64,
+    pub duration: SimDuration,
+    pub timeline: Option<Timeline>,
+    pub log: MsgLog,
+}
+
+/// The emulator.
+///
+/// ```
+/// use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy};
+/// use bce_core::{Emulator, EmulatorConfig, Scenario};
+/// use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
+///
+/// let scenario = Scenario::new("doc", Hardware::cpu_only(2, 1e9))
+///     .with_seed(1)
+///     .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(
+///         AppClass::cpu(0, SimDuration::from_secs(600.0), SimDuration::from_hours(6.0)),
+///     ));
+/// let cfg = EmulatorConfig { duration: SimDuration::from_hours(4.0), ..Default::default() };
+/// let result = Emulator::new(scenario, ClientConfig::default(), cfg).run();
+/// assert!(result.jobs_completed > 0);
+/// assert!(result.merit.idle_fraction < 0.1);
+/// ```
+pub struct Emulator {
+    scenario: Scenario,
+    client_cfg: ClientConfig,
+    cfg: EmulatorConfig,
+}
+
+impl Emulator {
+    pub fn new(scenario: Scenario, client_cfg: ClientConfig, cfg: EmulatorConfig) -> Self {
+        Emulator { scenario, client_cfg, cfg }
+    }
+
+    /// Convenience: emulate `scenario` under (`sched`, `fetch`) with
+    /// defaults otherwise.
+    pub fn run_policies(
+        scenario: Scenario,
+        sched: JobSchedPolicy,
+        fetch: FetchPolicy,
+    ) -> EmulationResult {
+        let client_cfg = ClientConfig { sched_policy: sched, fetch_policy: fetch, ..Default::default() };
+        Emulator::new(scenario, client_cfg, EmulatorConfig::default()).run()
+    }
+
+    /// Run the emulation.
+    pub fn run(&self) -> EmulationResult {
+        let scenario = &self.scenario;
+        debug_assert!(scenario.validate().is_ok(), "invalid scenario: {:?}", scenario.validate());
+        let hw = scenario.hardware.clone();
+        let end = SimTime::ZERO + self.cfg.duration;
+
+        // --- Component construction, each with its own RNG stream. ---
+        let mut avail_rng = Rng::stream(scenario.seed, "avail");
+        let mut governor = scenario.avail.instantiate(&mut avail_rng);
+        if let Some(trace) = &scenario.host_trace {
+            governor = governor.with_host_trace(trace.clone());
+        }
+        let on_frac = governor.expected_on_fraction(&scenario.prefs).max(1e-3);
+
+        let mut servers: Vec<ProjectServer> = scenario
+            .projects
+            .iter()
+            .map(|p| {
+                let mut rng = Rng::stream(scenario.seed, &format!("server-{}", p.id));
+                ProjectServer::new(p.clone(), self.cfg.server, &mut rng)
+            })
+            .collect();
+
+        let client_projects: Vec<ClientProject> = scenario
+            .projects
+            .iter()
+            .map(|p| {
+                let types: Vec<ProcType> = p.proc_types().collect();
+                Client::project(p.id.0, p.name.clone(), p.resource_share, &types)
+            })
+            .collect();
+        let mut client_cfg = self.client_cfg;
+        client_cfg.network = scenario.network;
+        let mut client =
+            Client::new(hw.clone(), scenario.prefs.clone(), client_projects, client_cfg);
+
+        // Restore imported in-flight jobs (state-file replay, §4.3).
+        for ij in &scenario.initial_queue {
+            let server = servers
+                .iter_mut()
+                .find(|s| s.id() == ij.project)
+                .expect("validated initial-queue project");
+            let received = SimTime::ZERO - ij.received_ago;
+            if let Some(spec) = server.make_initial_job(ij.app, received) {
+                client.add_initial_task(spec, ij.progress);
+            }
+        }
+
+        let shares: Vec<(ProjectId, f64)> =
+            scenario.projects.iter().map(|p| (p.id, p.resource_share)).collect();
+        let mut metrics = MetricsAccum::new(
+            hw.total_peak_flops(),
+            scenario.projects.len(),
+            SimTime::ZERO,
+            self.cfg.monotony_window,
+        );
+        let mut log = if self.cfg.log_capacity > 0 {
+            MsgLog::new(self.cfg.log_level, self.cfg.log_capacity)
+        } else {
+            MsgLog::disabled()
+        };
+
+        // Timeline instance bookkeeping.
+        let instances: Vec<InstanceId> = ProcType::ALL
+            .iter()
+            .flat_map(|&t| {
+                (0..hw.ninstances(t)).map(move |i| InstanceId { proc_type: t, index: i })
+            })
+            .collect();
+        let mut timeline =
+            self.cfg.record_timeline.then(|| Timeline::new(instances.iter().copied()));
+        // job -> assigned instances (for the timeline only).
+        let mut assignment: BTreeMap<JobId, Vec<InstanceId>> = BTreeMap::new();
+
+        // --- Event loop. ---
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(64);
+        queue.push(SimTime::ZERO, Event::SchedPoint);
+        queue.push(governor.next_change_after(SimTime::ZERO, &scenario.prefs), Event::AvailChange);
+        let mut generation: u64 = 0;
+        let mut now = SimTime::ZERO;
+        governor.advance(SimTime::ZERO);
+        let mut run_state = governor.run_state(SimTime::ZERO, &scenario.prefs);
+
+        while let Some((t_ev, event)) = queue.pop() {
+            let t = t_ev.min(end);
+            // 1. Account the elapsed interval under the constant allocation.
+            if t > now {
+                let per_project = client.flops_in_use_by_project();
+                metrics.advance(now, t, &per_project, run_state.can_compute);
+                if let Some(tl) = &mut timeline {
+                    record_timeline(tl, &client, &assignment, now, t, run_state, &instances);
+                }
+            }
+            let events = client.advance(t, run_state);
+            now = t;
+
+            // 2. Report uploaded jobs to their servers and retire them.
+            // Whether a result counts is the *server's* verdict: under the
+            // default strict deadline check this equals the client-side
+            // deadline test; grace/none policies are more forgiving.
+            for id in &events.uploaded {
+                let (project, flops_spent) = {
+                    let task = client.task(*id).expect("uploaded task exists");
+                    (
+                        task.spec.project,
+                        task.spec.duration.secs() * task.spec.usage.peak_flops_on(&hw),
+                    )
+                };
+                let met = match servers.iter_mut().find(|s| s.id() == project) {
+                    Some(server) => {
+                        server.check_deadlines(now);
+                        server.report_completed(now, *id)
+                    }
+                    None => false,
+                };
+                metrics.record_job_done(*id, met, if met { 0.0 } else { flops_spent });
+                if let Some(task) = client.retire(*id) {
+                    if task.rollback_waste > 0.0 {
+                        metrics.record_rollback_waste(
+                            task.rollback_waste * task.spec.usage.peak_flops_on(&hw),
+                        );
+                    }
+                    log.info(now, Component::Task, || {
+                        format!(
+                            "job {} of {} finished ({})",
+                            id,
+                            project,
+                            if met { "met deadline" } else { "MISSED deadline" }
+                        )
+                    });
+                }
+                assignment.remove(id);
+            }
+            if now >= end {
+                break;
+            }
+
+            // 3. Interpret the event.
+            let mut need_sched = !events.computed.is_empty() || !events.ready.is_empty();
+            match event {
+                Event::SchedPoint => {
+                    need_sched = true;
+                    queue.push(now + self.cfg.sched_period, Event::SchedPoint);
+                }
+                Event::ClientEvent { generation: g } => {
+                    if g == generation {
+                        need_sched = true;
+                    }
+                }
+                Event::AvailChange => {
+                    governor.advance(now);
+                    let new_state = governor.run_state(now, &scenario.prefs);
+                    if new_state != run_state {
+                        log.info(now, Component::Avail, || {
+                            format!(
+                                "availability: compute={} gpu={} net={}",
+                                new_state.can_compute, new_state.can_gpu, new_state.net_up
+                            )
+                        });
+                        run_state = new_state;
+                        need_sched = true;
+                    }
+                    let next = governor.next_change_after(now, &scenario.prefs);
+                    if next.is_finite() && next < end {
+                        queue.push(next, Event::AvailChange);
+                    }
+                }
+                Event::FetchRetry { generation: g } => {
+                    if g == generation {
+                        need_sched = true;
+                    }
+                }
+            }
+
+            if !need_sched {
+                continue;
+            }
+            generation += 1;
+
+            // 4. Reschedule and run the fetch loop.
+            let resched = client.reschedule(now, run_state, on_frac);
+            log_resched(&mut log, now, &resched);
+            let mut rr = resched.rr;
+            let mut fetched_any = false;
+            for _ in 0..self.cfg.max_rpcs_per_point {
+                let Some(decision) = client.fetch_decision(now, run_state, &rr) else { break };
+                let project = decision.project;
+                let mut request = SchedulerRequest::default();
+                for pt in ProcType::ALL {
+                    request.per_type[pt] = TypeRequest {
+                        secs: decision.request.secs[pt],
+                        instances: decision.request.instances[pt],
+                    };
+                }
+                let server = servers
+                    .iter_mut()
+                    .find(|s| s.id() == project)
+                    .expect("fetch decision for unknown project");
+                server.check_deadlines(now);
+                metrics.record_rpc();
+                match server.handle_rpc(now, &request) {
+                    RpcOutcome::Reply(reply) => {
+                        log.info(now, Component::Fetch, || {
+                            format!(
+                                "RPC to {}: requested {:.0}s CPU / {:.0}s GPU, got {} jobs",
+                                project,
+                                request.per_type[ProcType::Cpu].secs,
+                                request.per_type[ProcType::NvidiaGpu].secs
+                                    + request.per_type[ProcType::AtiGpu].secs,
+                                reply.jobs.len()
+                            )
+                        });
+                        let got_jobs = !reply.jobs.is_empty();
+                        client.record_reply(now, project, reply.jobs, reply.delay);
+                        fetched_any |= got_jobs;
+                    }
+                    RpcOutcome::Down => {
+                        log.warn(now, Component::Fetch, || format!("RPC to {project}: server down"));
+                        client.record_rpc_failure(now, project);
+                    }
+                }
+                rr = client.rr_simulate(now, run_state, on_frac);
+            }
+            if fetched_any {
+                let r2 = client.reschedule(now, run_state, on_frac);
+                log_resched(&mut log, now, &r2);
+            }
+
+            // 5. Refresh the timeline instance assignment and schedule the
+            //    next predicted client event.
+            update_assignment(&mut assignment, &client, &instances);
+            if let Some(t_next) = client.next_event_after(now) {
+                // Enforce a minimum event granularity: predicted completion
+                // times can round to `now` itself in f64 (a sub-picosecond
+                // transfer residue at t ~ 10^4 s), which would stall the
+                // clock with same-instant events. One millisecond is far
+                // below anything the policies can observe.
+                let t_next = t_next.max(now + SimDuration::from_secs(1e-3));
+                if t_next <= end {
+                    queue.push(t_next, Event::ClientEvent { generation });
+                }
+            }
+            if let Some(t_unblock) = client.next_fetch_unblock(now) {
+                if t_unblock <= end {
+                    queue.push(t_unblock, Event::FetchRetry { generation });
+                }
+            }
+        }
+
+        // --- Finalize ---
+        let merit = metrics.finalize(&shares);
+        let total_used = metrics.total_flops_used();
+        let projects: Vec<ProjectReport> = scenario
+            .projects
+            .iter()
+            .map(|p| {
+                let server = servers.iter().find(|s| s.id() == p.id).expect("server");
+                let share_sum: f64 = scenario.projects.iter().map(|q| q.resource_share).sum();
+                let flops_used = metrics.flops_used_by(p.id);
+                ProjectReport {
+                    id: p.id,
+                    name: p.name.clone(),
+                    share_frac: if share_sum > 0.0 { p.resource_share / share_sum } else { 0.0 },
+                    used_frac: if total_used > 0.0 { flops_used / total_used } else { 0.0 },
+                    flops_used,
+                    jobs_completed: server.stats().reported_in_time + server.stats().reported_late,
+                    jobs_missed_deadline: server.stats().reported_late,
+                    rpcs: server.stats().rpcs + server.stats().failed_rpcs,
+                }
+            })
+            .collect();
+
+        EmulationResult {
+            scenario_name: scenario.name.clone(),
+            merit,
+            projects,
+            jobs_completed: metrics.jobs_completed(),
+            jobs_missed_deadline: metrics.jobs_missed(),
+            jobs_unfinished: client.tasks().iter().filter(|t| !t.is_complete()).count() as u64,
+            available_fraction: metrics.available_fraction(),
+            total_flops_used: total_used,
+            duration: self.cfg.duration,
+            timeline,
+            log,
+        }
+    }
+}
+
+fn log_resched(log: &mut MsgLog, now: SimTime, r: &bce_client::Reschedule) {
+    if !r.started.is_empty() || !r.preempted.is_empty() {
+        log.info(now, Component::Sched, || {
+            format!("schedule: start {:?}, preempt {:?}", r.started, r.preempted)
+        });
+    }
+}
+
+/// Greedy stable instance assignment for the timeline: running jobs keep
+/// their instances; new jobs take free ones.
+fn update_assignment(
+    assignment: &mut BTreeMap<JobId, Vec<InstanceId>>,
+    client: &Client,
+    instances: &[InstanceId],
+) {
+    let running: Vec<&bce_client::Task> =
+        client.tasks().iter().filter(|t| t.is_running()).collect();
+    // Drop assignments of no-longer-running jobs.
+    let running_ids: std::collections::BTreeSet<JobId> =
+        running.iter().map(|t| t.spec.id).collect();
+    assignment.retain(|id, _| running_ids.contains(id));
+    let mut taken: std::collections::BTreeSet<InstanceId> =
+        assignment.values().flatten().copied().collect();
+    for task in running {
+        if assignment.contains_key(&task.spec.id) {
+            continue;
+        }
+        let mut want: Vec<(ProcType, u32)> = Vec::new();
+        match task.spec.usage.coproc {
+            Some((t, n)) => want.push((t, (n.ceil() as u32).max(1))),
+            None => want.push((ProcType::Cpu, (task.spec.usage.avg_cpus.round() as u32).max(1))),
+        }
+        let mut assigned = Vec::new();
+        for (t, n) in want {
+            let mut taken_count = 0;
+            for inst in instances.iter().filter(|i| i.proc_type == t) {
+                if taken_count >= n {
+                    break;
+                }
+                if !taken.contains(inst) {
+                    taken.insert(*inst);
+                    assigned.push(*inst);
+                    taken_count += 1;
+                }
+            }
+        }
+        assignment.insert(task.spec.id, assigned);
+    }
+}
+
+/// Record one interval into the timeline.
+fn record_timeline(
+    timeline: &mut Timeline,
+    client: &Client,
+    assignment: &BTreeMap<JobId, Vec<InstanceId>>,
+    from: SimTime,
+    to: SimTime,
+    run_state: HostRunState,
+    instances: &[InstanceId],
+) {
+    let mut busy: BTreeMap<InstanceId, (ProjectId, JobId)> = BTreeMap::new();
+    for task in client.tasks().iter().filter(|t| t.is_running()) {
+        if let Some(assigned) = assignment.get(&task.spec.id) {
+            for inst in assigned {
+                busy.insert(*inst, (task.spec.project, task.spec.id));
+            }
+        }
+    }
+    for inst in instances {
+        let occ = match busy.get(inst) {
+            Some(&(project, job)) => Occupancy::Busy { project, job },
+            None => {
+                let allowed = if inst.proc_type.is_gpu() {
+                    run_state.can_gpu
+                } else {
+                    run_state.can_compute
+                };
+                if allowed {
+                    Occupancy::Idle
+                } else {
+                    Occupancy::Unavailable
+                }
+            }
+        };
+        if let Some(track) = timeline.track_mut(*inst) {
+            track.record(from, to, occ);
+        }
+    }
+}

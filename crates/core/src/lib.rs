@@ -1,0 +1,22 @@
+//! # bce-core — BCE, the BOINC client emulator
+//!
+//! The paper's primary artifact (§4.3): "a program that takes as input a
+//! description of a usage scenario, emulates (using the actual BOINC
+//! client code) the behavior of the client over some period of time, and
+//! calculates various performance metrics."
+//!
+//! This crate binds the emulated client (`bce-client`), the simulated
+//! project servers (`bce-server`) and the availability model
+//! (`bce-avail`) into a deterministic discrete-event loop, accumulates the
+//! five figures of merit of §4.2, and renders the usage timeline and
+//! message log.
+
+pub mod emulator;
+pub mod metrics;
+pub mod render;
+pub mod scenario;
+
+pub use emulator::{EmulationResult, Emulator, EmulatorConfig};
+pub use metrics::{FiguresOfMerit, MetricsAccum, ProjectReport};
+pub use render::{render_report, render_timeline};
+pub use scenario::Scenario;

@@ -1,0 +1,365 @@
+//! Figures of merit (§4.2).
+//!
+//! * **Idle fraction** — fraction of peak-FLOPS capacity idle while the
+//!   host was available.
+//! * **Wasted fraction** — capacity spent on jobs that missed their
+//!   deadline, plus progress lost to checkpoint rollbacks.
+//! * **Resource-share violation** — RMS over projects of the difference
+//!   between a project's share and the fraction of processing it received.
+//! * **Monotony** — the paper leaves this informal ("the extent to which
+//!   the system ran jobs of a single project for long periods"); we define
+//!   it as the mean over fixed windows of `1 − H/ln N`, where `H` is the
+//!   Shannon entropy of the per-project distribution of peak-FLOPS-seconds
+//!   inside the window and `N` the number of attached projects. Windows
+//!   with no processing are skipped; a single-project host scores 1 by
+//!   convention (and monotony is reported as 0 when `N == 1` would make
+//!   `ln N = 0`).
+//! * **RPCs per job** — scheduler RPCs issued divided by jobs completed.
+//!
+//! All but RPCs/job lie in `[0, 1]` with 0 good; `scaled()` maps RPCs/job
+//! through `x/(1+x)` when a bounded combination is wanted.
+
+use bce_types::{JobId, ProjectId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The paper's five figures of merit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiguresOfMerit {
+    pub idle_fraction: f64,
+    pub wasted_fraction: f64,
+    pub share_violation: f64,
+    pub monotony: f64,
+    pub rpcs_per_job: f64,
+}
+
+impl FiguresOfMerit {
+    /// All five mapped into `[0, 1]` (0 good), RPCs/job via `x/(1+x)`.
+    pub fn scaled(&self) -> [f64; 5] {
+        [
+            self.idle_fraction,
+            self.wasted_fraction,
+            self.share_violation,
+            self.monotony,
+            self.rpcs_per_job / (1.0 + self.rpcs_per_job),
+        ]
+    }
+
+    /// Subjectively-weighted combination (§4.2: "the overall evaluation of
+    /// a policy is a subjectively-weighted combination of the metrics").
+    pub fn weighted(&self, weights: [f64; 5]) -> f64 {
+        self.scaled().iter().zip(weights).map(|(m, w)| m * w).sum()
+    }
+}
+
+/// Per-project outcome summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectReport {
+    pub id: ProjectId,
+    pub name: String,
+    pub share_frac: f64,
+    /// Fraction of all delivered processing this project received.
+    pub used_frac: f64,
+    pub flops_used: f64,
+    pub jobs_completed: u64,
+    pub jobs_missed_deadline: u64,
+    pub rpcs: u64,
+}
+
+/// Accumulates metrics during an emulation run.
+#[derive(Debug, Clone)]
+pub struct MetricsAccum {
+    total_capacity_flops: f64, // peak FLOPS of the host
+    monotony_window: SimDuration,
+    // integrals
+    capacity_secs: f64,     // capacity × elapsed (FLOPS·s)
+    available_secs: f64,    // capacity × available time
+    used: BTreeMap<ProjectId, f64>, // FLOPS·s delivered per project
+    wasted_flops: f64,
+    // monotony state
+    window_used: BTreeMap<ProjectId, f64>,
+    window_end: SimTime,
+    monotony_sum: f64,
+    monotony_windows: u64,
+    nprojects: usize,
+    // counters
+    pub rpcs: u64,
+    jobs_completed: u64,
+    jobs_missed: u64,
+    missed_ids: Vec<JobId>,
+}
+
+impl MetricsAccum {
+    pub fn new(
+        total_capacity_flops: f64,
+        nprojects: usize,
+        start: SimTime,
+        monotony_window: SimDuration,
+    ) -> Self {
+        MetricsAccum {
+            total_capacity_flops,
+            monotony_window,
+            capacity_secs: 0.0,
+            available_secs: 0.0,
+            used: BTreeMap::new(),
+            wasted_flops: 0.0,
+            window_used: BTreeMap::new(),
+            window_end: start + monotony_window,
+            monotony_sum: 0.0,
+            monotony_windows: 0,
+            nprojects,
+            rpcs: 0,
+            jobs_completed: 0,
+            jobs_missed: 0,
+            missed_ids: Vec::new(),
+        }
+    }
+
+    /// Account an interval of constant allocation. `per_project` lists the
+    /// peak FLOPS each project is engaging; `available` is whether the
+    /// host could compute at all.
+    pub fn advance(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        per_project: &[(ProjectId, f64)],
+        available: bool,
+    ) {
+        let dt = (to - from).secs();
+        if dt <= 0.0 {
+            return;
+        }
+        self.capacity_secs += self.total_capacity_flops * dt;
+        if available {
+            self.available_secs += self.total_capacity_flops * dt;
+        }
+        for &(p, f) in per_project {
+            *self.used.entry(p).or_insert(0.0) += f * dt;
+            *self.window_used.entry(p).or_insert(0.0) += f * dt;
+        }
+        // Close monotony windows crossed by this interval. (Allocation is
+        // constant inside the interval, so splitting exactly at window
+        // boundaries is unnecessary: usage assigns to the window where it
+        // occurred in proportion; we approximate by closing at `to`.)
+        while to >= self.window_end {
+            self.close_window();
+        }
+    }
+
+    fn close_window(&mut self) {
+        let total: f64 = self.window_used.values().sum();
+        if total > 0.0 && self.nprojects > 1 {
+            let ln_n = (self.nprojects as f64).ln();
+            let h: f64 = self
+                .window_used
+                .values()
+                .filter(|&&v| v > 0.0)
+                .map(|&v| {
+                    let p = v / total;
+                    -p * p.ln()
+                })
+                .sum();
+            self.monotony_sum += 1.0 - (h / ln_n).min(1.0);
+            self.monotony_windows += 1;
+        }
+        self.window_used.clear();
+        self.window_end = self.window_end + self.monotony_window;
+    }
+
+    pub fn record_rpc(&mut self) {
+        self.rpcs += 1;
+    }
+
+    /// Record a completed-and-reported job.
+    pub fn record_job_done(&mut self, id: JobId, met_deadline: bool, flops_spent: f64) {
+        self.jobs_completed += 1;
+        if !met_deadline {
+            self.jobs_missed += 1;
+            self.wasted_flops += flops_spent;
+            self.missed_ids.push(id);
+        }
+    }
+
+    /// Record execution seconds lost to a checkpoint rollback.
+    pub fn record_rollback_waste(&mut self, flops: f64) {
+        self.wasted_flops += flops;
+    }
+
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    pub fn jobs_missed(&self) -> u64 {
+        self.jobs_missed
+    }
+
+    pub fn missed_ids(&self) -> &[JobId] {
+        &self.missed_ids
+    }
+
+    pub fn flops_used_by(&self, p: ProjectId) -> f64 {
+        self.used.get(&p).copied().unwrap_or(0.0)
+    }
+
+    pub fn total_flops_used(&self) -> f64 {
+        self.used.values().sum()
+    }
+
+    pub fn available_fraction(&self) -> f64 {
+        if self.capacity_secs > 0.0 {
+            self.available_secs / self.capacity_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Finalize into the five figures of merit. `shares` supplies each
+    /// project's configured share fraction.
+    pub fn finalize(&mut self, shares: &[(ProjectId, f64)]) -> FiguresOfMerit {
+        // Close the trailing partial window.
+        let total_in_window: f64 = self.window_used.values().sum();
+        if total_in_window > 0.0 {
+            self.close_window();
+        }
+
+        let used_total = self.total_flops_used();
+        let idle_fraction = if self.available_secs > 0.0 {
+            ((self.available_secs - used_total) / self.available_secs).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let wasted_fraction = if self.available_secs > 0.0 {
+            (self.wasted_flops / self.available_secs).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        let share_sum: f64 = shares.iter().map(|(_, s)| s).sum();
+        let mut sq = 0.0;
+        for &(p, s) in shares {
+            let share_frac = if share_sum > 0.0 { s / share_sum } else { 0.0 };
+            let used_frac = if used_total > 0.0 { self.flops_used_by(p) / used_total } else { 0.0 };
+            sq += (share_frac - used_frac).powi(2);
+        }
+        let share_violation =
+            if shares.is_empty() { 0.0 } else { (sq / shares.len() as f64).sqrt() };
+
+        let monotony = if self.monotony_windows > 0 {
+            self.monotony_sum / self.monotony_windows as f64
+        } else {
+            0.0
+        };
+        let rpcs_per_job = if self.jobs_completed > 0 {
+            self.rpcs as f64 / self.jobs_completed as f64
+        } else {
+            self.rpcs as f64
+        };
+
+        FiguresOfMerit { idle_fraction, wasted_fraction, share_violation, monotony, rpcs_per_job }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn idle_fraction_half() {
+        let mut m = MetricsAccum::new(10.0, 1, t(0.0), SimDuration::from_secs(100.0));
+        // 100 s at 5 of 10 FLOPS used.
+        m.advance(t(0.0), t(100.0), &[(ProjectId(0), 5.0)], true);
+        let f = m.finalize(&[(ProjectId(0), 1.0)]);
+        assert!((f.idle_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unavailable_time_not_counted_as_available_idle() {
+        let mut m = MetricsAccum::new(10.0, 1, t(0.0), SimDuration::from_secs(1000.0));
+        m.advance(t(0.0), t(50.0), &[(ProjectId(0), 10.0)], true);
+        m.advance(t(50.0), t(100.0), &[], false);
+        let av = m.available_fraction();
+        assert!((av - 0.5).abs() < 1e-12);
+        let f = m.finalize(&[(ProjectId(0), 1.0)]);
+        assert!((f.idle_fraction - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_violation_rms() {
+        let mut m = MetricsAccum::new(10.0, 2, t(0.0), SimDuration::from_secs(1000.0));
+        // P0 gets everything; shares equal: violation = RMS(0.5, -0.5) = 0.5.
+        m.advance(t(0.0), t(100.0), &[(ProjectId(0), 10.0)], true);
+        let f = m.finalize(&[(ProjectId(0), 1.0), (ProjectId(1), 1.0)]);
+        assert!((f.share_violation - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_violation_zero_when_fair() {
+        let mut m = MetricsAccum::new(10.0, 2, t(0.0), SimDuration::from_secs(1000.0));
+        m.advance(t(0.0), t(100.0), &[(ProjectId(0), 7.5), (ProjectId(1), 2.5)], true);
+        let f = m.finalize(&[(ProjectId(0), 3.0), (ProjectId(1), 1.0)]);
+        assert!(f.share_violation < 1e-12);
+    }
+
+    #[test]
+    fn monotony_extremes() {
+        // Alternating exclusive windows: each window single-project =>
+        // monotony 1.
+        let mut m = MetricsAccum::new(10.0, 2, t(0.0), SimDuration::from_secs(10.0));
+        for i in 0..10 {
+            let p = ProjectId(i % 2);
+            m.advance(t(i as f64 * 10.0), t((i + 1) as f64 * 10.0), &[(p, 10.0)], true);
+        }
+        let f = m.finalize(&[(ProjectId(0), 1.0), (ProjectId(1), 1.0)]);
+        assert!((f.monotony - 1.0).abs() < 1e-9);
+
+        // Evenly mixed within every window => monotony 0.
+        let mut m = MetricsAccum::new(10.0, 2, t(0.0), SimDuration::from_secs(10.0));
+        m.advance(t(0.0), t(100.0), &[(ProjectId(0), 5.0), (ProjectId(1), 5.0)], true);
+        let f = m.finalize(&[(ProjectId(0), 1.0), (ProjectId(1), 1.0)]);
+        assert!(f.monotony < 1e-9);
+    }
+
+    #[test]
+    fn monotony_single_project_is_zero_by_convention() {
+        let mut m = MetricsAccum::new(10.0, 1, t(0.0), SimDuration::from_secs(10.0));
+        m.advance(t(0.0), t(100.0), &[(ProjectId(0), 10.0)], true);
+        let f = m.finalize(&[(ProjectId(0), 1.0)]);
+        assert_eq!(f.monotony, 0.0);
+    }
+
+    #[test]
+    fn wasted_and_rpcs() {
+        let mut m = MetricsAccum::new(10.0, 1, t(0.0), SimDuration::from_secs(1000.0));
+        m.advance(t(0.0), t(100.0), &[(ProjectId(0), 10.0)], true);
+        m.record_rpc();
+        m.record_rpc();
+        m.record_job_done(JobId(1), true, 300.0);
+        m.record_job_done(JobId(2), false, 200.0);
+        m.record_rollback_waste(100.0);
+        let f = m.finalize(&[(ProjectId(0), 1.0)]);
+        assert_eq!(m.jobs_completed(), 2);
+        assert_eq!(m.jobs_missed(), 1);
+        assert_eq!(m.missed_ids(), &[JobId(2)]);
+        // wasted = (200 + 100) / (10 * 100)
+        assert!((f.wasted_fraction - 0.3).abs() < 1e-12);
+        assert!((f.rpcs_per_job - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_and_weighted() {
+        let f = FiguresOfMerit {
+            idle_fraction: 0.1,
+            wasted_fraction: 0.2,
+            share_violation: 0.3,
+            monotony: 0.4,
+            rpcs_per_job: 1.0,
+        };
+        let s = f.scaled();
+        assert_eq!(s[4], 0.5);
+        let w = f.weighted([1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((w - 0.1).abs() < 1e-12);
+    }
+}

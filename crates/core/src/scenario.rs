@@ -1,0 +1,191 @@
+//! Scenario descriptions — the emulator's input (§4.1).
+//!
+//! A scenario is one point in the space the BOINC client population
+//! inhabits: host hardware, availability pattern, preferences, attached
+//! projects with their shares and job characteristics. "Each computer
+//! constitutes a scenario in which the scheduling policies operate."
+
+use bce_avail::{AvailSpec, AvailTrace};
+use bce_client::NetworkModel;
+use bce_types::{InitialJob, ModelError, Preferences, ProcType};
+use bce_types::{Hardware, ProjectSpec};
+
+/// A complete scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub name: String,
+    /// Root seed for every stochastic element of the run.
+    pub seed: u64,
+    pub hardware: Hardware,
+    pub prefs: Preferences,
+    pub projects: Vec<ProjectSpec>,
+    pub avail: AvailSpec,
+    /// Optional recorded host-power trace overriding `avail.host`.
+    pub host_trace: Option<AvailTrace>,
+    /// Optional network link model (None = instant transfers).
+    pub network: Option<NetworkModel>,
+    /// Jobs already in the client's queue when the emulation starts
+    /// (imported in-flight results from a state file).
+    pub initial_queue: Vec<InitialJob>,
+}
+
+impl Scenario {
+    pub fn new(name: impl Into<String>, hardware: Hardware) -> Self {
+        Scenario {
+            name: name.into(),
+            seed: 0,
+            hardware,
+            prefs: Preferences::default(),
+            projects: Vec::new(),
+            avail: AvailSpec::always_on(),
+            host_trace: None,
+            network: None,
+            initial_queue: Vec::new(),
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_prefs(mut self, prefs: Preferences) -> Self {
+        self.prefs = prefs;
+        self
+    }
+
+    pub fn with_project(mut self, p: ProjectSpec) -> Self {
+        self.projects.push(p);
+        self
+    }
+
+    pub fn with_avail(mut self, avail: AvailSpec) -> Self {
+        self.avail = avail;
+        self
+    }
+
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    pub fn with_initial_job(mut self, job: InitialJob) -> Self {
+        self.initial_queue.push(job);
+        self
+    }
+
+    /// Sanity-check the scenario before emulation.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.projects.is_empty() {
+            return Err(ModelError::Empty("projects"));
+        }
+        if self.hardware.total_peak_flops() <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                what: "total_peak_flops",
+                value: self.hardware.total_peak_flops(),
+                expected: "> 0",
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.projects {
+            if !seen.insert(p.id) {
+                return Err(ModelError::DuplicateId(p.id.to_string()));
+            }
+            if p.resource_share < 0.0 {
+                return Err(ModelError::OutOfRange {
+                    what: "resource_share",
+                    value: p.resource_share,
+                    expected: ">= 0",
+                });
+            }
+            if p.apps.is_empty() {
+                return Err(ModelError::Empty("project apps"));
+            }
+            for app in &p.apps {
+                let t = app.usage.main_proc_type();
+                if self.hardware.ninstances(t) == 0 && t != ProcType::Cpu {
+                    return Err(ModelError::MissingProcType {
+                        project: p.name.clone(),
+                        proc_type: t.name(),
+                    });
+                }
+                if !app.runtime_mean.is_positive() {
+                    return Err(ModelError::OutOfRange {
+                        what: "runtime_mean",
+                        value: app.runtime_mean.secs(),
+                        expected: "> 0",
+                    });
+                }
+            }
+        }
+        for ij in &self.initial_queue {
+            let Some(project) = self.projects.iter().find(|p| p.id == ij.project) else {
+                return Err(ModelError::DuplicateId(format!(
+                    "initial job references unknown project {}",
+                    ij.project
+                )));
+            };
+            if !project.apps.iter().any(|a| a.id == ij.app) {
+                return Err(ModelError::DuplicateId(format!(
+                    "initial job references unknown app {} of {}",
+                    ij.app, ij.project
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_types::{AppClass, SimDuration};
+
+    fn base() -> Scenario {
+        Scenario::new("t", Hardware::cpu_only(1, 1e9)).with_project(
+            ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
+                0,
+                SimDuration::from_secs(100.0),
+                SimDuration::from_secs(1000.0),
+            )),
+        )
+    }
+
+    #[test]
+    fn valid_scenario_passes() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_projects_rejected() {
+        let s = Scenario::new("t", Hardware::cpu_only(1, 1e9));
+        assert_eq!(s.validate(), Err(ModelError::Empty("projects")));
+    }
+
+    #[test]
+    fn gpu_app_without_gpu_rejected() {
+        let s = Scenario::new("t", Hardware::cpu_only(1, 1e9)).with_project(
+            ProjectSpec::new(0, "p", 100.0).with_app(AppClass::gpu(
+                0,
+                ProcType::NvidiaGpu,
+                SimDuration::from_secs(100.0),
+                SimDuration::from_secs(1000.0),
+            )),
+        );
+        assert!(matches!(s.validate(), Err(ModelError::MissingProcType { .. })));
+    }
+
+    #[test]
+    fn duplicate_project_ids_rejected() {
+        let mut s = base();
+        s.projects.push(s.projects[0].clone());
+        assert!(matches!(s.validate(), Err(ModelError::DuplicateId(_))));
+    }
+
+    #[test]
+    fn negative_share_rejected() {
+        let mut s = base();
+        s.projects[0].resource_share = -1.0;
+        assert!(matches!(s.validate(), Err(ModelError::OutOfRange { .. })));
+    }
+}

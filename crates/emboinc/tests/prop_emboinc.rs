@@ -1,0 +1,89 @@
+//! Property tests for the server-side campaign simulation: conservation
+//! laws must hold under arbitrary population and policy parameters.
+
+use bce_emboinc::{run_campaign, HostModel, HostSelection, ReplicationPolicy, Workload};
+use bce_types::SimDuration;
+use proptest::prelude::*;
+
+fn hosts_strategy() -> impl Strategy<Value = Vec<HostModel>> {
+    proptest::collection::vec(
+        (1e8f64..1e10, 0.0f64..0.4, 0.0f64..0.4, 100.0f64..1e5).prop_map(
+            |(flops, error_prob, vanish_prob, queue_delay_mean)| HostModel {
+                flops,
+                error_prob,
+                vanish_prob,
+                queue_delay_mean,
+            },
+        ),
+        3..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn campaign_conservation(
+        hosts in hosts_strategy(),
+        nworkunits in 1usize..40,
+        initial in 1u32..3,
+        extra_quorum in 0u32..2,
+        seed in any::<u64>(),
+    ) {
+        let quorum = initial.min(initial + extra_quorum).max(1);
+        let replication = ReplicationPolicy {
+            initial,
+            quorum,
+            max_total: initial + quorum + 4,
+        };
+        let workload = Workload {
+            nworkunits,
+            flops_per_wu: 1e12,
+            latency_bound: SimDuration::from_days(5.0),
+        };
+        let r = run_campaign(&hosts, &workload, replication, HostSelection::Random, seed);
+
+        // Every workunit ends validated or failed; none lost.
+        prop_assert_eq!(r.completed + r.failed, nworkunits);
+        // Replica accounting: at least `quorum` per completed workunit,
+        // bounded by max_total per workunit.
+        prop_assert!(r.replicas_issued >= (r.completed as u64) * quorum as u64);
+        prop_assert!(
+            r.replicas_issued <= (nworkunits as u64) * replication.max_total as u64,
+            "issued {} > cap {}",
+            r.replicas_issued,
+            (nworkunits as u64) * replication.max_total as u64
+        );
+        prop_assert!(r.replicas_wasted <= r.replicas_issued);
+        // Makespan stats cover exactly the completed workunits.
+        prop_assert_eq!(r.makespan.count(), r.completed as u64);
+        if r.completed > 0 {
+            prop_assert!(r.campaign_secs >= r.makespan.max() - 1e-9);
+            prop_assert!(r.makespan_p95 <= r.makespan.max() + 1e-9);
+            prop_assert!(r.makespan_p95 >= r.makespan.min() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn campaign_deterministic(seed in any::<u64>()) {
+        let hosts: Vec<HostModel> = (0..10)
+            .map(|i| HostModel {
+                flops: 1e9 * (1.0 + i as f64),
+                error_prob: 0.1,
+                vanish_prob: 0.05,
+                queue_delay_mean: 3600.0,
+            })
+            .collect();
+        let wl = Workload {
+            nworkunits: 20,
+            flops_per_wu: 1e12,
+            latency_bound: SimDuration::from_days(3.0),
+        };
+        let run = || {
+            let r = run_campaign(&hosts, &wl, ReplicationPolicy::REDUNDANT,
+                                 HostSelection::Random, seed);
+            (r.completed, r.failed, r.replicas_issued, r.makespan.mean().to_bits())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

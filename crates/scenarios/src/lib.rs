@@ -1,0 +1,13 @@
+//! # bce-scenarios — the scenario library
+//!
+//! The paper's four evaluation scenarios (§5), import/export through the
+//! client state-file format (§4.3's web-form workflow), and the
+//! Monte-Carlo population sampler of §6.2.
+
+pub mod import;
+pub mod paper;
+pub mod population;
+
+pub use import::{doc_from_scenario, scenario_from_doc, scenario_from_state_file};
+pub use paper::{all_scenarios, paper_prefs, scenario1, scenario2, scenario3, scenario4, scenario4_sized};
+pub use population::{PopulationModel, PopulationSampler};

@@ -1,0 +1,25 @@
+//! # bce-sim — discrete-event simulation substrate
+//!
+//! The infrastructure beneath the emulator: a deterministic event queue,
+//! named random-number streams with from-scratch distributions (the paper
+//! models job runtimes as normal and availability periods as exponential,
+//! §4.3), online statistics for the figures of merit, per-instance usage
+//! timelines for the visualization, and the levelled message log.
+//!
+//! Everything here is deterministic given a seed — the emulator exists to
+//! reproduce field anomalies exactly (§4.3), so no wall-clock time, no
+//! global RNG, no hash-order dependence.
+
+pub mod dist;
+pub mod log;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod timeline;
+
+pub use dist::{Constant, Distribution, Exponential, LogNormal, Normal, TruncatedNormal, Uniform};
+pub use log::{Component, Level, LogEntry, MsgLog};
+pub use queue::EventQueue;
+pub use rng::Rng;
+pub use stats::{rms, ExpAvg, Histogram, OnlineStats, TimeWeighted};
+pub use timeline::{InstanceTrack, Occupancy, Segment, Timeline};

@@ -1,0 +1,196 @@
+//! The emulator's message log.
+//!
+//! BCE produces "a message log detailing the scheduling decisions" (§4.3);
+//! when a volunteer reports an anomaly, this log is what developers read.
+//! Logging is levelled and per-component so noisy components can be
+//! silenced; formatting is deferred behind `enabled()` checks so a disabled
+//! log costs nothing on hot paths.
+
+use bce_types::SimTime;
+use std::fmt;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug,
+    Info,
+    Warn,
+}
+
+/// The emulator component that emitted a message, mirroring the paper's
+/// policy decomposition (§1): client job scheduling, client job fetch,
+/// server-side dispatch, plus infrastructure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    Sched,
+    Fetch,
+    Server,
+    Avail,
+    Task,
+    Emulator,
+}
+
+impl Component {
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Sched => "sched",
+            Component::Fetch => "fetch",
+            Component::Server => "server",
+            Component::Avail => "avail",
+            Component::Task => "task",
+            Component::Emulator => "emu",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    pub time: SimTime,
+    pub level: Level,
+    pub component: Component,
+    pub message: String,
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lvl = match self.level {
+            Level::Debug => "D",
+            Level::Info => "I",
+            Level::Warn => "W",
+        };
+        write!(f, "[{} {} {:6}] {}", self.time, lvl, self.component.name(), self.message)
+    }
+}
+
+/// A buffered, levelled message log.
+#[derive(Debug, Clone)]
+pub struct MsgLog {
+    min_level: Level,
+    entries: Vec<LogEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MsgLog {
+    /// A log that keeps everything at `min_level` and above, bounded at
+    /// `capacity` entries (oldest kept; later entries counted as dropped so
+    /// long emulations cannot exhaust memory).
+    pub fn new(min_level: Level, capacity: usize) -> Self {
+        MsgLog { min_level, entries: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// A log that records nothing (for benchmark runs).
+    pub fn disabled() -> Self {
+        MsgLog { min_level: Level::Warn, entries: Vec::new(), capacity: 0, dropped: 0 }
+    }
+
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        self.capacity > 0 && level >= self.min_level
+    }
+
+    pub fn push(&mut self, time: SimTime, level: Level, component: Component, message: String) {
+        if !self.enabled(level) {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.entries.push(LogEntry { time, level, component, message });
+    }
+
+    pub fn info(&mut self, time: SimTime, component: Component, f: impl FnOnce() -> String) {
+        if self.enabled(Level::Info) {
+            self.push(time, Level::Info, component, f());
+        }
+    }
+
+    pub fn debug(&mut self, time: SimTime, component: Component, f: impl FnOnce() -> String) {
+        if self.enabled(Level::Debug) {
+            self.push(time, Level::Debug, component, f());
+        }
+    }
+
+    pub fn warn(&mut self, time: SimTime, component: Component, f: impl FnOnce() -> String) {
+        if self.enabled(Level::Warn) {
+            self.push(time, Level::Warn, component, f());
+        }
+    }
+
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} further messages dropped (capacity)\n", self.dropped));
+        }
+        out
+    }
+}
+
+impl Default for MsgLog {
+    fn default() -> Self {
+        MsgLog::new(Level::Info, 100_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut log = MsgLog::new(Level::Info, 10);
+        log.debug(t(1.0), Component::Sched, || "hidden".into());
+        log.info(t(2.0), Component::Sched, || "shown".into());
+        log.warn(t(3.0), Component::Fetch, || "warned".into());
+        assert_eq!(log.entries().len(), 2);
+        assert!(log.entries()[0].message.contains("shown"));
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = MsgLog::disabled();
+        log.warn(t(1.0), Component::Emulator, || panic!("must not format"));
+        assert!(log.entries().is_empty());
+        assert!(!log.enabled(Level::Warn));
+    }
+
+    #[test]
+    fn capacity_bound() {
+        let mut log = MsgLog::new(Level::Info, 2);
+        for i in 0..5 {
+            log.info(t(i as f64), Component::Task, || format!("m{i}"));
+        }
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert!(log.render().contains("3 further messages dropped"));
+    }
+
+    #[test]
+    fn entry_display() {
+        let e = LogEntry {
+            time: t(61.0),
+            level: Level::Info,
+            component: Component::Server,
+            message: "dispatched 3 jobs".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("server"), "{s}");
+        assert!(s.contains("dispatched 3 jobs"), "{s}");
+    }
+}

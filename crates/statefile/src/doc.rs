@@ -1,0 +1,500 @@
+//! Mapping between BOINC-style `client_state.xml` documents and the domain
+//! model. This is the ingest path of the paper's web interface (§4.3):
+//! alpha testers paste their client state files, and the emulator rebuilds
+//! their scenario from them.
+//!
+//! The schema is a simplified-but-recognizable subset of the real client
+//! state file: `<host_info>`, `<global_preferences>`, repeated
+//! `<project>` elements with `<app>` job templates, `<time_stats>`
+//! availability hints, and a `<seed>` for reproducibility.
+
+use crate::xml::{parse, XmlError, XmlNode};
+use bce_types::{
+    AppClass, AppId, DailyWindow, EstErrorModel, Hardware, InitialJob, Preferences, ProcType,
+    ProjectId, ProjectSpec, ResourceUsage, SimDuration, SporadicSupply, DAY,
+};
+
+/// Everything a state file describes about a volunteer host. The scenario
+/// crate turns this into a runnable `Scenario`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientStateDoc {
+    pub hardware: Hardware,
+    pub prefs: Preferences,
+    pub projects: Vec<ProjectSpec>,
+    /// In-flight results present in the state file (`<result>` elements):
+    /// the volunteer's current queue, restored at emulation start.
+    pub initial_queue: Vec<InitialJob>,
+    /// Recent-average fraction of time the host is on (§2.2 availability
+    /// data the client maintains).
+    pub on_frac: f64,
+    /// Recent-average fraction of time the user is active.
+    pub active_frac: f64,
+    /// Mean on/off cycle length used when turning `on_frac` back into a
+    /// stochastic process.
+    pub cycle_mean: SimDuration,
+    pub seed: u64,
+}
+
+impl Default for ClientStateDoc {
+    fn default() -> Self {
+        ClientStateDoc {
+            hardware: Hardware::default(),
+            prefs: Preferences::default(),
+            projects: Vec::new(),
+            initial_queue: Vec::new(),
+            on_frac: 1.0,
+            active_frac: 0.0,
+            cycle_mean: SimDuration::from_secs(DAY),
+            seed: 0,
+        }
+    }
+}
+
+/// Errors from [`ClientStateDoc::parse_str`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateFileError {
+    Xml(XmlError),
+    /// Structurally valid XML that doesn't describe a client state.
+    Schema(String),
+}
+
+impl std::fmt::Display for StateFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateFileError::Xml(e) => write!(f, "{e}"),
+            StateFileError::Schema(m) => write!(f, "state file schema error: {m}"),
+        }
+    }
+}
+impl std::error::Error for StateFileError {}
+
+impl From<XmlError> for StateFileError {
+    fn from(e: XmlError) -> Self {
+        StateFileError::Xml(e)
+    }
+}
+
+fn schema_err<T>(m: impl Into<String>) -> Result<T, StateFileError> {
+    Err(StateFileError::Schema(m.into()))
+}
+
+fn parse_bool(node: &XmlNode, name: &str, default: bool) -> bool {
+    match node.child_text(name) {
+        Some("1") | Some("true") => true,
+        Some("0") | Some("false") => false,
+        _ => default,
+    }
+}
+
+impl ClientStateDoc {
+    pub fn parse_str(src: &str) -> Result<Self, StateFileError> {
+        let root = parse(src)?;
+        if root.name != "client_state" {
+            return schema_err(format!("root element is <{}>, expected <client_state>", root.name));
+        }
+        let mut doc = ClientStateDoc::default();
+
+        if let Some(hi) = root.child("host_info") {
+            let ncpus: u32 = hi.child_parse("p_ncpus").unwrap_or(1);
+            let fpops: f64 = hi.child_parse("p_fpops").unwrap_or(1e9);
+            let mut hw = Hardware::cpu_only(ncpus.max(1), fpops);
+            let nv: u32 = hi.child_parse("nvidia_gpus").unwrap_or(0);
+            if nv > 0 {
+                let f: f64 = hi.child_parse("nvidia_fpops").unwrap_or(10.0 * fpops);
+                hw = hw.with_group(ProcType::NvidiaGpu, nv, f);
+            }
+            let ati: u32 = hi.child_parse("ati_gpus").unwrap_or(0);
+            if ati > 0 {
+                let f: f64 = hi.child_parse("ati_fpops").unwrap_or(10.0 * fpops);
+                hw = hw.with_group(ProcType::AtiGpu, ati, f);
+            }
+            if let Some(m) = hi.child_parse::<f64>("m_nbytes") {
+                hw = hw.with_mem(m);
+            }
+            if let Some(v) = hi.child_parse::<f64>("vram_nbytes") {
+                hw = hw.with_vram(v);
+            }
+            doc.hardware = hw;
+        }
+
+        if let Some(gp) = root.child("global_preferences") {
+            let mut p = Preferences::default();
+            if let Some(d) = gp.child_parse::<f64>("work_buf_min_days") {
+                p.work_buf_min = SimDuration::from_days(d);
+            }
+            if let Some(d) = gp.child_parse::<f64>("work_buf_additional_days") {
+                p.work_buf_extra = SimDuration::from_days(d);
+            }
+            p.run_if_user_active = parse_bool(gp, "run_if_user_active", p.run_if_user_active);
+            p.gpu_if_user_active = parse_bool(gp, "run_gpu_if_user_active", p.gpu_if_user_active);
+            if let Some(pct) = gp.child_parse::<f64>("max_ncpus_pct") {
+                p.max_ncpus_frac = (pct / 100.0).clamp(0.0, 1.0);
+            }
+            if let Some(pct) = gp.child_parse::<f64>("ram_max_used_busy_pct") {
+                p.ram_max_frac_busy = (pct / 100.0).clamp(0.0, 1.0);
+            }
+            if let Some(pct) = gp.child_parse::<f64>("ram_max_used_idle_pct") {
+                p.ram_max_frac_idle = (pct / 100.0).clamp(0.0, 1.0);
+            }
+            if let (Some(s), Some(e)) =
+                (gp.child_parse::<f64>("start_hour"), gp.child_parse::<f64>("end_hour"))
+            {
+                if s != e {
+                    p.compute_window = Some(DailyWindow::new(s, e));
+                }
+            }
+            p.leave_apps_in_memory =
+                parse_bool(gp, "leave_apps_in_memory", p.leave_apps_in_memory);
+            doc.prefs = p;
+        }
+
+        for (pi, pnode) in root.children_named("project").enumerate() {
+            let name = pnode
+                .child_text("project_name")
+                .or_else(|| pnode.child_text("master_url"))
+                .unwrap_or("unnamed")
+                .to_string();
+            let share: f64 = pnode.child_parse("resource_share").unwrap_or(100.0);
+            if share < 0.0 {
+                return schema_err(format!("project {name}: negative resource_share"));
+            }
+            let mut spec = ProjectSpec::new(pi as u32, name.clone(), share);
+            for (ai, anode) in pnode.children_named("app").enumerate() {
+                spec.apps.push(parse_app(anode, &name, ai as u32)?);
+            }
+            if spec.apps.is_empty() {
+                return schema_err(format!("project {name}: no <app> elements"));
+            }
+            for rnode in pnode.children_named("result") {
+                let app: u32 = rnode.child_parse("app_id").ok_or_else(|| {
+                    StateFileError::Schema(format!("{name}: result missing app_id"))
+                })?;
+                if !spec.apps.iter().any(|a| a.id == AppId(app)) {
+                    return schema_err(format!("{name}: result references unknown app {app}"));
+                }
+                let received_ago: f64 = rnode.child_parse("received_ago").unwrap_or(0.0);
+                let progress: f64 = rnode.child_parse("progress").unwrap_or(0.0);
+                if received_ago < 0.0 || progress < 0.0 {
+                    return schema_err(format!("{name}: negative result fields"));
+                }
+                doc.initial_queue.push(InitialJob {
+                    project: ProjectId(pi as u32),
+                    app: AppId(app),
+                    received_ago: SimDuration::from_secs(received_ago),
+                    progress: SimDuration::from_secs(progress),
+                });
+            }
+            doc.projects.push(spec);
+        }
+
+        if let Some(ts) = root.child("time_stats") {
+            doc.on_frac = ts.child_parse::<f64>("on_frac").unwrap_or(1.0).clamp(0.0, 1.0);
+            doc.active_frac =
+                ts.child_parse::<f64>("active_frac").unwrap_or(0.0).clamp(0.0, 1.0);
+            if let Some(c) = ts.child_parse::<f64>("cycle_mean") {
+                if c > 0.0 {
+                    doc.cycle_mean = SimDuration::from_secs(c);
+                }
+            }
+        }
+        doc.seed = root.child_parse("seed").unwrap_or(0);
+        Ok(doc)
+    }
+
+    /// Serialize back to XML (round-trips through [`ClientStateDoc::parse_str`]).
+    pub fn render(&self) -> String {
+        let mut root = XmlNode::new("client_state");
+
+        let mut hi = XmlNode::new("host_info");
+        let hw = &self.hardware;
+        hi.push(XmlNode::with_text("p_ncpus", hw.ninstances(ProcType::Cpu).to_string()));
+        hi.push(XmlNode::with_text("p_fpops", fmt_f64(hw.flops_per_inst(ProcType::Cpu))));
+        for (tag, ftag, t) in [
+            ("nvidia_gpus", "nvidia_fpops", ProcType::NvidiaGpu),
+            ("ati_gpus", "ati_fpops", ProcType::AtiGpu),
+        ] {
+            let n = hw.ninstances(t);
+            hi.push(XmlNode::with_text(tag, n.to_string()));
+            if n > 0 {
+                hi.push(XmlNode::with_text(ftag, fmt_f64(hw.flops_per_inst(t))));
+            }
+        }
+        hi.push(XmlNode::with_text("m_nbytes", fmt_f64(hw.mem_bytes)));
+        hi.push(XmlNode::with_text("vram_nbytes", fmt_f64(hw.vram_bytes)));
+        root.push(hi);
+
+        let mut gp = XmlNode::new("global_preferences");
+        let p = &self.prefs;
+        gp.push(XmlNode::with_text("work_buf_min_days", fmt_f64(p.work_buf_min.days())));
+        gp.push(XmlNode::with_text("work_buf_additional_days", fmt_f64(p.work_buf_extra.days())));
+        gp.push(XmlNode::with_text("run_if_user_active", bool_str(p.run_if_user_active)));
+        gp.push(XmlNode::with_text("run_gpu_if_user_active", bool_str(p.gpu_if_user_active)));
+        gp.push(XmlNode::with_text("max_ncpus_pct", fmt_f64(p.max_ncpus_frac * 100.0)));
+        gp.push(XmlNode::with_text("ram_max_used_busy_pct", fmt_f64(p.ram_max_frac_busy * 100.0)));
+        gp.push(XmlNode::with_text("ram_max_used_idle_pct", fmt_f64(p.ram_max_frac_idle * 100.0)));
+        if let Some(w) = p.compute_window {
+            gp.push(XmlNode::with_text("start_hour", fmt_f64(w.start_sec / 3600.0)));
+            gp.push(XmlNode::with_text("end_hour", fmt_f64(w.end_sec / 3600.0)));
+        }
+        gp.push(XmlNode::with_text("leave_apps_in_memory", bool_str(p.leave_apps_in_memory)));
+        root.push(gp);
+
+        for spec in &self.projects {
+            let mut pn = XmlNode::new("project");
+            pn.push(XmlNode::with_text("project_name", spec.name.clone()));
+            pn.push(XmlNode::with_text("resource_share", fmt_f64(spec.resource_share)));
+            for app in &spec.apps {
+                pn.push(render_app(app));
+            }
+            for ij in self.initial_queue.iter().filter(|ij| ij.project == spec.id) {
+                let mut rn = XmlNode::new("result");
+                rn.push(XmlNode::with_text("app_id", ij.app.0.to_string()));
+                rn.push(XmlNode::with_text("received_ago", fmt_f64(ij.received_ago.secs())));
+                rn.push(XmlNode::with_text("progress", fmt_f64(ij.progress.secs())));
+                pn.push(rn);
+            }
+            root.push(pn);
+        }
+
+        let mut ts = XmlNode::new("time_stats");
+        ts.push(XmlNode::with_text("on_frac", fmt_f64(self.on_frac)));
+        ts.push(XmlNode::with_text("active_frac", fmt_f64(self.active_frac)));
+        ts.push(XmlNode::with_text("cycle_mean", fmt_f64(self.cycle_mean.secs())));
+        root.push(ts);
+        root.push(XmlNode::with_text("seed", self.seed.to_string()));
+        root.render()
+    }
+}
+
+fn parse_app(anode: &XmlNode, project: &str, idx: u32) -> Result<AppClass, StateFileError> {
+    let name = anode.child_text("name").unwrap_or("app").to_string();
+    let runtime: f64 = anode
+        .child_parse("runtime_mean")
+        .ok_or_else(|| StateFileError::Schema(format!("{project}/{name}: missing runtime_mean")))?;
+    if runtime <= 0.0 {
+        return schema_err(format!("{project}/{name}: runtime_mean must be positive"));
+    }
+    let latency: f64 = anode
+        .child_parse("latency_bound")
+        .ok_or_else(|| StateFileError::Schema(format!("{project}/{name}: missing latency_bound")))?;
+    let avg_ncpus: f64 = anode.child_parse("avg_ncpus").unwrap_or(1.0);
+    let ngpus: f64 = anode.child_parse("ngpus").unwrap_or(0.0);
+    let usage = if ngpus > 0.0 {
+        let gpu_type = match anode.child_text("gpu_type") {
+            Some("ati") => ProcType::AtiGpu,
+            Some("nvidia") | None => ProcType::NvidiaGpu,
+            Some(other) => {
+                return schema_err(format!("{project}/{name}: unknown gpu_type {other:?}"))
+            }
+        };
+        ResourceUsage::gpu(gpu_type, ngpus, avg_ncpus)
+    } else {
+        ResourceUsage::cpus(avg_ncpus)
+    };
+    let mut app = AppClass {
+        id: bce_types::AppId(anode.child_parse("id").unwrap_or(idx)),
+        name,
+        usage,
+        runtime_mean: SimDuration::from_secs(runtime),
+        runtime_cv: anode.child_parse("runtime_cv").unwrap_or(0.05),
+        est_error: EstErrorModel::Exact,
+        latency_bound: SimDuration::from_secs(latency),
+        checkpoint_period: anode
+            .child_parse::<f64>("checkpoint_period")
+            .and_then(|v| v.is_finite().then(|| SimDuration::from_secs(v))),
+        working_set_bytes: anode.child_parse("working_set").unwrap_or(1e8),
+        supply: match (
+            anode.child_parse::<f64>("supply_work_mean"),
+            anode.child_parse::<f64>("supply_dry_mean"),
+        ) {
+            (Some(w), Some(d)) if w > 0.0 && d > 0.0 => Some(SporadicSupply {
+                work_mean: SimDuration::from_secs(w),
+                dry_mean: SimDuration::from_secs(d),
+            }),
+            _ => None,
+        },
+        input_bytes: anode.child_parse("input_bytes").unwrap_or(0.0),
+        output_bytes: anode.child_parse("output_bytes").unwrap_or(0.0),
+        weight: anode.child_parse("weight").unwrap_or(1.0),
+    };
+    if anode.child("checkpoint_period").is_none() {
+        app.checkpoint_period = Some(SimDuration::from_secs(60.0));
+    }
+    if let Some(f) = anode.child_parse::<f64>("est_error_factor") {
+        app.est_error = EstErrorModel::Systematic { factor: f };
+    } else if let Some(s) = anode.child_parse::<f64>("est_error_sigma") {
+        app.est_error = EstErrorModel::LogNormal { sigma: s };
+    }
+    Ok(app)
+}
+
+fn render_app(app: &AppClass) -> XmlNode {
+    let mut a = XmlNode::new("app");
+    a.push(XmlNode::with_text("id", app.id.0.to_string()));
+    a.push(XmlNode::with_text("name", app.name.clone()));
+    a.push(XmlNode::with_text("avg_ncpus", fmt_f64(app.usage.avg_cpus)));
+    if let Some((t, n)) = app.usage.coproc {
+        a.push(XmlNode::with_text("ngpus", fmt_f64(n)));
+        a.push(XmlNode::with_text(
+            "gpu_type",
+            match t {
+                ProcType::AtiGpu => "ati",
+                _ => "nvidia",
+            },
+        ));
+    }
+    a.push(XmlNode::with_text("runtime_mean", fmt_f64(app.runtime_mean.secs())));
+    a.push(XmlNode::with_text("runtime_cv", fmt_f64(app.runtime_cv)));
+    a.push(XmlNode::with_text("latency_bound", fmt_f64(app.latency_bound.secs())));
+    if let Some(cp) = app.checkpoint_period {
+        a.push(XmlNode::with_text("checkpoint_period", fmt_f64(cp.secs())));
+    } else {
+        a.push(XmlNode::with_text("checkpoint_period", "inf"));
+    }
+    a.push(XmlNode::with_text("working_set", fmt_f64(app.working_set_bytes)));
+    a.push(XmlNode::with_text("input_bytes", fmt_f64(app.input_bytes)));
+    a.push(XmlNode::with_text("output_bytes", fmt_f64(app.output_bytes)));
+    a.push(XmlNode::with_text("weight", fmt_f64(app.weight)));
+    if let Some(sp) = app.supply {
+        a.push(XmlNode::with_text("supply_work_mean", fmt_f64(sp.work_mean.secs())));
+        a.push(XmlNode::with_text("supply_dry_mean", fmt_f64(sp.dry_mean.secs())));
+    }
+    match app.est_error {
+        EstErrorModel::Exact => {}
+        EstErrorModel::Systematic { factor } => {
+            a.push(XmlNode::with_text("est_error_factor", fmt_f64(factor)));
+        }
+        EstErrorModel::LogNormal { sigma } => {
+            a.push(XmlNode::with_text("est_error_sigma", fmt_f64(sigma)));
+        }
+    }
+    a
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Shortest representation that round-trips exactly.
+    format!("{v}")
+}
+
+fn bool_str(b: bool) -> String {
+    (if b { "1" } else { "0" }).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<client_state>
+  <host_info>
+    <p_ncpus>4</p_ncpus>
+    <p_fpops>1e9</p_fpops>
+    <nvidia_gpus>1</nvidia_gpus>
+    <nvidia_fpops>1e10</nvidia_fpops>
+    <m_nbytes>8e9</m_nbytes>
+  </host_info>
+  <global_preferences>
+    <work_buf_min_days>0.05</work_buf_min_days>
+    <run_if_user_active>0</run_if_user_active>
+    <max_ncpus_pct>50</max_ncpus_pct>
+  </global_preferences>
+  <project>
+    <project_name>einstein</project_name>
+    <resource_share>100</resource_share>
+    <app>
+      <name>bench</name>
+      <runtime_mean>10000</runtime_mean>
+      <latency_bound>86400</latency_bound>
+    </app>
+  </project>
+  <project>
+    <project_name>seti</project_name>
+    <resource_share>300</resource_share>
+    <app>
+      <name>gpu_search</name>
+      <ngpus>1</ngpus>
+      <avg_ncpus>0.1</avg_ncpus>
+      <runtime_mean>2000</runtime_mean>
+      <latency_bound>43200</latency_bound>
+    </app>
+  </project>
+  <time_stats>
+    <on_frac>0.8</on_frac>
+    <active_frac>0.3</active_frac>
+  </time_stats>
+  <seed>1234</seed>
+</client_state>"#;
+
+    #[test]
+    fn parse_sample() {
+        let doc = ClientStateDoc::parse_str(SAMPLE).unwrap();
+        assert_eq!(doc.hardware.ninstances(ProcType::Cpu), 4);
+        assert_eq!(doc.hardware.ninstances(ProcType::NvidiaGpu), 1);
+        assert_eq!(doc.hardware.flops_per_inst(ProcType::NvidiaGpu), 1e10);
+        assert!(!doc.prefs.run_if_user_active);
+        assert_eq!(doc.prefs.max_ncpus_frac, 0.5);
+        assert!((doc.prefs.work_buf_min.days() - 0.05).abs() < 1e-12);
+        assert_eq!(doc.projects.len(), 2);
+        assert_eq!(doc.projects[1].resource_share, 300.0);
+        assert!(doc.projects[1].apps[0].usage.is_gpu_job());
+        assert_eq!(doc.on_frac, 0.8);
+        assert_eq!(doc.seed, 1234);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = ClientStateDoc::parse_str(SAMPLE).unwrap();
+        let xml = doc.render();
+        let doc2 = ClientStateDoc::parse_str(&xml).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn missing_required_fields_rejected() {
+        let bad = "<client_state><project><project_name>x</project_name>\
+                   <app><name>a</name></app></project></client_state>";
+        match ClientStateDoc::parse_str(bad) {
+            Err(StateFileError::Schema(m)) => assert!(m.contains("runtime_mean"), "{m}"),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn project_without_apps_rejected() {
+        let bad = "<client_state><project><project_name>x</project_name></project></client_state>";
+        assert!(matches!(ClientStateDoc::parse_str(bad), Err(StateFileError::Schema(_))));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(
+            ClientStateDoc::parse_str("<nope/>"),
+            Err(StateFileError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn negative_share_rejected() {
+        let bad = "<client_state><project><project_name>x</project_name>\
+                   <resource_share>-5</resource_share>\
+                   <app><name>a</name><runtime_mean>10</runtime_mean>\
+                   <latency_bound>20</latency_bound></app></project></client_state>";
+        assert!(matches!(ClientStateDoc::parse_str(bad), Err(StateFileError::Schema(_))));
+    }
+
+    #[test]
+    fn default_doc_roundtrips() {
+        let doc = ClientStateDoc::default();
+        let doc2 = ClientStateDoc::parse_str(&doc.render()).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn unknown_gpu_type_rejected() {
+        let bad = "<client_state><project><project_name>x</project_name>\
+                   <app><name>a</name><ngpus>1</ngpus><gpu_type>intel</gpu_type>\
+                   <runtime_mean>10</runtime_mean><latency_bound>20</latency_bound>\
+                   </app></project></client_state>";
+        assert!(matches!(ClientStateDoc::parse_str(bad), Err(StateFileError::Schema(_))));
+    }
+}

@@ -1,0 +1,12 @@
+//! # bce-statefile — client state-file ingestion
+//!
+//! The paper's web interface lets volunteers paste their BOINC
+//! `client_state.xml` into a form so developers can replay their exact
+//! scenario (§4.3). This crate provides a from-scratch XML-subset parser
+//! and the mapping between such documents and the domain model.
+
+pub mod doc;
+pub mod xml;
+
+pub use doc::{ClientStateDoc, StateFileError};
+pub use xml::{parse as parse_xml, XmlError, XmlNode};

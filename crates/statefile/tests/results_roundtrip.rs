@@ -1,0 +1,71 @@
+//! `<result>` (in-flight job) handling in state files.
+
+use bce_statefile::{ClientStateDoc, StateFileError};
+
+const WITH_RESULTS: &str = r#"<client_state>
+  <project>
+    <project_name>p</project_name>
+    <resource_share>100</resource_share>
+    <app>
+      <id>3</id>
+      <name>a</name>
+      <runtime_mean>1000</runtime_mean>
+      <latency_bound>86400</latency_bound>
+    </app>
+    <result><app_id>3</app_id><received_ago>3600</received_ago><progress>250</progress></result>
+    <result><app_id>3</app_id></result>
+  </project>
+</client_state>"#;
+
+#[test]
+fn parses_results() {
+    let doc = ClientStateDoc::parse_str(WITH_RESULTS).unwrap();
+    assert_eq!(doc.initial_queue.len(), 2);
+    let r = &doc.initial_queue[0];
+    assert_eq!(r.app.0, 3);
+    assert_eq!(r.received_ago.secs(), 3600.0);
+    assert_eq!(r.progress.secs(), 250.0);
+    // Missing fields default to zero.
+    assert_eq!(doc.initial_queue[1].received_ago.secs(), 0.0);
+}
+
+#[test]
+fn results_roundtrip() {
+    let doc = ClientStateDoc::parse_str(WITH_RESULTS).unwrap();
+    let doc2 = ClientStateDoc::parse_str(&doc.render()).unwrap();
+    assert_eq!(doc, doc2);
+}
+
+#[test]
+fn app_supply_roundtrip() {
+    let xml = r#"<client_state>
+      <project>
+        <project_name>p</project_name>
+        <app>
+          <name>a</name>
+          <runtime_mean>1000</runtime_mean>
+          <latency_bound>86400</latency_bound>
+          <supply_work_mean>3600</supply_work_mean>
+          <supply_dry_mean>7200</supply_dry_mean>
+        </app>
+      </project>
+    </client_state>"#;
+    let doc = ClientStateDoc::parse_str(xml).unwrap();
+    let supply = doc.projects[0].apps[0].supply.expect("supply parsed");
+    assert_eq!(supply.work_mean.secs(), 3600.0);
+    assert_eq!(supply.dry_mean.secs(), 7200.0);
+    let doc2 = ClientStateDoc::parse_str(&doc.render()).unwrap();
+    assert_eq!(doc, doc2);
+}
+
+#[test]
+fn unknown_app_rejected() {
+    let bad = WITH_RESULTS.replace("<app_id>3</app_id>", "<app_id>7</app_id>");
+    assert!(matches!(ClientStateDoc::parse_str(&bad), Err(StateFileError::Schema(_))));
+}
+
+#[test]
+fn negative_fields_rejected() {
+    let bad = WITH_RESULTS.replace("<progress>250</progress>", "<progress>-1</progress>");
+    assert!(matches!(ClientStateDoc::parse_str(&bad), Err(StateFileError::Schema(_))));
+}

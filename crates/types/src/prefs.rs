@@ -1,0 +1,174 @@
+//! User preferences governing when and how much the client may compute
+//! (§2.2) and the work-queue sizing knobs of the job-fetch policies (§3.4).
+
+use crate::time::{SimDuration, DAY};
+
+/// A daily allow-window: computing permitted between `start` and `end`
+/// seconds-of-day. If `start > end` the window wraps midnight
+/// (e.g. 22:00–06:00).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DailyWindow {
+    pub start_sec: f64,
+    pub end_sec: f64,
+}
+
+impl DailyWindow {
+    pub fn new(start_hour: f64, end_hour: f64) -> Self {
+        DailyWindow { start_sec: start_hour * 3600.0, end_sec: end_hour * 3600.0 }
+    }
+
+    /// Is second-of-day `s` inside the window?
+    pub fn contains(&self, s: f64) -> bool {
+        let s = s.rem_euclid(DAY);
+        if self.start_sec <= self.end_sec {
+            s >= self.start_sec && s < self.end_sec
+        } else {
+            s >= self.start_sec || s < self.end_sec
+        }
+    }
+
+    /// Seconds-of-day of the next boundary (open↔closed transition) at or
+    /// after second-of-day `s`, as an absolute offset from `s` in
+    /// `(0, DAY]`.
+    pub fn next_boundary_after(&self, s: f64) -> f64 {
+        let s = s.rem_euclid(DAY);
+        let mut best = f64::INFINITY;
+        for b in [self.start_sec, self.end_sec] {
+            let mut d = b - s;
+            if d <= 0.0 {
+                d += DAY;
+            }
+            best = best.min(d);
+        }
+        best
+    }
+
+    /// Fraction of the day the window is open.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.start_sec <= self.end_sec {
+            (self.end_sec - self.start_sec) / DAY
+        } else {
+            (DAY - self.start_sec + self.end_sec) / DAY
+        }
+    }
+}
+
+/// The preference set the emulator honours. Mirrors the BOINC client's
+/// global preferences, restricted to the scheduling-relevant subset the
+/// paper lists (§2.2) plus the queue-size parameters of §3.4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preferences {
+    /// `min_queue`: keep enough work to cover this long (also called the
+    /// min work buffer). The client fetches when it holds less.
+    pub work_buf_min: SimDuration,
+    /// Additional buffer above `min_queue`; `max_queue = work_buf_min +
+    /// work_buf_extra`.
+    pub work_buf_extra: SimDuration,
+    /// Compute (on CPUs) while the user is active?
+    pub run_if_user_active: bool,
+    /// Use GPUs while the user is active? (GPUs often lag the desktop, so
+    /// the default is off.)
+    pub gpu_if_user_active: bool,
+    /// Limit on simultaneously used CPUs, as a fraction of all CPUs (1.0 =
+    /// use all).
+    pub max_ncpus_frac: f64,
+    /// Fraction of RAM usable while the user is active / idle.
+    pub ram_max_frac_busy: f64,
+    pub ram_max_frac_idle: f64,
+    /// Optional time-of-day window during which computing is allowed.
+    pub compute_window: Option<DailyWindow>,
+    /// Optional separate window for GPU computing.
+    pub gpu_window: Option<DailyWindow>,
+    /// Keep preempted applications in memory (so they resume from the
+    /// exact preemption point rather than the last checkpoint)?
+    pub leave_apps_in_memory: bool,
+}
+
+impl Preferences {
+    /// `max_queue` of §3.4.
+    pub fn work_buf_max(&self) -> SimDuration {
+        self.work_buf_min + self.work_buf_extra
+    }
+
+    /// Usable CPU count under the `max_ncpus_frac` preference.
+    pub fn usable_cpus(&self, ncpus: u32) -> u32 {
+        ((ncpus as f64 * self.max_ncpus_frac).floor() as u32).clamp(1, ncpus.max(1))
+    }
+}
+
+impl Default for Preferences {
+    fn default() -> Self {
+        Preferences {
+            work_buf_min: SimDuration::from_secs(1800.0),
+            work_buf_extra: SimDuration::from_secs(1800.0),
+            run_if_user_active: true,
+            gpu_if_user_active: false,
+            max_ncpus_frac: 1.0,
+            ram_max_frac_busy: 0.5,
+            ram_max_frac_idle: 0.9,
+            compute_window: None,
+            gpu_window: None,
+            leave_apps_in_memory: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_contains_plain() {
+        let w = DailyWindow::new(9.0, 17.0);
+        assert!(w.contains(10.0 * 3600.0));
+        assert!(!w.contains(8.0 * 3600.0));
+        assert!(!w.contains(17.0 * 3600.0)); // half-open
+        assert!((w.duty_cycle() - 8.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_contains_wrapping() {
+        let w = DailyWindow::new(22.0, 6.0);
+        assert!(w.contains(23.0 * 3600.0));
+        assert!(w.contains(1.0 * 3600.0));
+        assert!(!w.contains(12.0 * 3600.0));
+        assert!((w.duty_cycle() - 8.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_next_boundary() {
+        let w = DailyWindow::new(9.0, 17.0);
+        // At 08:00, the next boundary is 09:00, one hour away.
+        assert!((w.next_boundary_after(8.0 * 3600.0) - 3600.0).abs() < 1e-9);
+        // At 17:00 exactly, the next boundary is 09:00 tomorrow.
+        let d = w.next_boundary_after(17.0 * 3600.0);
+        assert!((d - 16.0 * 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_is_strictly_positive() {
+        let w = DailyWindow::new(9.0, 17.0);
+        let d = w.next_boundary_after(9.0 * 3600.0);
+        assert!(d > 0.0 && d <= DAY);
+    }
+
+    #[test]
+    fn queue_bounds() {
+        let p = Preferences {
+            work_buf_min: SimDuration::from_secs(100.0),
+            work_buf_extra: SimDuration::from_secs(50.0),
+            ..Default::default()
+        };
+        assert_eq!(p.work_buf_max(), SimDuration::from_secs(150.0));
+    }
+
+    #[test]
+    fn usable_cpus_clamps() {
+        let mut p = Preferences { max_ncpus_frac: 0.5, ..Default::default() };
+        assert_eq!(p.usable_cpus(4), 2);
+        p.max_ncpus_frac = 0.1;
+        assert_eq!(p.usable_cpus(4), 1); // at least one CPU
+        p.max_ncpus_frac = 1.0;
+        assert_eq!(p.usable_cpus(4), 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate: re-exports the whole `boinc-policy-emu` stack.
+pub use bce_avail as avail;
+pub use bce_client as client;
+pub use bce_controller as controller;
+pub use bce_core as core;
+pub use bce_emboinc as emboinc;
+pub use bce_fleet as fleet;
+pub use bce_scenarios as scenarios;
+pub use bce_server as server;
+pub use bce_sim as sim;
+pub use bce_statefile as statefile;
+pub use bce_types as types;

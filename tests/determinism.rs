@@ -1,0 +1,90 @@
+//! Determinism across the full stack — the emulator's reason to exist is
+//! exact reproducibility of reported anomalies (§4.3).
+
+use boinc_policy_emu::client::ClientConfig;
+use boinc_policy_emu::core::{EmulationResult, Emulator, EmulatorConfig};
+use boinc_policy_emu::scenarios::{
+    doc_from_scenario, scenario_from_state_file, scenario2, scenario4_sized, PopulationModel,
+    PopulationSampler,
+};
+use boinc_policy_emu::sim::Level;
+use boinc_policy_emu::types::SimDuration;
+
+fn fingerprint(r: &EmulationResult) -> (u64, u64, u64, u64, u64) {
+    (
+        r.jobs_completed,
+        r.jobs_missed_deadline,
+        r.total_flops_used.to_bits(),
+        r.merit.share_violation.to_bits(),
+        r.merit.rpcs_per_job.to_bits(),
+    )
+}
+
+fn cfg(days: f64) -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() }
+}
+
+#[test]
+fn scenario4_is_bit_reproducible() {
+    let run = || {
+        let r = Emulator::new(scenario4_sized(8), ClientConfig::default(), cfg(1.0)).run();
+        fingerprint(&r)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sampled_population_is_reproducible() {
+    let run = || {
+        let mut sampler = PopulationSampler::new(PopulationModel::default(), 99);
+        let scenarios = sampler.sample_many(3);
+        scenarios
+            .into_iter()
+            .map(|s| fingerprint(&Emulator::new(s, ClientConfig::default(), cfg(0.5)).run()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn statefile_roundtrip_preserves_behaviour() {
+    // Export scenario 2 to a state file, re-import it, and check the
+    // emulation is bit-identical — the web-form replay path.
+    let original = scenario2();
+    let xml = doc_from_scenario(&original).render();
+    let reimported = scenario_from_state_file(&xml, "scenario2").unwrap();
+    let a = Emulator::new(original, ClientConfig::default(), cfg(1.0)).run();
+    let b = Emulator::new(reimported, ClientConfig::default(), cfg(1.0)).run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn message_log_is_reproducible() {
+    let run = || {
+        let c = EmulatorConfig {
+            duration: SimDuration::from_hours(8.0),
+            log_capacity: 100_000,
+            log_level: Level::Debug,
+            ..Default::default()
+        };
+        Emulator::new(scenario2(), ClientConfig::default(), c).run().log.render()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn log_and_timeline_do_not_perturb_results() {
+    // Observability must be free: enabling the log and timeline cannot
+    // change a single scheduling decision.
+    let bare = Emulator::new(scenario2(), ClientConfig::default(), cfg(1.0)).run();
+    let observed = {
+        let c = EmulatorConfig {
+            duration: SimDuration::from_days(1.0),
+            log_capacity: 100_000,
+            record_timeline: true,
+            ..Default::default()
+        };
+        Emulator::new(scenario2(), ClientConfig::default(), c).run()
+    };
+    assert_eq!(fingerprint(&bare), fingerprint(&observed));
+}

@@ -1,0 +1,135 @@
+//! Multi-thread and fractional-GPU jobs end-to-end (§2.3: "the number of
+//! CPUs J will use ... may be fractional"; GPU instances "may be
+//! fractional, meaning that J will use at most that fraction of the GPU's
+//! cores and memory").
+
+use boinc_policy_emu::client::ClientConfig;
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::types::{
+    AppClass, AppId, EstErrorModel, Hardware, ProcType, ProjectSpec, ResourceUsage, SimDuration,
+};
+
+fn cfg(days: f64) -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() }
+}
+
+fn app_with_usage(id: u32, usage: ResourceUsage, runtime: f64) -> AppClass {
+    AppClass {
+        id: AppId(id),
+        name: format!("app{id}"),
+        usage,
+        runtime_mean: SimDuration::from_secs(runtime),
+        runtime_cv: 0.0,
+        est_error: EstErrorModel::Exact,
+        latency_bound: SimDuration::from_hours(12.0),
+        checkpoint_period: Some(SimDuration::from_secs(60.0)),
+        working_set_bytes: 1e8,
+        input_bytes: 0.0,
+        output_bytes: 0.0,
+        weight: 1.0,
+        supply: None,
+    }
+}
+
+#[test]
+fn multithread_jobs_fill_the_host() {
+    // 2-CPU jobs on a 4-CPU host: two run concurrently, so throughput per
+    // wall second matches four single-CPU jobs of the same total work.
+    let mt = Scenario::new("mt", Hardware::cpu_only(4, 1e9)).with_seed(41).with_project(
+        ProjectSpec::new(0, "mt", 100.0).with_app(app_with_usage(
+            0,
+            ResourceUsage::cpus(2.0),
+            1000.0,
+        )),
+    );
+    let r = Emulator::new(mt, ClientConfig::default(), cfg(1.0)).run();
+    // 2 concurrent 1000 s jobs => ~172 jobs/day.
+    assert!(
+        (150..=180).contains(&(r.jobs_completed as i64)),
+        "expected ~172 two-CPU jobs, got {}",
+        r.jobs_completed
+    );
+    assert!(r.merit.idle_fraction < 0.05, "idle {:.3}", r.merit.idle_fraction);
+}
+
+#[test]
+fn three_cpu_jobs_leave_one_cpu_idle() {
+    // 3-CPU jobs on a 4-CPU host: only one fits at a time; a quarter of
+    // the host idles (no 1-CPU work available to fill the gap).
+    let s = Scenario::new("odd", Hardware::cpu_only(4, 1e9)).with_seed(43).with_project(
+        ProjectSpec::new(0, "odd", 100.0).with_app(app_with_usage(
+            0,
+            ResourceUsage::cpus(3.0),
+            1000.0,
+        )),
+    );
+    let r = Emulator::new(s, ClientConfig::default(), cfg(1.0)).run();
+    assert!(
+        (r.merit.idle_fraction - 0.25).abs() < 0.03,
+        "idle {:.3} (expected ~0.25)",
+        r.merit.idle_fraction
+    );
+}
+
+#[test]
+fn mixed_widths_backfill() {
+    // A 3-CPU app plus a 1-CPU app from another project: the scheduler
+    // backfills the spare CPU, pushing idle close to zero.
+    let s = Scenario::new("fill", Hardware::cpu_only(4, 1e9))
+        .with_seed(47)
+        .with_project(ProjectSpec::new(0, "wide", 100.0).with_app(app_with_usage(
+            0,
+            ResourceUsage::cpus(3.0),
+            1000.0,
+        )))
+        .with_project(ProjectSpec::new(1, "narrow", 100.0).with_app(app_with_usage(
+            1,
+            ResourceUsage::one_cpu(),
+            1000.0,
+        )));
+    let r = Emulator::new(s, ClientConfig::default(), cfg(1.0)).run();
+    assert!(r.merit.idle_fraction < 0.05, "idle {:.3}", r.merit.idle_fraction);
+    // Both projects complete work.
+    assert!(r.projects.iter().all(|p| p.jobs_completed > 0));
+}
+
+#[test]
+fn fractional_gpu_jobs_share_one_board() {
+    // Two 0.5-GPU jobs run concurrently on a single GPU.
+    let hw = Hardware::cpu_only(2, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
+    let s = Scenario::new("frac-gpu", hw).with_seed(53).with_project(
+        ProjectSpec::new(0, "halfgpu", 100.0).with_app(app_with_usage(
+            0,
+            ResourceUsage::gpu(ProcType::NvidiaGpu, 0.5, 0.1),
+            1000.0,
+        )),
+    );
+    let r = Emulator::new(s, ClientConfig::default(), cfg(1.0)).run();
+    // Two concurrent 1000 s jobs on the GPU => ~172/day.
+    assert!(
+        (150..=180).contains(&(r.jobs_completed as i64)),
+        "expected ~172 half-GPU jobs, got {}",
+        r.jobs_completed
+    );
+}
+
+#[test]
+fn oversized_job_never_runs_but_host_survives() {
+    // An 8-CPU app on a 4-CPU host can be fetched but never scheduled;
+    // the emulator must not spin or crash, and a sane project still works.
+    let s = Scenario::new("oversize", Hardware::cpu_only(4, 1e9))
+        .with_seed(59)
+        .with_project(ProjectSpec::new(0, "oversize", 100.0).with_app(app_with_usage(
+            0,
+            ResourceUsage::cpus(8.0),
+            1000.0,
+        )))
+        .with_project(ProjectSpec::new(1, "sane", 100.0).with_app(app_with_usage(
+            1,
+            ResourceUsage::one_cpu(),
+            1000.0,
+        )));
+    let r = Emulator::new(s, ClientConfig::default(), cfg(0.5)).run();
+    assert_eq!(r.projects[0].jobs_completed, 0);
+    assert!(r.projects[1].jobs_completed > 0);
+}

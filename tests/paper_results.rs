@@ -1,0 +1,147 @@
+//! Regression tests for the paper's four headline results (§6.2
+//! Conclusion), at reduced durations so the suite stays fast:
+//!
+//! 1. EDF scheduling reduces wasted processing (Figure 3).
+//! 2. Global resource-share accounting reduces share violation (Figure 4).
+//! 3. Job-fetch hysteresis reduces scheduler RPCs per job (Figure 5).
+//! 4. In scenarios with long jobs, a longer averaging half-life reduces
+//!    resource share violation (Figure 6).
+
+use boinc_policy_emu::client::{ClientConfig, FetchPolicy, JobSchedPolicy};
+use boinc_policy_emu::core::{Emulator, EmulatorConfig};
+use boinc_policy_emu::scenarios::{scenario1, scenario2, scenario3, scenario4_sized};
+use boinc_policy_emu::types::SimDuration;
+
+fn days(d: f64) -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_days(d), ..Default::default() }
+}
+
+#[test]
+fn figure3_edf_reduces_wasted_processing() {
+    // Mid-sweep point: slack = 400 s.
+    let scenario = || scenario1(SimDuration::from_secs(1400.0));
+    let wrr = Emulator::new(
+        scenario(),
+        ClientConfig { sched_policy: JobSchedPolicy::WRR, ..Default::default() },
+        days(3.0),
+    )
+    .run();
+    let edf = Emulator::new(
+        scenario(),
+        ClientConfig { sched_policy: JobSchedPolicy::LOCAL, ..Default::default() },
+        days(3.0),
+    )
+    .run();
+    assert!(
+        edf.merit.wasted_fraction < 0.6 * wrr.merit.wasted_fraction,
+        "EDF {:.4} vs WRR {:.4}",
+        edf.merit.wasted_fraction,
+        wrr.merit.wasted_fraction
+    );
+    // WRR wastes roughly the tight project's half of the processing.
+    assert!(wrr.merit.wasted_fraction > 0.3, "WRR {:.4}", wrr.merit.wasted_fraction);
+}
+
+#[test]
+fn figure3_zero_slack_hurts_everyone() {
+    let scenario = || scenario1(SimDuration::from_secs(1000.0));
+    for policy in [JobSchedPolicy::WRR, JobSchedPolicy::LOCAL] {
+        let r = Emulator::new(
+            scenario(),
+            ClientConfig { sched_policy: policy, ..Default::default() },
+            days(2.0),
+        )
+        .run();
+        assert!(
+            r.merit.wasted_fraction > 0.15,
+            "{}: zero slack must waste, got {:.4}",
+            policy.name(),
+            r.merit.wasted_fraction
+        );
+    }
+}
+
+#[test]
+fn figure4_global_accounting_reduces_share_violation() {
+    let local = Emulator::new(
+        scenario2(),
+        ClientConfig { sched_policy: JobSchedPolicy::LOCAL, ..Default::default() },
+        days(3.0),
+    )
+    .run();
+    let global = Emulator::new(
+        scenario2(),
+        ClientConfig { sched_policy: JobSchedPolicy::GLOBAL, ..Default::default() },
+        days(3.0),
+    )
+    .run();
+    assert!(
+        global.merit.share_violation < local.merit.share_violation - 0.05,
+        "GLOBAL {:.4} vs LOCAL {:.4}",
+        global.merit.share_violation,
+        local.merit.share_violation
+    );
+    // Mechanism check (§5.2): LOCAL splits the CPU evenly, so the
+    // CPU-only project gets ~2/14 of total FLOPS; GLOBAL gives it the
+    // whole CPU, ~4/14.
+    let local_p0 = local.projects[0].used_frac;
+    let global_p0 = global.projects[0].used_frac;
+    assert!((local_p0 - 2.0 / 14.0).abs() < 0.04, "LOCAL P0 {local_p0:.3}");
+    assert!((global_p0 - 4.0 / 14.0).abs() < 0.04, "GLOBAL P0 {global_p0:.3}");
+}
+
+#[test]
+fn figure5_hysteresis_reduces_rpcs_and_raises_monotony() {
+    // 10 projects keeps the test quick; the effect is the same.
+    let scenario = || scenario4_sized(10);
+    let orig = Emulator::new(
+        scenario(),
+        ClientConfig { fetch_policy: FetchPolicy::Orig, ..Default::default() },
+        days(2.0),
+    )
+    .run();
+    let hyst = Emulator::new(
+        scenario(),
+        ClientConfig { fetch_policy: FetchPolicy::Hysteresis, ..Default::default() },
+        days(2.0),
+    )
+    .run();
+    assert!(
+        hyst.merit.rpcs_per_job < 0.5 * orig.merit.rpcs_per_job,
+        "HYST {:.3} vs ORIG {:.3} rpcs/job",
+        hyst.merit.rpcs_per_job,
+        orig.merit.rpcs_per_job
+    );
+    assert!(
+        hyst.merit.monotony > orig.merit.monotony,
+        "HYST {:.3} vs ORIG {:.3} monotony",
+        hyst.merit.monotony,
+        orig.merit.monotony
+    );
+    // Throughput must not collapse to buy the RPC reduction.
+    assert!(hyst.jobs_completed as f64 > 0.9 * orig.jobs_completed as f64);
+}
+
+#[test]
+fn figure6_longer_half_life_reduces_share_violation() {
+    let run = |half_life: f64| {
+        Emulator::new(
+            scenario3(),
+            ClientConfig {
+                sched_policy: JobSchedPolicy::GLOBAL,
+                rec_half_life: SimDuration::from_secs(half_life),
+                ..Default::default()
+            },
+            days(30.0),
+        )
+        .run()
+    };
+    let short = run(1e4);
+    let long = run(3e6);
+    assert!(
+        long.merit.share_violation < short.merit.share_violation - 0.1,
+        "A=3e6 {:.4} vs A=1e4 {:.4}",
+        long.merit.share_violation,
+        short.merit.share_violation
+    );
+}

@@ -1,0 +1,135 @@
+//! End-to-end preference enforcement (§2.2): time-of-day windows, CPU
+//! count limits, user-activity suspension, and memory limits must shape
+//! the emulated behaviour, not just the policy inputs.
+
+use boinc_policy_emu::avail::{AvailSpec, OnOffSpec};
+use boinc_policy_emu::client::ClientConfig;
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::types::{
+    AppClass, DailyWindow, Hardware, Preferences, ProcType, ProjectSpec, SimDuration,
+};
+
+fn base_scenario(prefs: Preferences) -> Scenario {
+    Scenario::new("prefs", Hardware::cpu_only(4, 1e9))
+        .with_seed(11)
+        .with_prefs(prefs)
+        .with_project(ProjectSpec::new(0, "p", 100.0).with_app(
+            AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
+                .with_cv(0.0),
+        ))
+}
+
+fn cfg(days: f64) -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() }
+}
+
+#[test]
+fn compute_window_halves_throughput() {
+    let always = Emulator::new(
+        base_scenario(Preferences::default()),
+        ClientConfig::default(),
+        cfg(2.0),
+    )
+    .run();
+    let windowed = Emulator::new(
+        base_scenario(Preferences {
+            compute_window: Some(DailyWindow::new(0.0, 12.0)),
+            ..Default::default()
+        }),
+        ClientConfig::default(),
+        cfg(2.0),
+    )
+    .run();
+    let ratio = windowed.jobs_completed as f64 / always.jobs_completed as f64;
+    assert!((ratio - 0.5).abs() < 0.07, "12h window should halve jobs, ratio {ratio:.3}");
+    assert!((windowed.available_fraction - 0.5).abs() < 0.02);
+}
+
+#[test]
+fn max_ncpus_limits_parallelism() {
+    let full = Emulator::new(
+        base_scenario(Preferences::default()),
+        ClientConfig::default(),
+        cfg(1.0),
+    )
+    .run();
+    let half = Emulator::new(
+        base_scenario(Preferences { max_ncpus_frac: 0.5, ..Default::default() }),
+        ClientConfig::default(),
+        cfg(1.0),
+    )
+    .run();
+    let ratio = half.jobs_completed as f64 / full.jobs_completed as f64;
+    assert!((ratio - 0.5).abs() < 0.05, "50% CPUs -> ~50% jobs, ratio {ratio:.3}");
+    // Idle fraction counts the disallowed CPUs as idle capacity.
+    assert!(half.merit.idle_fraction > 0.45, "idle {:.3}", half.merit.idle_fraction);
+}
+
+#[test]
+fn gpu_suspension_while_user_active() {
+    let mk = |gpu_if_active: bool| {
+        let hw = Hardware::cpu_only(1, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
+        let mut s = Scenario::new("gpu-prefs", hw)
+            .with_seed(13)
+            .with_prefs(Preferences { gpu_if_user_active: gpu_if_active, ..Default::default() })
+            .with_project(ProjectSpec::new(0, "g", 100.0).with_app(AppClass::gpu(
+                0,
+                ProcType::NvidiaGpu,
+                SimDuration::from_secs(1000.0),
+                SimDuration::from_days(2.0),
+            )));
+        // User active half the time in 1-hour stretches.
+        s.avail = AvailSpec {
+            host: OnOffSpec::AlwaysOn,
+            user_active: OnOffSpec::duty_cycle(0.5, SimDuration::from_hours(2.0)),
+            network: OnOffSpec::AlwaysOn,
+        };
+        s
+    };
+    let suspended = Emulator::new(mk(false), ClientConfig::default(), cfg(2.0)).run();
+    let allowed = Emulator::new(mk(true), ClientConfig::default(), cfg(2.0)).run();
+    let ratio = suspended.jobs_completed as f64 / allowed.jobs_completed.max(1) as f64;
+    assert!(
+        (0.35..0.75).contains(&ratio),
+        "GPU suspended ~half the time: ratio {ratio:.3} ({} vs {})",
+        suspended.jobs_completed,
+        allowed.jobs_completed
+    );
+}
+
+#[test]
+fn memory_limit_serializes_big_jobs() {
+    // Two 3 GB jobs cannot run together on a 4 GB host at the 90% idle
+    // limit; with big RAM they can.
+    let mk = |mem: f64| {
+        Scenario::new("mem", Hardware::cpu_only(2, 1e9).with_mem(mem))
+            .with_seed(17)
+            .with_project(ProjectSpec::new(0, "fat", 100.0).with_app(
+                AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
+                    .with_cv(0.0)
+                    .with_working_set(3e9),
+            ))
+    };
+    let small = Emulator::new(mk(4e9), ClientConfig::default(), cfg(1.0)).run();
+    let big = Emulator::new(mk(32e9), ClientConfig::default(), cfg(1.0)).run();
+    let ratio = small.jobs_completed as f64 / big.jobs_completed as f64;
+    assert!(
+        (0.4..0.62).contains(&ratio),
+        "RAM limit should halve parallelism: {} vs {} jobs",
+        small.jobs_completed,
+        big.jobs_completed
+    );
+}
+
+#[test]
+fn intermittent_host_tracks_duty_cycle() {
+    let mut s = base_scenario(Preferences::default());
+    s.avail.host = OnOffSpec::duty_cycle(0.6, SimDuration::from_hours(6.0));
+    let r = Emulator::new(s, ClientConfig::default(), cfg(4.0)).run();
+    assert!(
+        (r.available_fraction - 0.6).abs() < 0.1,
+        "available {:.3} vs duty cycle 0.6",
+        r.available_fraction
+    );
+    assert!(r.jobs_completed > 0);
+}

@@ -1,0 +1,145 @@
+//! Property-based tests over randomly generated scenarios: whatever the
+//! host/project/policy combination, the emulator's conservation laws and
+//! metric ranges must hold.
+
+use boinc_policy_emu::client::{ClientConfig, FetchPolicy, JobSchedPolicy};
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::types::{
+    AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ScenarioParams {
+    ncpus: u32,
+    cpu_flops: f64,
+    has_gpu: bool,
+    nprojects: usize,
+    runtimes: Vec<f64>,
+    slack_factors: Vec<f64>,
+    shares: Vec<f64>,
+    seed: u64,
+    sched: JobSchedPolicy,
+    fetch: FetchPolicy,
+}
+
+fn params() -> impl Strategy<Value = ScenarioParams> {
+    (
+        1u32..=4,
+        1e9f64..4e9,
+        any::<bool>(),
+        1usize..=4,
+        proptest::collection::vec(200.0f64..4000.0, 4),
+        proptest::collection::vec(1.5f64..50.0, 4),
+        proptest::collection::vec(10.0f64..400.0, 4),
+        any::<u64>(),
+        prop_oneof![
+            Just(JobSchedPolicy::WRR),
+            Just(JobSchedPolicy::LOCAL),
+            Just(JobSchedPolicy::GLOBAL),
+        ],
+        prop_oneof![Just(FetchPolicy::Orig), Just(FetchPolicy::Hysteresis)],
+    )
+        .prop_map(
+            |(ncpus, cpu_flops, has_gpu, nprojects, runtimes, slack_factors, shares, seed, sched, fetch)| {
+                ScenarioParams {
+                    ncpus,
+                    cpu_flops,
+                    has_gpu,
+                    nprojects,
+                    runtimes,
+                    slack_factors,
+                    shares,
+                    seed,
+                    sched,
+                    fetch,
+                }
+            },
+        )
+}
+
+fn build(p: &ScenarioParams) -> Scenario {
+    let mut hw = Hardware::cpu_only(p.ncpus, p.cpu_flops);
+    if p.has_gpu {
+        hw = hw.with_group(ProcType::NvidiaGpu, 1, p.cpu_flops * 8.0);
+    }
+    let mut s = Scenario::new("prop", hw).with_seed(p.seed).with_prefs(Preferences::default());
+    for i in 0..p.nprojects {
+        let runtime = p.runtimes[i % p.runtimes.len()];
+        let latency = runtime * p.slack_factors[i % p.slack_factors.len()];
+        let mut spec = ProjectSpec::new(i as u32, format!("p{i}"), p.shares[i % p.shares.len()])
+            .with_app(
+                AppClass::cpu(
+                    2 * i as u32,
+                    SimDuration::from_secs(runtime),
+                    SimDuration::from_secs(latency),
+                )
+                .with_cv(0.1),
+            );
+        if p.has_gpu && i % 2 == 0 {
+            spec = spec.with_app(
+                AppClass::gpu(
+                    2 * i as u32 + 1,
+                    ProcType::NvidiaGpu,
+                    SimDuration::from_secs(runtime / 4.0),
+                    SimDuration::from_secs(latency),
+                )
+                .with_cv(0.1),
+            );
+        }
+        s = s.with_project(spec);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn emulation_invariants(p in params()) {
+        let scenario = build(&p);
+        prop_assert!(scenario.validate().is_ok());
+        let client = ClientConfig { sched_policy: p.sched, fetch_policy: p.fetch, ..Default::default() };
+        let cfg = EmulatorConfig {
+            duration: SimDuration::from_hours(6.0),
+            ..Default::default()
+        };
+        let r = Emulator::new(scenario, client, cfg).run();
+
+        // Metric ranges.
+        let m = &r.merit;
+        prop_assert!((0.0..=1.0).contains(&m.idle_fraction), "idle {}", m.idle_fraction);
+        prop_assert!((0.0..=1.0).contains(&m.wasted_fraction), "wasted {}", m.wasted_fraction);
+        prop_assert!((0.0..=1.0).contains(&m.share_violation), "viol {}", m.share_violation);
+        prop_assert!((0.0..=1.0).contains(&m.monotony), "monotony {}", m.monotony);
+        prop_assert!(m.rpcs_per_job >= 0.0);
+
+        // Conservation: used fractions sum to 1 (when anything ran) and
+        // per-project completions sum to the total.
+        let used_sum: f64 = r.projects.iter().map(|p| p.used_frac).sum();
+        if r.total_flops_used > 0.0 {
+            prop_assert!((used_sum - 1.0).abs() < 1e-6, "used fracs sum {used_sum}");
+        }
+        let jobs_sum: u64 = r.projects.iter().map(|p| p.jobs_completed).sum();
+        prop_assert_eq!(jobs_sum, r.jobs_completed);
+
+        // Capacity: can't deliver more FLOPS than the host has.
+        let capacity = build(&p).hardware.total_peak_flops() * 6.0 * 3600.0;
+        prop_assert!(r.total_flops_used <= capacity * (1.0 + 1e-9),
+            "used {} > capacity {}", r.total_flops_used, capacity);
+
+        // A fully-available host with unlimited work shouldn't idle much
+        // unless jobs are bigger than memory allows (not generated here).
+        prop_assert!(r.available_fraction > 0.999);
+    }
+
+    #[test]
+    fn determinism_under_random_configs(p in params()) {
+        let client = ClientConfig { sched_policy: p.sched, fetch_policy: p.fetch, ..Default::default() };
+        let cfg = EmulatorConfig { duration: SimDuration::from_hours(2.0), ..Default::default() };
+        let a = Emulator::new(build(&p), client, cfg.clone()).run();
+        let b = Emulator::new(build(&p), client, cfg).run();
+        prop_assert_eq!(a.jobs_completed, b.jobs_completed);
+        prop_assert_eq!(a.total_flops_used.to_bits(), b.total_flops_used.to_bits());
+    }
+}
