@@ -84,12 +84,8 @@ pub struct HostRunState {
 }
 
 impl HostRunState {
-    pub const OFF: HostRunState = HostRunState {
-        can_compute: false,
-        can_gpu: false,
-        net_up: false,
-        user_active: false,
-    };
+    pub const OFF: HostRunState =
+        HostRunState { can_compute: false, can_gpu: false, net_up: false, user_active: false };
 }
 
 /// Tracks the availability signals and evaluates preference rules.
@@ -128,12 +124,11 @@ impl Governor {
         }
         let sec_of_day = now.secs().rem_euclid(DAY);
 
-        let window_ok = prefs.compute_window.map_or(true, |w| w.contains(sec_of_day));
+        let window_ok = prefs.compute_window.is_none_or(|w| w.contains(sec_of_day));
         let can_compute = window_ok && (prefs.run_if_user_active || !user_active);
 
-        let gpu_window_ok = prefs.gpu_window.map_or(true, |w| w.contains(sec_of_day));
-        let can_gpu =
-            can_compute && gpu_window_ok && (prefs.gpu_if_user_active || !user_active);
+        let gpu_window_ok = prefs.gpu_window.is_none_or(|w| w.contains(sec_of_day));
+        let can_gpu = can_compute && gpu_window_ok && (prefs.gpu_if_user_active || !user_active);
 
         HostRunState { can_compute, can_gpu, net_up: self.net.state_at(now), user_active }
     }
@@ -159,15 +154,11 @@ impl Governor {
     pub fn expected_on_fraction(&self, prefs: &Preferences) -> f64 {
         let host_frac = match &self.host {
             AvailSource::Process(p) => p.spec().on_fraction(),
-            AvailSource::Trace(t) => {
-                t.on_fraction(SimTime::ZERO, SimTime::from_secs(30.0 * DAY))
-            }
+            AvailSource::Trace(t) => t.on_fraction(SimTime::ZERO, SimTime::from_secs(30.0 * DAY)),
         };
         let user_frac = match &self.user {
             AvailSource::Process(p) => p.spec().on_fraction(),
-            AvailSource::Trace(t) => {
-                t.on_fraction(SimTime::ZERO, SimTime::from_secs(30.0 * DAY))
-            }
+            AvailSource::Trace(t) => t.on_fraction(SimTime::ZERO, SimTime::from_secs(30.0 * DAY)),
         };
         let pref_frac = if prefs.run_if_user_active { 1.0 } else { 1.0 - user_frac };
         let window_frac = prefs.compute_window.map_or(1.0, |w| w.duty_cycle());
@@ -214,10 +205,8 @@ mod tests {
     #[test]
     fn compute_window_gates_computing() {
         let g = governor(OnOffSpec::AlwaysOn, OnOffSpec::AlwaysOff, OnOffSpec::AlwaysOn);
-        let prefs = Preferences {
-            compute_window: Some(DailyWindow::new(9.0, 17.0)),
-            ..Default::default()
-        };
+        let prefs =
+            Preferences { compute_window: Some(DailyWindow::new(9.0, 17.0)), ..Default::default() };
         let at_8 = g.run_state(SimTime::from_secs(8.0 * 3600.0), &prefs);
         let at_12 = g.run_state(SimTime::from_secs(12.0 * 3600.0), &prefs);
         assert!(!at_8.can_compute);
@@ -248,10 +237,8 @@ mod tests {
         );
         let prefs = Preferences::default();
         assert!((g.expected_on_fraction(&prefs) - 0.5).abs() < 1e-12);
-        let prefs_window = Preferences {
-            compute_window: Some(DailyWindow::new(0.0, 12.0)),
-            ..Default::default()
-        };
+        let prefs_window =
+            Preferences { compute_window: Some(DailyWindow::new(0.0, 12.0)), ..Default::default() };
         assert!((g.expected_on_fraction(&prefs_window) - 0.25).abs() < 1e-12);
     }
 

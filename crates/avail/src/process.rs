@@ -113,7 +113,7 @@ impl OnOffProcess {
                 _ => unreachable!("transition scheduled for constant process"),
             };
             let dt = Exponential::new(mean.secs()).sample(&mut self.rng);
-            self.next_transition = self.next_transition + SimDuration::from_secs(dt.max(1e-6));
+            self.next_transition += SimDuration::from_secs(dt.max(1e-6));
         }
         self.state != before
     }

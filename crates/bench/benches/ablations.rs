@@ -12,9 +12,7 @@
 use bce_client::{ClientConfig, DeadlineOrder, JobSchedPolicy};
 use bce_core::{Emulator, EmulatorConfig, Scenario};
 use bce_scenarios::scenario1;
-use bce_types::{
-    AppClass, EstErrorModel, Hardware, Preferences, ProjectSpec, SimDuration,
-};
+use bce_types::{AppClass, EstErrorModel, Hardware, Preferences, ProjectSpec, SimDuration};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Once;
@@ -33,17 +31,21 @@ fn contended(checkpoint: Option<f64>, est_error: EstErrorModel) -> Scenario {
             work_buf_extra: SimDuration::from_secs(2000.0),
             ..Default::default()
         })
-        .with_project(ProjectSpec::new(0, "tight", 100.0).with_app(
-            AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_secs(1800.0))
-                .with_cv(0.1)
-                .with_est_error(est_error),
-        ))
-        .with_project(ProjectSpec::new(1, "loose", 100.0).with_app(
-            AppClass::cpu(1, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
-                .with_cv(0.1)
-                .with_checkpoint(checkpoint.map(SimDuration::from_secs))
-                .with_est_error(est_error),
-        ))
+        .with_project(
+            ProjectSpec::new(0, "tight", 100.0).with_app(
+                AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_secs(1800.0))
+                    .with_cv(0.1)
+                    .with_est_error(est_error),
+            ),
+        )
+        .with_project(
+            ProjectSpec::new(1, "loose", 100.0).with_app(
+                AppClass::cpu(1, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
+                    .with_cv(0.1)
+                    .with_checkpoint(checkpoint.map(SimDuration::from_secs))
+                    .with_est_error(est_error),
+            ),
+        )
 }
 
 static PRINT_ONCE: Once = Once::new();
@@ -57,8 +59,12 @@ fn print_merit_deltas() {
             ("checkpoint 3600s", Some(3600.0)),
             ("no checkpointing", None),
         ] {
-            let r = Emulator::new(contended(cp, EstErrorModel::Exact), ClientConfig::default(), one_day())
-                .run();
+            let r = Emulator::new(
+                contended(cp, EstErrorModel::Exact),
+                ClientConfig::default(),
+                one_day(),
+            )
+            .run();
             println!(
                 "  {label:<18} wasted={:.4} jobs={}",
                 r.merit.wasted_fraction, r.jobs_completed
@@ -70,7 +76,8 @@ fn print_merit_deltas() {
             ("estimates 2x under", EstErrorModel::Systematic { factor: 0.5 }),
             ("estimates lognormal", EstErrorModel::LogNormal { sigma: 0.5 }),
         ] {
-            let r = Emulator::new(contended(Some(60.0), e), ClientConfig::default(), one_day()).run();
+            let r =
+                Emulator::new(contended(Some(60.0), e), ClientConfig::default(), one_day()).run();
             println!(
                 "  {label:<18} wasted={:.4} rpcs/job={:.3}",
                 r.merit.wasted_fraction, r.merit.rpcs_per_job

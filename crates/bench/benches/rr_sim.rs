@@ -43,11 +43,7 @@ fn bench_rr(c: &mut Criterion) {
             &jobs,
             |b, jobs| {
                 b.iter(|| {
-                    black_box(rr_simulate(
-                        &platform,
-                        black_box(jobs),
-                        SimDuration::from_hours(2.0),
-                    ))
+                    black_box(rr_simulate(&platform, black_box(jobs), SimDuration::from_hours(2.0)))
                 })
             },
         );

@@ -14,9 +14,7 @@ fn bench_statefile(c: &mut Criterion) {
     g.bench_function("parse_20_project_state", |b| {
         b.iter(|| black_box(ClientStateDoc::parse_str(black_box(&xml)).unwrap()))
     });
-    g.bench_function("render_20_project_state", |b| {
-        b.iter(|| black_box(doc.render()))
-    });
+    g.bench_function("render_20_project_state", |b| b.iter(|| black_box(doc.render())));
     g.bench_function("roundtrip", |b| {
         b.iter(|| {
             let d = ClientStateDoc::parse_str(black_box(&xml)).unwrap();

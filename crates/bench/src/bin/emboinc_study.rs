@@ -6,9 +6,7 @@
 
 use bce_bench::FigOpts;
 use bce_controller::{save_text, Table};
-use bce_emboinc::{
-    run_campaign, HostSelection, PopulationSpec, ReplicationPolicy, Workload,
-};
+use bce_emboinc::{run_campaign, HostSelection, PopulationSpec, ReplicationPolicy, Workload};
 use bce_sim::Rng;
 
 fn main() {

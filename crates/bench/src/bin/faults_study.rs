@@ -1,0 +1,135 @@
+//! Robustness study: graceful degradation under injected faults.
+//!
+//! Sweeps the transient failure rate (applied to both scheduler RPCs and
+//! file transfers) across the {JS} x {JF} policy grid and tabulates how the
+//! figures of merit degrade. Also verifies the zero-fault identity: a sweep
+//! point at rate 0 must reproduce the no-fault baseline bit-for-bit, proving
+//! the fault plumbing itself is free.
+//!
+//! Run with `--crashes` to additionally inject host crashes (exponential
+//! inter-arrivals, 12 h MTBF) and report recovery times.
+
+use bce_bench::FigOpts;
+use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy, NetworkModel};
+use bce_controller::{save_text, Table};
+use bce_core::{Emulator, EmulatorConfig, FaultConfig, Scenario};
+use bce_scenarios::scenario2;
+use bce_types::SimDuration;
+
+/// Scenario 2 with non-trivial file transfers (4 MB in / 1 MB out over a
+/// 1 MB/s link), so the transfer-fault path is actually exercised — the
+/// paper scenarios model instant transfers and would never draw from the
+/// transfer fault stream.
+fn scenario_with_files() -> Scenario {
+    let mut s = scenario2();
+    for p in &mut s.projects {
+        for a in &mut p.apps {
+            a.input_bytes = 4e6;
+            a.output_bytes = 1e6;
+        }
+    }
+    s.with_network(NetworkModel::symmetric(1e6))
+}
+
+fn policies() -> Vec<(String, ClientConfig)> {
+    let mut v = Vec::new();
+    for sched in [JobSchedPolicy::LOCAL, JobSchedPolicy::GLOBAL] {
+        for fetch in [FetchPolicy::Orig, FetchPolicy::Hysteresis] {
+            v.push((
+                format!("{}+{}", sched.name(), fetch.name()),
+                ClientConfig { sched_policy: sched, fetch_policy: fetch, ..Default::default() },
+            ));
+        }
+    }
+    v
+}
+
+fn main() {
+    let opts = FigOpts::parse(2.0);
+    let crashes = std::env::args().any(|a| a == "--crashes");
+    let rates: &[f64] =
+        if opts.quick { &[0.0, 0.1, 0.4] } else { &[0.0, 0.02, 0.05, 0.1, 0.2, 0.4] };
+    let mtbf = crashes.then(|| SimDuration::from_hours(12.0));
+    let scenario = scenario_with_files();
+
+    println!(
+        "Fault-injection study: {} over {} days, rates {:?}{}",
+        scenario.name,
+        opts.days,
+        rates,
+        if crashes { ", host crashes at 12 h MTBF" } else { "" }
+    );
+    println!("(rate = per-RPC and per-transfer transient failure probability)\n");
+
+    let mut t = Table::new(&[
+        "policy",
+        "rate",
+        "jobs",
+        "errored",
+        "RPCs/job",
+        "RPC fail",
+        "xfer fail",
+        "crashes",
+        "recovery",
+        "fault-waste",
+        "wasted",
+        "idle",
+    ]);
+    let mut identity_ok = true;
+    for (name, cfg) in policies() {
+        for &rate in rates {
+            let mut faults = FaultConfig::with_failure_rate(rate);
+            faults.crash_mtbf = mtbf;
+            let emu = EmulatorConfig {
+                duration: SimDuration::from_days(opts.days),
+                faults,
+                ..Default::default()
+            };
+            let r = Emulator::new(scenario.clone(), cfg, emu).run();
+            if rate == 0.0 && mtbf.is_none() {
+                let base = Emulator::new(scenario.clone(), cfg, opts.emulator()).run();
+                identity_ok &= base.merit.rpcs_per_job.to_bits() == r.merit.rpcs_per_job.to_bits()
+                    && base.total_flops_used.to_bits() == r.total_flops_used.to_bits()
+                    && base.jobs_completed == r.jobs_completed;
+            }
+            let fm = &r.faults;
+            t.row(&[
+                name.clone(),
+                format!("{rate:.2}"),
+                r.jobs_completed.to_string(),
+                fm.jobs_errored.to_string(),
+                format!("{:.3}", r.merit.rpcs_per_job),
+                fm.transient_rpc_failures.to_string(),
+                fm.transfer_failures.to_string(),
+                fm.crashes.to_string(),
+                if fm.recoveries > 0 {
+                    format!("{:.0}s", fm.mean_recovery_secs)
+                } else {
+                    "-".to_string()
+                },
+                format!("{:.4}", fm.fault_wasted_fraction),
+                format!("{:.4}", r.merit.wasted_fraction),
+                format!("{:.4}", r.merit.idle_fraction),
+            ]);
+        }
+    }
+    let rendered = t.render();
+    println!("{rendered}");
+    if mtbf.is_none() {
+        println!(
+            "zero-fault identity: {}",
+            if identity_ok {
+                "OK (rate 0 reproduces the no-fault baseline bit-for-bit)"
+            } else {
+                "MISMATCH — fault plumbing perturbs the baseline!"
+            }
+        );
+    }
+    println!("expected: RPCs/job and fault-waste rise monotonically with the rate,");
+    println!("while completed jobs degrade gracefully (no cliff, no panics).");
+
+    let path = bce_bench::figures_dir().join("faults_study.csv");
+    if save_text(&path, &t.to_csv()).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -30,7 +30,11 @@ fn main() {
             share: 1.0,
             usable: UsableTypes::of(&[ProcType::Cpu, ProcType::NvidiaGpu]),
         },
-        ShareDemand { id: ProjectId(1), share: 1.0, usable: UsableTypes::only(ProcType::NvidiaGpu) },
+        ShareDemand {
+            id: ProjectId(1),
+            share: 1.0,
+            usable: UsableTypes::only(ProcType::NvidiaGpu),
+        },
     ];
     let alloc = ideal_allocation(&hw, &demands);
 
@@ -55,7 +59,11 @@ fn main() {
         .with_seed(1)
         .with_project(
             ProjectSpec::new(0, "A", 100.0)
-                .with_app(AppClass::cpu(0, SimDuration::from_secs(2000.0), SimDuration::from_hours(24.0)))
+                .with_app(AppClass::cpu(
+                    0,
+                    SimDuration::from_secs(2000.0),
+                    SimDuration::from_hours(24.0),
+                ))
                 .with_app(AppClass::gpu(
                     1,
                     ProcType::NvidiaGpu,

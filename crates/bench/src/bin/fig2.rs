@@ -46,7 +46,15 @@ fn main() {
     println!("Figure 2 — round-robin simulation of the current workload");
     println!("host: 4 CPUs + 1 GPU; 2 projects, equal shares; buffer window {buf_window}\n");
 
-    let mut t = Table::new(&["job", "project", "type", "remaining", "proj. finish", "deadline", "endangered"]);
+    let mut t = Table::new(&[
+        "job",
+        "project",
+        "type",
+        "remaining",
+        "proj. finish",
+        "deadline",
+        "endangered",
+    ]);
     for j in &jobs {
         let finish = out
             .finish

@@ -26,14 +26,10 @@ fn main() {
         "scenario 1: 1 CPU, two equal-share projects; latency bound of project 'tight' swept\n"
     );
 
-    let result = sweep(
-        "latency_bound_s",
-        &points,
-        &sched_policies(),
-        &opts.emulator(),
-        0,
-        |latency| scenario1(SimDuration::from_secs(latency)),
-    );
+    let result =
+        sweep("latency_bound_s", &points, &sched_policies(), &opts.emulator(), 0, |latency| {
+            scenario1(SimDuration::from_secs(latency))
+        });
 
     let table = result.table(Metric::Wasted);
     println!("{}", table.render());

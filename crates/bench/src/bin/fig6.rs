@@ -20,14 +20,14 @@ use bce_types::SimDuration;
 fn main() {
     let opts = FigOpts::parse(60.0);
     // Half-life sweep, log-spaced around the 1e6 s job length.
-    let half_lives: Vec<f64> = if opts.quick {
-        vec![1e4, 1e6]
-    } else {
-        vec![1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7]
-    };
+    let half_lives: Vec<f64> =
+        if opts.quick { vec![1e4, 1e6] } else { vec![1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7] };
 
     println!("Figure 6 — REC half-life vs. share violation with long low-slack jobs");
-    println!("scenario 3: 1 CPU; P0 jobs 1e6 s with 10% slack; P1 normal jobs; {} days\n", opts.days);
+    println!(
+        "scenario 3: 1 CPU; P0 jobs 1e6 s with 10% slack; P1 normal jobs; {} days\n",
+        opts.days
+    );
 
     // The swept parameter is the client's REC half-life, not a scenario
     // field, so each "policy" is a distinct client configuration and the
@@ -50,7 +50,8 @@ fn main() {
 
     // Re-shape: one row per half-life.
     let mut rows: Vec<(f64, f64)> = Vec::new();
-    let mut table = bce_controller::Table::new(&["half_life_s", "share_violation", "wasted", "jobs"]);
+    let mut table =
+        bce_controller::Table::new(&["half_life_s", "share_violation", "wasted", "jobs"]);
     for (i, &a) in half_lives.iter().enumerate() {
         let r = &result.by_policy[i].1[0];
         rows.push((a.log10(), r.merit.share_violation));

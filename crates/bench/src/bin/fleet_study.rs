@@ -77,7 +77,8 @@ fn main() {
         println!();
     }
 
-    let mut t = Table::new(&["strategy", "fleet share violation", "total TFLOP-days", "per-project split"]);
+    let mut t =
+        Table::new(&["strategy", "fleet share violation", "total TFLOP-days", "per-project split"]);
     for strategy in [ShareStrategy::PerHost, ShareStrategy::CrossHost] {
         let r = run_fleet(&fleet, strategy, ClientConfig::default(), &opts.emulator(), 0);
         let split: Vec<String> = r

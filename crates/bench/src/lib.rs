@@ -13,18 +13,14 @@ use bce_types::SimDuration;
 pub fn sched_policies() -> Vec<(String, ClientConfig)> {
     [JobSchedPolicy::WRR, JobSchedPolicy::LOCAL, JobSchedPolicy::GLOBAL]
         .into_iter()
-        .map(|p| {
-            (p.name(), ClientConfig { sched_policy: p, ..Default::default() })
-        })
+        .map(|p| (p.name(), ClientConfig { sched_policy: p, ..Default::default() }))
         .collect()
 }
 
 pub fn fetch_policies() -> Vec<(String, ClientConfig)> {
     [FetchPolicy::Orig, FetchPolicy::Hysteresis]
         .into_iter()
-        .map(|p| {
-            (p.name().to_string(), ClientConfig { fetch_policy: p, ..Default::default() })
-        })
+        .map(|p| (p.name().to_string(), ClientConfig { fetch_policy: p, ..Default::default() }))
         .collect()
 }
 
@@ -64,10 +60,7 @@ impl FigOpts {
     }
 
     pub fn emulator(&self) -> EmulatorConfig {
-        EmulatorConfig {
-            duration: SimDuration::from_days(self.days),
-            ..Default::default()
-        }
+        EmulatorConfig { duration: SimDuration::from_days(self.days), ..Default::default() }
     }
 }
 

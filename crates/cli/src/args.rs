@@ -37,9 +37,8 @@ impl Args {
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if value_opts.contains(&name) {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                    let v =
+                        it.next().ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
                     args.options.entry(name.to_string()).or_default().push(v);
                 } else {
                     args.flags.push(name.to_string());
@@ -69,10 +68,9 @@ impl Args {
     pub fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
         match self.opt(name) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}")))
+            }
         }
     }
 
@@ -140,11 +138,9 @@ mod tests {
 
     #[test]
     fn repeated_options_collect() {
-        let a = Args::parse(
-            ["--sched", "a", "--sched", "b"].iter().map(|s| s.to_string()),
-            &["sched"],
-        )
-        .unwrap();
+        let a =
+            Args::parse(["--sched", "a", "--sched", "b"].iter().map(|s| s.to_string()), &["sched"])
+                .unwrap();
         assert_eq!(a.opt_all("sched"), vec!["a", "b"]);
         assert_eq!(a.opt("sched"), Some("b")); // last wins for single access
     }

@@ -3,13 +3,13 @@
 
 use crate::args::{ArgError, Args};
 use bce_client::{ClientConfig, DeadlineOrder, FetchPolicy, JobSchedPolicy};
-use bce_controller::{compare_policies, population_study, population_table, Metric};
-use bce_core::{render_timeline, Emulator, EmulatorConfig, Scenario};
+use bce_controller::{compare_policies, population_study, population_table, Metric, Table};
+use bce_core::{render_timeline, Emulator, EmulatorConfig, FaultConfig, Scenario};
+use bce_fleet::{assign_shares, run_fleet, Fleet, FleetHost, ShareStrategy};
 use bce_scenarios::{
     doc_from_scenario, scenario1, scenario2, scenario3, scenario4, scenario_from_state_file,
     PopulationModel, PopulationSampler,
 };
-use bce_fleet::{assign_shares, run_fleet, Fleet, FleetHost, ShareStrategy};
 use bce_sim::Level;
 use bce_types::{AppClass, Hardware, ProcType, ProjectSpec, SimDuration};
 
@@ -43,6 +43,15 @@ USAGE:
   bce fleet [--days N]
       cross-host share-enforcement study on a demo heterogeneous fleet
 
+  bce faults <state_file.xml | scenarioN> [options]
+      sweep transient failure rate x {JS, JF} policy and tabulate the
+      graceful degradation of the figures of merit
+      --days N        emulated days (default 2)
+      --rates LIST    comma-separated failure rates (default 0,0.05,0.1,0.2)
+      --mtbf S        also inject host crashes with this mean time between
+                      failures, in seconds
+      --seed N        override the scenario seed
+
   bce help
 ";
 
@@ -74,6 +83,8 @@ const VALUE_OPTS: &[&str] = &[
     "hosts",
     "out",
     "width",
+    "rates",
+    "mtbf",
 ];
 
 /// Parse and run a full command line (without the program name). Returns
@@ -88,6 +99,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "export" => cmd_export(&args)?,
         "validate" => cmd_validate(&args)?,
         "fleet" => cmd_fleet(&args)?,
+        "faults" => cmd_faults(&args)?,
         "help" | "--help" => {
             return Ok(HELP.to_string());
         }
@@ -110,8 +122,7 @@ fn load_scenario(args: &Args) -> Result<Scenario, CliError> {
         path => {
             let xml = std::fs::read_to_string(path)
                 .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-            scenario_from_state_file(&xml, path)
-                .map_err(|e| CliError(format!("{path}: {e}")))?
+            scenario_from_state_file(&xml, path).map_err(|e| CliError(format!("{path}: {e}")))?
         }
     };
     if let Some(seed) = args.opt_parse::<u64>("seed")? {
@@ -126,7 +137,9 @@ fn parse_sched(name: &str) -> Result<JobSchedPolicy, CliError> {
         "wrr" => JobSchedPolicy::WRR,
         "local" => JobSchedPolicy::LOCAL,
         "global" => JobSchedPolicy::GLOBAL,
-        "local-llf" => JobSchedPolicy { deadline_order: DeadlineOrder::Llf, ..JobSchedPolicy::LOCAL },
+        "local-llf" => {
+            JobSchedPolicy { deadline_order: DeadlineOrder::Llf, ..JobSchedPolicy::LOCAL }
+        }
         "global-dd" => {
             JobSchedPolicy { deadline_order: DeadlineOrder::Density, ..JobSchedPolicy::GLOBAL }
         }
@@ -275,12 +288,10 @@ fn cmd_export(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_validate(args: &Args) -> Result<String, CliError> {
-    let path = args
-        .positional
-        .get(1)
-        .ok_or_else(|| CliError("expected a state-file path".into()))?;
-    let xml = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let path =
+        args.positional.get(1).ok_or_else(|| CliError("expected a state-file path".into()))?;
+    let xml =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     let scenario =
         scenario_from_state_file(&xml, path).map_err(|e| CliError(format!("{path}: {e}")))?;
     scenario.validate().map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -355,6 +366,120 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
             out.push_str(&format!("  {:<8} {}\n", host.name, detail.join(", ")));
         }
         out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The {JS} x {JF} grid swept by `bce faults`: LOCAL/GLOBAL scheduling
+/// crossed with ORIG/HYSTERESIS fetch (WRR is skipped — it shares the
+/// LOCAL fetch path and only pads the table).
+fn fault_policies() -> Vec<(String, ClientConfig)> {
+    let mut v = Vec::new();
+    for sched in [JobSchedPolicy::LOCAL, JobSchedPolicy::GLOBAL] {
+        for fetch in [FetchPolicy::Orig, FetchPolicy::Hysteresis] {
+            v.push((
+                format!("{}+{}", sched.name(), fetch.name()),
+                ClientConfig { sched_policy: sched, fetch_policy: fetch, ..Default::default() },
+            ));
+        }
+    }
+    v
+}
+
+fn parse_rates(args: &Args) -> Result<Vec<f64>, CliError> {
+    let rates: Vec<f64> = match args.opt("rates") {
+        Some(list) => list
+            .split(',')
+            .map(|r| {
+                r.trim()
+                    .parse::<f64>()
+                    .map_err(|_| CliError(format!("--rates: not a number: {r:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![0.0, 0.05, 0.1, 0.2],
+    };
+    if rates.is_empty() {
+        return Err(CliError("--rates: expected at least one rate".into()));
+    }
+    for &r in &rates {
+        if !(0.0..=1.0).contains(&r) {
+            return Err(CliError(format!("--rates: rate {r} outside [0, 1]")));
+        }
+    }
+    Ok(rates)
+}
+
+fn cmd_faults(args: &Args) -> Result<String, CliError> {
+    let scenario = load_scenario(args)?;
+    let days: f64 = args.opt_or("days", 2.0)?;
+    let rates = parse_rates(args)?;
+    let mtbf = match args.opt_parse::<f64>("mtbf")? {
+        Some(m) if m <= 0.0 => return Err(CliError("--mtbf must be positive".into())),
+        m => m.map(SimDuration::from_secs),
+    };
+    let duration = SimDuration::from_days(days);
+
+    let mut table = Table::new(&[
+        "policy",
+        "rate",
+        "jobs",
+        "errored",
+        "RPCs/job",
+        "RPC fail",
+        "xfer fail",
+        "crashes",
+        "fault-waste",
+        "wasted",
+    ]);
+    let mut identity: Option<bool> = None;
+    for (name, cfg) in fault_policies() {
+        for &rate in &rates {
+            let mut faults = FaultConfig::with_failure_rate(rate);
+            faults.crash_mtbf = mtbf;
+            let emu = EmulatorConfig { duration, faults, ..Default::default() };
+            let r = Emulator::new(scenario.clone(), cfg, emu).run();
+            if rate == 0.0 && mtbf.is_none() {
+                // Zero-fault identity: a rate-0 sweep point must be
+                // bit-identical to a run that never mentions faults at all.
+                let plain = EmulatorConfig { duration, ..Default::default() };
+                let base = Emulator::new(scenario.clone(), cfg, plain).run();
+                let same = base.merit.rpcs_per_job.to_bits() == r.merit.rpcs_per_job.to_bits()
+                    && base.total_flops_used.to_bits() == r.total_flops_used.to_bits()
+                    && base.jobs_completed == r.jobs_completed;
+                identity = Some(identity.unwrap_or(true) && same);
+            }
+            let fm = &r.faults;
+            table.row(&[
+                name.clone(),
+                format!("{rate:.2}"),
+                r.jobs_completed.to_string(),
+                fm.jobs_errored.to_string(),
+                format!("{:.3}", r.merit.rpcs_per_job),
+                fm.transient_rpc_failures.to_string(),
+                fm.transfer_failures.to_string(),
+                fm.crashes.to_string(),
+                format!("{:.4}", fm.fault_wasted_fraction),
+                format!("{:.4}", r.merit.wasted_fraction),
+            ]);
+        }
+    }
+
+    let mut out = format!(
+        "graceful degradation under injected faults: {} ({days} days{})\n\n",
+        scenario.name,
+        match mtbf {
+            Some(m) => format!(", crash MTBF {m}"),
+            None => String::new(),
+        }
+    );
+    out.push_str(&table.render());
+    match identity {
+        Some(true) => out.push_str(
+            "\nzero-fault identity: OK (rate 0 reproduces the no-fault baseline bit-for-bit)\n",
+        ),
+        Some(false) => out
+            .push_str("\nzero-fault identity: MISMATCH — fault plumbing perturbs the baseline!\n"),
+        None => {}
     }
     Ok(out)
 }
@@ -452,6 +577,37 @@ mod tests {
         let out = run("population --hosts 2 --days 0.05").unwrap();
         assert!(out.contains("GLOBAL+HYST"), "{out}");
         assert!(out.contains("monotony"), "{out}");
+    }
+
+    #[test]
+    fn faults_degradation_table_renders() {
+        let out = run("faults scenario1 --days 0.1 --rates 0,0.3").unwrap();
+        assert!(out.contains("graceful degradation"), "{out}");
+        assert!(out.contains("fault-waste"), "{out}");
+        assert!(out.contains("JS-LOCAL+JF-ORIG"), "{out}");
+        assert!(out.contains("JS-GLOBAL+JF-HYSTERESIS"), "{out}");
+        assert!(out.contains("0.30"), "{out}");
+        assert!(
+            out.contains("zero-fault identity: OK"),
+            "rate-0 run must match the no-fault baseline: {out}"
+        );
+    }
+
+    #[test]
+    fn faults_with_crashes() {
+        let out = run("faults scenario1 --days 0.1 --rates 0.1 --mtbf 3600").unwrap();
+        assert!(out.contains("crash MTBF"), "{out}");
+        // No rate-0 point when crashes are on, so no identity line.
+        assert!(!out.contains("zero-fault identity"), "{out}");
+    }
+
+    #[test]
+    fn faults_rejects_bad_options() {
+        assert!(run("faults scenario1 --rates 1.5").is_err());
+        assert!(run("faults scenario1 --rates abc").is_err());
+        assert!(run("faults scenario1 --rates ").is_err());
+        assert!(run("faults scenario1 --mtbf -10").is_err());
+        assert!(run("faults").is_err());
     }
 
     #[test]

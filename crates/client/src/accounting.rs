@@ -114,7 +114,14 @@ impl Accounting {
     }
 
     fn update_local(&mut self, dt: f64, hw: &Hardware, sample: &UsageSample) {
-        Self::update_debt_map(&mut self.debts, &self.shares, dt, hw, &sample.used, &sample.runnable);
+        Self::update_debt_map(
+            &mut self.debts,
+            &self.shares,
+            dt,
+            hw,
+            &sample.used,
+            &sample.runnable,
+        );
         Self::update_debt_map(
             &mut self.lt_debts,
             &self.shares,
@@ -185,9 +192,10 @@ impl Accounting {
         let gain = hl / ln2 * (1.0 - decay);
         for (p, rec) in self.rec.iter_mut() {
             // Peak FLOPS in use by this project over the interval.
-            let rate: f64 = sample.used.get(p).map_or(0.0, |m| {
-                ProcType::ALL.iter().map(|&t| m[t] * hw.flops_per_inst(t)).sum()
-            });
+            let rate: f64 = sample
+                .used
+                .get(p)
+                .map_or(0.0, |m| ProcType::ALL.iter().map(|&t| m[t] * hw.flops_per_inst(t)).sum());
             *rec = *rec * decay + rate * gain;
         }
         self.rec_updated = now;
@@ -206,9 +214,10 @@ impl Accounting {
     /// project.
     pub fn prio_fetch(&self, p: ProjectId, hw: &Hardware) -> f64 {
         match self.kind {
-            AccountingKind::Local => self.lt_debts.get(&p).map_or(0.0, |d| {
-                ProcType::ALL.iter().map(|&t| d[t] * hw.peak_flops(t)).sum()
-            }),
+            AccountingKind::Local => self
+                .lt_debts
+                .get(&p)
+                .map_or(0.0, |d| ProcType::ALL.iter().map(|&t| d[t] * hw.peak_flops(t)).sum()),
             AccountingKind::Global => self.global_prio(p),
         }
     }
@@ -217,7 +226,8 @@ impl Accounting {
         let share_sum: f64 = self.shares.iter().map(|(_, s)| *s).sum();
         let share_frac = if share_sum > 0.0 { self.share_of(p) / share_sum } else { 0.0 };
         let rec_sum: f64 = self.rec.values().sum();
-        let rec_frac = if rec_sum > 0.0 { self.rec.get(&p).copied().unwrap_or(0.0) / rec_sum } else { 0.0 };
+        let rec_frac =
+            if rec_sum > 0.0 { self.rec.get(&p).copied().unwrap_or(0.0) / rec_sum } else { 0.0 };
         share_frac - rec_frac
     }
 
@@ -313,7 +323,9 @@ mod tests {
             Accounting::new(AccountingKind::Global, shares2(), SimDuration::from_days(10.0));
         let s = sample(&[(0, 2.0, 0.0), (1, 2.0, 1.0)], &[0, 1], &[1]);
         a.update(t(0.0), t(10_000.0), &hw(), &s);
-        assert!(a.prio_sched(ProjectId(0), ProcType::Cpu) > a.prio_sched(ProjectId(1), ProcType::Cpu));
+        assert!(
+            a.prio_sched(ProjectId(0), ProcType::Cpu) > a.prio_sched(ProjectId(1), ProcType::Cpu)
+        );
         assert!(a.prio_fetch(ProjectId(0), &hw()) > a.prio_fetch(ProjectId(1), &hw()));
     }
 
@@ -336,11 +348,8 @@ mod tests {
         // The Figure 6 mechanism: after the same burst of use, a short
         // half-life erases the over-share memory sooner.
         let mk = |hl: f64| {
-            let mut a = Accounting::new(
-                AccountingKind::Global,
-                shares2(),
-                SimDuration::from_secs(hl),
-            );
+            let mut a =
+                Accounting::new(AccountingKind::Global, shares2(), SimDuration::from_secs(hl));
             // P0 monopolizes the host for a while, then P1 does.
             let s0 = sample(&[(0, 4.0, 0.0)], &[0, 1], &[]);
             a.update(t(0.0), t(1000.0), &hw(), &s0);

@@ -14,6 +14,7 @@ use crate::sched::{self, JobSchedPolicy, PlanInput};
 use crate::task::{Task, TaskState};
 use crate::xfer::{NetworkModel, Transfers};
 use bce_avail::HostRunState;
+use bce_faults::{RetryPolicy, RetryState, RetryVerdict, TransferFaultModel};
 use bce_types::{
     Hardware, JobId, JobSpec, Preferences, ProcMap, ProcType, ProjectId, SimDuration, SimTime,
 };
@@ -51,8 +52,42 @@ pub struct ClientProject {
     /// Which processor types the project supplies jobs for.
     pub supplies: ProcMap<bool>,
     backoff: Backoff,
+    /// Backoff for *transient* communication failures (injected faults),
+    /// kept separate from `backoff` so scheduled downtime and transient
+    /// loss take distinct escalation paths.
+    comm_retry: RetryState,
     /// Server-imposed minimum delay until the next RPC.
     next_rpc_allowed: SimTime,
+}
+
+impl ClientProject {
+    /// Consecutive transient communication failures (for logs/tests).
+    pub fn comm_failures(&self) -> u32 {
+        self.comm_retry.consecutive_failures()
+    }
+
+    /// Earliest time the scheduled-downtime backoff allows another RPC.
+    pub fn backoff_until(&self) -> SimTime {
+        self.backoff.until()
+    }
+}
+
+/// Which transfer queue a retry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XferDir {
+    Download,
+    Upload,
+}
+
+/// Backoff state for a failed transfer awaiting its next attempt. The
+/// entry persists across attempts (so consecutive-failure counts survive
+/// re-enqueues) and is dropped on completion or give-up.
+#[derive(Debug, Clone)]
+struct XferRetry {
+    job: JobId,
+    dir: XferDir,
+    bytes: f64,
+    state: RetryState,
 }
 
 /// What changed during [`Client::advance`].
@@ -64,6 +99,11 @@ pub struct AdvanceEvents {
     pub ready: Vec<JobId>,
     /// Jobs whose output upload finished (now reportable).
     pub uploaded: Vec<JobId>,
+    /// Jobs permanently failed (transfer retry budget exhausted).
+    pub errored: Vec<JobId>,
+    /// Transfer attempts that failed mid-flight in the interval (each will
+    /// retry unless its job appears in `errored`).
+    pub transfer_failures: u64,
 }
 
 /// What changed during [`Client::reschedule`].
@@ -87,6 +127,22 @@ pub struct Client {
     transfers: Transfers,
     last_advance: SimTime,
     rpcs_issued: u64,
+    /// Backoff policy for transient RPC failures (shared across projects).
+    rpc_retry_policy: RetryPolicy,
+    /// Transfer fault plan source; `None` = transfers never fail.
+    xfer_faults: Option<TransferFaultModel>,
+    /// Failed transfers awaiting their next attempt.
+    xfer_retries: Vec<XferRetry>,
+}
+
+/// What a host crash destroyed (see [`Client::crash`]).
+#[derive(Debug, Clone, Default)]
+pub struct CrashOutcome {
+    /// `(job, execution seconds lost)` for every task rolled back to its
+    /// last checkpoint.
+    pub lost: Vec<(JobId, f64)>,
+    /// Number of in-flight transfers restarted from byte zero.
+    pub restarted_transfers: usize,
 }
 
 impl Client {
@@ -113,7 +169,22 @@ impl Client {
             transfers,
             last_advance: SimTime::ZERO,
             rpcs_issued: 0,
+            rpc_retry_policy: RetryPolicy::SCHEDULER_RPC,
+            xfer_faults: None,
+            xfer_retries: Vec::new(),
         }
+    }
+
+    /// Override the transient-RPC backoff policy (defaults to
+    /// [`RetryPolicy::SCHEDULER_RPC`]).
+    pub fn set_rpc_retry_policy(&mut self, policy: RetryPolicy) {
+        self.rpc_retry_policy = policy;
+    }
+
+    /// Install a transfer fault plan: subsequent transfer attempts may be
+    /// planned to fail mid-flight and retry under the model's policy.
+    pub fn set_transfer_faults(&mut self, model: TransferFaultModel) {
+        self.xfer_faults = Some(model);
     }
 
     /// Build per-project state from `(id, name, share, supplied types)`.
@@ -133,6 +204,7 @@ impl Client {
             share,
             supplies: s,
             backoff: Backoff::new(),
+            comm_retry: RetryState::new(),
             next_rpc_allowed: SimTime::ZERO,
         }
     }
@@ -155,6 +227,12 @@ impl Client {
 
     pub fn rpcs_issued(&self) -> u64 {
         self.rpcs_issued
+    }
+
+    /// Is this job's input download still in flight (or awaiting retry)?
+    pub fn transfers_pending_download(&self, id: JobId) -> bool {
+        self.transfers.downloads.contains(id)
+            || self.xfer_retries.iter().any(|r| r.job == id && r.dir == XferDir::Download)
     }
 
     fn task_mut(&mut self, id: JobId) -> Option<&mut Task> {
@@ -180,17 +258,27 @@ impl Client {
     pub fn add_initial_task(&mut self, spec: JobSpec, progress: SimDuration) {
         let task = Task::with_progress(spec, progress);
         if task.state() == TaskState::Downloading {
-            self.transfers.downloads.enqueue(task.spec.id, task.spec.input_bytes);
+            self.enqueue_transfer(task.spec.id, task.spec.input_bytes, XferDir::Download);
         }
         self.tasks.push(task);
+    }
+
+    /// Queue a transfer attempt, consulting the fault plan (if any) for a
+    /// mid-flight failure point.
+    fn enqueue_transfer(&mut self, job: JobId, bytes: f64, dir: XferDir) {
+        let fail_after = self.xfer_faults.as_mut().and_then(|m| m.plan_attempt(bytes));
+        match dir {
+            XferDir::Download => self.transfers.downloads.enqueue_faulty(job, bytes, fail_after),
+            XferDir::Upload => self.transfers.uploads.enqueue_faulty(job, bytes, fail_after),
+        };
     }
 
     /// Can this job ever run on this host? (The real client errors out
     /// tasks that need more instances than the host has.)
     pub fn job_feasible(&self, spec: &JobSpec) -> bool {
-        ProcType::ALL.iter().all(|&t| {
-            spec.usage.instances_of(t) <= self.hw.ninstances(t) as f64 + 1e-9
-        })
+        ProcType::ALL
+            .iter()
+            .all(|&t| spec.usage.instances_of(t) <= self.hw.ninstances(t) as f64 + 1e-9)
     }
 
     /// Ingest jobs from a scheduler reply. Infeasible jobs are rejected
@@ -204,7 +292,7 @@ impl Client {
             }
             let task = Task::new(spec);
             if task.state() == TaskState::Downloading {
-                self.transfers.downloads.enqueue(task.spec.id, task.spec.input_bytes);
+                self.enqueue_transfer(task.spec.id, task.spec.input_bytes, XferDir::Download);
             }
             self.tasks.push(task);
         }
@@ -228,13 +316,28 @@ impl Client {
 
         // Transfers progress first: uploads enqueued by completions later
         // in this interval must not receive this interval's bandwidth.
-        for id in self.transfers.downloads.advance(dt, run_state.net_up) {
+        let dl = self.transfers.downloads.advance(dt, run_state.net_up);
+        for &id in &dl.completed {
             if let Some(task) = self.task_mut(id) {
                 task.download_done();
                 ev.ready.push(id);
             }
         }
-        ev.uploaded.extend(self.transfers.uploads.advance(dt, run_state.net_up));
+        let ul = self.transfers.uploads.advance(dt, run_state.net_up);
+        ev.uploaded.extend(ul.completed.iter().copied());
+        // Finished transfers clear their retry state.
+        if !self.xfer_retries.is_empty() {
+            self.xfer_retries.retain(|r| match r.dir {
+                XferDir::Download => !dl.completed.contains(&r.job),
+                XferDir::Upload => !ul.completed.contains(&r.job),
+            });
+        }
+        for id in dl.failed {
+            self.transfer_failed(now, id, XferDir::Download, &mut ev);
+        }
+        for id in ul.failed {
+            self.transfer_failed(now, id, XferDir::Upload, &mut ev);
+        }
 
         for task in &mut self.tasks {
             if task.is_running() && task.advance(dt, now) {
@@ -243,17 +346,75 @@ impl Client {
         }
         // Completed jobs with output files start uploading; others are
         // immediately reportable (handled by the caller).
-        for &id in &ev.computed {
+        for i in 0..ev.computed.len() {
+            let id = ev.computed[i];
             let out_bytes = self.task(id).map(|t| t.spec.output_bytes).unwrap_or(0.0);
             if out_bytes > 0.0 {
-                self.transfers.uploads.enqueue(id, out_bytes);
+                self.enqueue_transfer(id, out_bytes, XferDir::Upload);
             } else {
                 ev.uploaded.push(id);
             }
         }
 
+        // Re-attempt transfers whose backoff has expired.
+        self.release_due_transfer_retries(now);
+
         self.last_advance = now;
         ev
+    }
+
+    /// A transfer attempt failed: escalate its backoff, or error the job
+    /// once the policy's give-up limit is hit.
+    fn transfer_failed(&mut self, now: SimTime, job: JobId, dir: XferDir, ev: &mut AdvanceEvents) {
+        ev.transfer_failures += 1;
+        let bytes = match (dir, self.task(job)) {
+            (XferDir::Download, Some(t)) => t.spec.input_bytes,
+            (XferDir::Upload, Some(t)) => t.spec.output_bytes,
+            (_, None) => return,
+        };
+        let (policy, jitter_u) = match self.xfer_faults.as_mut() {
+            Some(m) => (m.retry, m.jitter_u()),
+            None => (RetryPolicy::TRANSFER, 0.0),
+        };
+        let entry = match self.xfer_retries.iter_mut().find(|r| r.job == job && r.dir == dir) {
+            Some(r) => r,
+            None => {
+                self.xfer_retries.push(XferRetry { job, dir, bytes, state: RetryState::new() });
+                self.xfer_retries.last_mut().unwrap()
+            }
+        };
+        match entry.state.fail(now, &policy, jitter_u) {
+            RetryVerdict::RetryAt(_) => {}
+            RetryVerdict::GiveUp => {
+                self.xfer_retries.retain(|r| !(r.job == job && r.dir == dir));
+                if let Some(task) = self.task_mut(job) {
+                    task.error();
+                }
+                ev.errored.push(job);
+            }
+        }
+    }
+
+    /// Re-enqueue failed transfers whose backoff window has passed. Each
+    /// new attempt gets a fresh fault plan; the retry entry persists so
+    /// consecutive-failure counts accumulate toward the give-up limit.
+    fn release_due_transfer_retries(&mut self, now: SimTime) {
+        for i in 0..self.xfer_retries.len() {
+            let (job, dir, bytes, until) = {
+                let r = &self.xfer_retries[i];
+                (r.job, r.dir, r.bytes, r.state.until)
+            };
+            if until > now {
+                continue;
+            }
+            let in_flight = match dir {
+                XferDir::Download => self.transfers.downloads.contains(job),
+                XferDir::Upload => self.transfers.uploads.contains(job),
+            };
+            if !in_flight {
+                self.enqueue_transfer(job, bytes, dir);
+            }
+        }
     }
 
     /// Usage/runnability snapshot for accounting.
@@ -274,7 +435,7 @@ impl Client {
                     entry[t] += n;
                 }
             }
-            if !task.is_complete() {
+            if !task.is_complete() && !task.is_errored() {
                 let t = task.spec.usage.main_proc_type();
                 let list = &mut sample.runnable[t];
                 if !list.contains(&task.spec.project) {
@@ -315,7 +476,7 @@ impl Client {
         let jobs: Vec<RrJob> = self
             .tasks
             .iter()
-            .filter(|t| !t.is_complete())
+            .filter(|t| !t.is_complete() && !t.is_errored())
             .map(|t| RrJob {
                 id: t.spec.id,
                 project: t.spec.project,
@@ -330,7 +491,12 @@ impl Client {
 
     /// Apply the job-scheduling policy (§3.3): start/preempt tasks so the
     /// running set matches the plan.
-    pub fn reschedule(&mut self, now: SimTime, run_state: HostRunState, on_frac: f64) -> Reschedule {
+    pub fn reschedule(
+        &mut self,
+        now: SimTime,
+        run_state: HostRunState,
+        on_frac: f64,
+    ) -> Reschedule {
         let rr = self.rr_simulate(now, run_state, on_frac);
         let plan = {
             let input = PlanInput {
@@ -378,7 +544,7 @@ impl Client {
                 id: p.id,
                 share: p.share,
                 supplies: p.supplies,
-                backoff_until: p.backoff.until.max(p.next_rpc_allowed),
+                backoff_until: p.backoff.until().max(p.comm_retry.until).max(p.next_rpc_allowed),
             })
             .collect();
         fetch::decide(
@@ -408,6 +574,8 @@ impl Client {
         let accepted_any = rejected.len() < njobs;
         if let Some(p) = self.projects.iter_mut().find(|p| p.id == project) {
             p.next_rpc_allowed = now + delay;
+            // Any reply at all means communication worked.
+            p.comm_retry.succeed();
             // An empty reply, or a reply whose every job was infeasible,
             // backs the project off — otherwise a project supplying only
             // unrunnable jobs would monopolize fetch forever.
@@ -419,12 +587,73 @@ impl Client {
         }
     }
 
-    /// Record an RPC that failed to reach the server.
+    /// Record an RPC that failed to reach the server (scheduled downtime:
+    /// escalates the project's ordinary backoff).
     pub fn record_rpc_failure(&mut self, now: SimTime, project: ProjectId) {
         self.rpcs_issued += 1;
         if let Some(p) = self.projects.iter_mut().find(|p| p.id == project) {
             p.backoff.fail(now);
         }
+    }
+
+    /// Record a *transient* communication failure (injected fault): the RPC
+    /// was lost in transit, so it escalates the project's comm backoff
+    /// under [`Client::set_rpc_retry_policy`]'s policy rather than the
+    /// scheduled-downtime backoff. `jitter_u` is a uniform draw in
+    /// `[0, 1)` for jittered policies (ignored when jitter is zero).
+    pub fn record_transient_rpc_failure(
+        &mut self,
+        now: SimTime,
+        project: ProjectId,
+        jitter_u: f64,
+    ) {
+        self.rpcs_issued += 1;
+        let policy = self.rpc_retry_policy;
+        if let Some(p) = self.projects.iter_mut().find(|p| p.id == project) {
+            // Scheduler RPCs are never abandoned: a GiveUp verdict still
+            // leaves the backoff in place for the next attempt.
+            let _ = p.comm_retry.fail(now, &policy, jitter_u);
+        }
+    }
+
+    /// Host crash at `now`: every task loses all progress since its last
+    /// checkpoint (eager rollback — the in-memory images are gone) and
+    /// every in-flight transfer restarts from byte zero with a fresh fault
+    /// plan. Backoff and accounting state survive (they model on-disk
+    /// client state).
+    pub fn crash(&mut self, _now: SimTime) -> CrashOutcome {
+        let mut out = CrashOutcome::default();
+        for task in &mut self.tasks {
+            if task.is_runnable() {
+                let lost = task.crash();
+                if lost > 0.0 {
+                    out.lost.push((task.spec.id, lost));
+                }
+            }
+        }
+        let dropped_dl = self.transfers.downloads.restart_all();
+        let dropped_ul = self.transfers.uploads.restart_all();
+        out.restarted_transfers = dropped_dl.len() + dropped_ul.len();
+        for (job, bytes) in dropped_dl {
+            self.enqueue_transfer(job, bytes, XferDir::Download);
+        }
+        for (job, bytes) in dropped_ul {
+            self.enqueue_transfer(job, bytes, XferDir::Upload);
+        }
+        out
+    }
+
+    /// Peak FLOPS this job consumes while running (for converting lost
+    /// execution seconds into wasted FLOPS).
+    pub fn peak_flops_of(&self, id: JobId) -> f64 {
+        self.task(id).map_or(0.0, |t| {
+            let u = t.spec.usage;
+            let mut f = u.avg_cpus * self.hw.flops_per_inst(ProcType::Cpu);
+            if let Some((ty, n)) = u.coproc {
+                f += n * self.hw.flops_per_inst(ty);
+            }
+            f
+        })
     }
 
     /// Remove a reported task from the live set (kept in `finished` for
@@ -450,6 +679,12 @@ impl Client {
         if let Some(t) = self.transfers.next_event_after(now) {
             next = Some(next.map_or(t, |n| n.min(t)));
         }
+        // Pending transfer retries wake the loop when their backoff ends.
+        for r in &self.xfer_retries {
+            if r.state.until > now {
+                next = Some(next.map_or(r.state.until, |n| n.min(r.state.until)));
+            }
+        }
         next
     }
 
@@ -458,7 +693,7 @@ impl Client {
     pub fn next_fetch_unblock(&self, now: SimTime) -> Option<SimTime> {
         self.projects
             .iter()
-            .map(|p| p.backoff.until.max(p.next_rpc_allowed))
+            .map(|p| p.backoff.until().max(p.comm_retry.until).max(p.next_rpc_allowed))
             .filter(|&t| t > now)
             .min()
     }
@@ -495,9 +730,8 @@ impl Client {
         for task in &self.tasks {
             if task.is_running() {
                 let u = task.spec.usage;
-                let mut f = u.avg_cpus
-                    * scale[ProcType::Cpu]
-                    * self.hw.flops_per_inst(ProcType::Cpu);
+                let mut f =
+                    u.avg_cpus * scale[ProcType::Cpu] * self.hw.flops_per_inst(ProcType::Cpu);
                 if let Some((t, n)) = u.coproc {
                     f += n * scale[t] * self.hw.flops_per_inst(t);
                 }
@@ -640,10 +874,7 @@ mod tests {
             Hardware::cpu_only(1, 1e9),
             Preferences::default(),
             vec![Client::project(0, "alpha", 1.0, &[ProcType::Cpu])],
-            ClientConfig {
-                network: Some(NetworkModel::symmetric(1000.0)),
-                ..Default::default()
-            },
+            ClientConfig { network: Some(NetworkModel::symmetric(1000.0)), ..Default::default() },
         );
         let mut s = spec(1, 0, 100.0, 1e6);
         s.input_bytes = 2000.0; // 2 s download at 1000 B/s
@@ -663,10 +894,7 @@ mod tests {
             Hardware::cpu_only(1, 1e9),
             Preferences::default(),
             vec![Client::project(0, "alpha", 1.0, &[ProcType::Cpu])],
-            ClientConfig {
-                network: Some(NetworkModel::symmetric(1000.0)),
-                ..Default::default()
-            },
+            ClientConfig { network: Some(NetworkModel::symmetric(1000.0)), ..Default::default() },
         );
         let mut s = spec(1, 0, 10.0, 1e6);
         s.output_bytes = 5000.0;
@@ -681,6 +909,112 @@ mod tests {
         assert_eq!(next, SimTime::from_secs(15.0));
         let ev = c.advance(next, rs);
         assert_eq!(ev.uploaded, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn flapping_server_gaps_double_and_cap_at_max() {
+        // Regression (fault-injection PR): a server that is down at every
+        // retry must escalate the per-project backoff — doubling gaps from
+        // Backoff::MIN up to the Backoff::MAX cap — and a later successful
+        // reply must reset the ladder to the bottom.
+        use crate::fetch::Backoff;
+        let mut c = client();
+        let p = ProjectId(0);
+        let mut now = SimTime::ZERO;
+        let mut expected = Backoff::MIN.secs();
+        for attempt in 0..12 {
+            c.record_rpc_failure(now, p);
+            let until = c.projects()[0].backoff_until();
+            let gap = (until - now).secs();
+            assert_eq!(
+                gap.to_bits(),
+                expected.to_bits(),
+                "attempt {attempt}: gap {gap} != expected {expected}"
+            );
+            // Retry the instant the backoff expires; the server is still down.
+            now = until;
+            expected = (expected * 2.0).min(Backoff::MAX.secs());
+        }
+        assert_eq!(expected, Backoff::MAX.secs(), "ladder must have reached the cap");
+        // The server comes back and hands over a job: full reset.
+        c.record_reply(now, p, vec![spec(50, 0, 100.0, 1e6)], SimDuration::ZERO);
+        assert_eq!(c.projects()[0].backoff_until(), SimTime::ZERO);
+        c.record_rpc_failure(now, p);
+        let gap = (c.projects()[0].backoff_until() - now).secs();
+        assert_eq!(gap.to_bits(), Backoff::MIN.secs().to_bits(), "reset ladder restarts at MIN");
+    }
+
+    #[test]
+    fn transient_rpc_failure_backs_off_separately() {
+        let mut c = client();
+        c.record_transient_rpc_failure(SimTime::ZERO, ProjectId(0), 0.0);
+        assert_eq!(c.rpcs_issued(), 1);
+        assert_eq!(c.projects()[0].comm_failures(), 1);
+        // Comm backoff gates the fetch decision away from P0.
+        let rr = c.rr_simulate(SimTime::ZERO, run_state(), 1.0);
+        let d = c.fetch_decision(SimTime::from_secs(1.0), run_state(), &rr).unwrap();
+        assert_eq!(d.project, ProjectId(1));
+        // A successful reply clears the comm backoff (but the empty reply
+        // sets the ordinary work-fetch backoff — that path is separate).
+        c.record_reply(SimTime::from_secs(61.0), ProjectId(0), vec![], SimDuration::ZERO);
+        assert_eq!(c.projects()[0].comm_failures(), 0);
+    }
+
+    #[test]
+    fn transfer_failures_retry_then_error_job() {
+        use bce_faults::RetryPolicy;
+        let mut c = Client::new(
+            Hardware::cpu_only(1, 1e9),
+            Preferences::default(),
+            vec![Client::project(0, "alpha", 1.0, &[ProcType::Cpu])],
+            ClientConfig { network: Some(NetworkModel::symmetric(1000.0)), ..Default::default() },
+        );
+        // Every attempt fails; give up after 2 consecutive failures.
+        let policy = RetryPolicy { jitter: 0.0, give_up_after: Some(2), ..RetryPolicy::TRANSFER };
+        c.set_transfer_faults(TransferFaultModel::new(99, 1.0, policy));
+        let mut s = spec(1, 0, 100.0, 1e6);
+        s.input_bytes = 2000.0;
+        c.add_jobs(vec![s]);
+        let rs = run_state();
+        // First attempt fails somewhere inside the 2 s window.
+        let ev = c.advance(SimTime::from_secs(2.0), rs);
+        assert!(ev.errored.is_empty());
+        assert!(ev.ready.is_empty());
+        // Backoff (60 s, no jitter), retry, second failure => give up.
+        let retry_at = c.next_event_after(SimTime::from_secs(2.0)).expect("retry scheduled");
+        let ev = c.advance(retry_at, rs); // re-enqueues the attempt
+        assert!(ev.errored.is_empty());
+        let ev = c.advance(retry_at + SimDuration::from_secs(2.0), rs);
+        assert_eq!(ev.errored, vec![JobId(1)]);
+        assert!(c.task(JobId(1)).unwrap().is_errored());
+    }
+
+    #[test]
+    fn crash_discards_progress_and_restarts_transfers() {
+        let mut c = Client::new(
+            Hardware::cpu_only(1, 1e9),
+            Preferences::default(),
+            vec![Client::project(0, "alpha", 1.0, &[ProcType::Cpu])],
+            ClientConfig { network: Some(NetworkModel::symmetric(1000.0)), ..Default::default() },
+        );
+        let mut dl = spec(2, 0, 100.0, 1e6);
+        dl.input_bytes = 10_000.0; // 10 s download
+        c.add_jobs(vec![spec(1, 0, 1000.0, 1e6), dl]);
+        let rs = run_state();
+        c.reschedule(SimTime::ZERO, rs, 1.0);
+        // Job 1 runs 90 s (checkpoint 60 s); job 2 has 1 s of download left.
+        c.advance(SimTime::from_secs(9.0), rs);
+        let out = c.crash(SimTime::from_secs(9.0));
+        assert_eq!(out.restarted_transfers, 1);
+        assert!(out.lost.iter().any(|&(id, lost)| id == JobId(1) && (lost - 9.0).abs() < 1e-6));
+        // The download restarts from byte zero: full 10 s again.
+        assert!(c.transfers_pending_download(JobId(2)));
+        let ev = c.advance(SimTime::from_secs(18.0), rs);
+        assert!(ev.ready.is_empty(), "restarted download must not finish early");
+        let ev = c.advance(SimTime::from_secs(19.0), rs);
+        assert_eq!(ev.ready, vec![JobId(2)]);
+        // The crashed task resumes from its checkpoint (progress 0 here).
+        assert_eq!(c.task(JobId(1)).unwrap().progress(), 0.0);
     }
 
     #[test]

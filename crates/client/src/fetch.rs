@@ -17,7 +17,7 @@
 
 use crate::accounting::Accounting;
 use crate::rr_sim::RrOutcome;
-use bce_types::{Hardware, Preferences, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+use bce_types::{Hardware, Preferences, ProcMap, ProcType, ProjectId, SimTime};
 
 /// Which fetch policy is in force.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +77,7 @@ const MIN_REQUEST_SECS: f64 = 1.0;
 ///
 /// `rr` must have been computed with the `max_queue` buffer window (its
 /// `shortfall` is the amount needed to fill the queue to `max_queue`).
+#[allow(clippy::too_many_arguments)]
 pub fn decide(
     policy: FetchPolicy,
     now: SimTime,
@@ -106,10 +107,8 @@ pub fn decide(
             continue;
         }
         // Projects that can supply type t and aren't backed off.
-        let eligible: Vec<&FetchProject> = projects
-            .iter()
-            .filter(|p| p.supplies[t] && p.backoff_until <= now)
-            .collect();
+        let eligible: Vec<&FetchProject> =
+            projects.iter().filter(|p| p.supplies[t] && p.backoff_until <= now).collect();
         if eligible.is_empty() {
             continue;
         }
@@ -120,9 +119,7 @@ pub fn decide(
             .max_by(|a, b| {
                 let pa = accounting.prio_fetch(a.id, hw);
                 let pb = accounting.prio_fetch(b.id, hw);
-                pa.partial_cmp(&pb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.id.cmp(&a.id))
+                pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal).then(b.id.cmp(&a.id))
             })
             .expect("non-empty eligible set");
 
@@ -130,11 +127,7 @@ pub fn decide(
             FetchPolicy::Orig => {
                 // X = fractional resource share of P among projects with
                 // jobs of type T.
-                let total: f64 = projects
-                    .iter()
-                    .filter(|p| p.supplies[t])
-                    .map(|p| p.share)
-                    .sum();
+                let total: f64 = projects.iter().filter(|p| p.supplies[t]).map(|p| p.share).sum();
                 let x = if total > 0.0 { best.share / total } else { 0.0 };
                 x * shortfall
             }
@@ -169,50 +162,16 @@ pub fn decide(
 }
 
 /// Per-project RPC backoff state (exponential, reset on success), used when
-/// a server is down or has no work.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Backoff {
-    level: u32,
-    pub until: SimTime,
-}
-
-impl Backoff {
-    pub const MIN: SimDuration = SimDuration::from_secs(60.0);
-    pub const MAX: SimDuration = SimDuration::from_secs(4.0 * 3600.0);
-
-    pub fn new() -> Self {
-        Backoff { level: 0, until: SimTime::ZERO }
-    }
-
-    /// Record a failure at `now`; the delay doubles per consecutive
-    /// failure, from 1 minute up to 4 hours.
-    pub fn fail(&mut self, now: SimTime) {
-        let delay = (Backoff::MIN.secs() * 2f64.powi(self.level as i32)).min(Backoff::MAX.secs());
-        self.level = (self.level + 1).min(16);
-        self.until = now + SimDuration::from_secs(delay);
-    }
-
-    /// Record a success: clears the backoff.
-    pub fn succeed(&mut self) {
-        self.level = 0;
-        self.until = SimTime::ZERO;
-    }
-
-    pub fn blocked(&self, now: SimTime) -> bool {
-        self.until > now
-    }
-}
-
-impl Default for Backoff {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// a server is down or has no work. The implementation lives in
+/// `bce-faults` as the shared [`bce_faults::RetryPolicy`] machinery; this
+/// re-export preserves the original API.
+pub use bce_faults::Backoff;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::accounting::AccountingKind;
+    use bce_types::SimDuration;
 
     fn hw() -> Hardware {
         Hardware::cpu_only(4, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10)
@@ -390,8 +349,16 @@ mod tests {
         let mut out = rr(0.0, 1e9);
         out.shortfall[ProcType::NvidiaGpu] = 5000.0;
         out.sat[ProcType::NvidiaGpu] = SimDuration::ZERO;
-        let d =
-            decide(FetchPolicy::Hysteresis, SimTime::ZERO, &out, &hw(), &prefs(), &a, &projects, true);
+        let d = decide(
+            FetchPolicy::Hysteresis,
+            SimTime::ZERO,
+            &out,
+            &hw(),
+            &prefs(),
+            &a,
+            &projects,
+            true,
+        );
         assert!(d.is_none());
     }
 
@@ -446,14 +413,14 @@ mod tests {
         let mut b = Backoff::new();
         assert!(!b.blocked(SimTime::ZERO));
         b.fail(SimTime::ZERO);
-        let first = b.until;
+        let first = b.until();
         assert!((first.secs() - 60.0).abs() < 1e-9);
         b.fail(first);
-        assert!((b.until.secs() - first.secs() - 120.0).abs() < 1e-9);
+        assert!((b.until().secs() - first.secs() - 120.0).abs() < 1e-9);
         for _ in 0..20 {
-            let now = b.until;
+            let now = b.until();
             b.fail(now);
-            assert!((b.until - now).secs() <= Backoff::MAX.secs() + 1e-9);
+            assert!((b.until() - now).secs() <= Backoff::MAX.secs() + 1e-9);
         }
         b.succeed();
         assert!(!b.blocked(SimTime::from_secs(1e9)));

@@ -381,7 +381,12 @@ mod tests {
         let mut ninst = ProcMap::zero();
         ninst[ProcType::Cpu] = 1.0;
         ninst[ProcType::NvidiaGpu] = 1.0;
-        let p = RrPlatform { now: SimTime::ZERO, ninstances: ninst, on_frac: 1.0, shares: vec![(ProjectId(0), 1.0)] };
+        let p = RrPlatform {
+            now: SimTime::ZERO,
+            ninstances: ninst,
+            on_frac: 1.0,
+            shares: vec![(ProjectId(0), 1.0)],
+        };
         let gpu_job = RrJob {
             id: JobId(2),
             project: ProjectId(0),

@@ -209,11 +209,8 @@ pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
     // single scan interleaves projects instead of letting whichever
     // project is microscopically ahead fill every instance.
     let mut adj: BTreeMap<(ProjectId, usize), f64> = BTreeMap::new();
-    let mut remaining: Vec<usize> = classes[2]
-        .iter()
-        .copied()
-        .filter(|&i| !plan.contains(i))
-        .collect();
+    let mut remaining: Vec<usize> =
+        classes[2].iter().copied().filter(|&i| !plan.contains(i)).collect();
     const ADJ_SLICE: f64 = 3600.0;
     while !remaining.is_empty() {
         // Stop early if nothing can fit at all.
@@ -228,11 +225,7 @@ pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
             let pt = task.spec.usage.main_proc_type();
             let base = input.accounting.prio_sched(task.spec.project, pt);
             let adj_v = adj.get(&(task.spec.project, pt.index())).copied().unwrap_or(0.0);
-            let key = (
-                task.spec.usage.is_gpu_job(),
-                base + adj_v,
-                -task.spec.received.secs(),
-            );
+            let key = (task.spec.usage.is_gpu_job(), base + adj_v, -task.spec.received.secs());
             let better = match &best {
                 None => true,
                 Some((_, bk)) => {
@@ -272,11 +265,16 @@ pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
 mod tests {
     use super::*;
     use crate::rr_sim::{simulate, RrJob, RrPlatform};
-    use bce_types::{
-        AppId, JobId, JobSpec, ResourceUsage, SimDuration,
-    };
+    use bce_types::{AppId, JobId, JobSpec, ResourceUsage, SimDuration};
 
-    fn spec(id: u64, project: u32, usage: ResourceUsage, dur: f64, latency: f64, recv: f64) -> JobSpec {
+    fn spec(
+        id: u64,
+        project: u32,
+        usage: ResourceUsage,
+        dur: f64,
+        latency: f64,
+        recv: f64,
+    ) -> JobSpec {
         JobSpec {
             id: JobId(id),
             project: ProjectId(project),
@@ -337,7 +335,12 @@ mod tests {
             accounting: acct,
             hw,
             prefs: &Preferences::default(),
-            run_state: HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false },
+            run_state: HostRunState {
+                can_compute: true,
+                can_gpu: true,
+                net_up: true,
+                user_active: false,
+            },
             mem_budget: 4e9,
         };
         plan(policy, &input)
@@ -379,7 +382,14 @@ mod tests {
         let shares = [(0, 1.0)];
         let tasks = vec![
             Task::new(spec(0, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, 0.0)),
-            Task::new(spec(1, 0, ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1), 1000.0, 1e6, 5.0)),
+            Task::new(spec(
+                1,
+                0,
+                ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1),
+                1000.0,
+                1e6,
+                5.0,
+            )),
         ];
         let p = run_plan(JobSchedPolicy::LOCAL, &tasks, &hw, &shares, &accounting(&shares));
         // Both fit (GPU job overcommits CPU slightly); GPU selected first.
@@ -447,7 +457,12 @@ mod tests {
             accounting: &acct,
             hw: &hw,
             prefs: &Preferences::default(),
-            run_state: HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false },
+            run_state: HostRunState {
+                can_compute: true,
+                can_gpu: true,
+                net_up: true,
+                user_active: false,
+            },
             mem_budget: 2e9,
         };
         let p = plan(JobSchedPolicy::LOCAL, &input);
@@ -460,7 +475,14 @@ mod tests {
         let hw = Hardware::cpu_only(1, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
         let shares = [(0, 1.0)];
         let tasks = vec![
-            Task::new(spec(0, 0, ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1), 1000.0, 1e6, 0.0)),
+            Task::new(spec(
+                0,
+                0,
+                ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1),
+                1000.0,
+                1e6,
+                0.0,
+            )),
             Task::new(spec(1, 0, ResourceUsage::one_cpu(), 1000.0, 1e6, 1.0)),
         ];
         let rr = rr_for(&tasks, &hw, &shares);
@@ -472,7 +494,12 @@ mod tests {
             accounting: &acct,
             hw: &hw,
             prefs: &Preferences::default(),
-            run_state: HostRunState { can_compute: true, can_gpu: false, net_up: true, user_active: false },
+            run_state: HostRunState {
+                can_compute: true,
+                can_gpu: false,
+                net_up: true,
+                user_active: false,
+            },
             mem_budget: 4e9,
         };
         let p = plan(JobSchedPolicy::LOCAL, &input);
@@ -524,7 +551,8 @@ mod tests {
         assert_eq!(JobSchedPolicy::GLOBAL.name(), "JS-GLOBAL");
         let llf = JobSchedPolicy { deadline_order: DeadlineOrder::Llf, ..JobSchedPolicy::LOCAL };
         assert_eq!(llf.name(), "JS-LOCAL+LLF");
-        let dd = JobSchedPolicy { deadline_order: DeadlineOrder::Density, ..JobSchedPolicy::GLOBAL };
+        let dd =
+            JobSchedPolicy { deadline_order: DeadlineOrder::Density, ..JobSchedPolicy::GLOBAL };
         assert_eq!(dd.name(), "JS-GLOBAL+DD");
     }
 }

@@ -22,6 +22,9 @@ pub enum TaskState {
     Preempted,
     /// Computation finished; output upload may still be pending.
     Completed,
+    /// Permanently failed (e.g. transfer retries exhausted); never
+    /// runnable again, retired as an errored job.
+    Error,
 }
 
 /// A job on the client, with its execution progress.
@@ -185,7 +188,37 @@ impl Task {
 
     /// Did the task finish by its deadline? Meaningful once completed.
     pub fn met_deadline(&self) -> bool {
-        self.completed_at.map_or(false, |t| t <= self.spec.deadline())
+        self.completed_at.is_some_and(|t| t <= self.spec.deadline())
+    }
+
+    /// Mark the task permanently failed (retry budget exhausted).
+    pub fn error(&mut self) {
+        self.state = TaskState::Error;
+        self.in_memory = false;
+    }
+
+    pub fn is_errored(&self) -> bool {
+        self.state == TaskState::Error
+    }
+
+    /// Host crash: all unsaved progress is lost immediately (the rollback
+    /// is applied eagerly, unlike [`Task::preempt`], because the in-memory
+    /// image is gone). Running or preempted tasks drop to their last
+    /// checkpoint; returns the execution seconds lost.
+    pub fn crash(&mut self) -> f64 {
+        if self.state == TaskState::Running {
+            self.state = TaskState::Preempted;
+        }
+        self.in_memory = false;
+        let lost = self.progress - self.checkpointed;
+        if lost > 0.0 {
+            self.rollback_waste += lost;
+            self.progress = self.checkpointed;
+            self.run_start_progress = self.run_start_progress.min(self.progress);
+            lost
+        } else {
+            0.0
+        }
     }
 }
 
@@ -306,6 +339,39 @@ mod tests {
         assert_eq!(task.remaining_est(), d(1.0));
         assert_eq!(task.eta(0.5), d(20.0));
         assert_eq!(task.eta(0.0), SimDuration::INFINITE);
+    }
+
+    #[test]
+    fn crash_rolls_back_to_checkpoint_eagerly() {
+        let mut task = Task::new(spec(100.0, Some(10.0)));
+        task.start();
+        task.advance(d(27.0), t(27.0));
+        let lost = task.crash();
+        assert!((lost - 7.0).abs() < 1e-9);
+        assert_eq!(task.state(), TaskState::Preempted);
+        assert_eq!(task.progress(), 20.0); // eager rollback, unlike preempt
+        assert!((task.rollback_waste - 7.0).abs() < 1e-9);
+        // Resuming does not double-count the rollback.
+        task.start();
+        assert_eq!(task.progress(), 20.0);
+        assert!((task.rollback_waste - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_on_queued_task_is_free() {
+        let mut task = Task::new(spec(100.0, Some(10.0)));
+        assert_eq!(task.crash(), 0.0);
+        assert_eq!(task.state(), TaskState::Queued);
+        assert!(task.is_runnable());
+    }
+
+    #[test]
+    fn errored_task_is_not_runnable() {
+        let mut task = Task::new(spec(100.0, Some(10.0)));
+        task.error();
+        assert!(task.is_errored());
+        assert!(!task.is_runnable());
+        assert!(!task.is_complete());
     }
 
     #[test]

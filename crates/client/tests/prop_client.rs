@@ -12,10 +12,10 @@ fn rr_case() -> impl Strategy<Value = (f64, Vec<(u32, f64, f64, f64)>)> {
         1.0f64..8.0, // ncpus
         proptest::collection::vec(
             (
-                0u32..4,            // project
-                10.0f64..10_000.0,  // remaining
+                0u32..4,             // project
+                10.0f64..10_000.0,   // remaining
                 100.0f64..100_000.0, // deadline
-                0.5f64..2.0,        // instances
+                0.5f64..2.0,         // instances
             ),
             1..24,
         ),
@@ -91,7 +91,7 @@ proptest! {
         let mut t = 0.0;
         let mut done = 0;
         while !q.is_empty() {
-            done += q.advance(SimDuration::from_secs(step), true).len();
+            done += q.advance(SimDuration::from_secs(step), true).completed.len();
             t += step;
             prop_assert!(t < expected_drain + 2.0 * step + 1.0, "queue never drains");
         }

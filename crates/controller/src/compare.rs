@@ -50,11 +50,7 @@ impl Comparison {
             .iter()
             .map(|(label, r)| (label.clone(), metric.extract(&r.merit)))
             .collect();
-        bar_chart(
-            &format!("{} — {}", self.scenario_name, metric.name()),
-            &bars,
-            width,
-        )
+        bar_chart(&format!("{} — {}", self.scenario_name, metric.name()), &bars, width)
     }
 
     pub fn get(&self, label: &str) -> Option<&EmulationResult> {
@@ -72,8 +68,7 @@ pub fn compare_policies(
     let specs: Vec<RunSpec> = policies
         .iter()
         .map(|(label, client)| {
-            RunSpec::new(label.clone(), scenario.clone(), *client)
-                .with_emulator(emulator.clone())
+            RunSpec::new(label.clone(), scenario.clone(), *client).with_emulator(emulator.clone())
         })
         .collect();
     Comparison { scenario_name: scenario.name.clone(), results: run_all(specs, threads) }

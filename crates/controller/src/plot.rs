@@ -83,11 +83,7 @@ pub fn bar_chart(title: &str, bars: &[(String, f64)], width: usize) -> String {
     let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, v) in bars {
         let n = ((v / maxv) * width as f64).round() as usize;
-        let _ = writeln!(
-            out,
-            "{label:<label_w$} | {:<width$} {v:.4}",
-            "█".repeat(n.min(width)),
-        );
+        let _ = writeln!(out, "{label:<label_w$} | {:<width$} {v:.4}", "█".repeat(n.min(width)),);
     }
     out
 }

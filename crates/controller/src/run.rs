@@ -18,12 +18,7 @@ pub struct RunSpec {
 
 impl RunSpec {
     pub fn new(label: impl Into<String>, scenario: Scenario, client: ClientConfig) -> Self {
-        RunSpec {
-            label: label.into(),
-            scenario,
-            client,
-            emulator: EmulatorConfig::default(),
-        }
+        RunSpec { label: label.into(), scenario, client, emulator: EmulatorConfig::default() }
     }
 
     pub fn with_emulator(mut self, cfg: EmulatorConfig) -> Self {
@@ -105,10 +100,8 @@ mod tests {
     fn parallel_equals_serial() {
         let mk = || {
             vec![
-                RunSpec::new("a", tiny_scenario(1), ClientConfig::default())
-                    .with_emulator(short()),
-                RunSpec::new("b", tiny_scenario(2), ClientConfig::default())
-                    .with_emulator(short()),
+                RunSpec::new("a", tiny_scenario(1), ClientConfig::default()).with_emulator(short()),
+                RunSpec::new("b", tiny_scenario(2), ClientConfig::default()).with_emulator(short()),
             ]
         };
         let par = run_all(mk(), 2);

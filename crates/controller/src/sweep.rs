@@ -117,9 +117,8 @@ pub fn sweep(
     let mut by_policy = Vec::new();
     let mut it = results.into_iter();
     for (label, _) in policies {
-        let row: Vec<EmulationResult> = (0..params.len())
-            .map(|_| it.next().expect("result per spec").1)
-            .collect();
+        let row: Vec<EmulationResult> =
+            (0..params.len()).map(|_| it.next().expect("result per spec").1).collect();
         by_policy.push((label.clone(), row));
     }
     SweepResult { param_name: param_name.to_string(), params: params.to_vec(), by_policy }
@@ -132,13 +131,13 @@ mod tests {
     use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
 
     fn scenario(runtime: f64) -> Scenario {
-        Scenario::new("sweep-test", Hardware::cpu_only(1, 1e9))
-            .with_seed(9)
-            .with_project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
+        Scenario::new("sweep-test", Hardware::cpu_only(1, 1e9)).with_seed(9).with_project(
+            ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
                 0,
                 SimDuration::from_secs(runtime),
                 SimDuration::from_hours(8.0),
-            )))
+            )),
+        )
     }
 
     #[test]

@@ -3,20 +3,18 @@
 //! consistent tables, and text artifacts land on disk.
 
 use bce_client::{ClientConfig, JobSchedPolicy};
-use bce_controller::{
-    compare_policies, line_chart, save_text, sweep, Metric, Series,
-};
+use bce_controller::{compare_policies, line_chart, save_text, sweep, Metric, Series};
 use bce_core::{EmulatorConfig, Scenario};
 use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
 
 fn scenario(runtime: f64) -> Scenario {
-    Scenario::new("ctl", Hardware::cpu_only(2, 1e9))
-        .with_seed(77)
-        .with_project(ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
+    Scenario::new("ctl", Hardware::cpu_only(2, 1e9)).with_seed(77).with_project(
+        ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
             0,
             SimDuration::from_secs(runtime),
             SimDuration::from_hours(6.0),
-        )))
+        )),
+    )
 }
 
 fn emu() -> EmulatorConfig {

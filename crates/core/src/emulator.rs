@@ -10,15 +10,14 @@
 //! transitions, predicted task/transfer completions (generation-stamped so
 //! stale predictions are ignored), and fetch-retry wakeups.
 
-use crate::metrics::{FiguresOfMerit, MetricsAccum, ProjectReport};
+use crate::metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, ProjectReport};
 use crate::scenario::Scenario;
 use bce_avail::HostRunState;
 use bce_client::{Client, ClientConfig, ClientProject, FetchPolicy, JobSchedPolicy};
+use bce_faults::{CrashProcess, FaultConfig, RpcFaultInjector, TransferFaultModel};
 use bce_server::{ProjectServer, RpcOutcome, SchedulerRequest, ServerConfig, TypeRequest};
 use bce_sim::{Component, EventQueue, Level, MsgLog, Occupancy, Rng, Timeline};
-use bce_types::{
-    InstanceId, JobId, ProcType, ProjectId, SimDuration, SimTime,
-};
+use bce_types::{InstanceId, JobId, ProcType, ProjectId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Emulator tuning knobs (separate from the client's policy config).
@@ -39,6 +38,9 @@ pub struct EmulatorConfig {
     pub server: ServerConfig,
     /// Upper bound on scheduler RPCs issued per decision point.
     pub max_rpcs_per_point: usize,
+    /// Deterministic fault injection; [`FaultConfig::OFF`] (the default)
+    /// leaves the emulation bit-identical to one without fault plumbing.
+    pub faults: FaultConfig,
 }
 
 impl Default for EmulatorConfig {
@@ -52,6 +54,7 @@ impl Default for EmulatorConfig {
             log_capacity: 0,
             server: ServerConfig::default(),
             max_rpcs_per_point: 4,
+            faults: FaultConfig::OFF,
         }
     }
 }
@@ -63,11 +66,14 @@ enum Event {
     SchedPoint,
     /// Predicted client event (task or transfer completion); stale when
     /// its generation is outdated.
-    ClientEvent { generation: u64 },
+    Client { generation: u64 },
     /// Availability signal may change here.
     AvailChange,
     /// A project backoff/delay expires; work fetch may unblock.
     FetchRetry { generation: u64 },
+    /// Injected host crash (only scheduled when a crash process is
+    /// configured).
+    Crash,
 }
 
 /// The complete result of one emulation run.
@@ -82,8 +88,18 @@ pub struct EmulationResult {
     pub available_fraction: f64,
     pub total_flops_used: f64,
     pub duration: SimDuration,
+    /// Robustness figures of merit (all zero when faults are off).
+    pub faults: FaultMetrics,
     pub timeline: Option<Timeline>,
     pub log: MsgLog,
+}
+
+/// Tracks one crash until every task it rolled back regains its pre-crash
+/// progress (or leaves the queue): the span is the crash's recovery time.
+struct RecoveryTracker {
+    start: SimTime,
+    /// `(job, pre-crash progress in execution seconds)`.
+    targets: Vec<(JobId, f64)>,
 }
 
 /// The emulator.
@@ -121,7 +137,8 @@ impl Emulator {
         sched: JobSchedPolicy,
         fetch: FetchPolicy,
     ) -> EmulationResult {
-        let client_cfg = ClientConfig { sched_policy: sched, fetch_policy: fetch, ..Default::default() };
+        let client_cfg =
+            ClientConfig { sched_policy: sched, fetch_policy: fetch, ..Default::default() };
         Emulator::new(scenario, client_cfg, EmulatorConfig::default()).run()
     }
 
@@ -161,6 +178,25 @@ impl Emulator {
         client_cfg.network = scenario.network;
         let mut client =
             Client::new(hw.clone(), scenario.prefs.clone(), client_projects, client_cfg);
+
+        // Fault processes, each on its own RNG stream. None is created (or
+        // drawn from) when its rate is zero, preserving the zero-fault
+        // identity: with `FaultConfig::OFF` this whole block is inert.
+        let faults = &self.cfg.faults;
+        let project_ids: Vec<ProjectId> = scenario.projects.iter().map(|p| p.id).collect();
+        let mut rpc_faults: Option<RpcFaultInjector> = (faults.rpc_fail_prob > 0.0)
+            .then(|| RpcFaultInjector::new(scenario.seed, faults.rpc_fail_prob, &project_ids));
+        if faults.transfer_fail_prob > 0.0 {
+            client.set_transfer_faults(TransferFaultModel::new(
+                scenario.seed,
+                faults.transfer_fail_prob,
+                faults.transfer_retry,
+            ));
+        }
+        client.set_rpc_retry_policy(faults.rpc_retry);
+        let mut crash_proc: Option<CrashProcess> =
+            faults.crash_mtbf.map(|mtbf| CrashProcess::new(scenario.seed, mtbf));
+        let mut recoveries: Vec<RecoveryTracker> = Vec::new();
 
         // Restore imported in-flight jobs (state-file replay, §4.3).
         for ij in &scenario.initial_queue {
@@ -204,6 +240,12 @@ impl Emulator {
         let mut queue: EventQueue<Event> = EventQueue::with_capacity(64);
         queue.push(SimTime::ZERO, Event::SchedPoint);
         queue.push(governor.next_change_after(SimTime::ZERO, &scenario.prefs), Event::AvailChange);
+        if let Some(cp) = &mut crash_proc {
+            let first = cp.next_after(SimTime::ZERO);
+            if first < end {
+                queue.push(first, Event::Crash);
+            }
+        }
         let mut generation: u64 = 0;
         let mut now = SimTime::ZERO;
         governor.advance(SimTime::ZERO);
@@ -259,6 +301,44 @@ impl Emulator {
                 }
                 assignment.remove(id);
             }
+
+            // Fault bookkeeping: failed transfer attempts, jobs that
+            // exhausted their retry budget, and crash-recovery progress.
+            for _ in 0..events.transfer_failures {
+                metrics.record_transfer_failure();
+            }
+            for id in &events.errored {
+                let (project, flops_spent) = {
+                    let task = client.task(*id).expect("errored task exists");
+                    (task.spec.project, task.progress() * task.spec.usage.peak_flops_on(&hw))
+                };
+                if let Some(server) = servers.iter_mut().find(|s| s.id() == project) {
+                    server.report_errored(*id);
+                }
+                metrics.record_job_errored(flops_spent);
+                log.warn(now, Component::Task, || {
+                    format!("job {id} of {project} errored: transfer retries exhausted")
+                });
+                client.retire(*id);
+                assignment.remove(id);
+            }
+            if !recoveries.is_empty() {
+                recoveries.retain_mut(|r| {
+                    r.targets.retain(|&(id, target)| match client.task(id) {
+                        // Still recovering only while the task is live,
+                        // healthy, and below its pre-crash progress.
+                        Some(t) => !t.is_errored() && t.progress() + 1e-9 < target,
+                        None => false,
+                    });
+                    if r.targets.is_empty() {
+                        metrics.record_recovery((now - r.start).secs());
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+
             if now >= end {
                 break;
             }
@@ -270,7 +350,7 @@ impl Emulator {
                     need_sched = true;
                     queue.push(now + self.cfg.sched_period, Event::SchedPoint);
                 }
-                Event::ClientEvent { generation: g } => {
+                Event::Client { generation: g } => {
                     if g == generation {
                         need_sched = true;
                     }
@@ -296,6 +376,44 @@ impl Emulator {
                 Event::FetchRetry { generation: g } => {
                     if g == generation {
                         need_sched = true;
+                    }
+                }
+                Event::Crash => {
+                    let outcome = client.crash(now);
+                    let lost_flops: f64 = outcome
+                        .lost
+                        .iter()
+                        .map(|&(id, secs)| secs * client.peak_flops_of(id))
+                        .sum();
+                    metrics.record_crash(lost_flops);
+                    log.warn(now, Component::Task, || {
+                        format!(
+                            "host crash: {} task(s) rolled back ({:.0} exec-s lost), {} transfer(s) restarted",
+                            outcome.lost.len(),
+                            outcome.lost.iter().map(|&(_, s)| s).sum::<f64>(),
+                            outcome.restarted_transfers
+                        )
+                    });
+                    if !outcome.lost.is_empty() {
+                        // Recovery target: the progress each task had at
+                        // the instant of the crash (post-rollback progress
+                        // plus what the crash destroyed).
+                        let targets = outcome
+                            .lost
+                            .iter()
+                            .map(|&(id, lost)| {
+                                let p = client.task(id).map(|t| t.progress()).unwrap_or(0.0);
+                                (id, p + lost)
+                            })
+                            .collect();
+                        recoveries.push(RecoveryTracker { start: now, targets });
+                    }
+                    need_sched = true;
+                    if let Some(cp) = &mut crash_proc {
+                        let next = cp.next_after(now);
+                        if next < end {
+                            queue.push(next, Event::Crash);
+                        }
                     }
                 }
             }
@@ -326,7 +444,16 @@ impl Emulator {
                     .expect("fetch decision for unknown project");
                 server.check_deadlines(now);
                 metrics.record_rpc();
-                match server.handle_rpc(now, &request) {
+                // Transient-fault injection: a lost request never reaches
+                // the server (its state is untouched). With no injector
+                // this is exactly the seed path.
+                let lost_in_transit = rpc_faults.as_mut().is_some_and(|inj| inj.rpc_fails(project));
+                let outcome = if lost_in_transit {
+                    RpcOutcome::TransientFailure
+                } else {
+                    server.handle_rpc(now, &request)
+                };
+                match outcome {
                     RpcOutcome::Reply(reply) => {
                         log.info(now, Component::Fetch, || {
                             format!(
@@ -343,8 +470,18 @@ impl Emulator {
                         fetched_any |= got_jobs;
                     }
                     RpcOutcome::Down => {
-                        log.warn(now, Component::Fetch, || format!("RPC to {project}: server down"));
+                        log.warn(now, Component::Fetch, || {
+                            format!("RPC to {project}: server down")
+                        });
                         client.record_rpc_failure(now, project);
+                    }
+                    RpcOutcome::TransientFailure => {
+                        log.warn(now, Component::Fetch, || {
+                            format!("RPC to {project}: lost in transit (transient)")
+                        });
+                        let jitter_u = rpc_faults.as_mut().map_or(0.0, |inj| inj.jitter_u(project));
+                        client.record_transient_rpc_failure(now, project, jitter_u);
+                        metrics.record_transient_rpc_failure();
                     }
                 }
                 rr = client.rr_simulate(now, run_state, on_frac);
@@ -365,7 +502,7 @@ impl Emulator {
                 // below anything the policies can observe.
                 let t_next = t_next.max(now + SimDuration::from_secs(1e-3));
                 if t_next <= end {
-                    queue.push(t_next, Event::ClientEvent { generation });
+                    queue.push(t_next, Event::Client { generation });
                 }
             }
             if let Some(t_unblock) = client.next_fetch_unblock(now) {
@@ -408,6 +545,7 @@ impl Emulator {
             available_fraction: metrics.available_fraction(),
             total_flops_used: total_used,
             duration: self.cfg.duration,
+            faults: metrics.fault_metrics(),
             timeline,
             log,
         }
@@ -486,11 +624,8 @@ fn record_timeline(
         let occ = match busy.get(inst) {
             Some(&(project, job)) => Occupancy::Busy { project, job },
             None => {
-                let allowed = if inst.proc_type.is_gpu() {
-                    run_state.can_gpu
-                } else {
-                    run_state.can_compute
-                };
+                let allowed =
+                    if inst.proc_type.is_gpu() { run_state.can_gpu } else { run_state.can_compute };
                 if allowed {
                     Occupancy::Idle
                 } else {

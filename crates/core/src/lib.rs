@@ -16,7 +16,8 @@ pub mod metrics;
 pub mod render;
 pub mod scenario;
 
+pub use bce_faults::{FaultConfig, RetryPolicy};
 pub use emulator::{EmulationResult, Emulator, EmulatorConfig};
-pub use metrics::{FiguresOfMerit, MetricsAccum, ProjectReport};
+pub use metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, ProjectReport};
 pub use render::{render_report, render_timeline};
 pub use scenario::Scenario;

@@ -51,6 +51,41 @@ impl FiguresOfMerit {
     }
 }
 
+/// Robustness figures of merit, populated only by fault-injected runs
+/// (all-zero otherwise). Kept separate from [`FiguresOfMerit`] so the
+/// paper's five metrics — and determinism fingerprints built on them —
+/// are untouched by the fault subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultMetrics {
+    /// Scheduler RPCs lost in transit (injected transient failures).
+    pub transient_rpc_failures: u64,
+    /// File-transfer attempts that failed mid-flight.
+    pub transfer_failures: u64,
+    /// Host crashes injected.
+    pub crashes: u64,
+    /// Jobs permanently failed (transfer retry budget exhausted).
+    pub jobs_errored: u64,
+    /// Fraction of available capacity destroyed by faults: crash rollbacks
+    /// plus progress on errored jobs, over available FLOPS·s. A subset of
+    /// the ordinary wasted fraction, attributing waste to injected faults.
+    pub fault_wasted_fraction: f64,
+    /// Mean wall-clock seconds from a crash until every task it rolled
+    /// back had regained its pre-crash progress (or left the queue).
+    pub mean_recovery_secs: f64,
+    /// Number of crashes whose recovery completed within the run.
+    pub recoveries: u64,
+}
+
+impl FaultMetrics {
+    /// Did any fault fire during the run?
+    pub fn any(&self) -> bool {
+        self.transient_rpc_failures > 0
+            || self.transfer_failures > 0
+            || self.crashes > 0
+            || self.jobs_errored > 0
+    }
+}
+
 /// Per-project outcome summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProjectReport {
@@ -71,8 +106,8 @@ pub struct MetricsAccum {
     total_capacity_flops: f64, // peak FLOPS of the host
     monotony_window: SimDuration,
     // integrals
-    capacity_secs: f64,     // capacity × elapsed (FLOPS·s)
-    available_secs: f64,    // capacity × available time
+    capacity_secs: f64,             // capacity × elapsed (FLOPS·s)
+    available_secs: f64,            // capacity × available time
     used: BTreeMap<ProjectId, f64>, // FLOPS·s delivered per project
     wasted_flops: f64,
     // monotony state
@@ -86,6 +121,14 @@ pub struct MetricsAccum {
     jobs_completed: u64,
     jobs_missed: u64,
     missed_ids: Vec<JobId>,
+    // fault accounting
+    fault_wasted_flops: f64,
+    transient_rpc_failures: u64,
+    transfer_failures: u64,
+    crashes: u64,
+    jobs_errored: u64,
+    recovery_secs_sum: f64,
+    recoveries: u64,
 }
 
 impl MetricsAccum {
@@ -111,6 +154,13 @@ impl MetricsAccum {
             jobs_completed: 0,
             jobs_missed: 0,
             missed_ids: Vec::new(),
+            fault_wasted_flops: 0.0,
+            transient_rpc_failures: 0,
+            transfer_failures: 0,
+            crashes: 0,
+            jobs_errored: 0,
+            recovery_secs_sum: 0.0,
+            recoveries: 0,
         }
     }
 
@@ -162,7 +212,7 @@ impl MetricsAccum {
             self.monotony_windows += 1;
         }
         self.window_used.clear();
-        self.window_end = self.window_end + self.monotony_window;
+        self.window_end += self.monotony_window;
     }
 
     pub fn record_rpc(&mut self) {
@@ -182,6 +232,61 @@ impl MetricsAccum {
     /// Record execution seconds lost to a checkpoint rollback.
     pub fn record_rollback_waste(&mut self, flops: f64) {
         self.wasted_flops += flops;
+    }
+
+    /// Record a scheduler RPC lost in transit.
+    pub fn record_transient_rpc_failure(&mut self) {
+        self.transient_rpc_failures += 1;
+    }
+
+    /// Record a mid-flight transfer failure.
+    pub fn record_transfer_failure(&mut self) {
+        self.transfer_failures += 1;
+    }
+
+    /// Record a host crash and the FLOPS of progress it destroyed. The
+    /// lost FLOPS are fault-attributed only: the generic wasted fraction
+    /// picks the same rollback up through [`record_rollback_waste`] when
+    /// the task eventually retires.
+    pub fn record_crash(&mut self, lost_flops: f64) {
+        self.crashes += 1;
+        self.fault_wasted_flops += lost_flops;
+    }
+
+    /// Record a permanently-failed job and the FLOPS already sunk into it
+    /// (counted both as generic waste and fault-attributed waste).
+    pub fn record_job_errored(&mut self, flops_spent: f64) {
+        self.jobs_errored += 1;
+        self.wasted_flops += flops_spent;
+        self.fault_wasted_flops += flops_spent;
+    }
+
+    /// Record a completed crash recovery (wall-clock seconds from the
+    /// crash until pre-crash progress was regained).
+    pub fn record_recovery(&mut self, secs: f64) {
+        self.recovery_secs_sum += secs;
+        self.recoveries += 1;
+    }
+
+    /// Snapshot the robustness figures of merit.
+    pub fn fault_metrics(&self) -> FaultMetrics {
+        FaultMetrics {
+            transient_rpc_failures: self.transient_rpc_failures,
+            transfer_failures: self.transfer_failures,
+            crashes: self.crashes,
+            jobs_errored: self.jobs_errored,
+            fault_wasted_fraction: if self.available_secs > 0.0 {
+                (self.fault_wasted_flops / self.available_secs).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            mean_recovery_secs: if self.recoveries > 0 {
+                self.recovery_secs_sum / self.recoveries as f64
+            } else {
+                0.0
+            },
+            recoveries: self.recoveries,
+        }
     }
 
     pub fn jobs_completed(&self) -> u64 {
@@ -346,6 +451,32 @@ mod tests {
         // wasted = (200 + 100) / (10 * 100)
         assert!((f.wasted_fraction - 0.3).abs() < 1e-12);
         assert!((f.rpcs_per_job - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_metrics_accumulate_separately() {
+        let mut m = MetricsAccum::new(10.0, 1, t(0.0), SimDuration::from_secs(1000.0));
+        m.advance(t(0.0), t(100.0), &[(ProjectId(0), 10.0)], true);
+        assert!(!m.fault_metrics().any());
+        m.record_transient_rpc_failure();
+        m.record_transfer_failure();
+        m.record_crash(100.0); // fault-attributed only
+        m.record_job_errored(200.0); // both generic and fault waste
+        m.record_recovery(30.0);
+        m.record_recovery(50.0);
+        let fm = m.fault_metrics();
+        assert!(fm.any());
+        assert_eq!(fm.transient_rpc_failures, 1);
+        assert_eq!(fm.transfer_failures, 1);
+        assert_eq!(fm.crashes, 1);
+        assert_eq!(fm.jobs_errored, 1);
+        // fault waste = (100 + 200) / (10 × 100)
+        assert!((fm.fault_wasted_fraction - 0.3).abs() < 1e-12);
+        assert!((fm.mean_recovery_secs - 40.0).abs() < 1e-12);
+        assert_eq!(fm.recoveries, 2);
+        // Generic wasted fraction only sees the errored job's 200.
+        let f = m.finalize(&[(ProjectId(0), 1.0)]);
+        assert!((f.wasted_fraction - 0.2).abs() < 1e-12);
     }
 
     #[test]

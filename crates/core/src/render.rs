@@ -96,7 +96,28 @@ pub fn render_report(r: &EmulationResult) -> String {
         r.jobs_unfinished,
         100.0 * r.available_fraction
     );
-    let _ = writeln!(out, "{:<12} {:>7} {:>7} {:>10} {:>8} {:>8}", "project", "share", "used", "jobs", "missed", "RPCs");
+    if r.faults.any() {
+        let fm = &r.faults;
+        let _ = writeln!(out, "injected faults:");
+        let _ = writeln!(out, "  transient RPC failures {:>8}", fm.transient_rpc_failures);
+        let _ = writeln!(out, "  transfer failures      {:>8}", fm.transfer_failures);
+        let _ = writeln!(out, "  host crashes           {:>8}", fm.crashes);
+        let _ = writeln!(out, "  jobs errored           {:>8}", fm.jobs_errored);
+        let _ = writeln!(out, "  fault-wasted fraction  {:>8.4}", fm.fault_wasted_fraction);
+        if fm.recoveries > 0 {
+            let _ = writeln!(
+                out,
+                "  mean crash recovery    {:>8} ({} recovered)",
+                SimDuration::from_secs(fm.mean_recovery_secs),
+                fm.recoveries
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>7} {:>10} {:>8} {:>8}",
+        "project", "share", "used", "jobs", "missed", "RPCs"
+    );
     for p in &r.projects {
         let _ = writeln!(
             out,

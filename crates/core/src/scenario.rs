@@ -7,8 +7,8 @@
 
 use bce_avail::{AvailSpec, AvailTrace};
 use bce_client::NetworkModel;
-use bce_types::{InitialJob, ModelError, Preferences, ProcType};
 use bce_types::{Hardware, ProjectSpec};
+use bce_types::{InitialJob, ModelError, Preferences, ProcType};
 
 /// A complete scenario description.
 #[derive(Debug, Clone)]

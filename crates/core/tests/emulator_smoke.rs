@@ -7,12 +7,12 @@ use bce_core::{Emulator, EmulatorConfig, Scenario};
 use bce_types::{AppClass, Hardware, Preferences, ProjectSpec, SimDuration};
 
 fn one_project_scenario() -> Scenario {
-    Scenario::new("smoke-1p", Hardware::cpu_only(1, 1e9))
-        .with_seed(7)
-        .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(
+    Scenario::new("smoke-1p", Hardware::cpu_only(1, 1e9)).with_seed(7).with_project(
+        ProjectSpec::new(0, "alpha", 100.0).with_app(
             AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(6.0))
                 .with_cv(0.0),
-        ))
+        ),
+    )
 }
 
 fn two_project_scenario() -> Scenario {
@@ -30,11 +30,7 @@ fn single_project_saturates_cpu() {
     let em = Emulator::new(one_project_scenario(), ClientConfig::default(), short_cfg(1.0));
     let r = em.run();
     // 1 CPU fully available; 1000 s jobs: ~86 jobs/day.
-    assert!(
-        r.jobs_completed >= 80,
-        "expected ~86 jobs, got {} (report:\n{r})",
-        r.jobs_completed
-    );
+    assert!(r.jobs_completed >= 80, "expected ~86 jobs, got {} (report:\n{r})", r.jobs_completed);
     assert!(r.merit.idle_fraction < 0.05, "idle {:.3}", r.merit.idle_fraction);
     assert_eq!(r.jobs_missed_deadline, 0);
     assert!(r.merit.wasted_fraction < 1e-9);
@@ -99,14 +95,22 @@ fn wrr_vs_edf_on_tight_deadlines() {
                 work_buf_extra: SimDuration::from_secs(2000.0),
                 ..Default::default()
             })
-            .with_project(ProjectSpec::new(0, "tight", 100.0).with_app(
-                AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_secs(1500.0))
+            .with_project(
+                ProjectSpec::new(0, "tight", 100.0).with_app(
+                    AppClass::cpu(
+                        0,
+                        SimDuration::from_secs(1000.0),
+                        SimDuration::from_secs(1500.0),
+                    )
                     .with_cv(0.0),
-            ))
-            .with_project(ProjectSpec::new(1, "loose", 100.0).with_app(
-                AppClass::cpu(1, SimDuration::from_secs(1000.0), SimDuration::from_hours(24.0))
-                    .with_cv(0.0),
-            ))
+                ),
+            )
+            .with_project(
+                ProjectSpec::new(1, "loose", 100.0).with_app(
+                    AppClass::cpu(1, SimDuration::from_secs(1000.0), SimDuration::from_hours(24.0))
+                        .with_cv(0.0),
+                ),
+            )
     };
     let edf = Emulator::run_policies(mk(), JobSchedPolicy::LOCAL, FetchPolicy::Hysteresis);
     let wrr = Emulator::run_policies(mk(), JobSchedPolicy::WRR, FetchPolicy::Hysteresis);

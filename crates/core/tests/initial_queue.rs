@@ -4,17 +4,15 @@
 
 use bce_client::ClientConfig;
 use bce_core::{Emulator, EmulatorConfig, Scenario};
-use bce_types::{
-    AppClass, AppId, Hardware, InitialJob, ProjectId, ProjectSpec, SimDuration,
-};
+use bce_types::{AppClass, AppId, Hardware, InitialJob, ProjectId, ProjectSpec, SimDuration};
 
 fn scenario_with_queue() -> Scenario {
-    Scenario::new("restore", Hardware::cpu_only(1, 1e9))
-        .with_seed(5)
-        .with_project(ProjectSpec::new(0, "p", 100.0).with_app(
+    Scenario::new("restore", Hardware::cpu_only(1, 1e9)).with_seed(5).with_project(
+        ProjectSpec::new(0, "p", 100.0).with_app(
             AppClass::cpu(0, SimDuration::from_secs(5000.0), SimDuration::from_hours(4.0))
                 .with_cv(0.0),
-        ))
+        ),
+    )
 }
 
 fn short() -> EmulatorConfig {

@@ -3,14 +3,11 @@
 
 use bce_client::ClientConfig;
 use bce_core::{Emulator, EmulatorConfig, Scenario};
-use bce_types::{
-    AppClass, Hardware, ProjectSpec, ServerUptime, SimDuration, WorkSupply,
-};
+use bce_types::{AppClass, Hardware, ProjectSpec, ServerUptime, SimDuration, WorkSupply};
 
 fn project(id: u32, name: &str) -> ProjectSpec {
     ProjectSpec::new(id, name, 100.0).with_app(
-        AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(8.0))
-            .with_cv(0.0),
+        AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(8.0)).with_cv(0.0),
     )
 }
 
@@ -35,11 +32,7 @@ fn batch_project_runs_dry_and_other_takes_over() {
     let steady_report = &r.projects[1];
     assert_eq!(batch_report.jobs_completed, 10, "batch must fully drain");
     // The steady project absorbs the freed capacity: ~160 more jobs.
-    assert!(
-        steady_report.jobs_completed > 120,
-        "steady got {}",
-        steady_report.jobs_completed
-    );
+    assert!(steady_report.jobs_completed > 120, "steady got {}", steady_report.jobs_completed);
     // CPU never idles for long.
     assert!(r.merit.idle_fraction < 0.05, "idle {:.3}", r.merit.idle_fraction);
 }
@@ -120,8 +113,8 @@ fn sporadic_gpu_job_supply_falls_back_to_cpu() {
             SimDuration::from_hours(8.0),
         );
         if sporadic {
-            gpu_app = gpu_app
-                .with_supply(SimDuration::from_hours(1.0), SimDuration::from_hours(1.0));
+            gpu_app =
+                gpu_app.with_supply(SimDuration::from_hours(1.0), SimDuration::from_hours(1.0));
         }
         Scenario::new("gpu-supply", hw.clone()).with_seed(31).with_project(
             ProjectSpec::new(0, "p", 100.0)

@@ -11,7 +11,5 @@
 pub mod model;
 pub mod sim;
 
-pub use model::{
-    HostModel, HostSelection, PopulationSpec, ReplicationPolicy, Workload,
-};
+pub use model::{HostModel, HostSelection, PopulationSpec, ReplicationPolicy, Workload};
 pub use sim::{run_campaign, CampaignResult};

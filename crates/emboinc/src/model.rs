@@ -82,11 +82,9 @@ impl ReplicationPolicy {
     pub const REDUNDANT: ReplicationPolicy =
         ReplicationPolicy { initial: 2, quorum: 2, max_total: 8 };
     /// Adaptive/trusted single replication.
-    pub const SINGLE: ReplicationPolicy =
-        ReplicationPolicy { initial: 1, quorum: 1, max_total: 6 };
+    pub const SINGLE: ReplicationPolicy = ReplicationPolicy { initial: 1, quorum: 1, max_total: 6 };
     /// Eager over-replication to cut latency at a waste cost.
-    pub const EAGER: ReplicationPolicy =
-        ReplicationPolicy { initial: 3, quorum: 1, max_total: 8 };
+    pub const EAGER: ReplicationPolicy = ReplicationPolicy { initial: 3, quorum: 1, max_total: 8 };
 
     pub fn name(&self) -> String {
         format!("R{}/Q{}", self.initial, self.quorum)

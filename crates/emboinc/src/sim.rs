@@ -109,12 +109,12 @@ pub fn run_campaign(
 
     // Dispatch as many (host, wu) pairs as possible at `now`.
     let dispatch = |now: SimTime,
-                        idle: &mut Vec<usize>,
-                        demand: &mut VecDeque<usize>,
-                        wus: &mut [WuState],
-                        queue: &mut EventQueue<Event>,
-                        rng: &mut Rng,
-                        stats: &mut CampaignResult| {
+                    idle: &mut Vec<usize>,
+                    demand: &mut VecDeque<usize>,
+                    wus: &mut [WuState],
+                    queue: &mut EventQueue<Event>,
+                    rng: &mut Rng,
+                    stats: &mut CampaignResult| {
         while !idle.is_empty() {
             // Skip demand entries for workunits that finished or died.
             let wu = loop {
@@ -134,9 +134,7 @@ pub fn run_campaign(
                 HostSelection::FastestFirst => idle
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| {
-                        hosts[*a.1].flops.partial_cmp(&hosts[*b.1].flops).unwrap()
-                    })
+                    .max_by(|a, b| hosts[*a.1].flops.partial_cmp(&hosts[*b.1].flops).unwrap())
                     .map(|(i, _)| i)
                     .unwrap(),
                 HostSelection::ReliableFirst => idle
@@ -161,10 +159,8 @@ pub fn run_campaign(
             if vanished {
                 // Nothing comes back; the server learns at the deadline,
                 // and the host rejoins the pool then (modelling churn).
-                queue.push(
-                    deadline,
-                    Event::ReplicaResolved { wu, host, outcome: Outcome::Timeout },
-                );
+                queue
+                    .push(deadline, Event::ReplicaResolved { wu, host, outcome: Outcome::Timeout });
                 queue.push(deadline, Event::HostFree { host });
                 continue;
             }
@@ -175,15 +171,12 @@ pub fn run_campaign(
                 // The server times the replica out at the deadline; the
                 // host still grinds through the worthless work and only
                 // asks again when it finishes.
-                queue.push(
-                    deadline,
-                    Event::ReplicaResolved { wu, host, outcome: Outcome::Timeout },
-                );
+                queue
+                    .push(deadline, Event::ReplicaResolved { wu, host, outcome: Outcome::Timeout });
                 queue.push(arrival, Event::HostFree { host });
                 continue;
             }
-            let outcome =
-                if rng.chance(h.error_prob) { Outcome::Error } else { Outcome::Success };
+            let outcome = if rng.chance(h.error_prob) { Outcome::Error } else { Outcome::Success };
             queue.push(arrival, Event::ReplicaResolved { wu, host, outcome });
         }
     };

@@ -182,8 +182,7 @@ mod tests {
             Device { capacity: 7.0, usable_by: vec![1] },
             Device { capacity: 25.0, usable_by: vec![0, 1, 2] },
         ];
-        let consumers =
-            [Consumer { share: 2.0 }, Consumer { share: 5.0 }, Consumer { share: 1.0 }];
+        let consumers = [Consumer { share: 2.0 }, Consumer { share: 5.0 }, Consumer { share: 1.0 }];
         let a = fair_alloc(&devices, &consumers, 16);
         let total: f64 = (0..3).map(|c| a.total_for(c)).sum();
         assert!((total + a.unusable - 45.0).abs() < 1e-6);

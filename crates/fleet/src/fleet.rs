@@ -147,22 +147,17 @@ pub fn host_scenarios(fleet: &Fleet, assignment: &ShareAssignment) -> Vec<Scenar
         .zip(assignment)
         .enumerate()
         .map(|(hi, (host, shares))| {
-            let mut s = Scenario::new(
-                format!("fleet-{}", host.name),
-                host.hardware.clone(),
-            )
-            .with_seed(fleet.seed ^ (hi as u64).wrapping_mul(0x9E3779B97F4A7C15))
-            .with_prefs(host.prefs.clone())
-            .with_avail(host.avail.clone());
+            let mut s = Scenario::new(format!("fleet-{}", host.name), host.hardware.clone())
+                .with_seed(fleet.seed ^ (hi as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .with_prefs(host.prefs.clone())
+                .with_avail(host.avail.clone());
             for (pid, share) in shares {
                 if let Some(spec) = fleet.projects.iter().find(|p| p.id == *pid) {
                     // Keep only apps the host can run (a GPU app on a
                     // CPU-only host would fail validation).
                     let mut spec = spec.clone();
                     spec.resource_share = *share;
-                    spec.apps.retain(|a| {
-                        host.hardware.ninstances(a.usage.main_proc_type()) > 0
-                    });
+                    spec.apps.retain(|a| host.hardware.ninstances(a.usage.main_proc_type()) > 0);
                     if !spec.apps.is_empty() {
                         s = s.with_project(spec);
                     }
@@ -227,16 +222,10 @@ mod tests {
         // project (it's the only place GPU work can run, and the CPU box
         // covers the CPU project's entitlement).
         let gpu_host = &a[1];
-        let gpu_share = gpu_host
-            .iter()
-            .find(|(p, _)| *p == ProjectId(0))
-            .map(|(_, s)| *s)
-            .unwrap_or(0.0);
-        let cpu_share = gpu_host
-            .iter()
-            .find(|(p, _)| *p == ProjectId(1))
-            .map(|(_, s)| *s)
-            .unwrap_or(0.0);
+        let gpu_share =
+            gpu_host.iter().find(|(p, _)| *p == ProjectId(0)).map(|(_, s)| *s).unwrap_or(0.0);
+        let cpu_share =
+            gpu_host.iter().find(|(p, _)| *p == ProjectId(1)).map(|(_, s)| *s).unwrap_or(0.0);
         assert!(
             gpu_share > 3.0 * cpu_share,
             "gpu host should specialize: gpu {gpu_share} vs cpu {cpu_share}"

@@ -45,9 +45,7 @@ pub fn run_fleet(
         fleet.projects.iter().map(|p| (p.id, 0.0)).collect();
     for (_, result) in &per_host {
         for pr in &result.projects {
-            if let Some((_, acc)) =
-                per_project_flops.iter_mut().find(|(id, _)| *id == pr.id)
-            {
+            if let Some((_, acc)) = per_project_flops.iter_mut().find(|(id, _)| *id == pr.id) {
                 *acc += pr.flops_used;
             }
         }
@@ -123,10 +121,7 @@ mod tests {
     }
 
     fn emu() -> EmulatorConfig {
-        EmulatorConfig {
-            duration: SimDuration::from_hours(6.0),
-            ..Default::default()
-        }
+        EmulatorConfig { duration: SimDuration::from_hours(6.0), ..Default::default() }
     }
 
     #[test]
@@ -160,9 +155,6 @@ mod tests {
         let a = run_fleet(&f, ShareStrategy::CrossHost, ClientConfig::default(), &emu(), 0);
         let b = run_fleet(&f, ShareStrategy::CrossHost, ClientConfig::default(), &emu(), 0);
         assert_eq!(a.total_flops.to_bits(), b.total_flops.to_bits());
-        assert_eq!(
-            a.fleet_share_violation.to_bits(),
-            b.fleet_share_violation.to_bits()
-        );
+        assert_eq!(a.fleet_share_violation.to_bits(), b.fleet_share_violation.to_bits());
     }
 }

@@ -9,5 +9,7 @@ pub mod paper;
 pub mod population;
 
 pub use import::{doc_from_scenario, scenario_from_doc, scenario_from_state_file};
-pub use paper::{all_scenarios, paper_prefs, scenario1, scenario2, scenario3, scenario4, scenario4_sized};
+pub use paper::{
+    all_scenarios, paper_prefs, scenario1, scenario2, scenario3, scenario4, scenario4_sized,
+};
 pub use population::{PopulationModel, PopulationSampler};

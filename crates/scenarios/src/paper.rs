@@ -12,9 +12,7 @@
 //! documented per scenario.
 
 use bce_core::Scenario;
-use bce_types::{
-    AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration,
-};
+use bce_types::{AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration};
 
 /// Preferences used across the paper scenarios: a small work buffer
 /// (min 15 minutes + 15 extra) and always-available computing, so policy
@@ -48,10 +46,12 @@ pub fn scenario1(latency_bound: SimDuration) -> Scenario {
             // resonances between fetch batching and the latency bound.
             AppClass::cpu(0, SimDuration::from_secs(1000.0), latency_bound).with_cv(0.05),
         ))
-        .with_project(ProjectSpec::new(1, "loose", 100.0).with_app(
-            AppClass::cpu(1, SimDuration::from_secs(1000.0), SimDuration::from_hours(24.0))
-                .with_cv(0.05),
-        ))
+        .with_project(
+            ProjectSpec::new(1, "loose", 100.0).with_app(
+                AppClass::cpu(1, SimDuration::from_secs(1000.0), SimDuration::from_hours(24.0))
+                    .with_cv(0.05),
+            ),
+        )
 }
 
 /// Scenario 2 (§5, Figure 4): 4 CPUs (1 GFLOPS each) and 1 GPU 10× faster
@@ -62,10 +62,12 @@ pub fn scenario2() -> Scenario {
     Scenario::new("scenario2", hw)
         .with_seed(102)
         .with_prefs(paper_prefs())
-        .with_project(ProjectSpec::new(0, "cpu_only", 100.0).with_app(
-            AppClass::cpu(0, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
-                .with_cv(0.05),
-        ))
+        .with_project(
+            ProjectSpec::new(0, "cpu_only", 100.0).with_app(
+                AppClass::cpu(0, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
+                    .with_cv(0.05),
+            ),
+        )
         .with_project(
             ProjectSpec::new(1, "cpu_gpu", 100.0)
                 .with_app(
@@ -91,16 +93,20 @@ pub fn scenario3() -> Scenario {
     Scenario::new("scenario3", Hardware::cpu_only(1, 1e9))
         .with_seed(103)
         .with_prefs(paper_prefs())
-        .with_project(ProjectSpec::new(0, "long_low_slack", 100.0).with_app(
-            // Slack 10% of the runtime: the job must run nearly
-            // exclusively to meet its deadline.
-            AppClass::cpu(0, SimDuration::from_secs(1e6), SimDuration::from_secs(1.1e6))
-                .with_cv(0.0),
-        ))
-        .with_project(ProjectSpec::new(1, "normal", 100.0).with_app(
-            AppClass::cpu(1, SimDuration::from_secs(2000.0), SimDuration::from_hours(24.0))
-                .with_cv(0.05),
-        ))
+        .with_project(
+            ProjectSpec::new(0, "long_low_slack", 100.0).with_app(
+                // Slack 10% of the runtime: the job must run nearly
+                // exclusively to meet its deadline.
+                AppClass::cpu(0, SimDuration::from_secs(1e6), SimDuration::from_secs(1.1e6))
+                    .with_cv(0.0),
+            ),
+        )
+        .with_project(
+            ProjectSpec::new(1, "normal", 100.0).with_app(
+                AppClass::cpu(1, SimDuration::from_secs(2000.0), SimDuration::from_hours(24.0))
+                    .with_cv(0.05),
+            ),
+        )
 }
 
 /// Scenario 4 (§5, Figure 5): CPU and GPU host, twenty projects with
@@ -153,12 +159,7 @@ pub fn scenario4_sized(nprojects: u32) -> Scenario {
 /// All four scenarios with their default parameters, for sweeps and
 /// regression tests.
 pub fn all_scenarios() -> Vec<Scenario> {
-    vec![
-        scenario1(SimDuration::from_secs(1500.0)),
-        scenario2(),
-        scenario3(),
-        scenario4(),
-    ]
+    vec![scenario1(SimDuration::from_secs(1500.0)), scenario2(), scenario3(), scenario4()]
 }
 
 #[cfg(test)]

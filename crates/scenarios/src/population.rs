@@ -13,9 +13,7 @@
 use bce_avail::{AvailSpec, OnOffSpec};
 use bce_core::Scenario;
 use bce_sim::{Distribution, LogNormal, Rng, Uniform};
-use bce_types::{
-    AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration,
-};
+use bce_types::{AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration};
 
 /// Tunable knobs of the population distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,13 +85,12 @@ impl PopulationSampler {
         let cores = [1u32, 2, 4, 8][rng.pick_weighted(&m.core_count_weights)];
         let core_flops =
             LogNormal::from_median(m.core_flops_median, m.core_flops_sigma).sample(rng);
-        let mut hw = Hardware::cpu_only(cores, core_flops)
-            .with_mem(4e9 * (1.0 + rng.uniform() * 7.0));
+        let mut hw =
+            Hardware::cpu_only(cores, core_flops).with_mem(4e9 * (1.0 + rng.uniform() * 7.0));
         let has_gpu = rng.chance(m.gpu_probability);
         if has_gpu {
             let ratio = m.gpu_ratio.sample(rng);
-            let gpu_type =
-                if rng.chance(0.7) { ProcType::NvidiaGpu } else { ProcType::AtiGpu };
+            let gpu_type = if rng.chance(0.7) { ProcType::NvidiaGpu } else { ProcType::AtiGpu };
             hw = hw.with_group(gpu_type, 1, core_flops * ratio).with_vram(1e9);
         }
 
@@ -120,14 +117,11 @@ impl PopulationSampler {
             let mut spec = ProjectSpec::new(p as u32, format!("pop-p{p}"), share);
             let gpu_project = has_gpu && rng.chance(0.4);
             spec = spec.with_app(
-                AppClass::cpu(2 * p as u32, SimDuration::from_secs(runtime), latency)
-                    .with_cv(0.1),
+                AppClass::cpu(2 * p as u32, SimDuration::from_secs(runtime), latency).with_cv(0.1),
             );
             if gpu_project {
-                let gpu_type = hw
-                    .present_types()
-                    .find(|t| t.is_gpu())
-                    .expect("gpu present when gpu_project");
+                let gpu_type =
+                    hw.present_types().find(|t| t.is_gpu()).expect("gpu present when gpu_project");
                 spec = spec.with_app(
                     AppClass::gpu(
                         2 * p as u32 + 1,

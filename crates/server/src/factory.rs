@@ -58,7 +58,11 @@ impl JobFactory {
 
     /// Pick an app class by weight among those matching a predicate.
     /// Returns the index into `apps`.
-    pub fn pick_app(&mut self, apps: &[AppClass], pred: impl Fn(&AppClass) -> bool) -> Option<usize> {
+    pub fn pick_app(
+        &mut self,
+        apps: &[AppClass],
+        pred: impl Fn(&AppClass) -> bool,
+    ) -> Option<usize> {
         let candidates: Vec<usize> =
             (0..apps.len()).filter(|&i| pred(&apps[i]) && apps[i].weight > 0.0).collect();
         if candidates.is_empty() {
@@ -155,8 +159,13 @@ mod tests {
         let mut f = factory();
         let apps = vec![
             app().with_weight(1.0),
-            AppClass::gpu(1, ProcType::NvidiaGpu, SimDuration::from_secs(10.0), SimDuration::from_secs(100.0))
-                .with_weight(3.0),
+            AppClass::gpu(
+                1,
+                ProcType::NvidiaGpu,
+                SimDuration::from_secs(10.0),
+                SimDuration::from_secs(100.0),
+            )
+            .with_weight(3.0),
         ];
         let mut gpu_picks = 0;
         for _ in 0..1000 {

@@ -46,8 +46,13 @@ pub struct SchedulerReply {
 #[derive(Debug, Clone, PartialEq)]
 pub enum RpcOutcome {
     Reply(SchedulerReply),
-    /// Server unreachable (down for maintenance).
+    /// Server unreachable (down for maintenance): a *scheduled* outage,
+    /// escalating the client's ordinary per-project backoff.
     Down,
+    /// The request was lost in transit (injected fault): a *transient*
+    /// failure, taking the client's communication-retry backoff path
+    /// rather than the scheduled-downtime one.
+    TransientFailure,
 }
 
 #[cfg(test)]

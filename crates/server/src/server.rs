@@ -91,6 +91,9 @@ pub struct ServerStats {
     pub reported_late: u64,
     /// Results whose deadline passed server-side (re-issued elsewhere).
     pub timed_out: u64,
+    /// Results the client reported as permanently failed (e.g. transfer
+    /// retries exhausted); re-issued elsewhere in a real deployment.
+    pub errored: u64,
 }
 
 /// One project's simulated server.
@@ -296,19 +299,23 @@ impl ProjectServer {
     /// expiry — or already re-issued — gets none).
     pub fn report_completed(&mut self, now: SimTime, job: JobId) -> bool {
         match self.in_progress.remove(&job) {
-            Some(deadline) => {
-                if now <= self.config.deadline_check.expiry(deadline) {
-                    self.stats.reported_in_time += 1;
-                    true
-                } else {
-                    self.stats.reported_late += 1;
-                    false
-                }
+            Some(deadline) if now <= self.config.deadline_check.expiry(deadline) => {
+                self.stats.reported_in_time += 1;
+                true
             }
-            None => {
+            _ => {
                 self.stats.reported_late += 1;
                 false
             }
+        }
+    }
+
+    /// Client reports a permanent job failure (retry budget exhausted):
+    /// the result is abandoned; a real server would issue a new instance
+    /// to another host.
+    pub fn report_errored(&mut self, job: JobId) {
+        if self.in_progress.remove(&job).is_some() {
+            self.stats.errored += 1;
         }
     }
 
@@ -458,6 +465,21 @@ mod tests {
         // Late report after expiry is counted late.
         assert!(!s.report_completed(dl + SimDuration::from_secs(2.0), id));
         assert_eq!(s.stats().reported_late, 1);
+    }
+
+    #[test]
+    fn errored_report_abandons_result() {
+        let mut s = server(spec());
+        let RpcOutcome::Reply(reply) = s.handle_rpc(SimTime::ZERO, &req_cpu(1000.0, 0.0)) else {
+            panic!()
+        };
+        let id = reply.jobs[0].id;
+        s.report_errored(id);
+        assert_eq!(s.stats().errored, 1);
+        assert_eq!(s.in_progress_count(), reply.jobs.len() - 1);
+        // Double-report is a no-op.
+        s.report_errored(id);
+        assert_eq!(s.stats().errored, 1);
     }
 
     #[test]

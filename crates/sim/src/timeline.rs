@@ -14,7 +14,10 @@ pub enum Occupancy {
     Idle,
     /// The host was off / computing disallowed.
     Unavailable,
-    Busy { project: ProjectId, job: JobId },
+    Busy {
+        project: ProjectId,
+        job: JobId,
+    },
 }
 
 /// A maximal interval of constant occupancy.

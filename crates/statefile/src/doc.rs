@@ -143,8 +143,7 @@ impl ClientStateDoc {
                     p.compute_window = Some(DailyWindow::new(s, e));
                 }
             }
-            p.leave_apps_in_memory =
-                parse_bool(gp, "leave_apps_in_memory", p.leave_apps_in_memory);
+            p.leave_apps_in_memory = parse_bool(gp, "leave_apps_in_memory", p.leave_apps_in_memory);
             doc.prefs = p;
         }
 
@@ -189,8 +188,7 @@ impl ClientStateDoc {
 
         if let Some(ts) = root.child("time_stats") {
             doc.on_frac = ts.child_parse::<f64>("on_frac").unwrap_or(1.0).clamp(0.0, 1.0);
-            doc.active_frac =
-                ts.child_parse::<f64>("active_frac").unwrap_or(0.0).clamp(0.0, 1.0);
+            doc.active_frac = ts.child_parse::<f64>("active_frac").unwrap_or(0.0).clamp(0.0, 1.0);
             if let Some(c) = ts.child_parse::<f64>("cycle_mean") {
                 if c > 0.0 {
                     doc.cycle_mean = SimDuration::from_secs(c);
@@ -274,9 +272,9 @@ fn parse_app(anode: &XmlNode, project: &str, idx: u32) -> Result<AppClass, State
     if runtime <= 0.0 {
         return schema_err(format!("{project}/{name}: runtime_mean must be positive"));
     }
-    let latency: f64 = anode
-        .child_parse("latency_bound")
-        .ok_or_else(|| StateFileError::Schema(format!("{project}/{name}: missing latency_bound")))?;
+    let latency: f64 = anode.child_parse("latency_bound").ok_or_else(|| {
+        StateFileError::Schema(format!("{project}/{name}: missing latency_bound"))
+    })?;
     let avg_ncpus: f64 = anode.child_parse("avg_ncpus").unwrap_or(1.0);
     let ngpus: f64 = anode.child_parse("ngpus").unwrap_or(0.0);
     let usage = if ngpus > 0.0 {
@@ -467,10 +465,7 @@ mod tests {
 
     #[test]
     fn wrong_root_rejected() {
-        assert!(matches!(
-            ClientStateDoc::parse_str("<nope/>"),
-            Err(StateFileError::Schema(_))
-        ));
+        assert!(matches!(ClientStateDoc::parse_str("<nope/>"), Err(StateFileError::Schema(_))));
     }
 
     #[test]

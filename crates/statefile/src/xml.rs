@@ -295,7 +295,8 @@ impl<'a> Parser<'a> {
                 self.consume("</");
                 let close = self.name()?;
                 if close != node.name {
-                    return self.err(format!("mismatched close tag </{close}> for <{}>", node.name));
+                    return self
+                        .err(format!("mismatched close tag </{close}> for <{}>", node.name));
                 }
                 self.skip_ws();
                 if !self.consume(">") {

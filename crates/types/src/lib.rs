@@ -22,6 +22,8 @@ pub use ids::{AppId, InstanceId, JobId, ProjectId};
 pub use job::{EstErrorModel, InitialJob, JobOutcome, JobSpec, ResourceUsage};
 pub use prefs::{DailyWindow, Preferences};
 pub use proc::{Hardware, ProcGroup, ProcMap, ProcType};
-pub use project::{share_fraction, AppClass, ProjectSpec, ServerUptime, SporadicSupply, WorkSupply};
+pub use project::{
+    share_fraction, AppClass, ProjectSpec, ServerUptime, SporadicSupply, WorkSupply,
+};
 pub use share::{ideal_allocation, IdealAllocation, ShareDemand, UsableTypes};
 pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE, SECOND};

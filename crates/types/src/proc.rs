@@ -147,11 +147,7 @@ impl Hardware {
 
     /// Add (or replace) a processor group.
     pub fn with_group(mut self, t: ProcType, count: u32, flops_per_inst: f64) -> Self {
-        self.groups[t] = if count == 0 {
-            None
-        } else {
-            Some(ProcGroup { count, flops_per_inst })
-        };
+        self.groups[t] = if count == 0 { None } else { Some(ProcGroup { count, flops_per_inst }) };
         self
     }
 

@@ -198,10 +198,7 @@ pub fn share_fraction(projects: &[ProjectSpec], id: ProjectId) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    projects
-        .iter()
-        .find(|p| p.id == id)
-        .map_or(0.0, |p| p.resource_share / total)
+    projects.iter().find(|p| p.id == id).map_or(0.0, |p| p.resource_share / total)
 }
 
 #[cfg(test)]
@@ -212,7 +209,11 @@ mod tests {
     #[test]
     fn proc_types_reflect_apps() {
         let p = ProjectSpec::new(0, "alpha", 100.0)
-            .with_app(AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(6.0)))
+            .with_app(AppClass::cpu(
+                0,
+                SimDuration::from_secs(1000.0),
+                SimDuration::from_hours(6.0),
+            ))
             .with_app(AppClass::gpu(
                 1,
                 ProcType::NvidiaGpu,
@@ -227,10 +228,7 @@ mod tests {
 
     #[test]
     fn share_fraction_normalizes() {
-        let ps = vec![
-            ProjectSpec::new(0, "a", 100.0),
-            ProjectSpec::new(1, "b", 300.0),
-        ];
+        let ps = vec![ProjectSpec::new(0, "a", 100.0), ProjectSpec::new(1, "b", 300.0)];
         assert_eq!(share_fraction(&ps, ProjectId(0)), 0.25);
         assert_eq!(share_fraction(&ps, ProjectId(1)), 0.75);
         assert_eq!(share_fraction(&ps, ProjectId(9)), 0.0);

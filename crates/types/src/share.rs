@@ -79,10 +79,7 @@ pub struct IdealAllocation {
 
 impl IdealAllocation {
     pub fn total_for(&self, id: ProjectId) -> f64 {
-        self.per_project
-            .iter()
-            .find(|(p, _)| *p == id)
-            .map_or(0.0, |(_, m)| m.total())
+        self.per_project.iter().find(|(p, _)| *p == id).map_or(0.0, |(_, m)| m.total())
     }
 
     pub fn device_split(&self, id: ProjectId) -> Option<&ProcMap<f64>> {
@@ -154,6 +151,9 @@ pub fn ideal_allocation(hw: &Hardware, demands: &[ShareDemand]) -> IdealAllocati
         // such constraint binds.
         let mut next_level = 1.0f64;
         let mut binding: Option<usize> = None;
+        // `mask` is a device-subset bitmask, not a plain index; iterating
+        // `subset_cap` directly would hide that.
+        #[allow(clippy::needless_range_loop)]
         for mask in 1..8usize {
             let mut fixed = 0.0;
             let mut growth = 0.0;
@@ -209,8 +209,7 @@ pub fn ideal_allocation(hw: &Hardware, demands: &[ShareDemand]) -> IdealAllocati
         if leftover <= EPS * scale {
             continue;
         }
-        let users: Vec<usize> =
-            (0..n).filter(|&i| usable_demands[i].usable.contains(t)).collect();
+        let users: Vec<usize> = (0..n).filter(|&i| usable_demands[i].usable.contains(t)).collect();
         let wsum: f64 = users.iter().map(|&i| usable_demands[i].share).sum();
         if wsum <= 0.0 {
             continue;
@@ -222,17 +221,10 @@ pub fn ideal_allocation(hw: &Hardware, demands: &[ShareDemand]) -> IdealAllocati
         }
     }
 
-    let unusable: f64 = ProcType::ALL
-        .iter()
-        .map(|&t| (caps[t] - dev_used[t]).max(0.0))
-        .sum();
+    let unusable: f64 = ProcType::ALL.iter().map(|&t| (caps[t] - dev_used[t]).max(0.0)).sum();
 
     IdealAllocation {
-        per_project: usable_demands
-            .iter()
-            .zip(alloc)
-            .map(|(d, m)| (d.id, m))
-            .collect(),
+        per_project: usable_demands.iter().zip(alloc).map(|(d, m)| (d.id, m)).collect(),
         unusable_flops: unusable,
     }
 }
@@ -252,7 +244,8 @@ fn max_flow_split(
     // Process least-flexible projects first; augment along single edges,
     // then fall back to 3-step augmenting paths (project→dev→project→dev).
     let mut order: Vec<usize> = (0..demands.len()).collect();
-    order.sort_by_key(|&i| ProcType::ALL.iter().filter(|&&t| demands[i].usable.contains(t)).count());
+    order
+        .sort_by_key(|&i| ProcType::ALL.iter().filter(|&&t| demands[i].usable.contains(t)).count());
 
     for &i in &order {
         let mut need = totals[i];
@@ -385,8 +378,11 @@ mod tests {
     fn no_usable_device_idles_unless_unusable() {
         // GPU present but no project can use it: counted as unusable.
         let hw = Hardware::cpu_only(1, 1e9).with_group(ProcType::AtiGpu, 1, 4e9);
-        let demands =
-            [ShareDemand { id: ProjectId(0), share: 1.0, usable: UsableTypes::only(ProcType::Cpu) }];
+        let demands = [ShareDemand {
+            id: ProjectId(0),
+            share: 1.0,
+            usable: UsableTypes::only(ProcType::Cpu),
+        }];
         let a = ideal_allocation(&hw, &demands);
         assert!((a.total_for(ProjectId(0)) - 1e9).abs() < 1e-3);
         assert!((a.unusable_flops - 4e9).abs() < 1e-3);
@@ -394,9 +390,11 @@ mod tests {
 
     #[test]
     fn conservation_and_no_overcommit() {
-        let hw = Hardware::cpu_only(4, 2e9)
-            .with_group(ProcType::NvidiaGpu, 2, 8e9)
-            .with_group(ProcType::AtiGpu, 1, 6e9);
+        let hw = Hardware::cpu_only(4, 2e9).with_group(ProcType::NvidiaGpu, 2, 8e9).with_group(
+            ProcType::AtiGpu,
+            1,
+            6e9,
+        );
         let demands = [
             ShareDemand { id: ProjectId(0), share: 5.0, usable: UsableTypes::only(ProcType::Cpu) },
             ShareDemand {

@@ -231,9 +231,7 @@ impl Eq for SimTime {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("NaN SimTime in ordering context")
+        self.0.partial_cmp(&other.0).expect("NaN SimTime in ordering context")
     }
 }
 
@@ -276,10 +274,7 @@ mod tests {
     fn min_max_and_clamp() {
         let a = SimDuration::from_secs(-5.0);
         assert_eq!(a.clamp_non_negative(), SimDuration::ZERO);
-        assert_eq!(
-            SimTime::from_secs(3.0).min(SimTime::from_secs(2.0)),
-            SimTime::from_secs(2.0)
-        );
+        assert_eq!(SimTime::from_secs(3.0).min(SimTime::from_secs(2.0)), SimTime::from_secs(2.0));
         assert_eq!(
             SimDuration::from_secs(3.0).max(SimDuration::from_secs(9.0)),
             SimDuration::from_secs(9.0)

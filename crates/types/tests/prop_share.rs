@@ -2,9 +2,7 @@
 //! the hardware and demand structure, conservation and fairness invariants
 //! must hold.
 
-use bce_types::{
-    ideal_allocation, Hardware, ProcType, ProjectId, ShareDemand, UsableTypes,
-};
+use bce_types::{ideal_allocation, Hardware, ProcType, ProjectId, ShareDemand, UsableTypes};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

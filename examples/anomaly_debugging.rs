@@ -34,9 +34,11 @@ fn volunteer_scenario(buf: SimDuration) -> Scenario {
             // Tight latency bound: 1500 s for 1000 s jobs.
             AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_secs(1500.0)),
         ))
-        .with_project(ProjectSpec::new(1, "protein_fold", 100.0).with_app(
-            AppClass::cpu(1, SimDuration::from_secs(1000.0), SimDuration::from_days(1.0)),
-        ))
+        .with_project(ProjectSpec::new(1, "protein_fold", 100.0).with_app(AppClass::cpu(
+            1,
+            SimDuration::from_secs(1000.0),
+            SimDuration::from_days(1.0),
+        )))
 }
 
 fn run(policy: JobSchedPolicy, buf: SimDuration) -> boinc_policy_emu::core::EmulationResult {

@@ -18,9 +18,8 @@ use boinc_policy_emu::types::{
 
 fn main() {
     // 8 CPUs + a fast NVIDIA GPU.
-    let hardware = Hardware::cpu_only(8, 2e9)
-        .with_group(ProcType::NvidiaGpu, 1, 5e10)
-        .with_mem(16e9);
+    let hardware =
+        Hardware::cpu_only(8, 2e9).with_group(ProcType::NvidiaGpu, 1, 5e10).with_mem(16e9);
 
     // The user's preferences: no computing between 23:00 and 07:00, GPU
     // paused while they're at the keyboard.
@@ -43,17 +42,17 @@ fn main() {
         .with_seed(7)
         .with_prefs(prefs)
         .with_avail(avail)
-        .with_project(
-            ProjectSpec::new(0, "gpugrid", 100.0).with_app(AppClass::gpu(
-                0,
-                ProcType::NvidiaGpu,
-                SimDuration::from_hours(2.0),
-                SimDuration::from_days(2.0),
-            )),
-        )
-        .with_project(ProjectSpec::new(1, "climate", 100.0).with_app(
-            AppClass::cpu(1, SimDuration::from_hours(8.0), SimDuration::from_days(7.0)),
-        ));
+        .with_project(ProjectSpec::new(0, "gpugrid", 100.0).with_app(AppClass::gpu(
+            0,
+            ProcType::NvidiaGpu,
+            SimDuration::from_hours(2.0),
+            SimDuration::from_days(2.0),
+        )))
+        .with_project(ProjectSpec::new(1, "climate", 100.0).with_app(AppClass::cpu(
+            1,
+            SimDuration::from_hours(8.0),
+            SimDuration::from_days(7.0),
+        )));
 
     let cfg = EmulatorConfig {
         duration: SimDuration::from_days(3.0),
@@ -62,10 +61,7 @@ fn main() {
     };
     let result = Emulator::new(scenario, ClientConfig::default(), cfg).run();
     println!("{result}");
-    println!(
-        "host was available {:.1}% of the emulated period",
-        result.available_fraction * 100.0
-    );
+    println!("host was available {:.1}% of the emulated period", result.available_fraction * 100.0);
 
     // The Figure-2-style visualization: rows are processor instances,
     // columns are time; letters are projects, '.' idle, '-' unavailable.

@@ -23,10 +23,7 @@ fn main() {
         }
     }
 
-    let emulator = EmulatorConfig {
-        duration: SimDuration::from_days(5.0),
-        ..Default::default()
-    };
+    let emulator = EmulatorConfig { duration: SimDuration::from_days(5.0), ..Default::default() };
     // Scenario 2 of the paper: 4 CPUs + 1 GPU, one CPU-only project, one
     // mixed project.
     let comparison = compare_policies(&scenario2(), &policies, &emulator, 0);

@@ -22,8 +22,7 @@ fn main() {
         "sampled {} hosts: {} with GPUs, {:.1} projects on average\n",
         scenarios.len(),
         scenarios.iter().filter(|s| s.hardware.has_gpu()).count(),
-        scenarios.iter().map(|s| s.projects.len()).sum::<usize>() as f64
-            / scenarios.len() as f64,
+        scenarios.iter().map(|s| s.projects.len()).sum::<usize>() as f64 / scenarios.len() as f64,
     );
 
     let policies = vec![
@@ -45,10 +44,7 @@ fn main() {
         ),
     ];
 
-    let emulator = EmulatorConfig {
-        duration: SimDuration::from_days(2.0),
-        ..Default::default()
-    };
+    let emulator = EmulatorConfig { duration: SimDuration::from_days(2.0), ..Default::default() };
     let outcomes = population_study(&scenarios, &policies, &emulator, 0);
     println!("{}", population_table(&outcomes).render());
 

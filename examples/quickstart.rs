@@ -40,10 +40,8 @@ fn main() {
     };
 
     // Emulate 10 days (the paper's default period).
-    let emulator_cfg = EmulatorConfig {
-        duration: SimDuration::from_days(10.0),
-        ..Default::default()
-    };
+    let emulator_cfg =
+        EmulatorConfig { duration: SimDuration::from_days(10.0), ..Default::default() };
     let result = Emulator::new(scenario, client, emulator_cfg).run();
 
     // The full report: figures of merit plus per-project outcomes.

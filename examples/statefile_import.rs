@@ -65,8 +65,9 @@ const SAMPLE_STATE: &str = r#"<?xml version="1.0"?>
 fn main() {
     // Accept a path for a real state file; otherwise replay the sample.
     let xml = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => SAMPLE_STATE.to_string(),
     };
 

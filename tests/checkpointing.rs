@@ -4,9 +4,7 @@
 
 use boinc_policy_emu::client::{ClientConfig, JobSchedPolicy};
 use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
-use boinc_policy_emu::types::{
-    AppClass, Hardware, Preferences, ProjectSpec, SimDuration,
-};
+use boinc_policy_emu::types::{AppClass, Hardware, Preferences, ProjectSpec, SimDuration};
 
 /// A preemption-heavy scenario: tight-deadline jobs keep displacing a
 /// long-running job, forcing rollbacks when it is not kept in memory.
@@ -19,15 +17,19 @@ fn contended(checkpoint_secs: Option<f64>, leave_in_memory: bool) -> Scenario {
             leave_apps_in_memory: leave_in_memory,
             ..Default::default()
         })
-        .with_project(ProjectSpec::new(0, "tight", 100.0).with_app(
-            AppClass::cpu(0, SimDuration::from_secs(600.0), SimDuration::from_secs(1200.0))
-                .with_cv(0.0),
-        ))
-        .with_project(ProjectSpec::new(1, "long", 100.0).with_app(
-            AppClass::cpu(1, SimDuration::from_secs(20_000.0), SimDuration::from_days(4.0))
-                .with_cv(0.0)
-                .with_checkpoint(checkpoint_secs.map(SimDuration::from_secs)),
-        ))
+        .with_project(
+            ProjectSpec::new(0, "tight", 100.0).with_app(
+                AppClass::cpu(0, SimDuration::from_secs(600.0), SimDuration::from_secs(1200.0))
+                    .with_cv(0.0),
+            ),
+        )
+        .with_project(
+            ProjectSpec::new(1, "long", 100.0).with_app(
+                AppClass::cpu(1, SimDuration::from_secs(20_000.0), SimDuration::from_days(4.0))
+                    .with_cv(0.0)
+                    .with_checkpoint(checkpoint_secs.map(SimDuration::from_secs)),
+            ),
+        )
 }
 
 fn run(s: Scenario) -> boinc_policy_emu::core::EmulationResult {

@@ -4,7 +4,7 @@
 use boinc_policy_emu::client::ClientConfig;
 use boinc_policy_emu::core::{EmulationResult, Emulator, EmulatorConfig};
 use boinc_policy_emu::scenarios::{
-    doc_from_scenario, scenario_from_state_file, scenario2, scenario4_sized, PopulationModel,
+    doc_from_scenario, scenario2, scenario4_sized, scenario_from_state_file, PopulationModel,
     PopulationSampler,
 };
 use boinc_policy_emu::sim::Level;
@@ -87,4 +87,48 @@ fn log_and_timeline_do_not_perturb_results() {
         Emulator::new(scenario2(), ClientConfig::default(), c).run()
     };
     assert_eq!(fingerprint(&bare), fingerprint(&observed));
+}
+
+#[test]
+fn fault_injected_emulation_is_bit_reproducible() {
+    // The fault-injection subsystem draws from dedicated named RNG
+    // streams, so a faulty run is exactly as reproducible as a clean one:
+    // same seed, same crash times, same lost RPCs, same metrics.
+    use boinc_policy_emu::core::FaultConfig;
+    let run = || {
+        let mut faults = FaultConfig::with_failure_rate(0.15);
+        faults.crash_mtbf = Some(SimDuration::from_hours(6.0));
+        let c =
+            EmulatorConfig { duration: SimDuration::from_days(1.0), faults, ..Default::default() };
+        let r = Emulator::new(scenario2(), ClientConfig::default(), c).run();
+        (
+            fingerprint(&r),
+            r.faults.transient_rpc_failures,
+            r.faults.transfer_failures,
+            r.faults.crashes,
+            r.faults.jobs_errored,
+            r.faults.fault_wasted_fraction.to_bits(),
+            r.faults.mean_recovery_secs.to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn zero_rate_faults_are_bit_identical_to_no_faults() {
+    // The zero-fault identity: a config with every rate at zero must not
+    // create (or draw from) any fault stream, so the emulation is
+    // bit-identical to one that never heard of faults.
+    use boinc_policy_emu::core::FaultConfig;
+    let plain = Emulator::new(scenario2(), ClientConfig::default(), cfg(1.0)).run();
+    let zeroed = {
+        let c = EmulatorConfig {
+            duration: SimDuration::from_days(1.0),
+            faults: FaultConfig::with_failure_rate(0.0),
+            ..Default::default()
+        };
+        Emulator::new(scenario2(), ClientConfig::default(), c).run()
+    };
+    assert_eq!(fingerprint(&plain), fingerprint(&zeroed));
+    assert!(!zeroed.faults.any(), "no fault metrics may accrue at rate 0");
 }

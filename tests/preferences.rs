@@ -10,13 +10,12 @@ use boinc_policy_emu::types::{
 };
 
 fn base_scenario(prefs: Preferences) -> Scenario {
-    Scenario::new("prefs", Hardware::cpu_only(4, 1e9))
-        .with_seed(11)
-        .with_prefs(prefs)
-        .with_project(ProjectSpec::new(0, "p", 100.0).with_app(
+    Scenario::new("prefs", Hardware::cpu_only(4, 1e9)).with_seed(11).with_prefs(prefs).with_project(
+        ProjectSpec::new(0, "p", 100.0).with_app(
             AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
                 .with_cv(0.0),
-        ))
+        ),
+    )
 }
 
 fn cfg(days: f64) -> EmulatorConfig {
@@ -25,12 +24,9 @@ fn cfg(days: f64) -> EmulatorConfig {
 
 #[test]
 fn compute_window_halves_throughput() {
-    let always = Emulator::new(
-        base_scenario(Preferences::default()),
-        ClientConfig::default(),
-        cfg(2.0),
-    )
-    .run();
+    let always =
+        Emulator::new(base_scenario(Preferences::default()), ClientConfig::default(), cfg(2.0))
+            .run();
     let windowed = Emulator::new(
         base_scenario(Preferences {
             compute_window: Some(DailyWindow::new(0.0, 12.0)),
@@ -47,12 +43,9 @@ fn compute_window_halves_throughput() {
 
 #[test]
 fn max_ncpus_limits_parallelism() {
-    let full = Emulator::new(
-        base_scenario(Preferences::default()),
-        ClientConfig::default(),
-        cfg(1.0),
-    )
-    .run();
+    let full =
+        Emulator::new(base_scenario(Preferences::default()), ClientConfig::default(), cfg(1.0))
+            .run();
     let half = Emulator::new(
         base_scenario(Preferences { max_ncpus_frac: 0.5, ..Default::default() }),
         ClientConfig::default(),
@@ -102,13 +95,13 @@ fn memory_limit_serializes_big_jobs() {
     // Two 3 GB jobs cannot run together on a 4 GB host at the 90% idle
     // limit; with big RAM they can.
     let mk = |mem: f64| {
-        Scenario::new("mem", Hardware::cpu_only(2, 1e9).with_mem(mem))
-            .with_seed(17)
-            .with_project(ProjectSpec::new(0, "fat", 100.0).with_app(
+        Scenario::new("mem", Hardware::cpu_only(2, 1e9).with_mem(mem)).with_seed(17).with_project(
+            ProjectSpec::new(0, "fat", 100.0).with_app(
                 AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
                     .with_cv(0.0)
                     .with_working_set(3e9),
-            ))
+            ),
+        )
     };
     let small = Emulator::new(mk(4e9), ClientConfig::default(), cfg(1.0)).run();
     let big = Emulator::new(mk(32e9), ClientConfig::default(), cfg(1.0)).run();

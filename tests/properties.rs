@@ -41,7 +41,18 @@ fn params() -> impl Strategy<Value = ScenarioParams> {
         prop_oneof![Just(FetchPolicy::Orig), Just(FetchPolicy::Hysteresis)],
     )
         .prop_map(
-            |(ncpus, cpu_flops, has_gpu, nprojects, runtimes, slack_factors, shares, seed, sched, fetch)| {
+            |(
+                ncpus,
+                cpu_flops,
+                has_gpu,
+                nprojects,
+                runtimes,
+                slack_factors,
+                shares,
+                seed,
+                sched,
+                fetch,
+            )| {
                 ScenarioParams {
                     ncpus,
                     cpu_flops,
@@ -93,7 +104,7 @@ fn build(p: &ScenarioParams) -> Scenario {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn emulation_invariants(p in params()) {
@@ -141,5 +152,102 @@ proptest! {
         let b = Emulator::new(build(&p), client, cfg).run();
         prop_assert_eq!(a.jobs_completed, b.jobs_completed);
         prop_assert_eq!(a.total_flops_used.to_bits(), b.total_flops_used.to_bits());
+    }
+}
+
+// --- Retry/backoff properties (fault-injection subsystem) ---
+
+use boinc_policy_emu::faults::{RetryPolicy, RetryState};
+use boinc_policy_emu::types::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// Any sequence of failures and successes yields delays that are
+    /// monotone non-decreasing within a failure streak, always within the
+    /// policy's [min, max] caps, and fully deterministic (replaying the
+    /// sequence reproduces every deadline bit-for-bit).
+    #[test]
+    fn backoff_delays_monotone_capped_deterministic(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..80),
+        jitters in proptest::collection::vec(0.0f64..1.0, 80),
+        jitter_amp in 0.0f64..=0.5,
+    ) {
+        let policy = RetryPolicy { jitter: jitter_amp, ..RetryPolicy::SCHEDULER_RPC };
+        let replay = |state: &mut RetryState| -> Vec<u64> {
+            let mut deadlines = Vec::new();
+            let mut now = SimTime::ZERO;
+            for (i, &fail) in outcomes.iter().enumerate() {
+                if fail {
+                    state.fail(now, &policy, jitters[i]);
+                    deadlines.push((state.until.secs() - now.secs()).to_bits());
+                    now = state.until; // next attempt when the backoff expires
+                } else {
+                    state.succeed();
+                    deadlines.push(0u64);
+                }
+            }
+            deadlines
+        };
+        let a = replay(&mut RetryState::new());
+        let b = replay(&mut RetryState::new());
+        prop_assert_eq!(&a, &b, "same sequence must reproduce identical delays");
+
+        // Per-streak properties on the jitter-free base delay.
+        let mut streak = 0u32;
+        let mut prev_base = 0.0f64;
+        for &fail in &outcomes {
+            if fail {
+                let base = policy.delay_for(streak, 0.0);
+                prop_assert!(base.secs() >= policy.min_delay.secs());
+                prop_assert!(base.secs() <= policy.max_delay.secs());
+                if streak > 0 {
+                    prop_assert!(base.secs() >= prev_base, "delay shrank within a streak");
+                }
+                prev_base = base.secs();
+                streak += 1;
+            } else {
+                streak = 0;
+                prev_base = 0.0;
+            }
+        }
+
+        // Jittered delays respect the caps for every observed draw.
+        for (i, &fail) in outcomes.iter().enumerate() {
+            if fail {
+                let d = policy.delay_for(i as u32, jitters[i]);
+                prop_assert!(d.secs() >= policy.min_delay.secs());
+                prop_assert!(d.secs() <= policy.max_delay.secs());
+            }
+        }
+    }
+
+    /// A give-up limit always triggers after exactly `limit` consecutive
+    /// failures, never earlier, and a success anywhere resets the count.
+    #[test]
+    fn give_up_fires_exactly_at_limit(limit in 1u32..12, prefix in 0u32..11) {
+        use boinc_policy_emu::faults::RetryVerdict;
+        let policy = RetryPolicy {
+            give_up_after: Some(limit),
+            jitter: 0.0,
+            ..RetryPolicy::TRANSFER
+        };
+        let mut state = RetryState::new();
+        let now = SimTime::ZERO;
+        // A prefix of failures short of the limit, then one success.
+        for i in 0..prefix.min(limit - 1) {
+            let v = state.fail(now, &policy, 0.0);
+            prop_assert_eq!(v, RetryVerdict::RetryAt(state.until), "gave up early at {}", i);
+        }
+        state.succeed();
+        // Now the full ladder to the limit.
+        for i in 1..=limit {
+            let v = state.fail(now, &policy, 0.0);
+            if i == limit {
+                prop_assert_eq!(v, RetryVerdict::GiveUp);
+            } else {
+                prop_assert_eq!(v, RetryVerdict::RetryAt(state.until));
+            }
+        }
     }
 }
