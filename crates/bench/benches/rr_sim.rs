@@ -2,9 +2,16 @@
 //! every scheduling decision (§3.2), so its cost bounds emulator speed —
 //! especially in many-project scenarios like Scenario 4.
 
-use bce_client::{rr_simulate, RrJob, RrPlatform};
+use bce_avail::HostRunState;
+use bce_client::{
+    rr_simulate, rr_simulate_into, rr_simulate_reference, Client, ClientConfig, RrJob, RrOutcome,
+    RrPlatform, RrScratch,
+};
 use bce_sim::Rng;
-use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+use bce_types::{
+    AppId, Hardware, JobId, JobSpec, Preferences, ProcMap, ProcType, ProjectId, ResourceUsage,
+    SimDuration, SimTime,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -51,5 +58,104 @@ fn bench_rr(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rr);
+/// Scratch-vs-alloc: the same simulation through the per-call-allocating
+/// entry points (`simulate`, `simulate_reference`) and the reusable-scratch
+/// fast path (`simulate_into`), at queue depths bracketing real workloads.
+fn bench_scratch_vs_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rr_sim_scratch_vs_alloc");
+    for njobs in [10usize, 100, 1000] {
+        let mut rng = Rng::from_seed(7);
+        let nprojects = (njobs / 8).clamp(2, 40);
+        let jobs = make_jobs(njobs, nprojects, &mut rng);
+        let mut ninstances = ProcMap::zero();
+        ninstances[ProcType::Cpu] = 4.0;
+        ninstances[ProcType::NvidiaGpu] = 1.0;
+        let platform = RrPlatform {
+            now: SimTime::ZERO,
+            ninstances,
+            on_frac: 1.0,
+            shares: (0..nprojects).map(|p| (ProjectId(p as u32), 1.0)).collect(),
+        };
+        let window = SimDuration::from_hours(2.0);
+        g.bench_with_input(BenchmarkId::new("reference", njobs), &jobs, |b, jobs| {
+            b.iter(|| black_box(rr_simulate_reference(&platform, black_box(jobs), window)))
+        });
+        g.bench_with_input(BenchmarkId::new("alloc", njobs), &jobs, |b, jobs| {
+            b.iter(|| black_box(rr_simulate(&platform, black_box(jobs), window)))
+        });
+        g.bench_with_input(BenchmarkId::new("scratch", njobs), &jobs, |b, jobs| {
+            let mut scratch = RrScratch::new();
+            let mut out = RrOutcome::default();
+            b.iter(|| {
+                rr_simulate_into(&platform, black_box(jobs), window, &mut scratch, &mut out);
+                black_box(out.finish.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_client(njobs: usize) -> Client {
+    let nprojects = (njobs / 8).clamp(2, 40) as u32;
+    let mut c = Client::new(
+        Hardware::cpu_only(4, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10).with_vram(4e9),
+        Preferences::default(),
+        (0..nprojects)
+            .map(|p| {
+                Client::project(p, format!("p{p}"), 1.0, &[ProcType::Cpu, ProcType::NvidiaGpu])
+            })
+            .collect(),
+        ClientConfig::default(),
+    );
+    let mut rng = Rng::from_seed(11);
+    c.add_jobs(
+        (0..njobs)
+            .map(|i| JobSpec {
+                id: JobId(i as u64),
+                project: ProjectId(i as u32 % nprojects),
+                app: AppId(0),
+                usage: if i % 5 == 0 {
+                    ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1)
+                } else {
+                    ResourceUsage::one_cpu()
+                },
+                duration: SimDuration::from_secs(rng.range(100.0, 5000.0)),
+                duration_est: SimDuration::from_secs(rng.range(100.0, 5000.0)),
+                latency_bound: SimDuration::from_secs(rng.range(5_000.0, 100_000.0)),
+                checkpoint_period: Some(SimDuration::from_secs(60.0)),
+                working_set_bytes: 1e8,
+                input_bytes: 0.0,
+                output_bytes: 0.0,
+                received: SimTime::ZERO,
+            })
+            .collect(),
+    );
+    c
+}
+
+/// Cached-vs-uncached: repeated same-instant queries through the client's
+/// generation-keyed snapshot cache (`rr_refresh`, hits after the first)
+/// against a fresh full simulation per query (`rr_simulate`) — the
+/// before/after of the decision-point hot path.
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rr_sim_cached_vs_uncached");
+    let rs = HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false };
+    for njobs in [10usize, 100, 1000] {
+        let client = bench_client(njobs);
+        g.bench_with_input(BenchmarkId::new("uncached", njobs), &client, |b, client| {
+            b.iter(|| black_box(client.rr_simulate(SimTime::ZERO, rs, 1.0)))
+        });
+        let mut client = bench_client(njobs);
+        client.rr_refresh(SimTime::ZERO, rs, 1.0); // prime: every iter is a hit
+        g.bench_function(BenchmarkId::new("cached", njobs), |b| {
+            b.iter(|| {
+                client.rr_refresh(SimTime::ZERO, rs, 1.0);
+                black_box(client.rr_snapshot().finish.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rr, bench_scratch_vs_alloc, bench_cached_vs_uncached);
 criterion_main!(benches);

@@ -58,4 +58,5 @@ fn main() {
     if save_text(&path, &t.to_csv()).is_ok() {
         println!("wrote {}", path.display());
     }
+    opts.write_json(&[("emboinc_study", &t)]);
 }

@@ -94,4 +94,5 @@ fn main() {
     if save_text(&path, &csv).is_ok() {
         println!("wrote {}", path.display());
     }
+    opts.write_json(&[("allocation", &t), ("emulated", &t2)]);
 }

@@ -7,11 +7,14 @@
 //! quantities the policies consume: deadline-endangered jobs, `SAT(T)`
 //! and `SHORTFALL(T)`.
 
+use bce_bench::FigOpts;
 use bce_client::{rr_simulate, RrJob, RrPlatform};
 use bce_controller::{save_text, Table};
 use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
 
 fn main() {
+    // Snapshot figure: no emulated duration, but --json still applies.
+    let opts = FigOpts::parse(0.0);
     let mut ninstances = ProcMap::zero();
     ninstances[ProcType::Cpu] = 4.0;
     ninstances[ProcType::NvidiaGpu] = 1.0;
@@ -104,4 +107,5 @@ fn main() {
     if save_text(&path, &t.to_csv()).is_ok() {
         println!("wrote {}", path.display());
     }
+    opts.write_json(&[("jobs", &t), ("horizons", &t2)]);
 }

@@ -63,4 +63,5 @@ fn main() {
     if save_text(&path, &cmp.table().to_csv()).is_ok() {
         println!("wrote {}", path.display());
     }
+    opts.write_json(&[("fig4", &cmp.table())]);
 }

@@ -41,4 +41,5 @@ fn main() {
     if save_text(&path, &cmp.table().to_csv()).is_ok() {
         println!("wrote {}", path.display());
     }
+    opts.write_json(&[("fig5", &cmp.table())]);
 }

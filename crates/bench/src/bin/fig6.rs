@@ -79,4 +79,5 @@ fn main() {
     if save_text(&path, &table.to_csv()).is_ok() {
         println!("wrote {}", path.display());
     }
+    opts.write_json(&[("fig6", &table)]);
 }

@@ -105,4 +105,5 @@ fn main() {
     if save_text(&path, &t.to_csv()).is_ok() {
         println!("wrote {}", path.display());
     }
+    opts.write_json(&[("fleet_study", &t)]);
 }

@@ -25,42 +25,88 @@ pub fn fetch_policies() -> Vec<(String, ClientConfig)> {
 }
 
 /// Command-line options shared by the figure binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FigOpts {
     /// Emulated days (figures default to the paper's 10; fig6 to 60).
     pub days: f64,
     /// Quick mode shrinks durations/sweeps for CI-style smoke runs.
     pub quick: bool,
+    /// Also write the figure's tables as JSON to this path.
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl FigOpts {
-    /// Parse `--days N` and `--quick` from `std::env::args`.
+    /// Parse `--days N`, `--quick` and `--json PATH` from
+    /// `std::env::args`. Unknown arguments are an error (exit 1), not a
+    /// warning — a typo'd flag silently producing a default-config figure
+    /// is worse than no figure.
     pub fn parse(default_days: f64) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(&args, default_days) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--days N] [--quick] [--json PATH]");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Testable core of [`FigOpts::parse`] (no process exit, no env).
+    pub fn parse_from(args: &[String], default_days: f64) -> Result<Self, String> {
         let mut days = default_days;
         let mut quick = false;
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let mut json = None;
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => quick = true,
                 "--days" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        days = v;
-                        i += 1;
-                    }
+                    let v = args.get(i + 1).ok_or("--days requires a value")?;
+                    days = v.parse().map_err(|_| format!("invalid --days value {v:?}"))?;
+                    i += 1;
                 }
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                "--json" => {
+                    let v = args.get(i + 1).ok_or("--json requires a path")?;
+                    json = Some(std::path::PathBuf::from(v));
+                    i += 1;
+                }
+                other => return Err(format!("unknown argument {other:?}")),
             }
             i += 1;
         }
         if quick {
             days = days.min(1.0);
         }
-        FigOpts { days, quick }
+        Ok(FigOpts { days, quick, json })
     }
 
     pub fn emulator(&self) -> EmulatorConfig {
         EmulatorConfig { duration: SimDuration::from_days(self.days), ..Default::default() }
+    }
+
+    /// Serialize a figure's named tables as one JSON object.
+    pub fn tables_json(tables: &[(&str, &bce_controller::Table)]) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, t)) in tables.iter().enumerate() {
+            out.push_str(&format!("\"{name}\": {}", t.to_json()));
+            out.push_str(if i + 1 < tables.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// If `--json PATH` was given, write the figure's named tables there
+    /// as one JSON object (`{"<name>": [rows...], ...}`).
+    pub fn write_json(&self, tables: &[(&str, &bce_controller::Table)]) {
+        let Some(path) = &self.json else { return };
+        match bce_controller::save_text(path, &Self::tables_json(tables)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -85,7 +131,46 @@ mod tests {
 
     #[test]
     fn opts_default() {
-        let o = FigOpts { days: 10.0, quick: false };
+        let o = FigOpts { days: 10.0, quick: false, json: None };
         assert_eq!(o.emulator().duration, SimDuration::from_days(10.0));
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_known_flags() {
+        let o = FigOpts::parse_from(&args(&["--days", "3.5", "--json", "out.json"]), 10.0).unwrap();
+        assert_eq!(o.days, 3.5);
+        assert!(!o.quick);
+        assert_eq!(o.json.as_deref(), Some(std::path::Path::new("out.json")));
+        // Quick caps the horizon.
+        let o = FigOpts::parse_from(&args(&["--quick"]), 10.0).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.days, 1.0);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed() {
+        assert!(FigOpts::parse_from(&args(&["--dsys", "3"]), 10.0)
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(FigOpts::parse_from(&args(&["--days"]), 10.0).unwrap_err().contains("value"));
+        assert!(FigOpts::parse_from(&args(&["--days", "abc"]), 10.0)
+            .unwrap_err()
+            .contains("invalid"));
+        assert!(FigOpts::parse_from(&args(&["--json"]), 10.0).unwrap_err().contains("path"));
+    }
+
+    #[test]
+    fn tables_json_shape() {
+        let mut t = bce_controller::Table::new(&["k", "v"]);
+        t.row(&["a".into(), "1".into()]);
+        let j = FigOpts::tables_json(&[("fig", &t), ("extra", &t)]);
+        assert!(j.starts_with("{\n\"fig\": ["));
+        assert!(j.contains("\"extra\": ["));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 }

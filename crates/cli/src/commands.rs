@@ -52,6 +52,11 @@ USAGE:
                       failures, in seconds
       --seed N        override the scenario seed
 
+  bce bench [--quick] [--out FILE]
+      run the standard benchmark scenario set and report wall time, event
+      throughput and RR-simulation cache statistics as JSON (--out writes
+      the JSON and prints a summary table instead)
+
   bce help
 ";
 
@@ -100,6 +105,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "validate" => cmd_validate(&args)?,
         "fleet" => cmd_fleet(&args)?,
         "faults" => cmd_faults(&args)?,
+        "bench" => cmd_bench(&args)?,
         "help" | "--help" => {
             return Ok(HELP.to_string());
         }
@@ -484,6 +490,24 @@ fn cmd_faults(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_bench(args: &Args) -> Result<String, CliError> {
+    let quick = args.flag("quick");
+    let records = crate::perf_report::run_bench(quick);
+    let json = crate::perf_report::to_json(&records, quick);
+    match args.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "benchmark suite ({} mode):\n\n{}\nwrote {path}\n",
+                if quick { "quick" } else { "full" },
+                crate::perf_report::summary(&records)
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +632,20 @@ mod tests {
         assert!(run("faults scenario1 --rates ").is_err());
         assert!(run("faults scenario1 --mtbf -10").is_err());
         assert!(run("faults").is_err());
+    }
+
+    #[test]
+    fn bench_quick_emits_json() {
+        let out = run("bench --quick").unwrap();
+        assert!(out.contains("\"bench\": \"bce\""), "{out}");
+        assert!(out.contains("scenario3_fig6_60d"), "{out}");
+        assert!(out.contains("\"cache_hit_rate\""), "{out}");
+        let dir = std::env::temp_dir().join("bce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bench.json");
+        let out = run(&format!("bench --quick --out {}", p.to_str().unwrap())).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(std::fs::read_to_string(&p).unwrap().contains("events_per_sec"));
     }
 
     #[test]

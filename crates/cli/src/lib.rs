@@ -10,6 +10,8 @@
 
 pub mod args;
 pub mod commands;
+pub mod perf_report;
 
 pub use args::{ArgError, Args};
 pub use commands::{dispatch, CliError, HELP};
+pub use perf_report::{run_bench, BenchRecord};

@@ -1,0 +1,194 @@
+//! `bce bench` — the benchmark-trajectory harness.
+//!
+//! Runs the standard scenario set through the emulator, measuring wall
+//! time and the engine's runtime counters (events processed, RR-simulation
+//! queries/runs, cache-hit rate, peak queue depth), and renders the result
+//! as machine-readable JSON. Successive reports are committed as
+//! `BENCH_<pr>.json` at the repo root so the performance trajectory of the
+//! codebase stays visible in review (see EXPERIMENTS.md).
+
+use bce_client::{ClientConfig, JobSchedPolicy};
+use bce_core::{EmulationResult, Emulator, EmulatorConfig, Scenario};
+use bce_scenarios::{scenario1, scenario2, scenario3, scenario4};
+use bce_types::SimDuration;
+
+/// One benchmark scenario's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub name: String,
+    pub days: f64,
+    pub wall_ms: f64,
+    pub events: u64,
+    pub events_per_sec: f64,
+    pub rr_queries: u64,
+    pub rr_runs: u64,
+    pub cache_hit_rate: f64,
+    pub peak_jobs: usize,
+    pub jobs_completed: u64,
+}
+
+/// The standard benchmark set: the four paper scenarios, with scenario 3
+/// run over the fig6 60-day horizon (the heaviest workload in the repo).
+/// Quick mode shrinks horizons for CI smoke runs.
+fn standard_set(quick: bool) -> Vec<(String, Scenario, f64, ClientConfig)> {
+    let d = |full: f64, q: f64| if quick { q } else { full };
+    vec![
+        (
+            "scenario1_tight_deadlines".into(),
+            scenario1(SimDuration::from_secs(1500.0)),
+            d(10.0, 0.5),
+            ClientConfig::default(),
+        ),
+        ("scenario2_cpu_gpu".into(), scenario2(), d(10.0, 0.5), ClientConfig::default()),
+        (
+            "scenario3_fig6_60d".into(),
+            scenario3(),
+            d(60.0, 2.0),
+            ClientConfig {
+                sched_policy: JobSchedPolicy::GLOBAL,
+                rec_half_life: SimDuration::from_secs(1e6),
+                ..Default::default()
+            },
+        ),
+        ("scenario4_availability".into(), scenario4(), d(10.0, 0.5), ClientConfig::default()),
+    ]
+}
+
+fn measure(name: &str, scenario: Scenario, days: f64, cfg: ClientConfig) -> BenchRecord {
+    let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let start = std::time::Instant::now();
+    let r: EmulationResult = Emulator::new(scenario, cfg, emu).run();
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let events = r.perf.events_processed;
+    BenchRecord {
+        name: name.to_string(),
+        days,
+        wall_ms,
+        events,
+        events_per_sec: if wall_ms > 0.0 { events as f64 / (wall_ms / 1e3) } else { 0.0 },
+        rr_queries: r.perf.rr_queries,
+        rr_runs: r.perf.rr_runs,
+        cache_hit_rate: r.perf.rr_hit_rate(),
+        peak_jobs: r.perf.peak_jobs,
+        jobs_completed: r.jobs_completed,
+    }
+}
+
+/// Run the full benchmark suite.
+pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
+    standard_set(quick).into_iter().map(|(n, s, d, c)| measure(&n, s, d, c)).collect()
+}
+
+/// JSON-escape + format helpers (the workspace is dependency-free, so the
+/// report is rendered by hand; every value here is a finite number or a
+/// controlled ASCII name, which keeps this trivial).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the benchmark report as JSON.
+pub fn to_json(records: &[BenchRecord], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"bce\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"days\": {},\n", jnum(r.days)));
+        out.push_str(&format!("      \"wall_ms\": {},\n", jnum(r.wall_ms)));
+        out.push_str(&format!("      \"events\": {},\n", r.events));
+        out.push_str(&format!("      \"events_per_sec\": {},\n", jnum(r.events_per_sec)));
+        out.push_str(&format!("      \"rr_sim_queries\": {},\n", r.rr_queries));
+        out.push_str(&format!("      \"rr_sim_runs\": {},\n", r.rr_runs));
+        out.push_str(&format!("      \"cache_hit_rate\": {},\n", jnum(r.cache_hit_rate)));
+        out.push_str(&format!("      \"peak_jobs\": {},\n", r.peak_jobs));
+        out.push_str(&format!("      \"jobs_completed\": {}\n", r.jobs_completed));
+        out.push_str(if i + 1 < records.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Human-readable summary table of a benchmark run.
+pub fn summary(records: &[BenchRecord]) -> String {
+    let mut t = bce_controller::Table::new(&[
+        "scenario",
+        "days",
+        "wall_ms",
+        "events",
+        "events/s",
+        "rr runs",
+        "hit rate",
+        "peak jobs",
+    ]);
+    for r in records {
+        t.row(&[
+            r.name.clone(),
+            format!("{:.1}", r.days),
+            format!("{:.1}", r.wall_ms),
+            r.events.to_string(),
+            format!("{:.0}", r.events_per_sec),
+            format!("{}/{}", r.rr_runs, r.rr_queries),
+            format!("{:.3}", r.cache_hit_rate),
+            r.peak_jobs.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_records() {
+        let recs = run_bench(true);
+        assert_eq!(recs.len(), 4);
+        for r in &recs {
+            assert!(r.events > 0, "{}: no events", r.name);
+            assert!(r.rr_queries >= r.rr_runs, "{}: runs exceed queries", r.name);
+        }
+        // Scenario 3's jobs outlast the quick horizon, so completions are
+        // only guaranteed suite-wide.
+        assert!(recs.iter().map(|r| r.jobs_completed).sum::<u64>() > 0, "no jobs anywhere");
+        // The fetch loop re-queries the snapshot at every decision point,
+        // so some hits must occur.
+        assert!(recs.iter().any(|r| r.cache_hit_rate > 0.0), "no cache hits anywhere");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let recs = vec![BenchRecord {
+            name: "x".into(),
+            days: 1.0,
+            wall_ms: 12.5,
+            events: 100,
+            events_per_sec: 8000.0,
+            rr_queries: 10,
+            rr_runs: 4,
+            cache_hit_rate: 0.6,
+            peak_jobs: 7,
+            jobs_completed: 3,
+        }];
+        let j = to_json(&recs, true);
+        assert!(j.contains("\"quick\": true"));
+        assert!(j.contains("\"wall_ms\": 12.500"));
+        assert!(j.contains("\"cache_hit_rate\": 0.600"));
+        // Balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(f64::INFINITY), "null");
+        assert_eq!(jnum(2.0), "2.000");
+    }
+}

@@ -31,10 +31,14 @@ pub enum AccountingKind {
 const MAX_DEBT: f64 = 86_400.0;
 
 /// Per-interval usage report fed to [`Accounting::update`].
+///
+/// Rebuilt once per client advance (the hot path), so the containers are
+/// flat vectors that can be cleared and refilled without reallocating;
+/// each project appears at most once in `used`.
 #[derive(Debug, Clone, Default)]
 pub struct UsageSample {
     /// Instances of each type in use by each project over the interval.
-    pub used: BTreeMap<ProjectId, ProcMap<f64>>,
+    pub used: Vec<(ProjectId, ProcMap<f64>)>,
     /// Projects with runnable/queued work of each type. Short-term
     /// (scheduling) debt accrues only while a project can actually use the
     /// resource; §2.1 leaves this unspecified and we follow the BOINC
@@ -46,6 +50,34 @@ pub struct UsageSample {
     /// without this, whichever project wins the first tie monopolizes
     /// fetch forever.
     pub fetchable: ProcMap<Vec<ProjectId>>,
+}
+
+impl UsageSample {
+    /// Empty the sample, keeping allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.used.clear();
+        for t in ProcType::ALL {
+            self.runnable[t].clear();
+            self.fetchable[t].clear();
+        }
+    }
+
+    /// Instances in use by project `p`, if any.
+    pub fn used_of(&self, p: ProjectId) -> Option<&ProcMap<f64>> {
+        self.used.iter().find(|(id, _)| *id == p).map(|(_, m)| m)
+    }
+
+    /// The (created-on-demand) usage entry for project `p`.
+    pub fn used_entry(&mut self, p: ProjectId) -> &mut ProcMap<f64> {
+        let idx = match self.used.iter().position(|(id, _)| *id == p) {
+            Some(i) => i,
+            None => {
+                self.used.push((p, ProcMap::zero()));
+                self.used.len() - 1
+            }
+        };
+        &mut self.used[idx].1
+    }
 }
 
 /// Resource-share accounting state.
@@ -137,12 +169,13 @@ impl Accounting {
         shares: &[(ProjectId, f64)],
         dt: f64,
         hw: &Hardware,
-        used: &BTreeMap<ProjectId, ProcMap<f64>>,
+        used: &[(ProjectId, ProcMap<f64>)],
         membership: &ProcMap<Vec<ProjectId>>,
     ) {
         let share_of = |p: ProjectId| -> f64 {
             shares.iter().find(|(id, _)| *id == p).map_or(0.0, |(_, s)| *s)
         };
+        let used_of = |p: ProjectId| used.iter().find(|(id, _)| *id == p).map(|(_, m)| m);
         for t in ProcType::ALL {
             let ninst = hw.ninstances(t) as f64;
             if ninst <= 0.0 {
@@ -159,13 +192,13 @@ impl Accounting {
             // Accrue: entitled instance-seconds minus used instance-seconds.
             for &p in eligible {
                 let entitled = share_of(p) / share_sum * ninst;
-                let u = used.get(&p).map_or(0.0, |m| m[t]);
+                let u = used_of(p).map_or(0.0, |m| m[t]);
                 let d = debts.entry(p).or_insert_with(ProcMap::zero);
                 d[t] += dt * (entitled - u);
             }
             // Projects not eligible still pay for use (e.g. finishing a
             // last job while out of further work).
-            for (&p, used_map) in used {
+            for &(p, ref used_map) in used {
                 if !eligible.contains(&p) && used_map[t] > 0.0 {
                     let d = debts.entry(p).or_insert_with(ProcMap::zero);
                     d[t] -= dt * used_map[t];
@@ -193,8 +226,7 @@ impl Accounting {
         for (p, rec) in self.rec.iter_mut() {
             // Peak FLOPS in use by this project over the interval.
             let rate: f64 = sample
-                .used
-                .get(p)
+                .used_of(*p)
                 .map_or(0.0, |m| ProcType::ALL.iter().map(|&t| m[t] * hw.flops_per_inst(t)).sum());
             *rec = *rec * decay + rate * gain;
         }
@@ -269,7 +301,7 @@ mod tests {
             let mut m = ProcMap::zero();
             m[ProcType::Cpu] = c;
             m[ProcType::NvidiaGpu] = g;
-            s.used.insert(ProjectId(p), m);
+            s.used.push((ProjectId(p), m));
         }
         s.runnable[ProcType::Cpu] = runnable_cpu.iter().map(|&p| ProjectId(p)).collect();
         s.runnable[ProcType::NvidiaGpu] = runnable_gpu.iter().map(|&p| ProjectId(p)).collect();

@@ -9,7 +9,7 @@
 
 use crate::accounting::{Accounting, UsageSample};
 use crate::fetch::{self, Backoff, FetchDecision, FetchPolicy, FetchProject};
-use crate::rr_sim::{self, RrJob, RrOutcome, RrPlatform};
+use crate::rr_sim::{self, RrJob, RrOutcome, RrPlatform, RrScratch};
 use crate::sched::{self, JobSchedPolicy, PlanInput};
 use crate::task::{Task, TaskState};
 use crate::xfer::{NetworkModel, Transfers};
@@ -106,14 +106,39 @@ pub struct AdvanceEvents {
     pub transfer_failures: u64,
 }
 
-/// What changed during [`Client::reschedule`].
+/// What changed during [`Client::reschedule`]. The RR snapshot the decision
+/// was based on is available via [`Client::rr_snapshot`].
 #[derive(Debug, Clone)]
 pub struct Reschedule {
     pub started: Vec<JobId>,
     pub preempted: Vec<JobId>,
-    /// The round-robin simulation snapshot the decision was based on.
-    pub rr: RrOutcome,
 }
+
+/// Counters for the cached RR simulation (see [`Client::rr_refresh`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RrStats {
+    /// Times a decision point asked for the RR snapshot.
+    pub queries: u64,
+    /// Times the simulation actually ran (cache misses).
+    pub runs: u64,
+}
+
+impl RrStats {
+    pub fn hits(&self) -> u64 {
+        self.queries - self.runs
+    }
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Cache key for the RR snapshot: everything `rr_simulate`'s inputs depend
+/// on besides client state, plus the client-state generation counter.
+type RrKey = (SimTime, HostRunState, u64, u64);
 
 /// The emulated client.
 pub struct Client {
@@ -133,6 +158,22 @@ pub struct Client {
     xfer_faults: Option<TransferFaultModel>,
     /// Failed transfers awaiting their next attempt.
     xfer_retries: Vec<XferRetry>,
+    /// Generation counter of RR-simulation-relevant client state; bumped by
+    /// every mutation that can change the simulation's inputs (see the
+    /// "Hot path & caching invariants" section of DESIGN.md).
+    state_gen: u64,
+    /// Reusable platform description: shares are fixed at construction,
+    /// `now`/`ninstances`/`on_frac` are refreshed per simulation.
+    rr_platform: RrPlatform,
+    /// Reusable job-list buffer for the simulation.
+    rr_jobs: Vec<RrJob>,
+    rr_scratch: RrScratch,
+    /// The cached simulation outcome; valid for `rr_key`.
+    rr_cache: RrOutcome,
+    rr_key: Option<RrKey>,
+    rr_stats: RrStats,
+    /// Reusable accounting sample, refilled each advance.
+    usage_buf: UsageSample,
 }
 
 /// What a host crash destroyed (see [`Client::crash`]).
@@ -158,6 +199,12 @@ impl Client {
             cfg.rec_half_life,
         );
         let transfers = Transfers::new(cfg.network);
+        let rr_platform = RrPlatform {
+            now: SimTime::ZERO,
+            ninstances: ProcMap::zero(),
+            on_frac: 1.0,
+            shares: projects.iter().map(|p| (p.id, p.share)).collect(),
+        };
         Client {
             cfg,
             hw,
@@ -172,6 +219,14 @@ impl Client {
             rpc_retry_policy: RetryPolicy::SCHEDULER_RPC,
             xfer_faults: None,
             xfer_retries: Vec::new(),
+            state_gen: 0,
+            rr_platform,
+            rr_jobs: Vec::new(),
+            rr_scratch: RrScratch::new(),
+            rr_cache: RrOutcome::default(),
+            rr_key: None,
+            rr_stats: RrStats::default(),
+            usage_buf: UsageSample::default(),
         }
     }
 
@@ -261,6 +316,7 @@ impl Client {
             self.enqueue_transfer(task.spec.id, task.spec.input_bytes, XferDir::Download);
         }
         self.tasks.push(task);
+        self.state_gen += 1;
     }
 
     /// Queue a transfer attempt, consulting the fault plan (if any) for a
@@ -285,6 +341,7 @@ impl Client {
     /// (client-side error, as in the real client) and their ids returned.
     pub fn add_jobs(&mut self, jobs: Vec<JobSpec>) -> Vec<JobId> {
         let mut rejected = Vec::new();
+        let mut accepted_any = false;
         for spec in jobs {
             if !self.job_feasible(&spec) {
                 rejected.push(spec.id);
@@ -295,6 +352,10 @@ impl Client {
                 self.enqueue_transfer(task.spec.id, task.spec.input_bytes, XferDir::Download);
             }
             self.tasks.push(task);
+            accepted_any = true;
+        }
+        if accepted_any {
+            self.state_gen += 1;
         }
         rejected
     }
@@ -311,8 +372,8 @@ impl Client {
         }
 
         // Accounting sees the interval's usage before tasks mutate.
-        let sample = self.usage_sample();
-        self.accounting.update(self.last_advance, now, &self.hw, &sample);
+        Self::fill_usage_sample(&self.projects, &self.tasks, &self.hw, &mut self.usage_buf);
+        self.accounting.update(self.last_advance, now, &self.hw, &self.usage_buf);
 
         // Transfers progress first: uploads enqueued by completions later
         // in this interval must not receive this interval's bandwidth.
@@ -339,9 +400,13 @@ impl Client {
             self.transfer_failed(now, id, XferDir::Upload, &mut ev);
         }
 
+        let mut progressed = false;
         for task in &mut self.tasks {
-            if task.is_running() && task.advance(dt, now) {
-                ev.computed.push(task.spec.id);
+            if task.is_running() {
+                progressed = true;
+                if task.advance(dt, now) {
+                    ev.computed.push(task.spec.id);
+                }
             }
         }
         // Completed jobs with output files start uploading; others are
@@ -359,6 +424,12 @@ impl Client {
         // Re-attempt transfers whose backoff has expired.
         self.release_due_transfer_retries(now);
 
+        // Running tasks gained progress and errored tasks left the queue,
+        // both of which change the RR simulation's inputs. Transfer-only
+        // activity does not (downloading tasks are simulated either way).
+        if progressed || !ev.errored.is_empty() {
+            self.state_gen += 1;
+        }
         self.last_advance = now;
         ev
     }
@@ -417,19 +488,25 @@ impl Client {
         }
     }
 
-    /// Usage/runnability snapshot for accounting.
-    fn usage_sample(&self) -> UsageSample {
-        let mut sample = UsageSample::default();
-        for p in &self.projects {
+    /// Usage/runnability snapshot for accounting, refilled into a reusable
+    /// buffer (this runs once per event interval).
+    fn fill_usage_sample(
+        projects: &[ClientProject],
+        tasks: &[Task],
+        hw: &Hardware,
+        sample: &mut UsageSample,
+    ) {
+        sample.clear();
+        for p in projects {
             for t in ProcType::ALL {
-                if p.supplies[t] && self.hw.ninstances(t) > 0 {
+                if p.supplies[t] && hw.ninstances(t) > 0 {
                     sample.fetchable[t].push(p.id);
                 }
             }
         }
-        for task in &self.tasks {
+        for task in tasks {
             if task.is_running() {
-                let entry = sample.used.entry(task.spec.project).or_insert_with(ProcMap::zero);
+                let entry = sample.used_entry(task.spec.project);
                 entry[ProcType::Cpu] += task.spec.usage.avg_cpus;
                 if let Some((t, n)) = task.spec.usage.coproc {
                     entry[t] += n;
@@ -443,13 +520,12 @@ impl Client {
                 }
             }
         }
-        sample
     }
 
-    /// Run the round-robin simulation over the current queue (§3.2), with
-    /// the shortfall horizon at `max_queue`.
-    pub fn rr_simulate(&self, now: SimTime, run_state: HostRunState, on_frac: f64) -> RrOutcome {
-        let ninstances = ProcMap::from_fn(|t| match t {
+    /// Usable instances per type under the current run state and
+    /// preference limits.
+    fn rr_ninstances(&self, run_state: HostRunState) -> ProcMap<f64> {
+        ProcMap::from_fn(|t| match t {
             ProcType::Cpu => {
                 if run_state.can_compute {
                     self.prefs.usable_cpus(self.hw.ninstances(ProcType::Cpu)) as f64
@@ -464,29 +540,85 @@ impl Client {
                     0.0
                 }
             }
-        });
+        })
+    }
+
+    /// Collect the RR-simulation view of the current queue into `out`.
+    /// Includes every uncompleted task (even ones still downloading): they
+    /// are committed work for queue-sizing purposes.
+    fn collect_rr_jobs(tasks: &[Task], out: &mut Vec<RrJob>) {
+        out.clear();
+        out.extend(tasks.iter().filter(|t| !t.is_complete() && !t.is_errored()).map(|t| RrJob {
+            id: t.spec.id,
+            project: t.spec.project,
+            proc_type: t.spec.usage.main_proc_type(),
+            instances: t.spec.usage.instances_of(t.spec.usage.main_proc_type()),
+            remaining: t.remaining_est(),
+            deadline: t.spec.deadline(),
+        }));
+    }
+
+    /// Run the round-robin simulation over the current queue (§3.2), with
+    /// the shortfall horizon at `max_queue`. Uncached: allocates fresh
+    /// working state per call. Decision paths use [`Client::rr_refresh`] /
+    /// [`Client::rr_snapshot`] instead.
+    pub fn rr_simulate(&self, now: SimTime, run_state: HostRunState, on_frac: f64) -> RrOutcome {
         let platform = RrPlatform {
             now,
-            ninstances,
+            ninstances: self.rr_ninstances(run_state),
             on_frac,
             shares: self.projects.iter().map(|p| (p.id, p.share)).collect(),
         };
-        // Include every uncompleted task (even ones still downloading):
-        // they are committed work for queue-sizing purposes.
-        let jobs: Vec<RrJob> = self
-            .tasks
-            .iter()
-            .filter(|t| !t.is_complete() && !t.is_errored())
-            .map(|t| RrJob {
-                id: t.spec.id,
-                project: t.spec.project,
-                proc_type: t.spec.usage.main_proc_type(),
-                instances: t.spec.usage.instances_of(t.spec.usage.main_proc_type()),
-                remaining: t.remaining_est(),
-                deadline: t.spec.deadline(),
-            })
-            .collect();
+        let mut jobs = Vec::new();
+        Self::collect_rr_jobs(&self.tasks, &mut jobs);
         rr_sim::simulate(&platform, &jobs, self.prefs.work_buf_max())
+    }
+
+    /// Mark the cached RR snapshot stale. Called internally by every
+    /// mutation that changes the simulation's inputs; call it manually
+    /// after mutating the public `hw`/`prefs` fields directly.
+    pub fn invalidate_rr(&mut self) {
+        self.state_gen += 1;
+    }
+
+    /// Current value of the RR-relevant state generation counter.
+    pub fn rr_generation(&self) -> u64 {
+        self.state_gen
+    }
+
+    /// Cache-hit counters for the RR simulation.
+    pub fn rr_stats(&self) -> RrStats {
+        self.rr_stats
+    }
+
+    /// The cached RR snapshot from the last [`Client::rr_refresh`].
+    pub fn rr_snapshot(&self) -> &RrOutcome {
+        &self.rr_cache
+    }
+
+    /// Ensure the cached RR snapshot is valid for `(now, run_state,
+    /// on_frac)` and the current client state, re-running the simulation
+    /// only if something relevant changed since the previous call. The
+    /// refreshed snapshot is read via [`Client::rr_snapshot`].
+    pub fn rr_refresh(&mut self, now: SimTime, run_state: HostRunState, on_frac: f64) {
+        self.rr_stats.queries += 1;
+        let key: RrKey = (now, run_state, on_frac.to_bits(), self.state_gen);
+        if self.rr_key == Some(key) {
+            return;
+        }
+        self.rr_stats.runs += 1;
+        self.rr_platform.now = now;
+        self.rr_platform.ninstances = self.rr_ninstances(run_state);
+        self.rr_platform.on_frac = on_frac;
+        Self::collect_rr_jobs(&self.tasks, &mut self.rr_jobs);
+        rr_sim::simulate_into(
+            &self.rr_platform,
+            &self.rr_jobs,
+            self.prefs.work_buf_max(),
+            &mut self.rr_scratch,
+            &mut self.rr_cache,
+        );
+        self.rr_key = Some(key);
     }
 
     /// Apply the job-scheduling policy (§3.3): start/preempt tasks so the
@@ -497,12 +629,12 @@ impl Client {
         run_state: HostRunState,
         on_frac: f64,
     ) -> Reschedule {
-        let rr = self.rr_simulate(now, run_state, on_frac);
+        self.rr_refresh(now, run_state, on_frac);
         let plan = {
             let input = PlanInput {
                 now,
                 tasks: &self.tasks,
-                rr: &rr,
+                rr: &self.rr_cache,
                 accounting: &self.accounting,
                 hw: &self.hw,
                 prefs: &self.prefs,
@@ -513,6 +645,7 @@ impl Client {
         };
         let mut started = Vec::new();
         let mut preempted = Vec::new();
+        let mut progress_changed = false;
         let keep_in_memory = self.prefs.leave_apps_in_memory;
         for (i, task) in self.tasks.iter_mut().enumerate() {
             let should_run = plan.contains(i);
@@ -520,11 +653,18 @@ impl Client {
                 task.preempt(keep_in_memory);
                 preempted.push(task.spec.id);
             } else if !task.is_running() && should_run {
+                // Starting an evicted task rolls it back to its last
+                // checkpoint, which changes its remaining estimate.
+                let before = task.progress();
                 task.start();
+                progress_changed |= task.progress() != before;
                 started.push(task.spec.id);
             }
         }
-        Reschedule { started, preempted, rr }
+        if progress_changed {
+            self.state_gen += 1;
+        }
+        Reschedule { started, preempted }
     }
 
     /// Apply the job-fetch policy (§3.4) to the given RR snapshot.
@@ -640,6 +780,9 @@ impl Client {
         for (job, bytes) in dropped_ul {
             self.enqueue_transfer(job, bytes, XferDir::Upload);
         }
+        if !out.lost.is_empty() {
+            self.state_gen += 1;
+        }
         out
     }
 
@@ -717,6 +860,15 @@ impl Client {
     /// client); for accounting purposes the per-type usage is scaled back
     /// so delivered FLOPS never exceed the hardware's capacity.
     pub fn flops_in_use_by_project(&self) -> Vec<(ProjectId, f64)> {
+        let mut by_project = Vec::new();
+        self.flops_in_use_by_project_into(&mut by_project);
+        by_project
+    }
+
+    /// As [`Self::flops_in_use_by_project`], refilling a caller-owned
+    /// buffer (the emulator calls this once per event).
+    pub fn flops_in_use_by_project_into(&self, by_project: &mut Vec<(ProjectId, f64)>) {
+        by_project.clear();
         let used = self.instances_in_use();
         let scale = ProcMap::from_fn(|t| {
             let n = self.hw.ninstances(t) as f64;
@@ -726,7 +878,6 @@ impl Client {
                 1.0
             }
         });
-        let mut by_project: Vec<(ProjectId, f64)> = Vec::new();
         for task in &self.tasks {
             if task.is_running() {
                 let u = task.spec.usage;
@@ -741,7 +892,6 @@ impl Client {
                 }
             }
         }
-        by_project
     }
 }
 
@@ -816,7 +966,7 @@ mod tests {
         // A tight-deadline job arrives from the other project.
         c.add_jobs(vec![spec(2, 1, 500.0, 600.0)]);
         let r = c.reschedule(SimTime::from_secs(120.0), rs, 1.0);
-        assert!(r.rr.is_endangered(JobId(2)));
+        assert!(c.rr_snapshot().is_endangered(JobId(2)));
         assert_eq!(r.started, vec![JobId(2)]);
         assert_eq!(r.preempted, vec![JobId(1)]);
     }

@@ -290,10 +290,9 @@ mod tests {
         let projects = [cpu_project(0, 1.0), cpu_project(1, 1.0)];
         let mut a = acct(&[(0, 1.0), (1, 1.0)]);
         // P1 starved on CPU => higher debt => chosen.
-        let mut used = std::collections::BTreeMap::new();
         let mut m = ProcMap::zero();
         m[ProcType::Cpu] = 4.0;
-        used.insert(ProjectId(0), m);
+        let used = vec![(ProjectId(0), m)];
         let membership = ProcMap::from_fn(|t| {
             if t == ProcType::Cpu {
                 vec![ProjectId(0), ProjectId(1)]

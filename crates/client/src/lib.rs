@@ -19,9 +19,12 @@ pub mod task;
 pub mod xfer;
 
 pub use accounting::{Accounting, AccountingKind, UsageSample};
-pub use client::{AdvanceEvents, Client, ClientConfig, ClientProject, Reschedule};
+pub use client::{AdvanceEvents, Client, ClientConfig, ClientProject, Reschedule, RrStats};
 pub use fetch::{Backoff, FetchDecision, FetchPolicy, FetchProject, FetchRequest};
-pub use rr_sim::{simulate as rr_simulate, RrJob, RrOutcome, RrPlatform};
+pub use rr_sim::{
+    simulate as rr_simulate, simulate_into as rr_simulate_into,
+    simulate_reference as rr_simulate_reference, RrJob, RrOutcome, RrPlatform, RrScratch,
+};
 pub use sched::{plan, DeadlineOrder, JobSchedPolicy, PlanInput, RunPlan};
 pub use task::{Task, TaskState};
 pub use xfer::{NetworkModel, TransferQueue, Transfers};

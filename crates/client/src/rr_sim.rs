@@ -11,6 +11,17 @@
 //! * per processor type, how long the type stays saturated — `SAT(T)`,
 //! * per processor type, the idle instance-seconds within the work-buffer
 //!   window — `SHORTFALL(T)`.
+//!
+//! # Hot path
+//!
+//! The simulation runs at every scheduling decision point, so there are two
+//! entry points: [`simulate`], which allocates its working state per call,
+//! and [`simulate_into`], which reuses a caller-owned [`RrScratch`] and an
+//! existing [`RrOutcome`] so that steady-state calls perform no heap
+//! allocation at all. Both are bit-identical to [`simulate_reference`], the
+//! original straightforward implementation kept for differential testing:
+//! every floating-point accumulation happens in exactly the same order, so
+//! results match down to the last ulp.
 
 use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
 use std::collections::HashSet;
@@ -51,10 +62,11 @@ impl RrPlatform {
 }
 
 /// Simulation outputs (§3.2, Figure 2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RrOutcome {
-    /// Jobs projected to miss their deadline under WRR.
-    pub missed: HashSet<JobId>,
+    /// Jobs projected to miss their deadline under WRR, sorted by id
+    /// (binary-searched by [`RrOutcome::is_endangered`]).
+    pub missed: Vec<JobId>,
     /// For each type, how long all its instances stay busy from now.
     pub sat: ProcMap<SimDuration>,
     /// For each type, idle instance-seconds within the buffer window.
@@ -65,9 +77,92 @@ pub struct RrOutcome {
     pub busy_now: ProcMap<f64>,
 }
 
+impl Default for RrOutcome {
+    fn default() -> Self {
+        RrOutcome {
+            missed: Vec::new(),
+            sat: ProcMap::from_fn(|_| SimDuration::ZERO),
+            shortfall: ProcMap::zero(),
+            finish: Vec::new(),
+            busy_now: ProcMap::zero(),
+        }
+    }
+}
+
 impl RrOutcome {
     pub fn is_endangered(&self, id: JobId) -> bool {
-        self.missed.contains(&id)
+        self.missed.binary_search(&id).is_ok()
+    }
+}
+
+/// A `(proc_type, project)` job group; built once per simulation call.
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    project: ProjectId,
+    /// The project's resource share (resolved once, not per step).
+    share: f64,
+}
+
+/// Reusable workspace for [`simulate_into`]. All vectors retain their
+/// capacity across calls, so repeated simulations over similarly-sized
+/// workloads perform zero heap allocations.
+#[derive(Debug, Default)]
+pub struct RrScratch {
+    // Per-job state.
+    remaining: Vec<f64>,
+    done: Vec<bool>,
+    rates: Vec<f64>,
+    /// Group index of each job.
+    job_group: Vec<u32>,
+    // Per-group index, built once per call.
+    groups: Vec<Group>,
+    /// Group ids per processor type, in order of first appearance.
+    pt_groups: [Vec<u32>; ProcType::COUNT],
+    /// Job indices, counting-sorted by group (original order within each
+    /// group).
+    group_jobs: Vec<u32>,
+    /// Start offset of each group's slice in `group_jobs` (len = groups+1).
+    group_start: Vec<u32>,
+    /// First possibly-alive offset within each group's slice. Monotonic:
+    /// only ever advances past finished jobs.
+    group_cursor: Vec<u32>,
+    // Per-step state.
+    /// Active groups of the current type, ordered by first unfinished job
+    /// index — the same order the reference implementation discovers
+    /// projects in, which fixes the floating-point summation order.
+    order: Vec<u32>,
+    /// Instance demand per group in `order` (parallel to `order`).
+    demand: Vec<f64>,
+    /// Allocated instances per group in `order`.
+    alloc: Vec<f64>,
+    /// Positions into `order` still competing for instances.
+    active: Vec<u32>,
+    next_active: Vec<u32>,
+}
+
+impl RrScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, njobs: usize) {
+        self.remaining.clear();
+        self.done.clear();
+        self.rates.clear();
+        self.rates.resize(njobs, 0.0);
+        self.job_group.clear();
+        self.groups.clear();
+        for list in &mut self.pt_groups {
+            list.clear();
+        }
+        self.group_jobs.clear();
+        self.group_start.clear();
+        self.group_cursor.clear();
+        self.order.clear();
+        self.demand.clear();
+        self.alloc.clear();
+        self.active.clear();
+        self.next_active.clear();
     }
 }
 
@@ -99,6 +194,274 @@ impl RrOutcome {
 /// assert!(!out.is_endangered(JobId(2)));
 /// ```
 pub fn simulate(platform: &RrPlatform, jobs: &[RrJob], buf_window: SimDuration) -> RrOutcome {
+    let mut scratch = RrScratch::new();
+    let mut out = RrOutcome::default();
+    simulate_into(platform, jobs, buf_window, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`simulate`]: reuses `scratch` and writes the
+/// result into `out`, clearing any previous contents. In steady state (same
+/// workload shape as a previous call) this performs zero heap allocations.
+///
+/// Bit-identical to [`simulate_reference`]: the job-group index only changes
+/// *how* each floating-point sum is located, never the order its terms are
+/// added in.
+pub fn simulate_into(
+    platform: &RrPlatform,
+    jobs: &[RrJob],
+    buf_window: SimDuration,
+    scratch: &mut RrScratch,
+    out: &mut RrOutcome,
+) {
+    let s = scratch;
+    s.reset(jobs.len());
+    out.missed.clear();
+    out.finish.clear();
+    out.sat = ProcMap::from_fn(|_| SimDuration::ZERO);
+    out.shortfall = ProcMap::zero();
+    out.busy_now = ProcMap::zero();
+
+    // Build the (proc_type, project) group index: group ids in order of
+    // first appearance, per-type group lists, and jobs counting-sorted by
+    // group while preserving original job order within each group.
+    let mut alive = 0usize;
+    for j in jobs {
+        let r = j.remaining.secs().max(0.0);
+        s.remaining.push(r);
+        let done = r <= 0.0;
+        s.done.push(done);
+        if !done {
+            alive += 1;
+        }
+        let pt_list = &mut s.pt_groups[j.proc_type.index()];
+        let gid = match pt_list.iter().find(|&&g| s.groups[g as usize].project == j.project) {
+            Some(&g) => g,
+            None => {
+                let g = s.groups.len() as u32;
+                s.groups.push(Group { project: j.project, share: platform.share_of(j.project) });
+                pt_list.push(g);
+                g
+            }
+        };
+        s.job_group.push(gid);
+    }
+    let ngroups = s.groups.len();
+    s.group_start.resize(ngroups + 1, 0);
+    for &g in &s.job_group {
+        s.group_start[g as usize + 1] += 1;
+    }
+    for g in 0..ngroups {
+        s.group_start[g + 1] += s.group_start[g];
+    }
+    s.group_cursor.resize(ngroups, 0);
+    s.group_jobs.resize(jobs.len(), 0);
+    // Fill group slices using the cursor vector as a temporary fill pointer,
+    // then zero it back for its real role (skipping finished jobs).
+    for (i, &g) in s.job_group.iter().enumerate() {
+        let slot = s.group_start[g as usize] + s.group_cursor[g as usize];
+        s.group_jobs[slot as usize] = i as u32;
+        s.group_cursor[g as usize] += 1;
+    }
+    s.group_cursor.fill(0);
+
+    let on_frac = platform.on_frac.clamp(1e-6, 1.0);
+    let horizon = buf_window.secs().max(0.0);
+    let mut sat_open = ProcMap::from_fn(|pt| platform.ninstances[pt] > 0.0);
+    let mut t = 0.0f64; // offset from now
+    let mut first_step = true;
+
+    loop {
+        // Per-type, per-project allocation under weighted round robin.
+        // rate[i] = fraction of dedicated speed job i runs at.
+        s.rates.fill(0.0);
+        let mut busy = ProcMap::zero();
+
+        for pt in ProcType::ALL {
+            let ninst = platform.ninstances[pt];
+            if ninst <= 0.0 {
+                continue;
+            }
+            // Groups of this type with unfinished jobs, ordered by first
+            // unfinished job index (the discovery order of the reference
+            // scan), with their total instance demand summed in job order.
+            s.order.clear();
+            for gi in 0..s.pt_groups[pt.index()].len() {
+                let g = s.pt_groups[pt.index()][gi];
+                let (start, end) = (s.group_start[g as usize], s.group_start[g as usize + 1]);
+                let mut cur = s.group_cursor[g as usize];
+                while start + cur < end && s.done[s.group_jobs[(start + cur) as usize] as usize] {
+                    cur += 1;
+                }
+                s.group_cursor[g as usize] = cur;
+                if start + cur < end {
+                    s.order.push(g);
+                }
+            }
+            s.order.sort_unstable_by_key(|&g| {
+                s.group_jobs[(s.group_start[g as usize] + s.group_cursor[g as usize]) as usize]
+            });
+            if s.order.is_empty() {
+                continue;
+            }
+            s.demand.clear();
+            for &g in &s.order {
+                let (start, end) = (s.group_start[g as usize], s.group_start[g as usize + 1]);
+                let mut demand = 0.0;
+                for &i in &s.group_jobs[(start + s.group_cursor[g as usize]) as usize..end as usize]
+                {
+                    if !s.done[i as usize] {
+                        demand += jobs[i as usize].instances.max(1e-9);
+                    }
+                }
+                s.demand.push(demand);
+            }
+            // Share-weighted instance allocation with redistribution of
+            // surplus from projects whose demand is below their share.
+            s.alloc.clear();
+            s.alloc.resize(s.order.len(), 0.0);
+            let mut capacity = ninst;
+            s.active.clear();
+            s.active.extend(0..s.order.len() as u32);
+            for _ in 0..s.order.len() + 1 {
+                let wsum: f64 =
+                    s.active.iter().map(|&k| s.groups[s.order[k as usize] as usize].share).sum();
+                if wsum <= 0.0 || capacity <= 1e-12 || s.active.is_empty() {
+                    break;
+                }
+                s.next_active.clear();
+                let mut used = 0.0;
+                for &k in &s.active {
+                    let fair = capacity * s.groups[s.order[k as usize] as usize].share / wsum;
+                    let need = s.demand[k as usize] - s.alloc[k as usize];
+                    if need <= fair + 1e-12 {
+                        s.alloc[k as usize] += need.max(0.0);
+                        used += need.max(0.0);
+                    } else {
+                        s.alloc[k as usize] += fair;
+                        used += fair;
+                        s.next_active.push(k);
+                    }
+                }
+                capacity -= used;
+                if s.next_active.len() == s.active.len() {
+                    break; // nobody saturated; no surplus to redistribute
+                }
+                std::mem::swap(&mut s.active, &mut s.next_active);
+            }
+            // Distribute each group's allocation over its jobs
+            // (proportional to per-job demand).
+            for k in 0..s.order.len() {
+                let g = s.order[k] as usize;
+                let frac = (s.alloc[k] / s.demand[k]).min(1.0);
+                let (start, end) = (s.group_start[g], s.group_start[g + 1]);
+                for &i in &s.group_jobs[(start + s.group_cursor[g]) as usize..end as usize] {
+                    let i = i as usize;
+                    if !s.done[i] {
+                        s.rates[i] = frac * on_frac;
+                        busy[pt] += frac * jobs[i].instances;
+                    }
+                }
+            }
+        }
+
+        if first_step {
+            out.busy_now = busy;
+            first_step = false;
+        }
+
+        // Next completion event.
+        let mut dt = f64::INFINITY;
+        for i in 0..jobs.len() {
+            if !s.done[i] && s.rates[i] > 0.0 {
+                dt = dt.min(s.remaining[i] / s.rates[i]);
+            }
+        }
+
+        // Accrue saturation and shortfall over [t, t+dt).
+        let seg_end = if dt.is_finite() { t + dt } else { t };
+        for pt in ProcType::ALL {
+            let ninst = platform.ninstances[pt];
+            if ninst <= 0.0 {
+                continue;
+            }
+            if sat_open[pt] && busy[pt] < ninst - 1e-9 {
+                out.sat[pt] = SimDuration::from_secs(t);
+                sat_open[pt] = false;
+            }
+            // Idle instance-seconds within the buffer window.
+            let w_end = seg_end.min(horizon);
+            if w_end > t {
+                out.shortfall[pt] += (ninst - busy[pt]).max(0.0) * (w_end - t);
+            }
+        }
+
+        if !dt.is_finite() {
+            // Nothing runnable: remaining window is pure shortfall.
+            for pt in ProcType::ALL {
+                let ninst = platform.ninstances[pt];
+                if ninst > 0.0 {
+                    if sat_open[pt] {
+                        out.sat[pt] = SimDuration::from_secs(t);
+                        sat_open[pt] = false;
+                    }
+                    if horizon > t {
+                        out.shortfall[pt] += ninst * (horizon - t);
+                    }
+                }
+            }
+            break;
+        }
+
+        // Advance to the event.
+        t += dt;
+        for (i, job) in jobs.iter().enumerate() {
+            if s.done[i] || s.rates[i] <= 0.0 {
+                continue;
+            }
+            s.remaining[i] -= s.rates[i] * dt;
+            if s.remaining[i] <= 1e-6 {
+                s.done[i] = true;
+                alive -= 1;
+                let fin = SimDuration::from_secs(t);
+                out.finish.push((job.id, fin));
+                if job.deadline < platform.now + fin {
+                    out.missed.push(job.id);
+                }
+            }
+        }
+        if alive == 0 {
+            for pt in ProcType::ALL {
+                let ninst = platform.ninstances[pt];
+                if ninst > 0.0 {
+                    if sat_open[pt] {
+                        out.sat[pt] = SimDuration::from_secs(t);
+                        sat_open[pt] = false;
+                    }
+                    if horizon > t {
+                        out.shortfall[pt] += ninst * (horizon - t);
+                    }
+                }
+            }
+            break;
+        }
+        if t > 3650.0 * 86_400.0 {
+            // Safety valve: pathological workloads (e.g. zero rates from
+            // extreme preference limits) must not hang the emulator.
+            break;
+        }
+    }
+
+    out.missed.sort_unstable();
+}
+
+/// The original per-call-allocating implementation, kept verbatim as the
+/// differential-testing oracle for [`simulate`] / [`simulate_into`].
+pub fn simulate_reference(
+    platform: &RrPlatform,
+    jobs: &[RrJob],
+    buf_window: SimDuration,
+) -> RrOutcome {
     // Mutable remaining work; simulation proceeds between job-completion
     // events with piecewise-constant rates.
     let mut remaining: Vec<f64> = jobs.iter().map(|j| j.remaining.secs().max(0.0)).collect();
@@ -271,183 +634,7 @@ pub fn simulate(platform: &RrPlatform, jobs: &[RrJob], buf_window: SimDuration) 
         }
     }
 
+    let mut missed: Vec<JobId> = missed.into_iter().collect();
+    missed.sort_unstable();
     RrOutcome { missed, sat, shortfall, finish, busy_now }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn t(s: f64) -> SimTime {
-        SimTime::from_secs(s)
-    }
-    fn d(s: f64) -> SimDuration {
-        SimDuration::from_secs(s)
-    }
-
-    fn cpu_platform(ncpus: f64, shares: &[(u32, f64)]) -> RrPlatform {
-        let mut ninstances = ProcMap::zero();
-        ninstances[ProcType::Cpu] = ncpus;
-        RrPlatform {
-            now: SimTime::ZERO,
-            ninstances,
-            on_frac: 1.0,
-            shares: shares.iter().map(|&(p, s)| (ProjectId(p), s)).collect(),
-        }
-    }
-
-    fn job(id: u64, project: u32, remaining: f64, deadline: f64) -> RrJob {
-        RrJob {
-            id: JobId(id),
-            project: ProjectId(project),
-            proc_type: ProcType::Cpu,
-            instances: 1.0,
-            remaining: d(remaining),
-            deadline: t(deadline),
-        }
-    }
-
-    #[test]
-    fn single_job_finishes_at_remaining() {
-        let p = cpu_platform(1.0, &[(0, 1.0)]);
-        let out = simulate(&p, &[job(1, 0, 100.0, 1000.0)], d(0.0));
-        assert_eq!(out.finish.len(), 1);
-        assert!((out.finish[0].1.secs() - 100.0).abs() < 1e-6);
-        assert!(out.missed.is_empty());
-        assert_eq!(out.sat[ProcType::Cpu], d(100.0));
-        assert_eq!(out.busy_now[ProcType::Cpu], 1.0);
-    }
-
-    #[test]
-    fn equal_shares_halve_rates() {
-        // Two projects, one job each, 1 CPU: both run at rate 1/2; the
-        // equal-length jobs finish together at 2x their length.
-        let p = cpu_platform(1.0, &[(0, 1.0), (1, 1.0)]);
-        let jobs = [job(1, 0, 100.0, 150.0), job(2, 1, 100.0, 250.0)];
-        let out = simulate(&p, &jobs, d(0.0));
-        let f1 = out.finish.iter().find(|(id, _)| *id == JobId(1)).unwrap().1;
-        let f2 = out.finish.iter().find(|(id, _)| *id == JobId(2)).unwrap().1;
-        assert!((f1.secs() - 200.0).abs() < 1e-6);
-        assert!((f2.secs() - 200.0).abs() < 1e-6);
-        // Job 1's deadline (150) is before its projected finish (200).
-        assert!(out.is_endangered(JobId(1)));
-        assert!(!out.is_endangered(JobId(2)));
-    }
-
-    #[test]
-    fn share_weighting_speeds_up_heavy_project() {
-        let p = cpu_platform(1.0, &[(0, 3.0), (1, 1.0)]);
-        let jobs = [job(1, 0, 75.0, 1e9), job(2, 1, 100.0, 1e9)];
-        let out = simulate(&p, &jobs, d(0.0));
-        let f1 = out.finish.iter().find(|(id, _)| *id == JobId(1)).unwrap().1;
-        // Project 0 runs at rate 3/4 until its job finishes at t=100.
-        assert!((f1.secs() - 100.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn surplus_share_redistributes() {
-        // 4 CPUs, two projects equal shares, but project 0 has only one
-        // job (demand 1 < fair 2): project 1's two jobs get the surplus.
-        let p = cpu_platform(4.0, &[(0, 1.0), (1, 1.0)]);
-        let jobs = [job(1, 0, 100.0, 1e9), job(2, 1, 100.0, 1e9), job(3, 1, 100.0, 1e9)];
-        let out = simulate(&p, &jobs, d(0.0));
-        for (_, f) in &out.finish {
-            assert!((f.secs() - 100.0).abs() < 1e-6, "all dedicated: {f}");
-        }
-        // Only 3 instances busy on a 4-CPU host.
-        assert!((out.busy_now[ProcType::Cpu] - 3.0).abs() < 1e-9);
-        assert_eq!(out.sat[ProcType::Cpu], SimDuration::ZERO);
-    }
-
-    #[test]
-    fn shortfall_measures_idle_window() {
-        // One job of 100 s on 1 CPU, window 300 s: idle 200 instance-sec.
-        let p = cpu_platform(1.0, &[(0, 1.0)]);
-        let out = simulate(&p, &[job(1, 0, 100.0, 1e9)], d(300.0));
-        assert!((out.shortfall[ProcType::Cpu] - 200.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn empty_queue_is_all_shortfall() {
-        let p = cpu_platform(2.0, &[(0, 1.0)]);
-        let out = simulate(&p, &[], d(100.0));
-        assert!((out.shortfall[ProcType::Cpu] - 200.0).abs() < 1e-6);
-        assert_eq!(out.sat[ProcType::Cpu], SimDuration::ZERO);
-        assert_eq!(out.busy_now[ProcType::Cpu], 0.0);
-    }
-
-    #[test]
-    fn gpu_and_cpu_independent() {
-        let mut ninst = ProcMap::zero();
-        ninst[ProcType::Cpu] = 1.0;
-        ninst[ProcType::NvidiaGpu] = 1.0;
-        let p = RrPlatform {
-            now: SimTime::ZERO,
-            ninstances: ninst,
-            on_frac: 1.0,
-            shares: vec![(ProjectId(0), 1.0)],
-        };
-        let gpu_job = RrJob {
-            id: JobId(2),
-            project: ProjectId(0),
-            proc_type: ProcType::NvidiaGpu,
-            instances: 1.0,
-            remaining: d(50.0),
-            deadline: t(1e9),
-        };
-        let out = simulate(&p, &[job(1, 0, 100.0, 1e9), gpu_job], d(200.0));
-        assert_eq!(out.sat[ProcType::Cpu], d(100.0));
-        assert_eq!(out.sat[ProcType::NvidiaGpu], d(50.0));
-        // GPU idle 150 s of the 200 s window, CPU idle 100 s.
-        assert!((out.shortfall[ProcType::NvidiaGpu] - 150.0).abs() < 1e-6);
-        assert!((out.shortfall[ProcType::Cpu] - 100.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn on_frac_slows_execution() {
-        let mut p = cpu_platform(1.0, &[(0, 1.0)]);
-        p.on_frac = 0.5;
-        let out = simulate(&p, &[job(1, 0, 100.0, 150.0)], d(0.0));
-        let f = out.finish[0].1;
-        assert!((f.secs() - 200.0).abs() < 1e-6);
-        assert!(out.is_endangered(JobId(1)));
-    }
-
-    #[test]
-    fn fig3_shape_queued_jobs_endangered_under_wrr() {
-        // Scenario-1-like: 1 CPU, equal shares, both projects hold a
-        // 1000 s job with latency bound 1500. Under WRR both finish at
-        // 2000 > 1500: both endangered.
-        let p = cpu_platform(1.0, &[(0, 1.0), (1, 1.0)]);
-        let jobs = [job(1, 0, 1000.0, 1500.0), job(2, 1, 1000.0, 1500.0)];
-        let out = simulate(&p, &jobs, d(0.0));
-        assert!(out.is_endangered(JobId(1)));
-        assert!(out.is_endangered(JobId(2)));
-    }
-
-    #[test]
-    fn zero_instance_types_ignored() {
-        let p = cpu_platform(0.0, &[(0, 1.0)]);
-        let out = simulate(&p, &[job(1, 0, 100.0, 1e9)], d(100.0));
-        // No CPU: job never finishes, no saturation tracked.
-        assert!(out.finish.is_empty());
-        assert_eq!(out.shortfall[ProcType::Cpu], 0.0);
-    }
-
-    #[test]
-    fn multi_cpu_job_demand() {
-        // A 2-CPU job on a 4-CPU host occupies 2 instances.
-        let p = cpu_platform(4.0, &[(0, 1.0)]);
-        let wide = RrJob {
-            id: JobId(1),
-            project: ProjectId(0),
-            proc_type: ProcType::Cpu,
-            instances: 2.0,
-            remaining: d(100.0),
-            deadline: t(1e9),
-        };
-        let out = simulate(&p, &[wide], d(100.0));
-        assert!((out.busy_now[ProcType::Cpu] - 2.0).abs() < 1e-9);
-        assert!((out.shortfall[ProcType::Cpu] - 2.0 * 100.0).abs() < 1e-6);
-    }
 }

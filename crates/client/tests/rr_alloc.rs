@@ -1,0 +1,95 @@
+//! Steady-state allocation check for the RR fast path.
+//!
+//! `simulate_into` promises zero heap allocations once the scratch
+//! vectors have grown to the workload's size. This binary installs a
+//! counting global allocator and asserts the promise holds — the whole
+//! point of the scratch-based API is that the emulator's inner loop
+//! stops exercising the allocator.
+//!
+//! Kept as its own integration-test binary (single `#[test]`) because a
+//! `#[global_allocator]` is process-wide and concurrent tests would
+//! pollute the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bce_client::{rr_simulate_into, RrJob, RrOutcome, RrPlatform, RrScratch};
+use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn jobs(n: usize) -> Vec<RrJob> {
+    (0..n)
+        .map(|i| RrJob {
+            id: JobId(i as u64),
+            project: ProjectId((i % 7) as u32),
+            proc_type: if i % 4 == 0 { ProcType::NvidiaGpu } else { ProcType::Cpu },
+            instances: 1.0 + (i % 3) as f64 * 0.5,
+            remaining: SimDuration::from_secs(100.0 + (i as f64) * 37.0),
+            deadline: SimTime::from_secs(5_000.0 + (i as f64) * 91.0),
+        })
+        .collect()
+}
+
+#[test]
+fn simulate_into_is_allocation_free_in_steady_state() {
+    let mut ninstances = ProcMap::zero();
+    ninstances[ProcType::Cpu] = 4.0;
+    ninstances[ProcType::NvidiaGpu] = 1.0;
+    let platform = RrPlatform {
+        now: SimTime::ZERO,
+        ninstances,
+        on_frac: 1.0,
+        shares: (0..7).map(|p| (ProjectId(p), 1.0 + p as f64)).collect(),
+    };
+    let js = jobs(200);
+    let window = SimDuration::from_hours(8.0);
+
+    let mut scratch = RrScratch::new();
+    let mut out = RrOutcome::default();
+    // Warm-up: lets every scratch vector (and the outcome's finish/missed
+    // vectors) reach its steady-state capacity.
+    rr_simulate_into(&platform, &js, window, &mut scratch, &mut out);
+    rr_simulate_into(&platform, &js, window, &mut scratch, &mut out);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        rr_simulate_into(&platform, &js, window, &mut scratch, &mut out);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "simulate_into allocated {} times over 50 warm calls",
+        after - before
+    );
+
+    // Shrinking the workload must stay allocation-free too (capacity is
+    // retained, never released).
+    let small = jobs(10);
+    rr_simulate_into(&platform, &small, window, &mut scratch, &mut out);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        rr_simulate_into(&platform, &small, window, &mut scratch, &mut out);
+    }
+    assert_eq!(ALLOCS.load(Ordering::Relaxed) - before, 0, "shrunk workload allocated");
+}

@@ -1,0 +1,271 @@
+//! Differential tests for the round-robin simulation fast path.
+//!
+//! `simulate` / `simulate_into` (grouped, allocation-free) must be
+//! *bit-identical* to `simulate_reference`, the original per-call-allocating
+//! implementation kept as the oracle. Three angles:
+//!
+//! 1. One-shot equivalence over randomized multi-project, multi-proc-type
+//!    workloads (shares, on_frac, instance counts, fractional demands).
+//! 2. Scratch-reuse equivalence: a single `RrScratch`/`RrOutcome` pair
+//!    driven through a *sequence* of differently-shaped workloads must
+//!    produce the same results as fresh per-call state.
+//! 3. Client-level cache coherence: `rr_refresh`/`rr_snapshot` through
+//!    repeated hit/miss sequences must always agree with an uncached
+//!    `rr_simulate` of the same state.
+
+use bce_avail::HostRunState;
+use bce_client::{
+    rr_simulate, rr_simulate_into, rr_simulate_reference, Client, ClientConfig, RrJob, RrOutcome,
+    RrPlatform, RrScratch,
+};
+use bce_types::{
+    AppId, Hardware, JobId, JobSpec, Preferences, ProcMap, ProcType, ProjectId, ResourceUsage,
+    SimDuration, SimTime,
+};
+use proptest::prelude::*;
+
+/// Randomized workload description: host shape plus a job list spanning
+/// several projects and processor types.
+#[derive(Debug, Clone)]
+struct Workload {
+    ncpus: f64,
+    ngpus: f64,
+    on_frac: f64,
+    window: f64,
+    /// `(project, gpu?, remaining, deadline, instances)` per job.
+    jobs: Vec<(u32, bool, f64, f64, f64)>,
+    /// Per-project resource shares (projects 0..6).
+    shares: Vec<f64>,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (
+        1.0f64..16.0,
+        prop_oneof![Just(0.0f64), 1.0f64..4.0],
+        0.1f64..1.0,
+        0.0f64..200_000.0,
+        proptest::collection::vec(
+            (
+                0u32..6,            // project
+                any::<bool>(),      // gpu job?
+                1.0f64..50_000.0,   // remaining secs
+                50.0f64..500_000.0, // deadline secs
+                0.25f64..3.0,       // fractional instance demand
+            ),
+            0..32,
+        ),
+        proptest::collection::vec(0.0f64..10.0, 6),
+    )
+        .prop_map(|(ncpus, ngpus, on_frac, window, jobs, shares)| Workload {
+            ncpus,
+            ngpus,
+            on_frac,
+            window,
+            jobs,
+            shares,
+        })
+}
+
+fn build(w: &Workload) -> (RrPlatform, Vec<RrJob>) {
+    let mut ninstances = ProcMap::zero();
+    ninstances[ProcType::Cpu] = w.ncpus;
+    ninstances[ProcType::NvidiaGpu] = w.ngpus;
+    let platform = RrPlatform {
+        now: SimTime::from_secs(1234.5),
+        ninstances,
+        on_frac: w.on_frac,
+        shares: w.shares.iter().enumerate().map(|(p, &s)| (ProjectId(p as u32), s)).collect(),
+    };
+    let jobs: Vec<RrJob> = w
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &(project, gpu, remaining, deadline, instances))| RrJob {
+            id: JobId(i as u64),
+            project: ProjectId(project),
+            proc_type: if gpu { ProcType::NvidiaGpu } else { ProcType::Cpu },
+            instances,
+            remaining: SimDuration::from_secs(remaining),
+            deadline: SimTime::from_secs(deadline),
+        })
+        .collect();
+    (platform, jobs)
+}
+
+/// Bit-exact comparison: `PartialEq` on f64 is exactly what we want here —
+/// the fast path must not change results even in the last ulp.
+fn assert_identical(fast: &RrOutcome, oracle: &RrOutcome) {
+    assert_eq!(fast.missed, oracle.missed, "missed sets differ");
+    assert_eq!(fast.finish, oracle.finish, "finish times differ");
+    for t in ProcType::ALL {
+        assert_eq!(fast.sat[t], oracle.sat[t], "sat[{t:?}] differs");
+        assert_eq!(
+            fast.shortfall[t].to_bits(),
+            oracle.shortfall[t].to_bits(),
+            "shortfall[{t:?}] differs: {} vs {}",
+            fast.shortfall[t],
+            oracle.shortfall[t]
+        );
+        assert_eq!(
+            fast.busy_now[t].to_bits(),
+            oracle.busy_now[t].to_bits(),
+            "busy_now[{t:?}] differs"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192 })]
+
+    /// One-shot: `simulate` over a random workload is bit-identical to the
+    /// reference implementation.
+    #[test]
+    fn simulate_matches_reference(w in workload()) {
+        let (platform, jobs) = build(&w);
+        let window = SimDuration::from_secs(w.window);
+        let fast = rr_simulate(&platform, &jobs, window);
+        let oracle = rr_simulate_reference(&platform, &jobs, window);
+        assert_identical(&fast, &oracle);
+    }
+
+    /// Scratch reuse: one `RrScratch`/`RrOutcome` pair fed a sequence of
+    /// differently-shaped workloads (stale capacities, stale group tables)
+    /// must match fresh reference runs at every step.
+    #[test]
+    fn scratch_reuse_matches_reference(ws in proptest::collection::vec(workload(), 1..6)) {
+        let mut scratch = RrScratch::new();
+        let mut out = RrOutcome::default();
+        for w in &ws {
+            let (platform, jobs) = build(w);
+            let window = SimDuration::from_secs(w.window);
+            rr_simulate_into(&platform, &jobs, window, &mut scratch, &mut out);
+            let oracle = rr_simulate_reference(&platform, &jobs, window);
+            assert_identical(&out, &oracle);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-level cache coherence.
+// ---------------------------------------------------------------------------
+
+fn run_state() -> HostRunState {
+    HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false }
+}
+
+fn spec(id: u64, project: u32, dur: f64, latency: f64, gpu: bool) -> JobSpec {
+    JobSpec {
+        id: JobId(id),
+        project: ProjectId(project),
+        app: AppId(0),
+        usage: if gpu {
+            ResourceUsage::gpu(ProcType::NvidiaGpu, 1.0, 0.1)
+        } else {
+            ResourceUsage::one_cpu()
+        },
+        duration: SimDuration::from_secs(dur),
+        duration_est: SimDuration::from_secs(dur),
+        latency_bound: SimDuration::from_secs(latency),
+        checkpoint_period: Some(SimDuration::from_secs(60.0)),
+        working_set_bytes: 1e8,
+        input_bytes: 0.0,
+        output_bytes: 0.0,
+        received: SimTime::ZERO,
+    }
+}
+
+fn cache_client() -> Client {
+    Client::new(
+        Hardware::cpu_only(4, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10).with_vram(2e9),
+        Preferences::default(),
+        vec![
+            Client::project(0, "alpha", 2.0, &[ProcType::Cpu, ProcType::NvidiaGpu]),
+            Client::project(1, "beta", 1.0, &[ProcType::Cpu]),
+            Client::project(2, "gamma", 0.5, &[ProcType::Cpu]),
+        ],
+        ClientConfig::default(),
+    )
+}
+
+/// The cached snapshot always agrees with an uncached simulation of the
+/// same `(now, run_state, on_frac)` — across job arrivals, time advances,
+/// run-state flips, and repeated same-key queries.
+#[test]
+fn cached_snapshot_matches_uncached_through_mutations() {
+    let mut c = cache_client();
+    let rs = run_state();
+    let check = |c: &mut Client, now: SimTime, rs: HostRunState, on_frac: f64| {
+        c.rr_refresh(now, rs, on_frac);
+        let fresh = c.rr_simulate(now, rs, on_frac);
+        assert_identical(c.rr_snapshot(), &fresh);
+    };
+
+    check(&mut c, SimTime::ZERO, rs, 1.0);
+    // Job arrivals invalidate.
+    c.add_jobs(vec![
+        spec(1, 0, 4000.0, 20_000.0, false),
+        spec(2, 1, 2000.0, 8_000.0, false),
+        spec(3, 0, 9000.0, 90_000.0, true),
+    ]);
+    check(&mut c, SimTime::ZERO, rs, 1.0);
+    // Same key again: pure hit, still identical.
+    check(&mut c, SimTime::ZERO, rs, 1.0);
+    // A different on_frac at the same instant is a distinct key.
+    check(&mut c, SimTime::ZERO, rs, 0.6);
+    // Scheduling + advancing changes task state.
+    c.reschedule(SimTime::ZERO, rs, 1.0);
+    c.advance(SimTime::from_secs(500.0), rs);
+    check(&mut c, SimTime::from_secs(500.0), rs, 1.0);
+    // Run-state flip (GPU unusable) changes the platform, not the queue.
+    let mut no_gpu = rs;
+    no_gpu.can_gpu = false;
+    check(&mut c, SimTime::from_secs(500.0), no_gpu, 1.0);
+    // More arrivals mid-run, then another advance.
+    c.add_jobs(vec![spec(4, 2, 600.0, 3_000.0, false), spec(5, 1, 1200.0, 5_000.0, false)]);
+    check(&mut c, SimTime::from_secs(500.0), rs, 1.0);
+    c.reschedule(SimTime::from_secs(500.0), rs, 1.0);
+    c.advance(SimTime::from_secs(2500.0), rs);
+    check(&mut c, SimTime::from_secs(2500.0), rs, 1.0);
+}
+
+/// Hit/miss accounting: repeated same-key refreshes are hits (no rerun);
+/// any relevant mutation or key change forces exactly one rerun.
+#[test]
+fn refresh_hit_miss_accounting() {
+    let mut c = cache_client();
+    let rs = run_state();
+    c.add_jobs(vec![spec(1, 0, 4000.0, 20_000.0, false)]);
+
+    c.rr_refresh(SimTime::ZERO, rs, 1.0);
+    let after_first = c.rr_stats();
+    assert_eq!(after_first.runs, 1);
+
+    // Ten same-key queries: all hits.
+    for _ in 0..10 {
+        c.rr_refresh(SimTime::ZERO, rs, 1.0);
+    }
+    let s = c.rr_stats();
+    assert_eq!(s.runs, 1, "same-key refreshes must not rerun");
+    assert_eq!(s.queries, after_first.queries + 10);
+
+    // Time moves: miss.
+    c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
+    assert_eq!(c.rr_stats().runs, 2);
+    // Same new key: hit.
+    c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
+    assert_eq!(c.rr_stats().runs, 2);
+
+    // Queue mutation bumps the generation: miss even at the same instant.
+    c.add_jobs(vec![spec(2, 1, 100.0, 1_000.0, false)]);
+    c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
+    assert_eq!(c.rr_stats().runs, 3);
+
+    // Manual invalidation behaves like any other mutation.
+    c.invalidate_rr();
+    c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
+    assert_eq!(c.rr_stats().runs, 4);
+
+    // And the snapshot still matches an uncached run.
+    let fresh = c.rr_simulate(SimTime::from_secs(10.0), rs, 1.0);
+    assert_identical(c.rr_snapshot(), &fresh);
+}

@@ -83,6 +83,50 @@ impl Table {
         }
         out
     }
+
+    /// Render as a JSON array of row objects keyed by the header. Cells
+    /// that parse as finite numbers are emitted as JSON numbers, everything
+    /// else as strings — so downstream tooling can consume figures without
+    /// a CSV parser.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let value = |s: &str| -> String {
+            match s.parse::<f64>() {
+                // `parse` accepts "nan"/"inf"; JSON has no spelling for
+                // them, so only finite numbers pass through unquoted.
+                Ok(v) if v.is_finite() => s.to_string(),
+                _ => esc(s),
+            }
+        };
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  { ");
+            for (j, (h, cell)) in self.header.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", esc(h), value(cell)));
+            }
+            out.push_str(if i + 1 < self.rows.len() { " },\n" } else { " }\n" });
+        }
+        out.push(']');
+        out
+    }
 }
 
 /// Format a float with 4 significant decimals, trimming noise.
@@ -120,6 +164,21 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn json_rows() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha \"x\"".into(), "1.5".into()]);
+        t.row(&["beta".into(), "n/a".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"name\": \"alpha \\\"x\\\"\", \"value\": 1.5"));
+        assert!(j.contains("\"value\": \"n/a\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // "nan"/"inf" parse as f64 but must stay strings.
+        let mut t = Table::new(&["v"]);
+        t.row(&["nan".into()]);
+        assert!(t.to_json().contains("\"v\": \"nan\""));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! transitions, predicted task/transfer completions (generation-stamped so
 //! stale predictions are ignored), and fetch-retry wakeups.
 
-use crate::metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, ProjectReport};
+use crate::metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
 use crate::scenario::Scenario;
 use bce_avail::HostRunState;
 use bce_client::{Client, ClientConfig, ClientProject, FetchPolicy, JobSchedPolicy};
@@ -90,6 +90,8 @@ pub struct EmulationResult {
     pub duration: SimDuration,
     /// Robustness figures of merit (all zero when faults are off).
     pub faults: FaultMetrics,
+    /// Emulator runtime counters (event throughput, RR-sim cache hits).
+    pub perf: PerfStats,
     pub timeline: Option<Timeline>,
     pub log: MsgLog,
 }
@@ -250,12 +252,16 @@ impl Emulator {
         let mut now = SimTime::ZERO;
         governor.advance(SimTime::ZERO);
         let mut run_state = governor.run_state(SimTime::ZERO, &scenario.prefs);
+        let mut events_processed: u64 = 0;
+        let mut peak_jobs: usize = client.tasks().len();
+        let mut per_project: Vec<(ProjectId, f64)> = Vec::new();
 
         while let Some((t_ev, event)) = queue.pop() {
+            events_processed += 1;
             let t = t_ev.min(end);
             // 1. Account the elapsed interval under the constant allocation.
             if t > now {
-                let per_project = client.flops_in_use_by_project();
+                client.flops_in_use_by_project_into(&mut per_project);
                 metrics.advance(now, t, &per_project, run_state.can_compute);
                 if let Some(tl) = &mut timeline {
                     record_timeline(tl, &client, &assignment, now, t, run_state, &instances);
@@ -423,13 +429,24 @@ impl Emulator {
             }
             generation += 1;
 
-            // 4. Reschedule and run the fetch loop.
+            // 4. Reschedule and run the fetch loop. The first fetch
+            //    decision reuses the snapshot the reschedule was based on
+            //    (as the pre-cache code did); later iterations refresh it,
+            //    which re-runs the simulation only after an RPC actually
+            //    changed the queue.
             let resched = client.reschedule(now, run_state, on_frac);
             log_resched(&mut log, now, &resched);
-            let mut rr = resched.rr;
             let mut fetched_any = false;
+            let mut first_rpc = true;
             for _ in 0..self.cfg.max_rpcs_per_point {
-                let Some(decision) = client.fetch_decision(now, run_state, &rr) else { break };
+                if !first_rpc {
+                    client.rr_refresh(now, run_state, on_frac);
+                }
+                first_rpc = false;
+                let Some(decision) = client.fetch_decision(now, run_state, client.rr_snapshot())
+                else {
+                    break;
+                };
                 let project = decision.project;
                 let mut request = SchedulerRequest::default();
                 for pt in ProcType::ALL {
@@ -484,16 +501,19 @@ impl Emulator {
                         metrics.record_transient_rpc_failure();
                     }
                 }
-                rr = client.rr_simulate(now, run_state, on_frac);
             }
             if fetched_any {
                 let r2 = client.reschedule(now, run_state, on_frac);
                 log_resched(&mut log, now, &r2);
             }
+            peak_jobs = peak_jobs.max(client.tasks().len());
 
-            // 5. Refresh the timeline instance assignment and schedule the
-            //    next predicted client event.
-            update_assignment(&mut assignment, &client, &instances);
+            // 5. Refresh the timeline instance assignment (only kept up to
+            //    date when a timeline is actually recorded) and schedule
+            //    the next predicted client event.
+            if timeline.is_some() {
+                update_assignment(&mut assignment, &client, &instances);
+            }
             if let Some(t_next) = client.next_event_after(now) {
                 // Enforce a minimum event granularity: predicted completion
                 // times can round to `now` itself in f64 (a sub-picosecond
@@ -535,6 +555,10 @@ impl Emulator {
             })
             .collect();
 
+        let rr = client.rr_stats();
+        let perf =
+            PerfStats { events_processed, peak_jobs, rr_queries: rr.queries, rr_runs: rr.runs };
+
         EmulationResult {
             scenario_name: scenario.name.clone(),
             merit,
@@ -546,6 +570,7 @@ impl Emulator {
             total_flops_used: total_used,
             duration: self.cfg.duration,
             faults: metrics.fault_metrics(),
+            perf,
             timeline,
             log,
         }

@@ -18,6 +18,6 @@ pub mod scenario;
 
 pub use bce_faults::{FaultConfig, RetryPolicy};
 pub use emulator::{EmulationResult, Emulator, EmulatorConfig};
-pub use metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, ProjectReport};
+pub use metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
 pub use render::{render_report, render_timeline};
 pub use scenario::Scenario;

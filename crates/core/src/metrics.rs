@@ -86,6 +86,35 @@ impl FaultMetrics {
     }
 }
 
+/// Runtime performance counters for one emulation run. Not figures of
+/// merit — these describe the *emulator's* work (event throughput, RR-sim
+/// cache behaviour) and feed the `bce bench` harness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerfStats {
+    /// Events popped from the emulator's queue.
+    pub events_processed: u64,
+    /// Largest simultaneous task-queue size observed.
+    pub peak_jobs: usize,
+    /// Times a decision point consulted the RR simulation.
+    pub rr_queries: u64,
+    /// Times the RR simulation actually ran (cache misses).
+    pub rr_runs: u64,
+}
+
+impl PerfStats {
+    pub fn rr_hits(&self) -> u64 {
+        self.rr_queries - self.rr_runs
+    }
+    /// Fraction of RR-simulation queries served from the cache.
+    pub fn rr_hit_rate(&self) -> f64 {
+        if self.rr_queries == 0 {
+            0.0
+        } else {
+            self.rr_hits() as f64 / self.rr_queries as f64
+        }
+    }
+}
+
 /// Per-project outcome summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProjectReport {
