@@ -22,8 +22,12 @@ fn bench_montecarlo(c: &mut Criterion) {
 
     g.bench_function("emulate_8_sampled_hosts_6h", |b| {
         let mut sampler = PopulationSampler::new(PopulationModel::default(), 7);
-        let scenarios = sampler.sample_many(8);
-        let emu = EmulatorConfig { duration: SimDuration::from_hours(6.0), ..Default::default() };
+        let scenarios: Vec<std::sync::Arc<_>> =
+            sampler.sample_many(8).into_iter().map(std::sync::Arc::new).collect();
+        let emu = std::sync::Arc::new(EmulatorConfig {
+            duration: SimDuration::from_hours(6.0),
+            ..Default::default()
+        });
         b.iter(|| {
             let specs: Vec<RunSpec> = scenarios
                 .iter()

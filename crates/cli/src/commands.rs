@@ -28,11 +28,12 @@ USAGE:
       --log           print the scheduling message log
       --seed N        override the scenario seed
 
-  bce compare <state_file.xml | scenarioN> [--days N]
+  bce compare <state_file.xml | scenarioN> [--days N] [--threads N]
       run every scheduling x fetch policy combination and tabulate
 
-  bce population [--hosts N] [--days N] [--seed N]
+  bce population [--hosts N] [--days N] [--seed N] [--threads N]
       Monte-Carlo policy study over a sampled host population
+      (--threads 0, the default, uses one worker per CPU)
 
   bce export <scenarioN> [--out FILE]
       write the scenario as a client_state.xml template
@@ -40,7 +41,7 @@ USAGE:
   bce validate <state_file.xml>
       parse and validate a state file, reporting precise errors
 
-  bce fleet [--days N]
+  bce fleet [--days N] [--threads N]
       cross-host share-enforcement study on a demo heterogeneous fleet
 
   bce faults <state_file.xml | scenarioN> [options]
@@ -52,10 +53,12 @@ USAGE:
                       failures, in seconds
       --seed N        override the scenario seed
 
-  bce bench [--quick] [--out FILE]
-      run the standard benchmark scenario set and report wall time, event
-      throughput and RR-simulation cache statistics as JSON (--out writes
-      the JSON and prints a summary table instead)
+  bce bench [--quick] [--out FILE] [--threads N] [--population N]
+      run the standard benchmark scenario set plus a population-executor
+      throughput section, and report wall time, event throughput,
+      RR-simulation cache statistics, runs/sec and executor overhead as
+      JSON (--out writes the JSON and prints a summary table instead;
+      --population overrides the population-study run count)
 
   bce help
 ";
@@ -90,6 +93,8 @@ const VALUE_OPTS: &[&str] = &[
     "width",
     "rates",
     "mtbf",
+    "threads",
+    "population",
 ];
 
 /// Parse and run a full command line (without the program name). Returns
@@ -246,8 +251,9 @@ fn all_policies() -> Vec<(String, ClientConfig)> {
 fn cmd_compare(args: &Args) -> Result<String, CliError> {
     let scenario = load_scenario(args)?;
     let days: f64 = args.opt_or("days", 10.0)?;
+    let threads: usize = args.opt_or("threads", 0usize)?;
     let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
-    let cmp = compare_policies(&scenario, &all_policies(), &emu, 0);
+    let cmp = compare_policies(&scenario, &all_policies(), &emu, threads);
     let mut out = format!("policy comparison on {} ({days} days):\n\n", cmp.scenario_name);
     out.push_str(&cmp.table().render());
     out.push('\n');
@@ -260,8 +266,10 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
     let hosts: usize = args.opt_or("hosts", 16usize)?;
     let days: f64 = args.opt_or("days", 2.0)?;
     let seed: u64 = args.opt_or("seed", 1u64)?;
+    let threads: usize = args.opt_or("threads", 0usize)?;
     let mut sampler = PopulationSampler::new(PopulationModel::default(), seed);
-    let scenarios = sampler.sample_many(hosts);
+    let scenarios: Vec<std::sync::Arc<Scenario>> =
+        sampler.sample_many(hosts).into_iter().map(std::sync::Arc::new).collect();
     let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
     let policies = vec![
         ("GLOBAL+HYST".to_string(), ClientConfig::default()),
@@ -274,7 +282,7 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
             },
         ),
     ];
-    let outcomes = population_study(&scenarios, &policies, &emu, 0);
+    let outcomes = population_study(&scenarios, &policies, &emu, threads);
     let mut out = format!("population study: {hosts} hosts x {days} days (seed {seed})\n\n");
     out.push_str(&population_table(&outcomes).render());
     Ok(out)
@@ -344,6 +352,7 @@ fn demo_fleet() -> Fleet {
 
 fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     let days: f64 = args.opt_or("days", 1.0)?;
+    let threads: usize = args.opt_or("threads", 0usize)?;
     let fleet = demo_fleet();
     let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
     let mut out = format!(
@@ -353,7 +362,7 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     );
     for strategy in [ShareStrategy::PerHost, ShareStrategy::CrossHost] {
         let assignment = assign_shares(&fleet, strategy);
-        let r = run_fleet(&fleet, strategy, ClientConfig::default(), &emu, 0);
+        let r = run_fleet(&fleet, strategy, ClientConfig::default(), &emu, threads);
         out.push_str(&format!(
             "{}: fleet share violation {:.4}, total {:.2} TFLOP-days\n",
             strategy.name(),
@@ -492,8 +501,15 @@ fn cmd_faults(args: &Args) -> Result<String, CliError> {
 
 fn cmd_bench(args: &Args) -> Result<String, CliError> {
     let quick = args.flag("quick");
-    let records = crate::perf_report::run_bench(quick);
-    let json = crate::perf_report::to_json(&records, quick);
+    let threads: usize = args.opt_or("threads", 0usize)?;
+    let population: Option<usize> = match args.opt("population") {
+        Some(p) => {
+            Some(p.parse().map_err(|_| CliError(format!("--population: not a count: {p:?}")))?)
+        }
+        None => None,
+    };
+    let report = crate::perf_report::run_bench(quick, threads, population);
+    let json = crate::perf_report::to_json(&report);
     match args.opt("out") {
         Some(path) => {
             std::fs::write(path, &json)
@@ -501,7 +517,7 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
             Ok(format!(
                 "benchmark suite ({} mode):\n\n{}\nwrote {path}\n",
                 if quick { "quick" } else { "full" },
-                crate::perf_report::summary(&records)
+                crate::perf_report::summary(&report)
             ))
         }
         None => Ok(json),
@@ -636,16 +652,41 @@ mod tests {
 
     #[test]
     fn bench_quick_emits_json() {
-        let out = run("bench --quick").unwrap();
+        // Tiny population so the test stays fast; --threads 2 pins the
+        // recorded worker count.
+        let out = run("bench --quick --threads 2 --population 4").unwrap();
         assert!(out.contains("\"bench\": \"bce\""), "{out}");
         assert!(out.contains("scenario3_fig6_60d"), "{out}");
         assert!(out.contains("\"cache_hit_rate\""), "{out}");
+        assert!(out.contains("\"available_parallelism\""), "{out}");
+        assert!(out.contains("\"threads_used\": 2"), "{out}");
+        assert!(out.contains("\"runs\": 4"), "{out}");
+        assert!(out.contains("\"streaming_runs\": 40"), "{out}");
+        assert!(out.contains("\"runs_per_sec\""), "{out}");
+        assert!(out.contains("\"speedup_vs_reference\""), "{out}");
         let dir = std::env::temp_dir().join("bce-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("bench.json");
-        let out = run(&format!("bench --quick --out {}", p.to_str().unwrap())).unwrap();
+        let out =
+            run(&format!("bench --quick --threads 2 --population 4 --out {}", p.to_str().unwrap()))
+                .unwrap();
         assert!(out.contains("wrote"), "{out}");
-        assert!(std::fs::read_to_string(&p).unwrap().contains("events_per_sec"));
+        assert!(out.contains("population executor"), "{out}");
+        let json = std::fs::read_to_string(&p).unwrap();
+        assert!(json.contains("events_per_sec"));
+        assert!(json.contains("streaming_runs_per_sec"));
+    }
+
+    #[test]
+    fn bench_rejects_bad_population() {
+        assert!(run("bench --quick --population nope").is_err());
+    }
+
+    #[test]
+    fn population_threads_flag_is_deterministic() {
+        let a = run("population --hosts 4 --days 0.2 --threads 1").unwrap();
+        let b = run("population --hosts 4 --days 0.2 --threads 8").unwrap();
+        assert_eq!(a, b, "population table must not depend on thread count");
     }
 
     #[test]

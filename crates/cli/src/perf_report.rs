@@ -2,15 +2,22 @@
 //!
 //! Runs the standard scenario set through the emulator, measuring wall
 //! time and the engine's runtime counters (events processed, RR-simulation
-//! queries/runs, cache-hit rate, peak queue depth), and renders the result
-//! as machine-readable JSON. Successive reports are committed as
+//! queries/runs, cache-hit rate, peak queue depth), then exercises the
+//! population executor (`run_all` / `run_streaming`) against the
+//! pre-executor baseline (`run_all_reference`) and reports population
+//! throughput, executor overhead and peak memory. The result is rendered
+//! as machine-readable JSON; successive reports are committed as
 //! `BENCH_<pr>.json` at the repo root so the performance trajectory of the
 //! codebase stays visible in review (see EXPERIMENTS.md).
 
 use bce_client::{ClientConfig, JobSchedPolicy};
+use bce_controller::{resolve_threads, run_all, run_all_reference, run_streaming, RunSpec};
 use bce_core::{EmulationResult, Emulator, EmulatorConfig, Scenario};
-use bce_scenarios::{scenario1, scenario2, scenario3, scenario4};
+use bce_scenarios::{
+    scenario1, scenario2, scenario3, scenario4, PopulationModel, PopulationSampler,
+};
 use bce_types::SimDuration;
+use std::sync::Arc;
 
 /// One benchmark scenario's measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +32,54 @@ pub struct BenchRecord {
     pub cache_hit_rate: f64,
     pub peak_jobs: usize,
     pub jobs_completed: u64,
+}
+
+/// Where the benchmark ran: how much parallelism the machine offers and
+/// how much the population sections actually used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    pub available_parallelism: usize,
+    pub threads_used: usize,
+}
+
+/// Population-executor throughput measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationBench {
+    /// Runs in the batch (`run_all`) section.
+    pub runs: usize,
+    pub threads: usize,
+    /// Wall time of the new executor over `runs` runs.
+    pub wall_ms: f64,
+    pub runs_per_sec: f64,
+    /// Sum of individual run wall times (serial pass, one arena).
+    pub sum_run_wall_ms: f64,
+    /// Executor wall minus perfectly-divided serial work: scheduling,
+    /// channel and reduction cost that is not emulation.
+    pub executor_overhead_ms: f64,
+    /// Wall time of the pre-executor baseline (`run_all_reference`:
+    /// per-run clones, fresh emulator, mutex funnel) at the same thread
+    /// count.
+    pub reference_wall_ms: f64,
+    pub speedup_vs_reference: f64,
+    /// Runs in the streaming (`run_streaming`) sweep section.
+    pub streaming_runs: usize,
+    pub streaming_wall_ms: f64,
+    pub streaming_runs_per_sec: f64,
+    /// Jobs completed across the streaming sweep (also keeps the work
+    /// observable so nothing is optimized away).
+    pub streaming_jobs_completed: u64,
+    /// Peak resident set (VmHWM) after the streaming sweep, if the
+    /// platform exposes it — a proxy for the O(workers) memory claim.
+    pub peak_rss_mb: Option<f64>,
+}
+
+/// Full `bce bench` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub quick: bool,
+    pub host: HostInfo,
+    pub scenarios: Vec<BenchRecord>,
+    pub population: PopulationBench,
 }
 
 /// The standard benchmark set: the four paper scenarios, with scenario 3
@@ -75,9 +130,118 @@ fn measure(name: &str, scenario: Scenario, days: f64, cfg: ClientConfig) -> Benc
     }
 }
 
-/// Run the full benchmark suite.
-pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
-    standard_set(quick).into_iter().map(|(n, s, d, c)| measure(&n, s, d, c)).collect()
+/// Peak resident set size in MB from `/proc/self/status` (VmHWM). Linux
+/// only; other platforms report `None`.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn population_specs(
+    n_runs: usize,
+    distinct_scenarios: usize,
+    sim_hours: f64,
+    seed: u64,
+) -> Vec<RunSpec> {
+    let mut sampler = PopulationSampler::new(PopulationModel::default(), seed);
+    let scenarios: Vec<Arc<Scenario>> = sampler
+        .sample_many(distinct_scenarios.max(1).min(n_runs.max(1)))
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let emu = Arc::new(EmulatorConfig {
+        duration: SimDuration::from_hours(sim_hours),
+        ..Default::default()
+    });
+    (0..n_runs)
+        .map(|i| {
+            let s = &scenarios[i % scenarios.len()];
+            RunSpec::new(format!("pop{i}"), s.clone(), ClientConfig::default())
+                .with_emulator(emu.clone())
+        })
+        .collect()
+}
+
+/// Measure the population executor: batch throughput and speedup against
+/// the pre-executor baseline, plus a large streaming sweep whose result
+/// set is never materialized.
+fn run_population_bench(quick: bool, threads: usize, population: Option<usize>) -> PopulationBench {
+    let threads_used = resolve_threads(threads);
+    let runs = population.unwrap_or(if quick { 64 } else { 1000 });
+    let specs = population_specs(runs, 512, if quick { 1.0 } else { 6.0 }, 42);
+
+    // Sum of run wall times: serial passes over one arena with an empty
+    // reducer — pure emulation cost, the work the executor has to
+    // distribute. The first pass doubles as warm-up (allocator, page
+    // cache); taking the faster of two passes damps scheduler noise.
+    let sum_run_wall_ms = (0..2)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            run_streaming(&specs, 1, |_, _, _| {});
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let start = std::time::Instant::now();
+    let results = run_all(specs.clone(), threads);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(results.len(), runs);
+    drop(results);
+
+    let start = std::time::Instant::now();
+    let reference = run_all_reference(&specs, threads);
+    let reference_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(reference);
+
+    // Streaming sweep: many more runs than the batch section, aggregated
+    // on the fly so memory stays O(workers).
+    let streaming_runs = population.map(|p| p * 10).unwrap_or(if quick { 2000 } else { 100_000 });
+    let streaming_specs = population_specs(streaming_runs, 512, if quick { 0.5 } else { 1.0 }, 43);
+    let mut streaming_jobs_completed = 0u64;
+    let start = std::time::Instant::now();
+    run_streaming(&streaming_specs, threads, |_, _, r| {
+        streaming_jobs_completed += r.jobs_completed;
+    });
+    let streaming_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let per_sec = |n: usize, ms: f64| if ms > 0.0 { n as f64 / (ms / 1e3) } else { 0.0 };
+    PopulationBench {
+        runs,
+        threads: threads_used,
+        wall_ms,
+        runs_per_sec: per_sec(runs, wall_ms),
+        sum_run_wall_ms,
+        executor_overhead_ms: wall_ms - sum_run_wall_ms / threads_used as f64,
+        reference_wall_ms,
+        speedup_vs_reference: if wall_ms > 0.0 { reference_wall_ms / wall_ms } else { 0.0 },
+        streaming_runs,
+        streaming_wall_ms,
+        streaming_runs_per_sec: per_sec(streaming_runs, streaming_wall_ms),
+        streaming_jobs_completed,
+        peak_rss_mb: peak_rss_mb(),
+    }
+}
+
+/// Run the full benchmark suite: the standard scenarios plus the
+/// population-executor section. `threads` 0 means one worker per CPU;
+/// `population` overrides the batch run count (streaming uses 10×).
+pub fn run_bench(quick: bool, threads: usize, population: Option<usize>) -> BenchReport {
+    let scenarios =
+        standard_set(quick).into_iter().map(|(n, s, d, c)| measure(&n, s, d, c)).collect();
+    let population = run_population_bench(quick, threads, population);
+    BenchReport {
+        quick,
+        host: HostInfo {
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0),
+            threads_used: population.threads,
+        },
+        scenarios,
+        population,
+    }
 }
 
 /// JSON-escape + format helpers (the workspace is dependency-free, so the
@@ -91,13 +255,27 @@ fn jnum(x: f64) -> String {
     }
 }
 
+fn jopt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => jnum(v),
+        None => "null".to_string(),
+    }
+}
+
 /// Render the benchmark report as JSON.
-pub fn to_json(records: &[BenchRecord], quick: bool) -> String {
+pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"bce\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str("  \"host\": {\n");
+    out.push_str(&format!(
+        "    \"available_parallelism\": {},\n",
+        report.host.available_parallelism
+    ));
+    out.push_str(&format!("    \"threads_used\": {}\n", report.host.threads_used));
+    out.push_str("  },\n");
     out.push_str("  \"scenarios\": [\n");
-    for (i, r) in records.iter().enumerate() {
+    for (i, r) in report.scenarios.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
         out.push_str(&format!("      \"days\": {},\n", jnum(r.days)));
@@ -109,14 +287,30 @@ pub fn to_json(records: &[BenchRecord], quick: bool) -> String {
         out.push_str(&format!("      \"cache_hit_rate\": {},\n", jnum(r.cache_hit_rate)));
         out.push_str(&format!("      \"peak_jobs\": {},\n", r.peak_jobs));
         out.push_str(&format!("      \"jobs_completed\": {}\n", r.jobs_completed));
-        out.push_str(if i + 1 < records.len() { "    },\n" } else { "    }\n" });
+        out.push_str(if i + 1 < report.scenarios.len() { "    },\n" } else { "    }\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let p = &report.population;
+    out.push_str("  \"population\": {\n");
+    out.push_str(&format!("    \"runs\": {},\n", p.runs));
+    out.push_str(&format!("    \"threads\": {},\n", p.threads));
+    out.push_str(&format!("    \"wall_ms\": {},\n", jnum(p.wall_ms)));
+    out.push_str(&format!("    \"runs_per_sec\": {},\n", jnum(p.runs_per_sec)));
+    out.push_str(&format!("    \"sum_run_wall_ms\": {},\n", jnum(p.sum_run_wall_ms)));
+    out.push_str(&format!("    \"executor_overhead_ms\": {},\n", jnum(p.executor_overhead_ms)));
+    out.push_str(&format!("    \"reference_wall_ms\": {},\n", jnum(p.reference_wall_ms)));
+    out.push_str(&format!("    \"speedup_vs_reference\": {},\n", jnum(p.speedup_vs_reference)));
+    out.push_str(&format!("    \"streaming_runs\": {},\n", p.streaming_runs));
+    out.push_str(&format!("    \"streaming_wall_ms\": {},\n", jnum(p.streaming_wall_ms)));
+    out.push_str(&format!("    \"streaming_runs_per_sec\": {},\n", jnum(p.streaming_runs_per_sec)));
+    out.push_str(&format!("    \"streaming_jobs_completed\": {},\n", p.streaming_jobs_completed));
+    out.push_str(&format!("    \"peak_rss_mb\": {}\n", jopt(p.peak_rss_mb)));
+    out.push_str("  }\n}\n");
     out
 }
 
-/// Human-readable summary table of a benchmark run.
-pub fn summary(records: &[BenchRecord]) -> String {
+/// Human-readable summary of a benchmark run.
+pub fn summary(report: &BenchReport) -> String {
     let mut t = bce_controller::Table::new(&[
         "scenario",
         "days",
@@ -127,7 +321,7 @@ pub fn summary(records: &[BenchRecord]) -> String {
         "hit rate",
         "peak jobs",
     ]);
-    for r in records {
+    for r in &report.scenarios {
         t.row(&[
             r.name.clone(),
             format!("{:.1}", r.days),
@@ -139,7 +333,30 @@ pub fn summary(records: &[BenchRecord]) -> String {
             r.peak_jobs.to_string(),
         ]);
     }
-    t.render()
+    let p = &report.population;
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\npopulation executor ({} threads of {} available):\n",
+        p.threads, report.host.available_parallelism
+    ));
+    out.push_str(&format!(
+        "  batch     {} runs in {:.1} ms ({:.0} runs/s), overhead {:.1} ms, \
+         {:.2}x vs pre-executor baseline ({:.1} ms)\n",
+        p.runs,
+        p.wall_ms,
+        p.runs_per_sec,
+        p.executor_overhead_ms,
+        p.speedup_vs_reference,
+        p.reference_wall_ms
+    ));
+    out.push_str(&format!(
+        "  streaming {} runs in {:.1} ms ({:.0} runs/s), peak RSS {}\n",
+        p.streaming_runs,
+        p.streaming_wall_ms,
+        p.streaming_runs_per_sec,
+        p.peak_rss_mb.map(|m| format!("{m:.0} MB")).unwrap_or_else(|| "n/a".into()),
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -148,41 +365,87 @@ mod tests {
 
     #[test]
     fn quick_bench_produces_records() {
-        let recs = run_bench(true);
-        assert_eq!(recs.len(), 4);
-        for r in &recs {
+        let report = run_bench(true, 2, Some(8));
+        assert_eq!(report.scenarios.len(), 4);
+        for r in &report.scenarios {
             assert!(r.events > 0, "{}: no events", r.name);
             assert!(r.rr_queries >= r.rr_runs, "{}: runs exceed queries", r.name);
         }
         // Scenario 3's jobs outlast the quick horizon, so completions are
         // only guaranteed suite-wide.
-        assert!(recs.iter().map(|r| r.jobs_completed).sum::<u64>() > 0, "no jobs anywhere");
+        assert!(
+            report.scenarios.iter().map(|r| r.jobs_completed).sum::<u64>() > 0,
+            "no jobs anywhere"
+        );
         // The fetch loop re-queries the snapshot at every decision point,
         // so some hits must occur.
-        assert!(recs.iter().any(|r| r.cache_hit_rate > 0.0), "no cache hits anywhere");
+        assert!(report.scenarios.iter().any(|r| r.cache_hit_rate > 0.0), "no cache hits anywhere");
+        let p = &report.population;
+        assert_eq!(p.runs, 8);
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.streaming_runs, 80);
+        assert!(p.runs_per_sec > 0.0);
+        assert!(p.streaming_runs_per_sec > 0.0);
+        assert!(p.streaming_jobs_completed > 0);
+        assert!(p.reference_wall_ms > 0.0 && p.wall_ms > 0.0);
+    }
+
+    fn fake_report() -> BenchReport {
+        BenchReport {
+            quick: true,
+            host: HostInfo { available_parallelism: 8, threads_used: 4 },
+            scenarios: vec![BenchRecord {
+                name: "x".into(),
+                days: 1.0,
+                wall_ms: 12.5,
+                events: 100,
+                events_per_sec: 8000.0,
+                rr_queries: 10,
+                rr_runs: 4,
+                cache_hit_rate: 0.6,
+                peak_jobs: 7,
+                jobs_completed: 3,
+            }],
+            population: PopulationBench {
+                runs: 100,
+                threads: 4,
+                wall_ms: 50.0,
+                runs_per_sec: 2000.0,
+                sum_run_wall_ms: 180.0,
+                executor_overhead_ms: 5.0,
+                reference_wall_ms: 80.0,
+                speedup_vs_reference: 1.6,
+                streaming_runs: 1000,
+                streaming_wall_ms: 400.0,
+                streaming_runs_per_sec: 2500.0,
+                streaming_jobs_completed: 1234,
+                peak_rss_mb: None,
+            },
+        }
     }
 
     #[test]
     fn json_is_well_formed() {
-        let recs = vec![BenchRecord {
-            name: "x".into(),
-            days: 1.0,
-            wall_ms: 12.5,
-            events: 100,
-            events_per_sec: 8000.0,
-            rr_queries: 10,
-            rr_runs: 4,
-            cache_hit_rate: 0.6,
-            peak_jobs: 7,
-            jobs_completed: 3,
-        }];
-        let j = to_json(&recs, true);
+        let j = to_json(&fake_report());
         assert!(j.contains("\"quick\": true"));
         assert!(j.contains("\"wall_ms\": 12.500"));
         assert!(j.contains("\"cache_hit_rate\": 0.600"));
+        assert!(j.contains("\"available_parallelism\": 8"));
+        assert!(j.contains("\"threads_used\": 4"));
+        assert!(j.contains("\"runs_per_sec\": 2000.000"));
+        assert!(j.contains("\"streaming_runs_per_sec\": 2500.000"));
+        assert!(j.contains("\"speedup_vs_reference\": 1.600"));
+        assert!(j.contains("\"peak_rss_mb\": null"));
         // Balanced braces/brackets.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn summary_mentions_population_executor() {
+        let s = summary(&fake_report());
+        assert!(s.contains("population executor (4 threads of 8 available)"));
+        assert!(s.contains("1.60x vs pre-executor baseline"));
     }
 
     #[test]
@@ -190,5 +453,7 @@ mod tests {
         assert_eq!(jnum(f64::NAN), "null");
         assert_eq!(jnum(f64::INFINITY), "null");
         assert_eq!(jnum(2.0), "2.000");
+        assert_eq!(jopt(None), "null");
+        assert_eq!(jopt(Some(1.0)), "1.000");
     }
 }

@@ -140,6 +140,29 @@ impl RrStats {
 /// on besides client state, plus the client-state generation counter.
 type RrKey = (SimTime, HostRunState, u64, u64);
 
+/// The client's reusable heap buffers, extractable after a run and fed
+/// back into the next client via [`Client::with_scratch`]. A worker that
+/// emulates thousands of scenarios reuses one scratch so the task queue,
+/// RR-simulation working state and accounting sample are allocated once
+/// per worker instead of once per run. All buffers are cleared on reuse,
+/// so a recycled client is bit-identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct ClientScratch {
+    tasks: Vec<Task>,
+    finished: Vec<Task>,
+    xfer_retries: Vec<XferRetry>,
+    rr_jobs: Vec<RrJob>,
+    rr_scratch: RrScratch,
+    rr_cache: RrOutcome,
+    usage_buf: UsageSample,
+}
+
+impl ClientScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The emulated client.
 pub struct Client {
     pub cfg: ClientConfig,
@@ -193,6 +216,37 @@ impl Client {
         projects: Vec<ClientProject>,
         cfg: ClientConfig,
     ) -> Self {
+        Self::with_scratch(hw, prefs, projects, cfg, ClientScratch::default())
+    }
+
+    /// As [`Client::new`], but recycling the heap buffers of a previous
+    /// client (see [`ClientScratch`]). Buffers are cleared before reuse;
+    /// behaviour is bit-identical to a freshly allocated client.
+    pub fn with_scratch(
+        hw: Hardware,
+        prefs: Preferences,
+        projects: Vec<ClientProject>,
+        cfg: ClientConfig,
+        scratch: ClientScratch,
+    ) -> Self {
+        let ClientScratch {
+            mut tasks,
+            mut finished,
+            mut xfer_retries,
+            mut rr_jobs,
+            rr_scratch,
+            rr_cache,
+            mut usage_buf,
+        } = scratch;
+        tasks.clear();
+        finished.clear();
+        xfer_retries.clear();
+        rr_jobs.clear();
+        usage_buf.clear();
+        // `rr_scratch` and `rr_cache` are fully overwritten by every
+        // simulation call, and `rr_key: None` below guarantees the first
+        // snapshot query re-runs the simulation before anything reads the
+        // recycled cache contents.
         let accounting = Accounting::new(
             cfg.sched_policy.accounting,
             projects.iter().map(|p| (p.id, p.share)),
@@ -210,23 +264,37 @@ impl Client {
             hw,
             prefs,
             projects,
-            tasks: Vec::new(),
-            finished: Vec::new(),
+            tasks,
+            finished,
             accounting,
             transfers,
             last_advance: SimTime::ZERO,
             rpcs_issued: 0,
             rpc_retry_policy: RetryPolicy::SCHEDULER_RPC,
             xfer_faults: None,
-            xfer_retries: Vec::new(),
+            xfer_retries,
             state_gen: 0,
             rr_platform,
-            rr_jobs: Vec::new(),
-            rr_scratch: RrScratch::new(),
-            rr_cache: RrOutcome::default(),
+            rr_jobs,
+            rr_scratch,
+            rr_cache,
             rr_key: None,
             rr_stats: RrStats::default(),
-            usage_buf: UsageSample::default(),
+            usage_buf,
+        }
+    }
+
+    /// Tear the client down, handing back its reusable buffers for the
+    /// next run (the arena path's per-worker emulator reuse).
+    pub fn into_scratch(self) -> ClientScratch {
+        ClientScratch {
+            tasks: self.tasks,
+            finished: self.finished,
+            xfer_retries: self.xfer_retries,
+            rr_jobs: self.rr_jobs,
+            rr_scratch: self.rr_scratch,
+            rr_cache: self.rr_cache,
+            usage_buf: self.usage_buf,
         }
     }
 

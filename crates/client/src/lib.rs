@@ -19,7 +19,9 @@ pub mod task;
 pub mod xfer;
 
 pub use accounting::{Accounting, AccountingKind, UsageSample};
-pub use client::{AdvanceEvents, Client, ClientConfig, ClientProject, Reschedule, RrStats};
+pub use client::{
+    AdvanceEvents, Client, ClientConfig, ClientProject, ClientScratch, Reschedule, RrStats,
+};
 pub use fetch::{Backoff, FetchDecision, FetchPolicy, FetchProject, FetchRequest};
 pub use rr_sim::{
     simulate as rr_simulate, simulate_into as rr_simulate_into,

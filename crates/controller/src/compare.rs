@@ -65,6 +65,8 @@ pub fn compare_policies(
     emulator: &EmulatorConfig,
     threads: usize,
 ) -> Comparison {
+    let scenario = std::sync::Arc::new(scenario.clone());
+    let emulator = std::sync::Arc::new(emulator.clone());
     let specs: Vec<RunSpec> = policies
         .iter()
         .map(|(label, client)| {

@@ -1,13 +1,21 @@
 //! Monte-Carlo population studies (§6.2 future work): evaluate policies
 //! over a whole sampled population of scenarios rather than hand-picked
 //! points, and aggregate the figures-of-merit distributions.
+//!
+//! The study streams: the policy × scenario matrix is distributed as
+//! `Arc`-shared specs (no scenario is ever cloned) and every
+//! `EmulationResult` is folded into the per-policy accumulators the
+//! moment it completes, so memory stays O(policies × metrics) plus one
+//! retained `f64` per run per metric for the exact p95 — not
+//! O(runs × results).
 
-use crate::run::{run_all, RunSpec};
+use crate::run::{run_streaming, RunSpec};
 use crate::sweep::Metric;
 use crate::table::Table;
 use bce_client::ClientConfig;
 use bce_core::{EmulatorConfig, Scenario};
 use bce_sim::OnlineStats;
+use std::sync::Arc;
 
 /// Aggregated distribution of one metric over the population.
 #[derive(Debug, Clone)]
@@ -32,49 +40,76 @@ impl PopulationOutcome {
     }
 }
 
-/// Evaluate each policy over the given scenario population.
-pub fn population_study(
-    scenarios: &[Scenario],
-    policies: &[(String, ClientConfig)],
-    emulator: &EmulatorConfig,
-    threads: usize,
-) -> Vec<PopulationOutcome> {
-    let mut outcomes = Vec::new();
-    for (label, client) in policies {
-        let specs: Vec<RunSpec> = scenarios
-            .iter()
-            .map(|s| {
-                RunSpec::new(format!("{label}/{}", s.name), s.clone(), *client)
-                    .with_emulator(emulator.clone())
-            })
-            .collect();
-        let results = run_all(specs, threads);
+/// Streaming accumulator for one policy: running moments plus the raw
+/// sample of each metric (needed only for the exact p95).
+struct PolicyAccum {
+    stats: Vec<OnlineStats>,
+    values: Vec<Vec<f64>>,
+}
+
+impl PolicyAccum {
+    fn new(expected_runs: usize) -> Self {
+        PolicyAccum {
+            stats: vec![OnlineStats::new(); Metric::ALL.len()],
+            values: vec![Vec::with_capacity(expected_runs); Metric::ALL.len()],
+        }
+    }
+
+    fn finish(mut self, label: &str, scenarios_run: usize) -> PopulationOutcome {
         let per_metric = Metric::ALL
             .iter()
-            .map(|&metric| {
-                let mut stats = OnlineStats::new();
-                let mut values: Vec<f64> = Vec::with_capacity(results.len());
-                for (_, r) in &results {
-                    let v = metric.extract(&r.merit);
-                    stats.push(v);
-                    values.push(v);
-                }
+            .enumerate()
+            .map(|(k, &metric)| {
+                let values = &mut self.values[k];
                 values.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 let p95 = if values.is_empty() {
                     0.0
                 } else {
                     values[((values.len() as f64 * 0.95) as usize).min(values.len() - 1)]
                 };
-                MetricStats { metric, stats, p95 }
+                MetricStats { metric, stats: self.stats[k].clone(), p95 }
             })
             .collect();
-        outcomes.push(PopulationOutcome {
-            label: label.clone(),
-            per_metric,
-            scenarios_run: scenarios.len(),
-        });
+        PopulationOutcome { label: label.to_string(), per_metric, scenarios_run }
     }
-    outcomes
+}
+
+/// Evaluate each policy over the given scenario population.
+///
+/// Scenarios are shared by reference-count across every policy, so the
+/// whole policy × scenario matrix is distributed without cloning a single
+/// scenario, and the full matrix runs as one parallel batch.
+pub fn population_study(
+    scenarios: &[Arc<Scenario>],
+    policies: &[(String, ClientConfig)],
+    emulator: &EmulatorConfig,
+    threads: usize,
+) -> Vec<PopulationOutcome> {
+    let emulator = Arc::new(emulator.clone());
+    let n = scenarios.len();
+    let specs: Vec<RunSpec> = policies
+        .iter()
+        .flat_map(|(label, client)| {
+            let emulator = emulator.clone();
+            scenarios.iter().map(move |s| {
+                RunSpec::new(format!("{label}/{}", s.name), s.clone(), *client)
+                    .with_emulator(emulator.clone())
+            })
+        })
+        .collect();
+
+    let mut accums: Vec<PolicyAccum> = policies.iter().map(|_| PolicyAccum::new(n)).collect();
+    run_streaming(&specs, threads, |i, _, result| {
+        // `n == 0` means no specs, so the reducer is never called.
+        let accum = &mut accums[i / n];
+        for (k, metric) in Metric::ALL.iter().enumerate() {
+            let v = metric.extract(&result.merit);
+            accum.stats[k].push(v);
+            accum.values[k].push(v);
+        }
+    });
+
+    policies.iter().zip(accums).map(|((label, _), accum)| accum.finish(label, n)).collect()
 }
 
 /// Summary table: one row per (policy, metric) with mean/sd/min/max/p95.
@@ -102,10 +137,14 @@ mod tests {
     use bce_scenarios::{PopulationModel, PopulationSampler};
     use bce_types::SimDuration;
 
+    fn small_population(n: usize) -> Vec<Arc<Scenario>> {
+        let mut sampler = PopulationSampler::new(PopulationModel::default(), 3);
+        sampler.sample_many(n).into_iter().map(Arc::new).collect()
+    }
+
     #[test]
     fn study_over_small_population() {
-        let mut sampler = PopulationSampler::new(PopulationModel::default(), 3);
-        let scenarios = sampler.sample_many(4);
+        let scenarios = small_population(4);
         let policies = vec![("default".to_string(), ClientConfig::default())];
         let emu = EmulatorConfig { duration: SimDuration::from_hours(2.0), ..Default::default() };
         let outcomes = population_study(&scenarios, &policies, &emu, 0);
@@ -120,5 +159,20 @@ mod tests {
         let table = population_table(&outcomes).render();
         assert!(table.contains("default"));
         assert!(table.contains("monotony"));
+        // Sharing, not cloning: each scenario is still referenced only by
+        // the caller once the study returns.
+        for s in &scenarios {
+            assert_eq!(Arc::strong_count(s), 1);
+        }
+    }
+
+    #[test]
+    fn empty_population_yields_empty_stats() {
+        let policies = vec![("default".to_string(), ClientConfig::default())];
+        let emu = EmulatorConfig { duration: SimDuration::from_hours(1.0), ..Default::default() };
+        let outcomes = population_study(&[], &policies, &emu, 2);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].scenarios_run, 0);
+        assert_eq!(outcomes[0].metric(Metric::Idle).stats.count(), 0);
     }
 }

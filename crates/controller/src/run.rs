@@ -1,45 +1,154 @@
-//! Parallel experiment execution: the controller "does multiple BCE runs
-//! and generates graphs summarizing the figures of merit" (§4.3). Runs are
-//! independent emulations, parallelized across OS threads with
-//! `std::thread::scope`; results come back in submission order so reports
-//! stay deterministic.
+//! Population-scale experiment execution: the controller "does multiple
+//! BCE runs and generates graphs summarizing the figures of merit" (§4.3).
+//!
+//! Runs are independent emulations distributed over OS threads. The
+//! executor is built for populations of 100k+ scenarios:
+//!
+//! * **Zero-clone distribution** — a [`RunSpec`] shares its scenario and
+//!   emulator configuration via `Arc`, so fanning N runs out to workers
+//!   allocates nothing per run beyond the spec list itself.
+//! * **Per-worker emulator reuse** — each worker owns one
+//!   [`EmulatorArena`] and drives every run through it, so the event
+//!   queue, RR-simulation scratch, task buffers and accounting sample are
+//!   allocated once per worker, not once per run.
+//! * **No lock on the hot path** — work is split statically (worker `w`
+//!   runs spec indices `w, w + T, w + 2T, …`) and each worker streams its
+//!   results through its own bounded channel; there is no shared mutex or
+//!   result funnel.
+//! * **Streaming reduction** — [`run_streaming`] hands each
+//!   [`EmulationResult`] to a caller-supplied reducer *in submission
+//!   order* as soon as it is available, so a caller that only aggregates
+//!   keeps O(workers) results alive instead of O(runs).
+//!
+//! Determinism contract: every run is a deterministic function of its
+//! spec, the reduction happens in submission order on the calling thread,
+//! and arenas are cleared between runs — so results (and any reduction
+//! over them) are bit-identical across thread counts and between fresh
+//! and reused arenas.
 
 use bce_client::ClientConfig;
-use bce_core::{EmulationResult, Emulator, EmulatorConfig, Scenario};
+use bce_core::{EmulationResult, Emulator, EmulatorArena, EmulatorConfig, Scenario};
+use std::sync::Arc;
 
-/// One unit of work: a scenario plus client policy configuration.
+/// One unit of work: a scenario plus client policy configuration. The
+/// scenario and emulator config are shared (`Arc`), so cloning a spec —
+/// or building thousands of specs over the same inputs — is O(1) per spec.
 #[derive(Clone)]
 pub struct RunSpec {
     pub label: String,
-    pub scenario: Scenario,
+    pub scenario: Arc<Scenario>,
     pub client: ClientConfig,
-    pub emulator: EmulatorConfig,
+    pub emulator: Arc<EmulatorConfig>,
 }
 
 impl RunSpec {
-    pub fn new(label: impl Into<String>, scenario: Scenario, client: ClientConfig) -> Self {
-        RunSpec { label: label.into(), scenario, client, emulator: EmulatorConfig::default() }
+    pub fn new(
+        label: impl Into<String>,
+        scenario: impl Into<Arc<Scenario>>,
+        client: ClientConfig,
+    ) -> Self {
+        RunSpec {
+            label: label.into(),
+            scenario: scenario.into(),
+            client,
+            emulator: Arc::new(EmulatorConfig::default()),
+        }
     }
 
-    pub fn with_emulator(mut self, cfg: EmulatorConfig) -> Self {
-        self.emulator = cfg;
+    pub fn with_emulator(mut self, cfg: impl Into<Arc<EmulatorConfig>>) -> Self {
+        self.emulator = cfg.into();
         self
+    }
+
+    fn emulate(&self, arena: &mut EmulatorArena) -> EmulationResult {
+        Emulator::new(self.scenario.clone(), self.client, self.emulator.clone()).run_in(arena)
     }
 }
 
-/// Execute all runs, using up to `threads` worker threads (0 = one per
-/// available CPU). Results are returned in input order.
-pub fn run_all(specs: Vec<RunSpec>, threads: usize) -> Vec<(String, EmulationResult)> {
-    let nthreads = if threads == 0 {
+/// Resolve a thread-count argument (0 = one per available CPU).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         threads
-    };
+    }
+}
+
+/// Results a worker may buffer ahead of the consumer before blocking.
+/// Bounds memory at O(workers × slack) while giving fast workers room to
+/// run ahead of an uneven reduction front.
+const WORKER_SLACK: usize = 4;
+
+/// Execute every spec, streaming each [`EmulationResult`] into `consume`
+/// in submission order, using up to `threads` workers (0 = one per
+/// available CPU). Only what the reducer retains outlives the call, so
+/// memory stays O(workers) however many specs are swept.
+///
+/// With one thread this is a plain loop over one arena — no thread is
+/// spawned and no synchronization happens at all.
+pub fn run_streaming<F>(specs: &[RunSpec], threads: usize, mut consume: F)
+where
+    F: FnMut(usize, &RunSpec, EmulationResult),
+{
+    let n = specs.len();
+    let nthreads = resolve_threads(threads).min(n.max(1));
+    if nthreads <= 1 {
+        let mut arena = EmulatorArena::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let result = spec.emulate(&mut arena);
+            consume(i, spec, result);
+        }
+        return;
+    }
+
+    std::thread::scope(|scope| {
+        // Worker `w` computes indices w, w+T, w+2T, … in order and streams
+        // them through its own bounded channel; the consumer pulls index i
+        // from channel i % T, which restores global submission order
+        // without any reorder buffer or shared lock.
+        let receivers: Vec<_> = (0..nthreads)
+            .map(|w| {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<EmulationResult>(WORKER_SLACK);
+                scope.spawn(move || {
+                    let mut arena = EmulatorArena::new();
+                    for spec in specs.iter().skip(w).step_by(nthreads) {
+                        // A closed channel means the consumer was dropped
+                        // (panic unwinding); stop quietly.
+                        if tx.send(spec.emulate(&mut arena)).is_err() {
+                            break;
+                        }
+                    }
+                });
+                rx
+            })
+            .collect();
+        for (i, spec) in specs.iter().enumerate() {
+            let result = receivers[i % nthreads].recv().expect("worker delivered result");
+            consume(i, spec, result);
+        }
+    });
+}
+
+/// Execute all runs and retain every result, in input order. Built on
+/// [`run_streaming`]; labels are moved out of the specs, so the only
+/// per-run cost beyond the emulation itself is the result push.
+pub fn run_all(specs: Vec<RunSpec>, threads: usize) -> Vec<(String, EmulationResult)> {
+    let mut results: Vec<EmulationResult> = Vec::with_capacity(specs.len());
+    run_streaming(&specs, threads, |_, _, r| results.push(r));
+    specs.into_iter().zip(results).map(|(spec, r)| (spec.label, r)).collect()
+}
+
+/// The pre-population-executor implementation: per-run `Scenario` clone, a
+/// freshly allocated emulator per run, and a `Mutex<Vec<Option<_>>>`
+/// result funnel. Kept verbatim as the baseline oracle for the population
+/// benchmark (`bce bench` reports the speedup against it) and for
+/// differential tests; not intended for new callers.
+pub fn run_all_reference(specs: &[RunSpec], threads: usize) -> Vec<(String, EmulationResult)> {
+    let nthreads = resolve_threads(threads);
     let n = specs.len();
     let mut results: Vec<Option<(String, EmulationResult)>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let specs_ref = &specs;
     let results_mx = std::sync::Mutex::new(&mut results);
 
     std::thread::scope(|scope| {
@@ -49,9 +158,10 @@ pub fn run_all(specs: Vec<RunSpec>, threads: usize) -> Vec<(String, EmulationRes
                 if i >= n {
                     break;
                 }
-                let spec = &specs_ref[i];
+                let spec = &specs[i];
                 let result =
-                    Emulator::new(spec.scenario.clone(), spec.client, spec.emulator.clone()).run();
+                    Emulator::new((*spec.scenario).clone(), spec.client, (*spec.emulator).clone())
+                        .run();
                 let entry = (spec.label.clone(), result);
                 results_mx.lock().expect("results lock")[i] = Some(entry);
             });
@@ -80,15 +190,19 @@ mod tests {
         EmulatorConfig { duration: SimDuration::from_hours(3.0), ..Default::default() }
     }
 
-    #[test]
-    fn results_in_submission_order() {
-        let specs: Vec<RunSpec> = (0..8)
+    fn mk_specs(n: u64) -> Vec<RunSpec> {
+        let emu = Arc::new(short());
+        (0..n)
             .map(|i| {
                 RunSpec::new(format!("run{i}"), tiny_scenario(i), ClientConfig::default())
-                    .with_emulator(short())
+                    .with_emulator(emu.clone())
             })
-            .collect();
-        let results = run_all(specs, 4);
+            .collect()
+    }
+
+    #[test]
+    fn results_in_submission_order() {
+        let results = run_all(mk_specs(8), 4);
         assert_eq!(results.len(), 8);
         for (i, (label, r)) in results.iter().enumerate() {
             assert_eq!(label, &format!("run{i}"));
@@ -97,23 +211,75 @@ mod tests {
     }
 
     #[test]
-    fn parallel_equals_serial() {
-        let mk = || {
-            vec![
-                RunSpec::new("a", tiny_scenario(1), ClientConfig::default()).with_emulator(short()),
-                RunSpec::new("b", tiny_scenario(2), ClientConfig::default()).with_emulator(short()),
-            ]
-        };
-        let par = run_all(mk(), 2);
-        let ser = run_all(mk(), 1);
-        for ((_, a), (_, b)) in par.iter().zip(&ser) {
-            assert_eq!(a.jobs_completed, b.jobs_completed);
-            assert_eq!(a.total_flops_used.to_bits(), b.total_flops_used.to_bits());
+    fn parallel_equals_serial_on_every_field() {
+        let ser = run_all(mk_specs(6), 1);
+        for threads in [2, 4, 8] {
+            let par = run_all(mk_specs(6), threads);
+            for ((la, a), (lb, b)) in par.iter().zip(&ser) {
+                assert_eq!(la, lb);
+                assert_eq!(
+                    a.bit_fingerprint(),
+                    b.bit_fingerprint(),
+                    "threads={threads} diverged on {la}"
+                );
+                assert_eq!(a.jobs_completed, b.jobs_completed);
+                assert_eq!(a.total_flops_used.to_bits(), b.total_flops_used.to_bits());
+            }
         }
+    }
+
+    #[test]
+    fn streaming_matches_run_all_and_reference() {
+        let specs = mk_specs(5);
+        let all = run_all(specs.clone(), 3);
+        let reference = run_all_reference(&specs, 3);
+        let mut streamed: Vec<(usize, String, u64)> = Vec::new();
+        run_streaming(&specs, 3, |i, spec, r| {
+            streamed.push((i, spec.label.clone(), r.bit_fingerprint()));
+        });
+        assert_eq!(streamed.len(), all.len());
+        for (k, (i, label, fp)) in streamed.iter().enumerate() {
+            assert_eq!(*i, k, "submission order");
+            assert_eq!(label, &all[k].0);
+            assert_eq!(*fp, all[k].1.bit_fingerprint(), "new executor vs run_all");
+            assert_eq!(*fp, reference[k].1.bit_fingerprint(), "new executor vs seed oracle");
+        }
+    }
+
+    #[test]
+    fn streaming_reducer_aggregates_without_retention() {
+        let specs = mk_specs(7);
+        let mut total_jobs = 0u64;
+        let mut count = 0usize;
+        run_streaming(&specs, 0, |_, _, r| {
+            total_jobs += r.jobs_completed;
+            count += 1;
+        });
+        assert_eq!(count, 7);
+        let serial: u64 = run_all(mk_specs(7), 1).iter().map(|(_, r)| r.jobs_completed).sum();
+        assert_eq!(total_jobs, serial);
+    }
+
+    #[test]
+    fn shared_scenario_is_not_cloned() {
+        let scenario = Arc::new(tiny_scenario(3));
+        let emu = Arc::new(short());
+        let specs: Vec<RunSpec> = (0..4)
+            .map(|i| {
+                RunSpec::new(format!("r{i}"), scenario.clone(), ClientConfig::default())
+                    .with_emulator(emu.clone())
+            })
+            .collect();
+        assert_eq!(Arc::strong_count(&scenario), 5);
+        let results = run_all(specs, 2);
+        assert_eq!(results.len(), 4);
+        // All specs (and their temporary emulators) are gone again.
+        assert_eq!(Arc::strong_count(&scenario), 1);
     }
 
     #[test]
     fn empty_specs() {
         assert!(run_all(vec![], 4).is_empty());
+        run_streaming(&[], 4, |_, _, _| panic!("no results expected"));
     }
 }

@@ -9,6 +9,7 @@ use crate::run::{run_all, RunSpec};
 use crate::table::{f, Table};
 use bce_client::ClientConfig;
 use bce_core::{EmulationResult, EmulatorConfig, FiguresOfMerit, Scenario};
+use std::sync::Arc;
 
 /// Which figure of merit a series extracts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,11 +105,15 @@ pub fn sweep(
     threads: usize,
     make_scenario: impl Fn(f64) -> Scenario,
 ) -> SweepResult {
+    // Build each parameter's scenario exactly once; every policy shares it.
+    let scenarios: Vec<Arc<Scenario>> =
+        params.iter().map(|&p| Arc::new(make_scenario(p))).collect();
+    let emulator = Arc::new(emulator.clone());
     let mut specs = Vec::new();
     for (label, client) in policies {
-        for &p in params {
+        for (&p, scenario) in params.iter().zip(&scenarios) {
             specs.push(
-                RunSpec::new(format!("{label}@{p}"), make_scenario(p), *client)
+                RunSpec::new(format!("{label}@{p}"), scenario.clone(), *client)
                     .with_emulator(emulator.clone()),
             );
         }

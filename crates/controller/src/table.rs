@@ -184,6 +184,6 @@ mod tests {
     #[test]
     fn float_helpers() {
         assert_eq!(f(0.12345), "0.1235");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(3.17159), "3.17");
     }
 }

@@ -3,9 +3,14 @@
 //! consistent tables, and text artifacts land on disk.
 
 use bce_client::{ClientConfig, JobSchedPolicy};
-use bce_controller::{compare_policies, line_chart, save_text, sweep, Metric, Series};
+use bce_controller::{
+    compare_policies, line_chart, population_study, run_all, run_streaming, save_text, sweep,
+    Metric, RunSpec, Series,
+};
 use bce_core::{EmulatorConfig, Scenario};
+use bce_scenarios::{PopulationModel, PopulationSampler};
 use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
+use std::sync::Arc;
 
 fn scenario(runtime: f64) -> Scenario {
     Scenario::new("ctl", Hardware::cpu_only(2, 1e9)).with_seed(77).with_project(
@@ -74,4 +79,104 @@ fn chart_handles_single_point_series() {
     let s = Series::new("solo", vec![(1.0, 0.5)]);
     let out = line_chart("one point", &[s], 30, 8);
     assert!(out.contains('*'));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism matrix: every experiment driver must produce bit-identical
+// output at any thread count, and the streaming reducer must see exactly
+// what the batch API retains. This is the executor's core contract — the
+// figure pipeline may be sharded across any number of workers without
+// changing a single output bit.
+// ---------------------------------------------------------------------------
+
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+
+fn two_policies() -> Vec<(String, ClientConfig)> {
+    vec![
+        ("GLOBAL".to_string(), ClientConfig::default()),
+        (
+            "LOCAL".to_string(),
+            ClientConfig { sched_policy: JobSchedPolicy::LOCAL, ..Default::default() },
+        ),
+    ]
+}
+
+#[test]
+fn population_study_bit_identical_across_threads() {
+    let mut sampler = PopulationSampler::new(PopulationModel::default(), 17);
+    let scenarios: Vec<Arc<Scenario>> = sampler.sample_many(6).into_iter().map(Arc::new).collect();
+    let fingerprint = |threads: usize| {
+        let outcomes = population_study(&scenarios, &two_policies(), &emu(), threads);
+        outcomes
+            .iter()
+            .flat_map(|o| {
+                o.per_metric.iter().flat_map(|ms| {
+                    [
+                        ms.stats.mean().to_bits(),
+                        ms.stats.std_dev().to_bits(),
+                        ms.stats.min().to_bits(),
+                        ms.stats.max().to_bits(),
+                        ms.p95.to_bits(),
+                    ]
+                })
+            })
+            .collect::<Vec<u64>>()
+    };
+    let base = fingerprint(THREAD_MATRIX[0]);
+    for &threads in &THREAD_MATRIX[1..] {
+        assert_eq!(base, fingerprint(threads), "population study diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn sweep_bit_identical_across_threads() {
+    let policies = two_policies();
+    let params = [400.0, 700.0, 1000.0];
+    let fingerprint = |threads: usize| {
+        let r = sweep("runtime", &params, &policies, &emu(), threads, scenario);
+        r.by_policy
+            .iter()
+            .flat_map(|(_, results)| results.iter().map(|res| res.bit_fingerprint()))
+            .collect::<Vec<u64>>()
+    };
+    let base = fingerprint(THREAD_MATRIX[0]);
+    for &threads in &THREAD_MATRIX[1..] {
+        assert_eq!(base, fingerprint(threads), "sweep diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn compare_bit_identical_across_threads() {
+    let fingerprint = |threads: usize| {
+        compare_policies(&scenario(600.0), &two_policies(), &emu(), threads)
+            .results
+            .iter()
+            .map(|(l, r)| (l.clone(), r.bit_fingerprint()))
+            .collect::<Vec<_>>()
+    };
+    let base = fingerprint(THREAD_MATRIX[0]);
+    for &threads in &THREAD_MATRIX[1..] {
+        assert_eq!(base, fingerprint(threads), "compare diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn streaming_reducer_bit_identical_across_threads() {
+    let mut sampler = PopulationSampler::new(PopulationModel::default(), 23);
+    let scenarios: Vec<Arc<Scenario>> = sampler.sample_many(5).into_iter().map(Arc::new).collect();
+    let emu_cfg = Arc::new(emu());
+    let specs: Vec<RunSpec> = scenarios
+        .iter()
+        .map(|s| {
+            RunSpec::new(s.name.clone(), s.clone(), ClientConfig::default())
+                .with_emulator(emu_cfg.clone())
+        })
+        .collect();
+    let batch: Vec<u64> =
+        run_all(specs.clone(), 1).iter().map(|(_, r)| r.bit_fingerprint()).collect();
+    for &threads in &THREAD_MATRIX {
+        let mut streamed: Vec<u64> = Vec::new();
+        run_streaming(&specs, threads, |_, _, r| streamed.push(r.bit_fingerprint()));
+        assert_eq!(batch, streamed, "streaming diverged at {threads} threads");
+    }
 }

@@ -13,12 +13,13 @@
 use crate::metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
 use crate::scenario::Scenario;
 use bce_avail::HostRunState;
-use bce_client::{Client, ClientConfig, ClientProject, FetchPolicy, JobSchedPolicy};
+use bce_client::{Client, ClientConfig, ClientProject, ClientScratch, FetchPolicy, JobSchedPolicy};
 use bce_faults::{CrashProcess, FaultConfig, RpcFaultInjector, TransferFaultModel};
 use bce_server::{ProjectServer, RpcOutcome, SchedulerRequest, ServerConfig, TypeRequest};
-use bce_sim::{Component, EventQueue, Level, MsgLog, Occupancy, Rng, Timeline};
+use bce_sim::{Component, EventQueue, Level, LogEntry, MsgLog, Occupancy, Rng, Timeline};
 use bce_types::{InstanceId, JobId, ProcType, ProjectId, SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Emulator tuning knobs (separate from the client's policy config).
 #[derive(Debug, Clone)]
@@ -96,6 +97,111 @@ pub struct EmulationResult {
     pub log: MsgLog,
 }
 
+impl EmulationResult {
+    /// A deterministic FNV-1a digest over every reproducible field of the
+    /// result — figures of merit, per-project reports, job counts, fault
+    /// and perf counters, the timeline segments and the message log — with
+    /// floats hashed by their exact bit patterns. Two runs are
+    /// bit-identical iff their fingerprints match; the determinism matrix
+    /// and the fresh-vs-reused arena tests compare these.
+    pub fn bit_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.scenario_name);
+        for x in [
+            self.merit.idle_fraction,
+            self.merit.wasted_fraction,
+            self.merit.share_violation,
+            self.merit.monotony,
+            self.merit.rpcs_per_job,
+            self.available_fraction,
+            self.total_flops_used,
+            self.duration.secs(),
+        ] {
+            h.f64(x);
+        }
+        for p in &self.projects {
+            h.u64(p.id.0 as u64);
+            h.str(&p.name);
+            h.f64(p.share_frac);
+            h.f64(p.used_frac);
+            h.f64(p.flops_used);
+            h.u64(p.jobs_completed);
+            h.u64(p.jobs_missed_deadline);
+            h.u64(p.rpcs);
+        }
+        for x in [self.jobs_completed, self.jobs_missed_deadline, self.jobs_unfinished] {
+            h.u64(x);
+        }
+        h.u64(self.faults.transient_rpc_failures);
+        h.u64(self.faults.transfer_failures);
+        h.u64(self.faults.crashes);
+        h.u64(self.faults.jobs_errored);
+        h.f64(self.faults.fault_wasted_fraction);
+        h.f64(self.faults.mean_recovery_secs);
+        h.u64(self.faults.recoveries);
+        h.u64(self.perf.events_processed);
+        h.u64(self.perf.peak_jobs as u64);
+        h.u64(self.perf.rr_queries);
+        h.u64(self.perf.rr_runs);
+        if let Some(tl) = &self.timeline {
+            for track in tl.tracks() {
+                h.u64(track.instance.proc_type.index() as u64);
+                h.u64(track.instance.index as u64);
+                for seg in track.segments() {
+                    h.f64(seg.start.secs());
+                    h.f64(seg.end.secs());
+                    match seg.occ {
+                        Occupancy::Idle => h.u64(1),
+                        Occupancy::Unavailable => h.u64(2),
+                        Occupancy::Busy { project, job } => {
+                            h.u64(3);
+                            h.u64(project.0 as u64);
+                            h.u64(job.0);
+                        }
+                    }
+                }
+            }
+        }
+        for e in self.log.entries() {
+            h.f64(e.time.secs());
+            h.str(e.component.name());
+            h.str(&e.message);
+        }
+        h.u64(self.log.dropped());
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator for [`EmulationResult::bit_fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Tracks one crash until every task it rolled back regains its pre-crash
 /// progress (or leaves the queue): the span is the crash's recovery time.
 struct RecoveryTracker {
@@ -122,14 +228,65 @@ struct RecoveryTracker {
 /// assert!(result.merit.idle_fraction < 0.1);
 /// ```
 pub struct Emulator {
-    scenario: Scenario,
+    scenario: Arc<Scenario>,
     client_cfg: ClientConfig,
-    cfg: EmulatorConfig,
+    cfg: Arc<EmulatorConfig>,
+}
+
+/// Reusable per-worker emulator state: the event queue, the client's
+/// internal buffers (task queue, RR-simulation scratch, accounting
+/// sample), the per-project metrics buffer and the message-log entry
+/// buffer. One arena per worker thread amortises per-run allocations over
+/// a whole population study; [`Emulator::run_in`] clears everything before
+/// use, so results are bit-identical to a fresh [`Emulator::run`].
+pub struct EmulatorArena {
+    queue: EventQueue<Event>,
+    client: Option<ClientScratch>,
+    per_project: Vec<(ProjectId, f64)>,
+    log_entries: Vec<LogEntry>,
+}
+
+impl EmulatorArena {
+    /// Initial event-queue capacity; steady-state runs rarely hold more
+    /// than a handful of pending events, but the first run should not
+    /// regrow from zero.
+    const EVENT_CAPACITY: usize = 64;
+
+    pub fn new() -> Self {
+        EmulatorArena {
+            queue: EventQueue::with_capacity(Self::EVENT_CAPACITY),
+            client: None,
+            per_project: Vec::new(),
+            log_entries: Vec::new(),
+        }
+    }
+
+    /// Reclaim the buffers of a consumed result (currently the message
+    /// log's entry buffer). Serial drivers that enable logging can hand
+    /// each result back after reading it so even the log allocation is
+    /// reused across runs.
+    pub fn reclaim(&mut self, result: EmulationResult) {
+        let mut entries = result.log.into_entries();
+        if entries.capacity() > self.log_entries.capacity() {
+            entries.clear();
+            self.log_entries = entries;
+        }
+    }
+}
+
+impl Default for EmulatorArena {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Emulator {
-    pub fn new(scenario: Scenario, client_cfg: ClientConfig, cfg: EmulatorConfig) -> Self {
-        Emulator { scenario, client_cfg, cfg }
+    pub fn new(
+        scenario: impl Into<Arc<Scenario>>,
+        client_cfg: ClientConfig,
+        cfg: impl Into<Arc<EmulatorConfig>>,
+    ) -> Self {
+        Emulator { scenario: scenario.into(), client_cfg, cfg: cfg.into() }
     }
 
     /// Convenience: emulate `scenario` under (`sched`, `fetch`) with
@@ -144,9 +301,19 @@ impl Emulator {
         Emulator::new(scenario, client_cfg, EmulatorConfig::default()).run()
     }
 
-    /// Run the emulation.
+    /// Run the emulation with freshly allocated working state.
     pub fn run(&self) -> EmulationResult {
-        let scenario = &self.scenario;
+        self.run_in(&mut EmulatorArena::new())
+    }
+
+    /// Run the emulation inside a reusable [`EmulatorArena`]. The arena's
+    /// buffers are cleared before use, so the result is bit-identical to
+    /// [`Emulator::run`]; population-scale drivers keep one arena per
+    /// worker so the event queue, RR scratch, task buffers and log buffer
+    /// are allocated once per worker rather than once per run.
+    pub fn run_in(&self, arena: &mut EmulatorArena) -> EmulationResult {
+        let EmulatorArena { queue, client: client_scratch, per_project, log_entries } = arena;
+        let scenario = &*self.scenario;
         debug_assert!(scenario.validate().is_ok(), "invalid scenario: {:?}", scenario.validate());
         let hw = scenario.hardware.clone();
         let end = SimTime::ZERO + self.cfg.duration;
@@ -178,8 +345,13 @@ impl Emulator {
             .collect();
         let mut client_cfg = self.client_cfg;
         client_cfg.network = scenario.network;
-        let mut client =
-            Client::new(hw.clone(), scenario.prefs.clone(), client_projects, client_cfg);
+        let mut client = Client::with_scratch(
+            hw.clone(),
+            scenario.prefs.clone(),
+            client_projects,
+            client_cfg,
+            client_scratch.take().unwrap_or_default(),
+        );
 
         // Fault processes, each on its own RNG stream. None is created (or
         // drawn from) when its rate is zero, preserving the zero-fault
@@ -221,7 +393,11 @@ impl Emulator {
             self.cfg.monotony_window,
         );
         let mut log = if self.cfg.log_capacity > 0 {
-            MsgLog::new(self.cfg.log_level, self.cfg.log_capacity)
+            MsgLog::with_buffer(
+                self.cfg.log_level,
+                self.cfg.log_capacity,
+                std::mem::take(log_entries),
+            )
         } else {
             MsgLog::disabled()
         };
@@ -238,8 +414,9 @@ impl Emulator {
         // job -> assigned instances (for the timeline only).
         let mut assignment: BTreeMap<JobId, Vec<InstanceId>> = BTreeMap::new();
 
-        // --- Event loop. ---
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(64);
+        // --- Event loop (queue recycled from the arena, emptied with its
+        // tie-break sequence restarted so reuse is bit-identical). ---
+        queue.reset();
         queue.push(SimTime::ZERO, Event::SchedPoint);
         queue.push(governor.next_change_after(SimTime::ZERO, &scenario.prefs), Event::AvailChange);
         if let Some(cp) = &mut crash_proc {
@@ -254,15 +431,15 @@ impl Emulator {
         let mut run_state = governor.run_state(SimTime::ZERO, &scenario.prefs);
         let mut events_processed: u64 = 0;
         let mut peak_jobs: usize = client.tasks().len();
-        let mut per_project: Vec<(ProjectId, f64)> = Vec::new();
+        per_project.clear();
 
         while let Some((t_ev, event)) = queue.pop() {
             events_processed += 1;
             let t = t_ev.min(end);
             // 1. Account the elapsed interval under the constant allocation.
             if t > now {
-                client.flops_in_use_by_project_into(&mut per_project);
-                metrics.advance(now, t, &per_project, run_state.can_compute);
+                client.flops_in_use_by_project_into(per_project);
+                metrics.advance(now, t, per_project, run_state.can_compute);
                 if let Some(tl) = &mut timeline {
                     record_timeline(tl, &client, &assignment, now, t, run_state, &instances);
                 }
@@ -558,6 +735,9 @@ impl Emulator {
         let rr = client.rr_stats();
         let perf =
             PerfStats { events_processed, peak_jobs, rr_queries: rr.queries, rr_runs: rr.runs };
+        let jobs_unfinished = client.tasks().iter().filter(|t| !t.is_complete()).count() as u64;
+        // Hand the client's buffers back to the arena for the next run.
+        *client_scratch = Some(client.into_scratch());
 
         EmulationResult {
             scenario_name: scenario.name.clone(),
@@ -565,7 +745,7 @@ impl Emulator {
             projects,
             jobs_completed: metrics.jobs_completed(),
             jobs_missed_deadline: metrics.jobs_missed(),
-            jobs_unfinished: client.tasks().iter().filter(|t| !t.is_complete()).count() as u64,
+            jobs_unfinished,
             available_fraction: metrics.available_fraction(),
             total_flops_used: total_used,
             duration: self.cfg.duration,

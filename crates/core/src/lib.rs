@@ -17,7 +17,7 @@ pub mod render;
 pub mod scenario;
 
 pub use bce_faults::{FaultConfig, RetryPolicy};
-pub use emulator::{EmulationResult, Emulator, EmulatorConfig};
+pub use emulator::{EmulationResult, Emulator, EmulatorArena, EmulatorConfig};
 pub use metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
 pub use render::{render_report, render_timeline};
 pub use scenario::Scenario;

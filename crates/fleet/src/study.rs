@@ -33,6 +33,9 @@ pub fn run_fleet(
 ) -> FleetResult {
     let assignment = assign_shares(fleet, strategy);
     let scenarios = host_scenarios(fleet, &assignment);
+    // One shared emulator config for every host; host scenarios are moved
+    // into their Arc, so nothing is cloned per spec.
+    let emulator = std::sync::Arc::new(emulator.clone());
     let specs: Vec<RunSpec> = scenarios
         .into_iter()
         .filter(|s| !s.projects.is_empty())
@@ -156,5 +159,25 @@ mod tests {
         let b = run_fleet(&f, ShareStrategy::CrossHost, ClientConfig::default(), &emu(), 0);
         assert_eq!(a.total_flops.to_bits(), b.total_flops.to_bits());
         assert_eq!(a.fleet_share_violation.to_bits(), b.fleet_share_violation.to_bits());
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let f = fleet();
+        let base = run_fleet(&f, ShareStrategy::PerHost, ClientConfig::default(), &emu(), 1);
+        for threads in [2, 8] {
+            let other =
+                run_fleet(&f, ShareStrategy::PerHost, ClientConfig::default(), &emu(), threads);
+            assert_eq!(base.total_flops.to_bits(), other.total_flops.to_bits());
+            assert_eq!(base.fleet_share_violation.to_bits(), other.fleet_share_violation.to_bits());
+            for ((na, ra), (nb, rb)) in base.per_host.iter().zip(&other.per_host) {
+                assert_eq!(na, nb);
+                assert_eq!(
+                    ra.bit_fingerprint(),
+                    rb.bit_fingerprint(),
+                    "host {na} diverged at {threads} threads"
+                );
+            }
+        }
     }
 }

@@ -83,6 +83,19 @@ impl MsgLog {
         MsgLog { min_level: Level::Warn, entries: Vec::new(), capacity: 0, dropped: 0 }
     }
 
+    /// As [`MsgLog::new`], but reusing a previously allocated entry buffer
+    /// (cleared first). Together with [`MsgLog::into_entries`] this lets an
+    /// emulator arena recycle the log allocation across runs.
+    pub fn with_buffer(min_level: Level, capacity: usize, mut entries: Vec<LogEntry>) -> Self {
+        entries.clear();
+        MsgLog { min_level, entries, capacity, dropped: 0 }
+    }
+
+    /// Consume the log and hand back its entry buffer for reuse.
+    pub fn into_entries(self) -> Vec<LogEntry> {
+        self.entries
+    }
+
     #[inline]
     pub fn enabled(&self, level: Level) -> bool {
         self.capacity > 0 && level >= self.min_level
@@ -179,6 +192,23 @@ mod tests {
         assert_eq!(log.entries().len(), 2);
         assert_eq!(log.dropped(), 3);
         assert!(log.render().contains("3 further messages dropped"));
+    }
+
+    #[test]
+    fn recycled_buffer_behaves_like_fresh() {
+        let mut log = MsgLog::new(Level::Info, 10);
+        for i in 0..10 {
+            log.info(t(i as f64), Component::Task, || format!("m{i}"));
+        }
+        let buf = log.into_entries();
+        let cap = buf.capacity();
+        assert!(cap >= 10);
+        let mut recycled = MsgLog::with_buffer(Level::Info, 10, buf);
+        assert!(recycled.entries().is_empty());
+        assert_eq!(recycled.dropped(), 0);
+        recycled.info(t(1.0), Component::Task, || "fresh".into());
+        assert_eq!(recycled.entries().len(), 1);
+        assert!(recycled.into_entries().capacity() >= cap, "allocation must survive");
     }
 
     #[test]

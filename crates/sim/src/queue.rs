@@ -76,6 +76,20 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Empty the queue *and* restart the FIFO tie-break sequence, keeping
+    /// the heap's allocation. This is the arena-reuse entry point: a queue
+    /// recycled across emulation runs behaves bit-identically to a freshly
+    /// constructed one.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
+    /// Allocated capacity of the underlying heap (for reuse diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -137,5 +151,26 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn reset_keeps_allocation_and_restarts_sequence() {
+        let mut q = EventQueue::with_capacity(128);
+        let cap = q.capacity();
+        assert!(cap >= 128);
+        for i in 0..100 {
+            q.push(t(1.0), i);
+        }
+        q.reset();
+        assert!(q.is_empty());
+        assert!(q.capacity() >= cap, "reset must keep the allocation");
+        // After reset, FIFO tie-breaking restarts exactly as in a fresh
+        // queue: pushes at an equal time pop in insertion order.
+        for i in 0..50 {
+            q.push(t(3.0), i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some((t(3.0), i)));
+        }
     }
 }

@@ -11,13 +11,15 @@ use boinc_policy_emu::controller::{population_study, population_table, Metric};
 use boinc_policy_emu::core::EmulatorConfig;
 use boinc_policy_emu::scenarios::{PopulationModel, PopulationSampler};
 use boinc_policy_emu::types::SimDuration;
+use std::sync::Arc;
 
 fn main() {
     // 24 hosts drawn from the default population model (log-normal core
     // speeds, 1-8 cores, 20% GPUs, realistic availability duty cycles,
-    // 1-6 attached projects).
+    // 1-6 attached projects). The study shares each scenario by Arc, so
+    // evaluating P policies over it clones nothing.
     let mut sampler = PopulationSampler::new(PopulationModel::default(), 2026);
-    let scenarios = sampler.sample_many(24);
+    let scenarios: Vec<Arc<_>> = sampler.sample_many(24).into_iter().map(Arc::new).collect();
     println!(
         "sampled {} hosts: {} with GPUs, {:.1} projects on average\n",
         scenarios.len(),
