@@ -10,89 +10,15 @@
 //! it dynamically: a 10-day emulation under JS-GLOBAL should converge to
 //! the same per-project totals.
 
-use bce_bench::FigOpts;
-use bce_client::{ClientConfig, JobSchedPolicy};
-use bce_controller::{save_text, Table};
-use bce_core::{Emulator, Scenario};
-use bce_types::{
-    ideal_allocation, AppClass, Hardware, ProcType, ProjectId, ProjectSpec, ShareDemand,
-    SimDuration, UsableTypes,
-};
+use bce_bench::{figs, FigOpts};
 
 fn main() {
-    let opts = FigOpts::parse(10.0);
-    let hw = Hardware::cpu_only(1, 10e9).with_group(ProcType::NvidiaGpu, 1, 20e9);
-
-    // --- Closed form (the figure itself). ---
-    let demands = [
-        ShareDemand {
-            id: ProjectId(0),
-            share: 1.0,
-            usable: UsableTypes::of(&[ProcType::Cpu, ProcType::NvidiaGpu]),
-        },
-        ShareDemand {
-            id: ProjectId(1),
-            share: 1.0,
-            usable: UsableTypes::only(ProcType::NvidiaGpu),
-        },
-    ];
-    let alloc = ideal_allocation(&hw, &demands);
-
-    println!("Figure 1 — resource share applies to combined processing resources");
-    println!("host: 10 GFLOPS CPU + 20 GFLOPS GPU; equal shares; A: CPU+GPU apps, B: GPU only\n");
-    let mut t = Table::new(&["project", "CPU GFLOPS", "GPU GFLOPS", "total GFLOPS"]);
-    for (name, id) in [("A", ProjectId(0)), ("B", ProjectId(1))] {
-        let split = alloc.device_split(id).expect("allocated");
-        t.row(&[
-            name.to_string(),
-            format!("{:.1}", split[ProcType::Cpu] / 1e9),
-            format!("{:.1}", split[ProcType::NvidiaGpu] / 1e9),
-            format!("{:.1}", alloc.total_for(id) / 1e9),
-        ]);
+    let opts = FigOpts::parse(figs::default_days(1));
+    match figs::run_fig(1, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
-    let table = t.render();
-    println!("{table}");
-    println!("paper: A = 10 CPU + 5 GPU = 15 GFLOPS; B = 15 GPU = 15 GFLOPS\n");
-
-    // --- Dynamic check by emulation. ---
-    let scenario = Scenario::new("fig1", hw)
-        .with_seed(1)
-        .with_project(
-            ProjectSpec::new(0, "A", 100.0)
-                .with_app(AppClass::cpu(
-                    0,
-                    SimDuration::from_secs(2000.0),
-                    SimDuration::from_hours(24.0),
-                ))
-                .with_app(AppClass::gpu(
-                    1,
-                    ProcType::NvidiaGpu,
-                    SimDuration::from_secs(1000.0),
-                    SimDuration::from_hours(24.0),
-                )),
-        )
-        .with_project(ProjectSpec::new(1, "B", 100.0).with_app(AppClass::gpu(
-            2,
-            ProcType::NvidiaGpu,
-            SimDuration::from_secs(1000.0),
-            SimDuration::from_hours(24.0),
-        )));
-    let client = ClientConfig { sched_policy: JobSchedPolicy::GLOBAL, ..Default::default() };
-    let result = Emulator::new(scenario, client, opts.emulator()).run();
-    println!("emulated {} days under JS-GLOBAL:", opts.days);
-    let mut t2 = Table::new(&["project", "ideal frac", "emulated frac"]);
-    for p in &result.projects {
-        let ideal = alloc.total_for(p.id) / (30e9);
-        t2.row(&[p.name.clone(), format!("{ideal:.3}"), format!("{:.3}", p.used_frac)]);
-    }
-    let table2 = t2.render();
-    println!("{table2}");
-    println!("share violation: {:.4}", result.merit.share_violation);
-
-    let csv = t.to_csv();
-    let path = bce_bench::figures_dir().join("fig1.csv");
-    if save_text(&path, &csv).is_ok() {
-        println!("wrote {}", path.display());
-    }
-    opts.write_json(&[("allocation", &t), ("emulated", &t2)]);
 }

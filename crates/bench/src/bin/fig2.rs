@@ -7,105 +7,15 @@
 //! quantities the policies consume: deadline-endangered jobs, `SAT(T)`
 //! and `SHORTFALL(T)`.
 
-use bce_bench::FigOpts;
-use bce_client::{rr_simulate, RrJob, RrPlatform};
-use bce_controller::{save_text, Table};
-use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+use bce_bench::{figs, FigOpts};
 
 fn main() {
-    // Snapshot figure: no emulated duration, but --json still applies.
-    let opts = FigOpts::parse(0.0);
-    let mut ninstances = ProcMap::zero();
-    ninstances[ProcType::Cpu] = 4.0;
-    ninstances[ProcType::NvidiaGpu] = 1.0;
-    let platform = RrPlatform {
-        now: SimTime::ZERO,
-        ninstances,
-        on_frac: 1.0,
-        shares: vec![(ProjectId(0), 1.0), (ProjectId(1), 1.0)],
-    };
-
-    // Current workload: project A with three CPU jobs and a GPU job,
-    // project B with two CPU jobs; one of B's jobs has a tight deadline.
-    let job = |id: u64, project: u32, pt: ProcType, remaining: f64, deadline: f64| RrJob {
-        id: JobId(id),
-        project: ProjectId(project),
-        proc_type: pt,
-        instances: 1.0,
-        remaining: SimDuration::from_secs(remaining),
-        deadline: SimTime::from_secs(deadline),
-    };
-    let jobs = vec![
-        job(1, 0, ProcType::Cpu, 4000.0, 50_000.0),
-        job(2, 0, ProcType::Cpu, 6000.0, 50_000.0),
-        job(3, 0, ProcType::Cpu, 2000.0, 50_000.0),
-        job(4, 0, ProcType::NvidiaGpu, 3000.0, 20_000.0),
-        job(5, 1, ProcType::Cpu, 5000.0, 4_500.0), // tight deadline
-        job(6, 1, ProcType::Cpu, 8000.0, 80_000.0),
-    ];
-    let buf_window = SimDuration::from_hours(3.0);
-    let out = rr_simulate(&platform, &jobs, buf_window);
-
-    println!("Figure 2 — round-robin simulation of the current workload");
-    println!("host: 4 CPUs + 1 GPU; 2 projects, equal shares; buffer window {buf_window}\n");
-
-    let mut t = Table::new(&[
-        "job",
-        "project",
-        "type",
-        "remaining",
-        "proj. finish",
-        "deadline",
-        "endangered",
-    ]);
-    for j in &jobs {
-        let finish = out
-            .finish
-            .iter()
-            .find(|(id, _)| *id == j.id)
-            .map(|(_, f)| format!("{:.0}s", f.secs()))
-            .unwrap_or_else(|| "never".into());
-        t.row(&[
-            j.id.to_string(),
-            j.project.to_string(),
-            j.proc_type.short_name().to_string(),
-            format!("{:.0}s", j.remaining.secs()),
-            finish,
-            format!("{:.0}s", j.deadline.secs()),
-            if out.is_endangered(j.id) { "YES".into() } else { "no".into() },
-        ]);
+    let opts = FigOpts::parse(figs::default_days(2));
+    match figs::run_fig(2, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
-    let table = t.render();
-    println!("{table}");
-
-    // Busy-horizon bar per processor type, in the style of the figure.
-    println!("predicted busy horizon (each '#' = 15 min):");
-    for pt in [ProcType::Cpu, ProcType::NvidiaGpu] {
-        let sat = out.sat[pt];
-        let n = (sat.secs() / 900.0).round() as usize;
-        println!(
-            "  {:>4} saturated for {:>8} |{}",
-            pt.short_name(),
-            format!("{sat}"),
-            "#".repeat(n.min(60))
-        );
-    }
-    println!();
-    let mut t2 = Table::new(&["type", "SAT(T)", "SHORTFALL(T) inst-sec", "busy now"]);
-    for pt in [ProcType::Cpu, ProcType::NvidiaGpu] {
-        t2.row(&[
-            pt.short_name().to_string(),
-            format!("{}", out.sat[pt]),
-            format!("{:.0}", out.shortfall[pt]),
-            format!("{:.1}", out.busy_now[pt]),
-        ]);
-    }
-    let table2 = t2.render();
-    println!("{table2}");
-
-    let path = bce_bench::figures_dir().join("fig2.csv");
-    if save_text(&path, &t.to_csv()).is_ok() {
-        println!("wrote {}", path.display());
-    }
-    opts.write_json(&[("jobs", &t), ("horizons", &t2)]);
 }

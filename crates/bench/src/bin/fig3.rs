@@ -8,47 +8,15 @@
 //! than JS-WRR, which keeps missing until the slack covers the queueing
 //! delay behind the other project's jobs.
 
-use bce_bench::{sched_policies, FigOpts};
-use bce_controller::{line_chart, save_text, sweep, Metric};
-use bce_scenarios::scenario1;
-use bce_types::SimDuration;
+use bce_bench::{figs, FigOpts};
 
 fn main() {
-    let opts = FigOpts::parse(10.0);
-    let points: Vec<f64> = if opts.quick {
-        vec![1000.0, 1400.0, 2000.0]
-    } else {
-        (0..=10).map(|i| 1000.0 + 100.0 * i as f64).collect()
-    };
-
-    println!("Figure 3 — wasted fraction vs. slack (job runtime 1000 s)");
-    println!(
-        "scenario 1: 1 CPU, two equal-share projects; latency bound of project 'tight' swept\n"
-    );
-
-    let result =
-        sweep("latency_bound_s", &points, &sched_policies(), &opts.emulator(), 0, |latency| {
-            scenario1(SimDuration::from_secs(latency))
-        });
-
-    let table = result.table(Metric::Wasted);
-    println!("{}", table.render());
-    println!(
-        "{}",
-        line_chart(
-            "wasted fraction vs latency bound (slack = bound - 1000 s)",
-            &result.series(Metric::Wasted),
-            64,
-            16,
-        )
-    );
-    println!("paper shape: at zero slack all policies waste ~0.5; with slack the");
-    println!("deadline-aware policies drop sharply while JS-WRR only recovers as the");
-    println!("bound approaches 2x the runtime.");
-
-    let path = bce_bench::figures_dir().join("fig3.csv");
-    if save_text(&path, &table.to_csv()).is_ok() {
-        println!("wrote {}", path.display());
+    let opts = FigOpts::parse(figs::default_days(3));
+    match figs::run_fig(3, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
-    opts.write_json(&[("fig3", &table)]);
 }

@@ -9,59 +9,15 @@
 //! respects resource share as much as possible while still maximizing
 //! throughput" (§5.2).
 
-use bce_bench::FigOpts;
-use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy};
-use bce_controller::{compare_policies, save_text, Metric, Table};
-use bce_scenarios::scenario2;
+use bce_bench::{figs, FigOpts};
 
 fn main() {
-    let opts = FigOpts::parse(10.0);
-    let policies = vec![
-        (
-            "JS-LOCAL".to_string(),
-            ClientConfig {
-                sched_policy: JobSchedPolicy::LOCAL,
-                fetch_policy: FetchPolicy::Hysteresis,
-                ..Default::default()
-            },
-        ),
-        (
-            "JS-GLOBAL".to_string(),
-            ClientConfig {
-                sched_policy: JobSchedPolicy::GLOBAL,
-                fetch_policy: FetchPolicy::Hysteresis,
-                ..Default::default()
-            },
-        ),
-    ];
-
-    println!("Figure 4 — local vs. global resource-share accounting");
-    println!("scenario 2: 4 CPUs + 1 GPU (10x); P0 CPU-only, P1 CPU+GPU, equal shares\n");
-
-    let cmp = compare_policies(&scenario2(), &policies, &opts.emulator(), 0);
-    println!("{}", cmp.table().render());
-    println!("{}", cmp.bars(Metric::ShareViolation, 40));
-
-    // Per-project usage detail: the mechanism behind the metric.
-    let mut t = Table::new(&["policy", "project", "share", "used frac", "CPU-side story"]);
-    for (label, r) in &cmp.results {
-        for p in &r.projects {
-            t.row(&[
-                label.clone(),
-                p.name.clone(),
-                format!("{:.0}%", p.share_frac * 100.0),
-                format!("{:.1}%", p.used_frac * 100.0),
-                String::new(),
-            ]);
+    let opts = FigOpts::parse(figs::default_days(4));
+    match figs::run_fig(4, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
-    println!("{}", t.render());
-    println!("paper shape: JS-LOCAL splits the CPU evenly (P1 over-served); JS-GLOBAL");
-    println!("gives the CPU to P0, cutting share violation.");
-
-    let path = bce_bench::figures_dir().join("fig4.csv");
-    if save_text(&path, &cmp.table().to_csv()).is_ok() {
-        println!("wrote {}", path.display());
-    }
-    opts.write_json(&[("fig4", &cmp.table())]);
 }

@@ -9,37 +9,15 @@
 //! multiple jobs, and as a result the client may have jobs from only one
 //! project for some periods."
 
-use bce_bench::{fetch_policies, FigOpts};
-use bce_controller::{compare_policies, save_text, Metric};
-use bce_scenarios::scenario4;
+use bce_bench::{figs, FigOpts};
 
 fn main() {
-    let opts = FigOpts::parse(10.0);
-
-    println!("Figure 5 — job fetch with and without hysteresis");
-    println!("scenario 4: 4 CPUs + 1 GPU, 20 projects with varying job types\n");
-
-    let cmp = compare_policies(&scenario4(), &fetch_policies(), &opts.emulator(), 0);
-    println!("{}", cmp.table().render());
-    println!("{}", cmp.bars(Metric::RpcsPerJob, 40));
-    println!("{}", cmp.bars(Metric::Monotony, 40));
-
-    let orig = cmp.get("JF-ORIG").expect("orig run");
-    let hyst = cmp.get("JF-HYSTERESIS").expect("hysteresis run");
-    println!(
-        "RPCs/job: ORIG {:.3} vs HYSTERESIS {:.3} ({:.1}x reduction)",
-        orig.merit.rpcs_per_job,
-        hyst.merit.rpcs_per_job,
-        orig.merit.rpcs_per_job / hyst.merit.rpcs_per_job.max(1e-9),
-    );
-    println!(
-        "monotony: ORIG {:.3} vs HYSTERESIS {:.3} (hysteresis trades RPCs for monotony)",
-        orig.merit.monotony, hyst.merit.monotony,
-    );
-
-    let path = bce_bench::figures_dir().join("fig5.csv");
-    if save_text(&path, &cmp.table().to_csv()).is_ok() {
-        println!("wrote {}", path.display());
+    let opts = FigOpts::parse(figs::default_days(5));
+    match figs::run_fig(5, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
-    opts.write_json(&[("fig5", &cmp.table())]);
 }

@@ -11,73 +11,15 @@
 //! The default period is 60 days here (a 10-day window cannot even hold
 //! one 11.6-day job).
 
-use bce_bench::FigOpts;
-use bce_client::{ClientConfig, JobSchedPolicy};
-use bce_controller::{line_chart, save_text, sweep};
-use bce_scenarios::scenario3;
-use bce_types::SimDuration;
+use bce_bench::{figs, FigOpts};
 
 fn main() {
-    let opts = FigOpts::parse(60.0);
-    // Half-life sweep, log-spaced around the 1e6 s job length.
-    let half_lives: Vec<f64> =
-        if opts.quick { vec![1e4, 1e6] } else { vec![1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7] };
-
-    println!("Figure 6 — REC half-life vs. share violation with long low-slack jobs");
-    println!(
-        "scenario 3: 1 CPU; P0 jobs 1e6 s with 10% slack; P1 normal jobs; {} days\n",
-        opts.days
-    );
-
-    // The swept parameter is the client's REC half-life, not a scenario
-    // field, so each "policy" is a distinct client configuration and the
-    // sweep parameter selects it: run one policy per half-life at a single
-    // scenario point instead.
-    let policies: Vec<(String, ClientConfig)> = half_lives
-        .iter()
-        .map(|&a| {
-            (
-                format!("A={a:.0e}"),
-                ClientConfig {
-                    sched_policy: JobSchedPolicy::GLOBAL,
-                    rec_half_life: SimDuration::from_secs(a),
-                    ..Default::default()
-                },
-            )
-        })
-        .collect();
-    let result = sweep("half_life_s", &[0.0], &policies, &opts.emulator(), 0, |_| scenario3());
-
-    // Re-shape: one row per half-life.
-    let mut rows: Vec<(f64, f64)> = Vec::new();
-    let mut table =
-        bce_controller::Table::new(&["half_life_s", "share_violation", "wasted", "jobs"]);
-    for (i, &a) in half_lives.iter().enumerate() {
-        let r = &result.by_policy[i].1[0];
-        rows.push((a.log10(), r.merit.share_violation));
-        table.row(&[
-            format!("{a:.0e}"),
-            format!("{:.4}", r.merit.share_violation),
-            format!("{:.4}", r.merit.wasted_fraction),
-            r.jobs_completed.to_string(),
-        ]);
+    let opts = FigOpts::parse(figs::default_days(6));
+    match figs::run_fig(6, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
-    println!("{}", table.render());
-    println!(
-        "{}",
-        line_chart(
-            "share violation vs log10(half-life)",
-            &[bce_controller::Series::new("JS-GLOBAL", rows)],
-            64,
-            14,
-        )
-    );
-    println!("paper shape: violation high at small A, dropping once A reaches a few");
-    println!("multiples of the long-job length (1e6 s ~ 11.6 days).");
-
-    let path = bce_bench::figures_dir().join("fig6.csv");
-    if save_text(&path, &table.to_csv()).is_ok() {
-        println!("wrote {}", path.display());
-    }
-    opts.write_json(&[("fig6", &table)]);
 }

@@ -1,13 +1,17 @@
 //! # bce-bench — figure regeneration and performance benchmarks
 //!
-//! One binary per figure of the paper (`fig1` … `fig6`), each printing the
-//! series the paper reports (tables + ASCII charts) and writing CSV to
-//! `target/figures/`. Criterion benches cover the engine's performance and
-//! the design-choice ablations called out in DESIGN.md.
+//! The six paper figures live in [`figs`] as one shared runner; the
+//! `fig1` … `fig6` binaries and the `bce fig <n>` subcommand are thin
+//! shims over it, each printing the series the paper reports (tables +
+//! ASCII charts) and writing CSV to `target/figures/`. Criterion benches
+//! cover the engine's performance and the design-choice ablations called
+//! out in DESIGN.md.
 
 use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy};
 use bce_core::EmulatorConfig;
 use bce_types::SimDuration;
+
+pub mod figs;
 
 /// Standard labelled policy sets used across the figure binaries.
 pub fn sched_policies() -> Vec<(String, ClientConfig)> {

@@ -6,6 +6,7 @@ use bce_client::{ClientConfig, DeadlineOrder, FetchPolicy, JobSchedPolicy};
 use bce_controller::{compare_policies, population_study, population_table, Metric, Table};
 use bce_core::{render_timeline, Emulator, EmulatorConfig, FaultConfig, Scenario};
 use bce_fleet::{assign_shares, run_fleet, Fleet, FleetHost, ShareStrategy};
+use bce_obs::TraceEvent;
 use bce_scenarios::{
     doc_from_scenario, scenario1, scenario2, scenario3, scenario4, scenario_from_state_file,
     PopulationModel, PopulationSampler,
@@ -56,9 +57,26 @@ USAGE:
   bce bench [--quick] [--out FILE] [--threads N] [--population N]
       run the standard benchmark scenario set plus a population-executor
       throughput section, and report wall time, event throughput,
-      RR-simulation cache statistics, runs/sec and executor overhead as
-      JSON (--out writes the JSON and prints a summary table instead;
-      --population overrides the population-study run count)
+      RR-simulation cache statistics, runs/sec, executor overhead and
+      tracing overhead as JSON (--out writes the JSON and prints a
+      summary table instead; --population overrides the
+      population-study run count)
+
+  bce fig <1-6> [--days N] [--quick] [--json FILE]
+      regenerate one of the paper's figures (same output as the
+      standalone fig1..fig6 binaries)
+
+  bce trace <state_file.xml | scenarioN> [options]
+      run with tracing enabled and pretty-print the typed decision log
+      --days N        emulated days (default 1)
+      --sched P / --fetch P / --half-life S / --seed N   as for `run`
+      --kind LIST     only these event kinds (comma-separated)
+      --component LIST   only these components (sched,task,fetch,avail,xfer,fault)
+      --since S       only events at sim time >= S seconds
+      --until S       only events at sim time <= S seconds
+      --limit N       print at most the first N matching events
+      --capacity N    trace buffer capacity (default 1000000)
+      --jsonl FILE    also write the matching events as JSON Lines
 
   bce help
 ";
@@ -95,6 +113,14 @@ const VALUE_OPTS: &[&str] = &[
     "mtbf",
     "threads",
     "population",
+    "json",
+    "kind",
+    "component",
+    "since",
+    "until",
+    "limit",
+    "capacity",
+    "jsonl",
 ];
 
 /// Parse and run a full command line (without the program name). Returns
@@ -111,6 +137,8 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "fleet" => cmd_fleet(&args)?,
         "faults" => cmd_faults(&args)?,
         "bench" => cmd_bench(&args)?,
+        "fig" => cmd_fig(&args)?,
+        "trace" => cmd_trace(&args)?,
         "help" | "--help" => {
             return Ok(HELP.to_string());
         }
@@ -524,6 +552,114 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
     }
 }
 
+fn cmd_fig(args: &Args) -> Result<String, CliError> {
+    let n: u32 = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError("expected a figure number (1-6)".into()))?
+        .parse()
+        .map_err(|_| CliError("expected a figure number (1-6)".into()))?;
+    let quick = args.flag("quick");
+    let mut days: f64 = args.opt_or("days", bce_bench::figs::default_days(n))?;
+    if quick {
+        // Same cap FigOpts::parse applies in the standalone binaries.
+        days = days.min(1.0);
+    }
+    let json = args.opt("json").map(std::path::PathBuf::from);
+    let opts = bce_bench::FigOpts { days, quick, json };
+    bce_bench::figs::run_fig(n, &opts).map_err(CliError)
+}
+
+/// Parse a comma-separated `--kind`/`--component` filter, validating each
+/// entry against the schema's closed vocabulary so typos fail loudly.
+fn parse_name_filter(
+    args: &Args,
+    opt: &str,
+    allowed: &[&str],
+) -> Result<Option<Vec<String>>, CliError> {
+    let Some(list) = args.opt(opt) else { return Ok(None) };
+    let names: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+    for n in &names {
+        if !allowed.contains(&n.as_str()) {
+            return Err(CliError(format!(
+                "--{opt}: unknown value {n:?} (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(Some(names))
+}
+
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    use bce_obs::export::{record_to_json, to_jsonl};
+
+    let scenario = load_scenario(args)?;
+    let client = client_config(args)?;
+    let days: f64 = args.opt_or("days", 1.0)?;
+    let capacity: usize = args.opt_or("capacity", 1_000_000usize)?;
+    if capacity == 0 {
+        return Err(CliError("--capacity must be positive".into()));
+    }
+    let kinds = parse_name_filter(args, "kind", TraceEvent::KINDS)?;
+    let components = parse_name_filter(args, "component", TraceEvent::COMPONENTS)?;
+    let since: Option<f64> = args.opt_parse("since")?;
+    let until: Option<f64> = args.opt_parse("until")?;
+    let limit: Option<usize> = args.opt_parse("limit")?;
+
+    let emu = EmulatorConfig {
+        duration: SimDuration::from_days(days),
+        trace_capacity: capacity,
+        ..Default::default()
+    };
+    let result = Emulator::new(scenario.clone(), client, emu).run();
+
+    let matches = |r: &&bce_obs::TraceRecord| {
+        kinds.as_ref().is_none_or(|ks| ks.iter().any(|k| k == r.event.kind()))
+            && components.as_ref().is_none_or(|cs| cs.iter().any(|c| c == r.event.component()))
+            && since.is_none_or(|s| r.t.secs() >= s)
+            && until.is_none_or(|u| r.t.secs() <= u)
+    };
+    let selected: Vec<&bce_obs::TraceRecord> =
+        result.trace.records().iter().filter(matches).take(limit.unwrap_or(usize::MAX)).collect();
+
+    if let Some(path) = args.opt("jsonl") {
+        let jsonl = to_jsonl(selected.iter().copied());
+        std::fs::write(path, &jsonl).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+
+    let mut out =
+        format!("trace of {} ({days} days): {} events recorded", scenario.name, result.trace.len());
+    if result.trace.dropped() > 0 {
+        out.push_str(&format!(" (+{} dropped at capacity)", result.trace.dropped()));
+    }
+    out.push_str(&format!(", {} matching\n\n", selected.len()));
+    for r in &selected {
+        out.push_str(&format!(
+            "[{:>7} t={:>10.0}s {:>5}] {:>15}  {}\n",
+            r.seq,
+            r.t.secs(),
+            r.event.component(),
+            r.event.kind(),
+            r.event.describe()
+        ));
+    }
+    if let Some(path) = args.opt("jsonl") {
+        out.push_str(&format!("\nwrote {} events to {path}\n", selected.len()));
+        // Round-trip sanity: what we wrote must parse back to the same
+        // records. Cheap relative to the emulation, and it keeps the
+        // exporter honest in the face of schema drift.
+        let parsed = bce_obs::export::parse_jsonl(&to_jsonl(selected.iter().copied()))
+            .map_err(|e| CliError(format!("internal: exported trace does not re-parse: {e}")))?;
+        debug_assert_eq!(parsed.len(), selected.len());
+        if parsed.len() != selected.len()
+            || !parsed.iter().zip(&selected).all(|(a, &b)| record_to_json(a) == record_to_json(b))
+        {
+            return Err(CliError("internal: exported trace does not round-trip".into()));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +816,58 @@ mod tests {
     #[test]
     fn bench_rejects_bad_population() {
         assert!(run("bench --quick --population nope").is_err());
+    }
+
+    #[test]
+    fn fig_runs_through_shared_runner() {
+        let out = run("fig 2").unwrap();
+        assert!(out.contains("Figure 2 — round-robin simulation"), "{out}");
+        assert!(out.contains("SHORTFALL(T)"), "{out}");
+        assert!(run("fig 9").is_err());
+        assert!(run("fig").is_err());
+        assert!(run("fig two").is_err());
+    }
+
+    #[test]
+    fn trace_prettyprints_decisions() {
+        let out = run("trace scenario1 --days 0.1").unwrap();
+        assert!(out.contains("events recorded"), "{out}");
+        assert!(out.contains("rpc_reply"), "{out}");
+        assert!(out.contains("scheduled"), "{out}");
+    }
+
+    #[test]
+    fn trace_filters_narrow_output() {
+        let all = run("trace scenario1 --days 0.1").unwrap();
+        let fetch_only = run("trace scenario1 --days 0.1 --component fetch").unwrap();
+        assert!(fetch_only.len() < all.len());
+        assert!(!fetch_only.contains(" scheduled "), "{fetch_only}");
+        let limited = run("trace scenario1 --days 0.1 --limit 3").unwrap();
+        assert!(limited.contains("3 matching"), "{limited}");
+        let windowed = run("trace scenario1 --days 0.1 --since 100 --until 200").unwrap();
+        assert!(windowed.contains("matching"), "{windowed}");
+    }
+
+    #[test]
+    fn trace_rejects_bad_filters() {
+        assert!(run("trace scenario1 --days 0.1 --kind bogus").is_err());
+        assert!(run("trace scenario1 --days 0.1 --component bogus").is_err());
+        assert!(run("trace scenario1 --days 0.1 --capacity 0").is_err());
+        assert!(run("trace").is_err());
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips() {
+        let dir = std::env::temp_dir().join("bce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("trace.jsonl");
+        let out =
+            run(&format!("trace scenario1 --days 0.1 --jsonl {}", p.to_str().unwrap())).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let text = std::fs::read_to_string(&p).unwrap();
+        let records = bce_obs::parse_jsonl(&text).unwrap();
+        assert!(!records.is_empty());
+        assert!(text.lines().all(|l| l.starts_with("{\"seq\":")));
     }
 
     #[test]

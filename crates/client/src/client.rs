@@ -104,11 +104,16 @@ pub struct AdvanceEvents {
     /// Transfer attempts that failed mid-flight in the interval (each will
     /// retry unless its job appears in `errored`).
     pub transfer_failures: u64,
+    /// Per-attempt detail behind `transfer_failures`: `(job, upload)` for
+    /// each failed attempt, in failure order (`upload == false` means a
+    /// download). Only populated on fault paths, so the vector never
+    /// allocates in fault-free runs.
+    pub failed_transfers: Vec<(JobId, bool)>,
 }
 
 /// What changed during [`Client::reschedule`]. The RR snapshot the decision
 /// was based on is available via [`Client::rr_snapshot`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Reschedule {
     pub started: Vec<JobId>,
     pub preempted: Vec<JobId>,
@@ -506,6 +511,7 @@ impl Client {
     /// once the policy's give-up limit is hit.
     fn transfer_failed(&mut self, now: SimTime, job: JobId, dir: XferDir, ev: &mut AdvanceEvents) {
         ev.transfer_failures += 1;
+        ev.failed_transfers.push((job, matches!(dir, XferDir::Upload)));
         let bytes = match (dir, self.task(job)) {
             (XferDir::Download, Some(t)) => t.spec.input_bytes,
             (XferDir::Upload, Some(t)) => t.spec.output_bytes,
@@ -902,11 +908,18 @@ impl Client {
     /// Earliest time a currently-blocked fetch could unblock (backoffs /
     /// server delays), used by the emulator to schedule retries.
     pub fn next_fetch_unblock(&self, now: SimTime) -> Option<SimTime> {
+        self.next_fetch_unblock_detail(now).map(|(_, t)| t)
+    }
+
+    /// Like [`Client::next_fetch_unblock`], but also naming the project
+    /// that unblocks first (ties broken by project order). Feeds the
+    /// `FetchDeferred` trace event.
+    pub fn next_fetch_unblock_detail(&self, now: SimTime) -> Option<(ProjectId, SimTime)> {
         self.projects
             .iter()
-            .map(|p| p.backoff.until().max(p.comm_retry.until).max(p.next_rpc_allowed))
-            .filter(|&t| t > now)
-            .min()
+            .map(|p| (p.id, p.backoff.until().max(p.comm_retry.until).max(p.next_rpc_allowed)))
+            .filter(|&(_, t)| t > now)
+            .min_by(|a, b| a.1.cmp(&b.1))
     }
 
     /// Instances of each type currently in use (for metrics/timeline).

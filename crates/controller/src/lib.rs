@@ -15,7 +15,9 @@ pub mod table;
 pub use compare::{compare_policies, Comparison};
 pub use montecarlo::{population_study, population_table, MetricStats, PopulationOutcome};
 pub use plot::{bar_chart, line_chart, Series};
-pub use run::{resolve_threads, run_all, run_all_reference, run_streaming, RunSpec};
+pub use run::{
+    resolve_threads, run_all, run_all_reference, run_streaming, run_streaming_profiled, RunSpec,
+};
 pub use sweep::{sweep, Metric, SweepResult};
 pub use table::Table;
 

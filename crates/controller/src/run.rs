@@ -28,6 +28,7 @@
 
 use bce_client::ClientConfig;
 use bce_core::{EmulationResult, Emulator, EmulatorArena, EmulatorConfig, Scenario};
+use bce_obs::Profiler;
 use std::sync::Arc;
 
 /// One unit of work: a scenario plus client policy configuration. The
@@ -86,21 +87,45 @@ const WORKER_SLACK: usize = 4;
 ///
 /// With one thread this is a plain loop over one arena — no thread is
 /// spawned and no synchronization happens at all.
-pub fn run_streaming<F>(specs: &[RunSpec], threads: usize, mut consume: F)
+pub fn run_streaming<F>(specs: &[RunSpec], threads: usize, consume: F)
 where
+    F: FnMut(usize, &RunSpec, EmulationResult),
+{
+    run_streaming_profiled(specs, threads, &mut Profiler::disabled(), consume)
+}
+
+/// As [`run_streaming`], but timing the executor's phases into `prof`:
+///
+/// * `exec.emulate` — serial path only: the emulations themselves.
+/// * `exec.recv_wait` — parallel path: consumer time blocked on worker
+///   channels (how far the reduction front trails the workers).
+/// * `exec.reduce` — time inside the caller's reducer, which runs on the
+///   consuming thread and therefore bounds streaming throughput.
+///
+/// Profiling observes wall clock only; results (and reduction order) are
+/// identical to [`run_streaming`]. A disabled profiler skips all timing.
+pub fn run_streaming_profiled<F>(
+    specs: &[RunSpec],
+    threads: usize,
+    prof: &mut Profiler,
+    mut consume: F,
+) where
     F: FnMut(usize, &RunSpec, EmulationResult),
 {
     let n = specs.len();
     let nthreads = resolve_threads(threads).min(n.max(1));
+    let sp_reduce = prof.span("exec.reduce");
     if nthreads <= 1 {
+        let sp_emulate = prof.span("exec.emulate");
         let mut arena = EmulatorArena::new();
         for (i, spec) in specs.iter().enumerate() {
-            let result = spec.emulate(&mut arena);
-            consume(i, spec, result);
+            let result = prof.time(sp_emulate, || spec.emulate(&mut arena));
+            prof.time(sp_reduce, || consume(i, spec, result));
         }
         return;
     }
 
+    let sp_wait = prof.span("exec.recv_wait");
     std::thread::scope(|scope| {
         // Worker `w` computes indices w, w+T, w+2T, … in order and streams
         // them through its own bounded channel; the consumer pulls index i
@@ -123,8 +148,10 @@ where
             })
             .collect();
         for (i, spec) in specs.iter().enumerate() {
-            let result = receivers[i % nthreads].recv().expect("worker delivered result");
-            consume(i, spec, result);
+            let result = prof
+                .time(sp_wait, || receivers[i % nthreads].recv())
+                .expect("worker delivered result");
+            prof.time(sp_reduce, || consume(i, spec, result));
         }
     });
 }
@@ -243,6 +270,31 @@ mod tests {
             assert_eq!(label, &all[k].0);
             assert_eq!(*fp, all[k].1.bit_fingerprint(), "new executor vs run_all");
             assert_eq!(*fp, reference[k].1.bit_fingerprint(), "new executor vs seed oracle");
+        }
+    }
+
+    #[test]
+    fn profiled_streaming_observes_without_perturbing() {
+        let specs = mk_specs(6);
+        let mut plain: Vec<u64> = Vec::new();
+        run_streaming(&specs, 3, |_, _, r| plain.push(r.bit_fingerprint()));
+        for threads in [1, 3] {
+            let mut prof = Profiler::enabled();
+            let mut profiled: Vec<u64> = Vec::new();
+            run_streaming_profiled(&specs, threads, &mut prof, |_, _, r| {
+                profiled.push(r.bit_fingerprint());
+            });
+            assert_eq!(profiled, plain, "profiling must not change results (threads={threads})");
+            let report = prof.report();
+            let reduce = report.span("exec.reduce").expect("reduce span");
+            assert_eq!(reduce.count, 6);
+            if threads == 1 {
+                assert_eq!(report.span("exec.emulate").expect("emulate span").count, 6);
+                assert!(report.span("exec.recv_wait").is_none());
+            } else {
+                assert_eq!(report.span("exec.recv_wait").expect("wait span").count, 6);
+                assert!(report.span("exec.emulate").is_none());
+            }
         }
     }
 

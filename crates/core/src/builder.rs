@@ -1,0 +1,185 @@
+//! Fluent scenario construction.
+//!
+//! [`ScenarioBuilder`] is the preferred way to assemble a [`Scenario`]:
+//! it reads as a description (host, projects, availability, preferences)
+//! rather than a struct literal, applies every piece in one expression,
+//! and validates on [`ScenarioBuilder::build`] so malformed scenarios
+//! fail at construction instead of inside the emulator.
+//!
+//! ```
+//! use bce_core::ScenarioBuilder;
+//! use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
+//!
+//! let scenario = ScenarioBuilder::new("doc", Hardware::cpu_only(2, 1e9))
+//!     .seed(7)
+//!     .project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
+//!         0,
+//!         SimDuration::from_secs(600.0),
+//!         SimDuration::from_hours(6.0),
+//!     )))
+//!     .build()
+//!     .expect("valid scenario");
+//! assert_eq!(scenario.seed, 7);
+//! ```
+//!
+//! The `Scenario::with_*` chain methods remain for backward
+//! compatibility, but new code (and everything under `examples/` and
+//! `bce-scenarios`) goes through the builder. `build_unchecked` exists
+//! for tests that construct deliberately-invalid scenarios.
+
+use crate::scenario::Scenario;
+use bce_avail::{AvailSpec, AvailTrace};
+use bce_client::NetworkModel;
+use bce_types::{Hardware, InitialJob, ModelError, Preferences, ProjectSpec};
+
+/// Fluent builder for [`Scenario`]. See the module docs for an example.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Start from the two things every scenario needs: a name and host
+    /// hardware. Everything else has the same defaults as
+    /// [`Scenario::new`]: seed 0, default preferences, always-on
+    /// availability, instant network, no projects.
+    pub fn new(name: impl Into<String>, hardware: Hardware) -> Self {
+        ScenarioBuilder { scenario: Scenario::new(name, hardware) }
+    }
+
+    /// Root seed for every stochastic element of the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Replace the host hardware.
+    pub fn hardware(mut self, hardware: Hardware) -> Self {
+        self.scenario.hardware = hardware;
+        self
+    }
+
+    /// Set the user preferences (work buffer, scheduling period, usage
+    /// limits).
+    pub fn prefs(mut self, prefs: Preferences) -> Self {
+        self.scenario.prefs = prefs;
+        self
+    }
+
+    /// Attach a project.
+    pub fn project(mut self, p: ProjectSpec) -> Self {
+        self.scenario.projects.push(p);
+        self
+    }
+
+    /// Attach several projects at once.
+    pub fn projects(mut self, ps: impl IntoIterator<Item = ProjectSpec>) -> Self {
+        self.scenario.projects.extend(ps);
+        self
+    }
+
+    /// Set the availability model.
+    pub fn avail(mut self, avail: AvailSpec) -> Self {
+        self.scenario.avail = avail;
+        self
+    }
+
+    /// Override host power with a recorded trace.
+    pub fn host_trace(mut self, trace: AvailTrace) -> Self {
+        self.scenario.host_trace = Some(trace);
+        self
+    }
+
+    /// Model a finite network link (None/default = instant transfers).
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.scenario.network = Some(network);
+        self
+    }
+
+    /// Import one in-flight job into the client's starting queue.
+    pub fn initial_job(mut self, job: InitialJob) -> Self {
+        self.scenario.initial_queue.push(job);
+        self
+    }
+
+    /// Import several in-flight jobs.
+    pub fn initial_jobs(mut self, jobs: impl IntoIterator<Item = InitialJob>) -> Self {
+        self.scenario.initial_queue.extend(jobs);
+        self
+    }
+
+    /// Validate and finish. Fails exactly when [`Scenario::validate`]
+    /// would.
+    pub fn build(self) -> Result<Scenario, ModelError> {
+        self.scenario.validate()?;
+        Ok(self.scenario)
+    }
+
+    /// Finish without validating — for tests of invalid inputs and for
+    /// incremental construction where projects arrive later.
+    pub fn build_unchecked(self) -> Scenario {
+        self.scenario
+    }
+}
+
+impl From<Scenario> for ScenarioBuilder {
+    /// Continue building from an existing scenario (e.g. a preset).
+    fn from(scenario: Scenario) -> Self {
+        ScenarioBuilder { scenario }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_types::{AppClass, SimDuration};
+
+    fn app() -> AppClass {
+        AppClass::cpu(0, SimDuration::from_secs(100.0), SimDuration::from_secs(1000.0))
+    }
+
+    #[test]
+    fn builder_matches_chain_construction() {
+        let chained = Scenario::new("s", Hardware::cpu_only(2, 1e9))
+            .with_seed(3)
+            .with_project(ProjectSpec::new(0, "p", 100.0).with_app(app()));
+        let built = ScenarioBuilder::new("s", Hardware::cpu_only(2, 1e9))
+            .seed(3)
+            .project(ProjectSpec::new(0, "p", 100.0).with_app(app()))
+            .build()
+            .unwrap();
+        assert_eq!(built.name, chained.name);
+        assert_eq!(built.seed, chained.seed);
+        assert_eq!(built.projects.len(), chained.projects.len());
+        assert_eq!(built.projects[0].id, chained.projects[0].id);
+    }
+
+    #[test]
+    fn build_validates() {
+        let err = ScenarioBuilder::new("empty", Hardware::cpu_only(1, 1e9)).build();
+        assert_eq!(err.unwrap_err(), ModelError::Empty("projects"));
+        let ok = ScenarioBuilder::new("empty", Hardware::cpu_only(1, 1e9)).build_unchecked();
+        assert!(ok.projects.is_empty());
+    }
+
+    #[test]
+    fn bulk_setters_accumulate() {
+        let s = ScenarioBuilder::new("multi", Hardware::cpu_only(4, 1e9))
+            .projects(vec![
+                ProjectSpec::new(0, "a", 50.0).with_app(app()),
+                ProjectSpec::new(1, "b", 50.0).with_app(app()),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(s.projects.len(), 2);
+    }
+
+    #[test]
+    fn from_scenario_continues_building() {
+        let preset = Scenario::new("preset", Hardware::cpu_only(1, 1e9))
+            .with_project(ProjectSpec::new(0, "p", 100.0).with_app(app()));
+        let tweaked = ScenarioBuilder::from(preset).seed(99).build().unwrap();
+        assert_eq!(tweaked.seed, 99);
+        assert_eq!(tweaked.name, "preset");
+    }
+}

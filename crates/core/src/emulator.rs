@@ -11,15 +11,18 @@
 //! stale predictions are ignored), and fetch-retry wakeups.
 
 use crate::metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
+use crate::observe::RunObserver;
 use crate::scenario::Scenario;
 use bce_avail::HostRunState;
 use bce_client::{Client, ClientConfig, ClientProject, ClientScratch, FetchPolicy, JobSchedPolicy};
 use bce_faults::{CrashProcess, FaultConfig, RpcFaultInjector, TransferFaultModel};
+use bce_obs::{MetricsSnapshot, ProfileReport, Profiler, TraceBuffer, TraceRecord, TraceSink};
 use bce_server::{ProjectServer, RpcOutcome, SchedulerRequest, ServerConfig, TypeRequest};
-use bce_sim::{Component, EventQueue, Level, LogEntry, MsgLog, Occupancy, Rng, Timeline};
+use bce_sim::{EventQueue, Level, LogEntry, MsgLog, Occupancy, Rng, Timeline};
 use bce_types::{InstanceId, JobId, ProcType, ProjectId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Emulator tuning knobs (separate from the client's policy config).
 #[derive(Debug, Clone)]
@@ -42,6 +45,14 @@ pub struct EmulatorConfig {
     /// Deterministic fault injection; [`FaultConfig::OFF`] (the default)
     /// leaves the emulation bit-identical to one without fault plumbing.
     pub faults: FaultConfig,
+    /// Typed-trace buffer capacity (0 = tracing off, the default; the
+    /// no-op sink is provably allocation-free). Tracing is observation
+    /// only: enabling it never changes a result bit.
+    pub trace_capacity: usize,
+    /// Record wall-clock/sim-time profiling spans for this run. Off by
+    /// default; span timings are reported out-of-band
+    /// ([`EmulationResult::profile`]) and never fingerprinted.
+    pub profile: bool,
 }
 
 impl Default for EmulatorConfig {
@@ -56,6 +67,8 @@ impl Default for EmulatorConfig {
             server: ServerConfig::default(),
             max_rpcs_per_point: 4,
             faults: FaultConfig::OFF,
+            trace_capacity: 0,
+            profile: false,
         }
     }
 }
@@ -95,6 +108,18 @@ pub struct EmulationResult {
     pub perf: PerfStats,
     pub timeline: Option<Timeline>,
     pub log: MsgLog,
+    /// The run's instruments frozen into the unified `scope.name` schema
+    /// (counters, merit/fault gauges, perf counters). Derived from the
+    /// same state as the fields above, so it is deliberately *not*
+    /// fingerprinted.
+    pub metrics: MetricsSnapshot,
+    /// Typed decision trace (empty unless `trace_capacity > 0`). Excluded
+    /// from [`EmulationResult::bit_fingerprint`] by design: enabling
+    /// tracing must leave the fingerprint unchanged.
+    pub trace: TraceBuffer,
+    /// Profiling spans (present iff `EmulatorConfig::profile`). Contains
+    /// wall-clock time and is never part of any determinism contract.
+    pub profile: Option<ProfileReport>,
 }
 
 impl EmulationResult {
@@ -244,6 +269,7 @@ pub struct EmulatorArena {
     client: Option<ClientScratch>,
     per_project: Vec<(ProjectId, f64)>,
     log_entries: Vec<LogEntry>,
+    trace_records: Vec<TraceRecord>,
 }
 
 impl EmulatorArena {
@@ -258,18 +284,24 @@ impl EmulatorArena {
             client: None,
             per_project: Vec::new(),
             log_entries: Vec::new(),
+            trace_records: Vec::new(),
         }
     }
 
-    /// Reclaim the buffers of a consumed result (currently the message
-    /// log's entry buffer). Serial drivers that enable logging can hand
-    /// each result back after reading it so even the log allocation is
-    /// reused across runs.
+    /// Reclaim the buffers of a consumed result (the message log's entry
+    /// buffer and the trace buffer's record vector). Serial drivers that
+    /// enable logging or tracing can hand each result back after reading
+    /// it so even those allocations are reused across runs.
     pub fn reclaim(&mut self, result: EmulationResult) {
         let mut entries = result.log.into_entries();
         if entries.capacity() > self.log_entries.capacity() {
             entries.clear();
             self.log_entries = entries;
+        }
+        let mut records = result.trace.into_records();
+        if records.capacity() > self.trace_records.capacity() {
+            records.clear();
+            self.trace_records = records;
         }
     }
 }
@@ -312,7 +344,13 @@ impl Emulator {
     /// worker so the event queue, RR scratch, task buffers and log buffer
     /// are allocated once per worker rather than once per run.
     pub fn run_in(&self, arena: &mut EmulatorArena) -> EmulationResult {
-        let EmulatorArena { queue, client: client_scratch, per_project, log_entries } = arena;
+        let EmulatorArena {
+            queue,
+            client: client_scratch,
+            per_project,
+            log_entries,
+            trace_records,
+        } = arena;
         let scenario = &*self.scenario;
         debug_assert!(scenario.validate().is_ok(), "invalid scenario: {:?}", scenario.validate());
         let hw = scenario.hardware.clone();
@@ -392,7 +430,7 @@ impl Emulator {
             SimTime::ZERO,
             self.cfg.monotony_window,
         );
-        let mut log = if self.cfg.log_capacity > 0 {
+        let log = if self.cfg.log_capacity > 0 {
             MsgLog::with_buffer(
                 self.cfg.log_level,
                 self.cfg.log_capacity,
@@ -401,6 +439,21 @@ impl Emulator {
         } else {
             MsgLog::disabled()
         };
+        let trace = if self.cfg.trace_capacity > 0 {
+            TraceSink::Buffer(TraceBuffer::with_buffer(
+                self.cfg.trace_capacity,
+                std::mem::take(trace_records),
+            ))
+        } else {
+            TraceSink::Noop
+        };
+        let mut obs = RunObserver::new(log, trace);
+        let mut prof = if self.cfg.profile { Profiler::enabled() } else { Profiler::disabled() };
+        let sp_advance = prof.span("emu.client_advance");
+        let sp_resched = prof.span("emu.reschedule");
+        let sp_rpc = prof.span("emu.rpc_loop");
+        let sp_unavail = prof.span("sim.unavailable");
+        let run_start = self.cfg.profile.then(Instant::now);
 
         // Timeline instance bookkeeping.
         let instances: Vec<InstanceId> = ProcType::ALL
@@ -440,11 +493,14 @@ impl Emulator {
             if t > now {
                 client.flops_in_use_by_project_into(per_project);
                 metrics.advance(now, t, per_project, run_state.can_compute);
+                if !run_state.can_compute {
+                    prof.record_sim(sp_unavail, (t - now).secs());
+                }
                 if let Some(tl) = &mut timeline {
                     record_timeline(tl, &client, &assignment, now, t, run_state, &instances);
                 }
             }
-            let events = client.advance(t, run_state);
+            let events = prof.time(sp_advance, || client.advance(t, run_state));
             now = t;
 
             // 2. Report uploaded jobs to their servers and retire them.
@@ -473,22 +529,16 @@ impl Emulator {
                             task.rollback_waste * task.spec.usage.peak_flops_on(&hw),
                         );
                     }
-                    log.info(now, Component::Task, || {
-                        format!(
-                            "job {} of {} finished ({})",
-                            id,
-                            project,
-                            if met { "met deadline" } else { "MISSED deadline" }
-                        )
-                    });
+                    obs.job_finished(now, *id, project, met);
                 }
                 assignment.remove(id);
             }
 
             // Fault bookkeeping: failed transfer attempts, jobs that
             // exhausted their retry budget, and crash-recovery progress.
-            for _ in 0..events.transfer_failures {
+            for &(job, upload) in &events.failed_transfers {
                 metrics.record_transfer_failure();
+                obs.transfer_failed(now, job, upload);
             }
             for id in &events.errored {
                 let (project, flops_spent) = {
@@ -499,9 +549,7 @@ impl Emulator {
                     server.report_errored(*id);
                 }
                 metrics.record_job_errored(flops_spent);
-                log.warn(now, Component::Task, || {
-                    format!("job {id} of {project} errored: transfer retries exhausted")
-                });
+                obs.job_errored(now, *id, project);
                 client.retire(*id);
                 assignment.remove(id);
             }
@@ -514,7 +562,9 @@ impl Emulator {
                         None => false,
                     });
                     if r.targets.is_empty() {
-                        metrics.record_recovery((now - r.start).secs());
+                        let secs = (now - r.start).secs();
+                        metrics.record_recovery(secs);
+                        obs.recovered(now, secs);
                         false
                     } else {
                         true
@@ -542,12 +592,12 @@ impl Emulator {
                     governor.advance(now);
                     let new_state = governor.run_state(now, &scenario.prefs);
                     if new_state != run_state {
-                        log.info(now, Component::Avail, || {
-                            format!(
-                                "availability: compute={} gpu={} net={}",
-                                new_state.can_compute, new_state.can_gpu, new_state.net_up
-                            )
-                        });
+                        obs.avail_changed(
+                            now,
+                            new_state.can_compute,
+                            new_state.can_gpu,
+                            new_state.net_up,
+                        );
                         run_state = new_state;
                         need_sched = true;
                     }
@@ -569,14 +619,12 @@ impl Emulator {
                         .map(|&(id, secs)| secs * client.peak_flops_of(id))
                         .sum();
                     metrics.record_crash(lost_flops);
-                    log.warn(now, Component::Task, || {
-                        format!(
-                            "host crash: {} task(s) rolled back ({:.0} exec-s lost), {} transfer(s) restarted",
-                            outcome.lost.len(),
-                            outcome.lost.iter().map(|&(_, s)| s).sum::<f64>(),
-                            outcome.restarted_transfers
-                        )
-                    });
+                    obs.crashed(
+                        now,
+                        outcome.lost.len(),
+                        outcome.lost.iter().map(|&(_, s)| s).sum::<f64>(),
+                        outcome.restarted_transfers,
+                    );
                     if !outcome.lost.is_empty() {
                         // Recovery target: the progress each task had at
                         // the instant of the crash (post-rollback progress
@@ -611,77 +659,88 @@ impl Emulator {
             //    (as the pre-cache code did); later iterations refresh it,
             //    which re-runs the simulation only after an RPC actually
             //    changed the queue.
-            let resched = client.reschedule(now, run_state, on_frac);
-            log_resched(&mut log, now, &resched);
+            let resched = prof.time(sp_resched, || client.reschedule(now, run_state, on_frac));
+            obs.scheduled(now, &resched);
             let mut fetched_any = false;
             let mut first_rpc = true;
-            for _ in 0..self.cfg.max_rpcs_per_point {
-                if !first_rpc {
-                    client.rr_refresh(now, run_state, on_frac);
-                }
-                first_rpc = false;
-                let Some(decision) = client.fetch_decision(now, run_state, client.rr_snapshot())
-                else {
-                    break;
-                };
-                let project = decision.project;
-                let mut request = SchedulerRequest::default();
-                for pt in ProcType::ALL {
-                    request.per_type[pt] = TypeRequest {
-                        secs: decision.request.secs[pt],
-                        instances: decision.request.instances[pt],
+            prof.time(sp_rpc, || {
+                for _ in 0..self.cfg.max_rpcs_per_point {
+                    if !first_rpc {
+                        client.rr_refresh(now, run_state, on_frac);
+                    }
+                    first_rpc = false;
+                    let Some(decision) =
+                        client.fetch_decision(now, run_state, client.rr_snapshot())
+                    else {
+                        // Trace-only forensics: the queue wanted work (some
+                        // type shows a shortfall) but no project was
+                        // eligible. A disabled sink skips even the check.
+                        if obs.tracing() && run_state.net_up {
+                            let rr = client.rr_snapshot();
+                            let wants = ProcType::ALL.iter().any(|&pt| rr.shortfall[pt] > 1.0);
+                            if wants {
+                                if let Some((p, until)) = client.next_fetch_unblock_detail(now) {
+                                    obs.fetch_deferred(now, p, until);
+                                }
+                            }
+                        }
+                        break;
                     };
-                }
-                let server = servers
-                    .iter_mut()
-                    .find(|s| s.id() == project)
-                    .expect("fetch decision for unknown project");
-                server.check_deadlines(now);
-                metrics.record_rpc();
-                // Transient-fault injection: a lost request never reaches
-                // the server (its state is untouched). With no injector
-                // this is exactly the seed path.
-                let lost_in_transit = rpc_faults.as_mut().is_some_and(|inj| inj.rpc_fails(project));
-                let outcome = if lost_in_transit {
-                    RpcOutcome::TransientFailure
-                } else {
-                    server.handle_rpc(now, &request)
-                };
-                match outcome {
-                    RpcOutcome::Reply(reply) => {
-                        log.info(now, Component::Fetch, || {
-                            format!(
-                                "RPC to {}: requested {:.0}s CPU / {:.0}s GPU, got {} jobs",
+                    let project = decision.project;
+                    let mut request = SchedulerRequest::default();
+                    for pt in ProcType::ALL {
+                        request.per_type[pt] = TypeRequest {
+                            secs: decision.request.secs[pt],
+                            instances: decision.request.instances[pt],
+                        };
+                    }
+                    let server = servers
+                        .iter_mut()
+                        .find(|s| s.id() == project)
+                        .expect("fetch decision for unknown project");
+                    server.check_deadlines(now);
+                    metrics.record_rpc();
+                    // Transient-fault injection: a lost request never reaches
+                    // the server (its state is untouched). With no injector
+                    // this is exactly the seed path.
+                    let lost_in_transit =
+                        rpc_faults.as_mut().is_some_and(|inj| inj.rpc_fails(project));
+                    let outcome = if lost_in_transit {
+                        RpcOutcome::TransientFailure
+                    } else {
+                        server.handle_rpc(now, &request)
+                    };
+                    match outcome {
+                        RpcOutcome::Reply(reply) => {
+                            obs.rpc_reply(
+                                now,
                                 project,
                                 request.per_type[ProcType::Cpu].secs,
                                 request.per_type[ProcType::NvidiaGpu].secs
                                     + request.per_type[ProcType::AtiGpu].secs,
-                                reply.jobs.len()
-                            )
-                        });
-                        let got_jobs = !reply.jobs.is_empty();
-                        client.record_reply(now, project, reply.jobs, reply.delay);
-                        fetched_any |= got_jobs;
-                    }
-                    RpcOutcome::Down => {
-                        log.warn(now, Component::Fetch, || {
-                            format!("RPC to {project}: server down")
-                        });
-                        client.record_rpc_failure(now, project);
-                    }
-                    RpcOutcome::TransientFailure => {
-                        log.warn(now, Component::Fetch, || {
-                            format!("RPC to {project}: lost in transit (transient)")
-                        });
-                        let jitter_u = rpc_faults.as_mut().map_or(0.0, |inj| inj.jitter_u(project));
-                        client.record_transient_rpc_failure(now, project, jitter_u);
-                        metrics.record_transient_rpc_failure();
+                                reply.jobs.len(),
+                            );
+                            let got_jobs = !reply.jobs.is_empty();
+                            client.record_reply(now, project, reply.jobs, reply.delay);
+                            fetched_any |= got_jobs;
+                        }
+                        RpcOutcome::Down => {
+                            obs.rpc_down(now, project);
+                            client.record_rpc_failure(now, project);
+                        }
+                        RpcOutcome::TransientFailure => {
+                            obs.rpc_lost(now, project);
+                            let jitter_u =
+                                rpc_faults.as_mut().map_or(0.0, |inj| inj.jitter_u(project));
+                            client.record_transient_rpc_failure(now, project, jitter_u);
+                            metrics.record_transient_rpc_failure();
+                        }
                     }
                 }
-            }
+            });
             if fetched_any {
-                let r2 = client.reschedule(now, run_state, on_frac);
-                log_resched(&mut log, now, &r2);
+                let r2 = prof.time(sp_resched, || client.reschedule(now, run_state, on_frac));
+                obs.scheduled(now, &r2);
             }
             peak_jobs = peak_jobs.max(client.tasks().len());
 
@@ -738,6 +797,13 @@ impl Emulator {
         let jobs_unfinished = client.tasks().iter().filter(|t| !t.is_complete()).count() as u64;
         // Hand the client's buffers back to the arena for the next run.
         *client_scratch = Some(client.into_scratch());
+        let fault_metrics = metrics.fault_metrics();
+        let metrics_snapshot = metrics.export_snapshot(&merit, &fault_metrics, &perf);
+        if let Some(start) = run_start {
+            let sp_total = prof.span("emu.total");
+            prof.add_wall_nanos(sp_total, start.elapsed().as_nanos());
+        }
+        let (log, trace) = obs.finish();
 
         EmulationResult {
             scenario_name: scenario.name.clone(),
@@ -749,19 +815,14 @@ impl Emulator {
             available_fraction: metrics.available_fraction(),
             total_flops_used: total_used,
             duration: self.cfg.duration,
-            faults: metrics.fault_metrics(),
+            faults: fault_metrics,
             perf,
             timeline,
             log,
+            metrics: metrics_snapshot,
+            trace,
+            profile: self.cfg.profile.then(|| prof.report()),
         }
-    }
-}
-
-fn log_resched(log: &mut MsgLog, now: SimTime, r: &bce_client::Reschedule) {
-    if !r.started.is_empty() || !r.preempted.is_empty() {
-        log.info(now, Component::Sched, || {
-            format!("schedule: start {:?}, preempt {:?}", r.started, r.preempted)
-        });
     }
 }
 

@@ -11,13 +11,21 @@
 //! five figures of merit of §4.2, and renders the usage timeline and
 //! message log.
 
+pub mod builder;
 pub mod emulator;
 pub mod metrics;
+pub mod observe;
 pub mod render;
 pub mod scenario;
 
 pub use bce_faults::{FaultConfig, RetryPolicy};
+pub use bce_obs::{
+    MetricsRegistry, MetricsSnapshot, ProfileReport, Profiler, TraceBuffer, TraceEvent,
+    TraceRecord, TraceSink, Tracer,
+};
+pub use builder::ScenarioBuilder;
 pub use emulator::{EmulationResult, Emulator, EmulatorArena, EmulatorConfig};
 pub use metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
+pub use observe::RunObserver;
 pub use render::{render_report, render_timeline};
 pub use scenario::Scenario;

@@ -19,6 +19,7 @@
 //! All but RPCs/job lie in `[0, 1]` with 0 good; `scaled()` maps RPCs/job
 //! through `x/(1+x)` when a bounded combination is wanted.
 
+use bce_obs::{CounterId, MetricsRegistry, MetricsSnapshot};
 use bce_types::{JobId, ProjectId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -130,6 +131,15 @@ pub struct ProjectReport {
 }
 
 /// Accumulates metrics during an emulation run.
+///
+/// Since the observability redesign every discrete count lives in a
+/// [`bce_obs::MetricsRegistry`] slot (scoped names like `rpc.issued`,
+/// `jobs.completed`) addressed through pre-registered [`CounterId`]s, so
+/// recording stays an indexed add while the CLI, bench harness and fleet
+/// study all export the same `scope.name` schema via
+/// [`MetricsAccum::export_snapshot`]. The continuous integrals (capacity,
+/// usage, monotony windows) remain plain `f64` state: their accumulation
+/// order is part of the bit-for-bit determinism contract.
 #[derive(Debug, Clone)]
 pub struct MetricsAccum {
     total_capacity_flops: f64, // peak FLOPS of the host
@@ -145,19 +155,20 @@ pub struct MetricsAccum {
     monotony_sum: f64,
     monotony_windows: u64,
     nprojects: usize,
-    // counters
-    pub rpcs: u64,
-    jobs_completed: u64,
-    jobs_missed: u64,
+    // counters (registry slots)
+    registry: MetricsRegistry,
+    c_rpcs: CounterId,
+    c_jobs_completed: CounterId,
+    c_jobs_missed: CounterId,
     missed_ids: Vec<JobId>,
     // fault accounting
     fault_wasted_flops: f64,
-    transient_rpc_failures: u64,
-    transfer_failures: u64,
-    crashes: u64,
-    jobs_errored: u64,
+    c_transient_rpc_failures: CounterId,
+    c_transfer_failures: CounterId,
+    c_crashes: CounterId,
+    c_jobs_errored: CounterId,
     recovery_secs_sum: f64,
-    recoveries: u64,
+    c_recoveries: CounterId,
 }
 
 impl MetricsAccum {
@@ -167,6 +178,15 @@ impl MetricsAccum {
         start: SimTime,
         monotony_window: SimDuration,
     ) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let c_rpcs = registry.counter("rpc", "issued");
+        let c_transient_rpc_failures = registry.counter("rpc", "transient_failures");
+        let c_jobs_completed = registry.counter("jobs", "completed");
+        let c_jobs_missed = registry.counter("jobs", "missed_deadline");
+        let c_jobs_errored = registry.counter("jobs", "errored");
+        let c_transfer_failures = registry.counter("xfer", "failures");
+        let c_crashes = registry.counter("fault", "crashes");
+        let c_recoveries = registry.counter("fault", "recoveries");
         MetricsAccum {
             total_capacity_flops,
             monotony_window,
@@ -179,17 +199,18 @@ impl MetricsAccum {
             monotony_sum: 0.0,
             monotony_windows: 0,
             nprojects,
-            rpcs: 0,
-            jobs_completed: 0,
-            jobs_missed: 0,
+            registry,
+            c_rpcs,
+            c_jobs_completed,
+            c_jobs_missed,
             missed_ids: Vec::new(),
             fault_wasted_flops: 0.0,
-            transient_rpc_failures: 0,
-            transfer_failures: 0,
-            crashes: 0,
-            jobs_errored: 0,
+            c_transient_rpc_failures,
+            c_transfer_failures,
+            c_crashes,
+            c_jobs_errored,
             recovery_secs_sum: 0.0,
-            recoveries: 0,
+            c_recoveries,
         }
     }
 
@@ -245,14 +266,14 @@ impl MetricsAccum {
     }
 
     pub fn record_rpc(&mut self) {
-        self.rpcs += 1;
+        self.registry.inc(self.c_rpcs);
     }
 
     /// Record a completed-and-reported job.
     pub fn record_job_done(&mut self, id: JobId, met_deadline: bool, flops_spent: f64) {
-        self.jobs_completed += 1;
+        self.registry.inc(self.c_jobs_completed);
         if !met_deadline {
-            self.jobs_missed += 1;
+            self.registry.inc(self.c_jobs_missed);
             self.wasted_flops += flops_spent;
             self.missed_ids.push(id);
         }
@@ -265,12 +286,12 @@ impl MetricsAccum {
 
     /// Record a scheduler RPC lost in transit.
     pub fn record_transient_rpc_failure(&mut self) {
-        self.transient_rpc_failures += 1;
+        self.registry.inc(self.c_transient_rpc_failures);
     }
 
     /// Record a mid-flight transfer failure.
     pub fn record_transfer_failure(&mut self) {
-        self.transfer_failures += 1;
+        self.registry.inc(self.c_transfer_failures);
     }
 
     /// Record a host crash and the FLOPS of progress it destroyed. The
@@ -278,14 +299,14 @@ impl MetricsAccum {
     /// picks the same rollback up through [`record_rollback_waste`] when
     /// the task eventually retires.
     pub fn record_crash(&mut self, lost_flops: f64) {
-        self.crashes += 1;
+        self.registry.inc(self.c_crashes);
         self.fault_wasted_flops += lost_flops;
     }
 
     /// Record a permanently-failed job and the FLOPS already sunk into it
     /// (counted both as generic waste and fault-attributed waste).
     pub fn record_job_errored(&mut self, flops_spent: f64) {
-        self.jobs_errored += 1;
+        self.registry.inc(self.c_jobs_errored);
         self.wasted_flops += flops_spent;
         self.fault_wasted_flops += flops_spent;
     }
@@ -294,36 +315,40 @@ impl MetricsAccum {
     /// crash until pre-crash progress was regained).
     pub fn record_recovery(&mut self, secs: f64) {
         self.recovery_secs_sum += secs;
-        self.recoveries += 1;
+        self.registry.inc(self.c_recoveries);
+    }
+
+    fn recoveries(&self) -> u64 {
+        self.registry.counter_value(self.c_recoveries)
     }
 
     /// Snapshot the robustness figures of merit.
     pub fn fault_metrics(&self) -> FaultMetrics {
         FaultMetrics {
-            transient_rpc_failures: self.transient_rpc_failures,
-            transfer_failures: self.transfer_failures,
-            crashes: self.crashes,
-            jobs_errored: self.jobs_errored,
+            transient_rpc_failures: self.registry.counter_value(self.c_transient_rpc_failures),
+            transfer_failures: self.registry.counter_value(self.c_transfer_failures),
+            crashes: self.registry.counter_value(self.c_crashes),
+            jobs_errored: self.registry.counter_value(self.c_jobs_errored),
             fault_wasted_fraction: if self.available_secs > 0.0 {
                 (self.fault_wasted_flops / self.available_secs).clamp(0.0, 1.0)
             } else {
                 0.0
             },
-            mean_recovery_secs: if self.recoveries > 0 {
-                self.recovery_secs_sum / self.recoveries as f64
+            mean_recovery_secs: if self.recoveries() > 0 {
+                self.recovery_secs_sum / self.recoveries() as f64
             } else {
                 0.0
             },
-            recoveries: self.recoveries,
+            recoveries: self.recoveries(),
         }
     }
 
     pub fn jobs_completed(&self) -> u64 {
-        self.jobs_completed
+        self.registry.counter_value(self.c_jobs_completed)
     }
 
     pub fn jobs_missed(&self) -> u64 {
-        self.jobs_missed
+        self.registry.counter_value(self.c_jobs_missed)
     }
 
     pub fn missed_ids(&self) -> &[JobId] {
@@ -382,13 +407,51 @@ impl MetricsAccum {
         } else {
             0.0
         };
-        let rpcs_per_job = if self.jobs_completed > 0 {
-            self.rpcs as f64 / self.jobs_completed as f64
+        let rpcs = self.registry.counter_value(self.c_rpcs);
+        let rpcs_per_job = if self.jobs_completed() > 0 {
+            rpcs as f64 / self.jobs_completed() as f64
         } else {
-            self.rpcs as f64
+            rpcs as f64
         };
 
         FiguresOfMerit { idle_fraction, wasted_fraction, share_violation, monotony, rpcs_per_job }
+    }
+
+    /// Freeze the run's instruments — the registry counters plus derived
+    /// gauges for the figures of merit, fault fractions and emulator perf
+    /// counters — into the one deterministic `scope.name` schema every
+    /// consumer (CLI, bench harness, fleet study) reads.
+    pub fn export_snapshot(
+        &mut self,
+        merit: &FiguresOfMerit,
+        faults: &FaultMetrics,
+        perf: &PerfStats,
+    ) -> MetricsSnapshot {
+        let g = self.registry.gauge("merit", "idle_fraction");
+        self.registry.set(g, merit.idle_fraction);
+        let g = self.registry.gauge("merit", "wasted_fraction");
+        self.registry.set(g, merit.wasted_fraction);
+        let g = self.registry.gauge("merit", "share_violation");
+        self.registry.set(g, merit.share_violation);
+        let g = self.registry.gauge("merit", "monotony");
+        self.registry.set(g, merit.monotony);
+        let g = self.registry.gauge("merit", "rpcs_per_job");
+        self.registry.set(g, merit.rpcs_per_job);
+        let g = self.registry.gauge("host", "available_fraction");
+        self.registry.set(g, self.available_fraction());
+        let g = self.registry.gauge("fault", "wasted_fraction");
+        self.registry.set(g, faults.fault_wasted_fraction);
+        let g = self.registry.gauge("fault", "mean_recovery_secs");
+        self.registry.set(g, faults.mean_recovery_secs);
+        let c = self.registry.counter("perf", "events_processed");
+        self.registry.add(c, perf.events_processed);
+        let c = self.registry.counter("perf", "peak_jobs");
+        self.registry.add(c, perf.peak_jobs as u64);
+        let c = self.registry.counter("perf", "rr_queries");
+        self.registry.add(c, perf.rr_queries);
+        let c = self.registry.counter("perf", "rr_runs");
+        self.registry.add(c, perf.rr_runs);
+        self.registry.snapshot()
     }
 }
 

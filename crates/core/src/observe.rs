@@ -1,0 +1,221 @@
+//! The emulator's instrumentation facade.
+//!
+//! [`RunObserver`] is the single point through which the event loop
+//! reports what it decided. Each notification fans out to two sinks:
+//!
+//! * the human-readable [`MsgLog`] (exact legacy strings — the rendered
+//!   log, and therefore every figure output and determinism fingerprint,
+//!   is byte-identical to the pre-observer emulator), and
+//! * the typed [`TraceSink`], which stores [`TraceEvent`] values for
+//!   JSONL export and `bce trace`.
+//!
+//! Both sinks are lazy: the log formats only at or above its level, and
+//! the trace sink never constructs an event when disabled (see
+//! `bce-obs`). Events that did not exist before the redesign
+//! (`FetchDeferred`, `TransferFailed`, `Recovered`) go to the trace sink
+//! only, so enabling neither sink, either sink, or both never changes a
+//! result bit.
+
+use bce_client::Reschedule;
+use bce_obs::{TraceBuffer, TraceEvent, TraceSink, Tracer};
+use bce_sim::{Component, MsgLog};
+use bce_types::{JobId, ProjectId, SimTime};
+
+/// Typed observation sink for one emulation run.
+#[derive(Debug)]
+pub struct RunObserver {
+    pub log: MsgLog,
+    pub trace: TraceSink,
+}
+
+impl RunObserver {
+    pub fn new(log: MsgLog, trace: TraceSink) -> Self {
+        RunObserver { log, trace }
+    }
+
+    /// A job uploaded its result and the server ruled on the deadline.
+    pub fn job_finished(&mut self, now: SimTime, job: JobId, project: ProjectId, met: bool) {
+        self.log.info(now, Component::Task, || {
+            format!(
+                "job {} of {} finished ({})",
+                job,
+                project,
+                if met { "met deadline" } else { "MISSED deadline" }
+            )
+        });
+        self.trace.emit(now, || TraceEvent::JobFinished { job, project, met_deadline: met });
+    }
+
+    /// A job exhausted its transfer retry budget and failed permanently.
+    pub fn job_errored(&mut self, now: SimTime, job: JobId, project: ProjectId) {
+        self.log.warn(now, Component::Task, || {
+            format!("job {job} of {project} errored: transfer retries exhausted")
+        });
+        self.trace.emit(now, || TraceEvent::JobErrored { job, project });
+    }
+
+    /// The scheduler changed the running set (no-op when nothing moved).
+    pub fn scheduled(&mut self, now: SimTime, r: &Reschedule) {
+        if r.started.is_empty() && r.preempted.is_empty() {
+            return;
+        }
+        self.log.info(now, Component::Sched, || {
+            format!("schedule: start {:?}, preempt {:?}", r.started, r.preempted)
+        });
+        self.trace.emit(now, || TraceEvent::Scheduled {
+            started: r.started.clone(),
+            preempted: r.preempted.clone(),
+        });
+    }
+
+    /// Host availability transitioned.
+    pub fn avail_changed(&mut self, now: SimTime, compute: bool, gpu: bool, net: bool) {
+        self.log.info(now, Component::Avail, || {
+            format!("availability: compute={compute} gpu={gpu} net={net}")
+        });
+        self.trace.emit(now, || TraceEvent::AvailChanged {
+            can_compute: compute,
+            can_gpu: gpu,
+            net_up: net,
+        });
+    }
+
+    /// A scheduler RPC round-trip succeeded.
+    pub fn rpc_reply(
+        &mut self,
+        now: SimTime,
+        project: ProjectId,
+        cpu_secs: f64,
+        gpu_secs: f64,
+        jobs: usize,
+    ) {
+        self.log.info(now, Component::Fetch, || {
+            format!(
+                "RPC to {project}: requested {cpu_secs:.0}s CPU / {gpu_secs:.0}s GPU, got {jobs} jobs"
+            )
+        });
+        self.trace.emit(now, || TraceEvent::RpcReply {
+            project,
+            cpu_secs,
+            gpu_secs,
+            jobs: jobs as u64,
+        });
+    }
+
+    /// A scheduler RPC hit a scheduled server outage.
+    pub fn rpc_down(&mut self, now: SimTime, project: ProjectId) {
+        self.log.warn(now, Component::Fetch, || format!("RPC to {project}: server down"));
+        self.trace.emit(now, || TraceEvent::RpcDown { project });
+    }
+
+    /// A scheduler RPC was lost to an injected transient fault.
+    pub fn rpc_lost(&mut self, now: SimTime, project: ProjectId) {
+        self.log.warn(now, Component::Fetch, || {
+            format!("RPC to {project}: lost in transit (transient)")
+        });
+        self.trace.emit(now, || TraceEvent::RpcLost { project });
+    }
+
+    /// An injected host crash rolled back running work.
+    pub fn crashed(
+        &mut self,
+        now: SimTime,
+        tasks_rolled_back: usize,
+        exec_secs_lost: f64,
+        transfers_restarted: usize,
+    ) {
+        self.log.warn(now, Component::Task, || {
+            format!(
+                "host crash: {tasks_rolled_back} task(s) rolled back ({exec_secs_lost:.0} exec-s lost), {transfers_restarted} transfer(s) restarted"
+            )
+        });
+        self.trace.emit(now, || TraceEvent::Crashed {
+            tasks_rolled_back: tasks_rolled_back as u64,
+            exec_secs_lost,
+            transfers_restarted: transfers_restarted as u64,
+        });
+    }
+
+    /// Trace-only: work fetch saw a shortfall but every candidate project
+    /// was backed off. Not part of the legacy log schema.
+    pub fn fetch_deferred(&mut self, now: SimTime, project: ProjectId, until: SimTime) {
+        self.trace.emit(now, || TraceEvent::FetchDeferred { project, until });
+    }
+
+    /// Trace-only: one file-transfer attempt failed.
+    pub fn transfer_failed(&mut self, now: SimTime, job: JobId, upload: bool) {
+        self.trace.emit(now, || TraceEvent::TransferFailed { job, upload });
+    }
+
+    /// Trace-only: all work lost to the last crash has been re-computed.
+    pub fn recovered(&mut self, now: SimTime, secs: f64) {
+        self.trace.emit(now, || TraceEvent::Recovered { secs });
+    }
+
+    /// Is the typed trace recording? (Used to gate input computation for
+    /// trace-only events.)
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Split into the log and the recorded trace buffer.
+    pub fn finish(mut self) -> (MsgLog, TraceBuffer) {
+        let buf = self.trace.take_buffer();
+        (self.log, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bce_sim::Level;
+
+    fn observer(trace_cap: usize) -> RunObserver {
+        RunObserver::new(MsgLog::new(Level::Info, 64), TraceSink::buffered(trace_cap))
+    }
+
+    #[test]
+    fn fan_out_writes_both_sinks_with_legacy_strings() {
+        let mut obs = observer(16);
+        obs.job_finished(SimTime::from_secs(5.0), JobId(3), ProjectId(1), false);
+        let (log, trace) = obs.finish();
+        assert_eq!(log.entries().len(), 1);
+        assert_eq!(log.entries()[0].message, "job J3 of P1 finished (MISSED deadline)");
+        assert_eq!(trace.len(), 1);
+        assert_eq!(
+            trace.records()[0].event,
+            TraceEvent::JobFinished { job: JobId(3), project: ProjectId(1), met_deadline: false }
+        );
+    }
+
+    #[test]
+    fn empty_reschedule_is_silent() {
+        let mut obs = observer(16);
+        obs.scheduled(SimTime::ZERO, &Reschedule::default());
+        let (log, trace) = obs.finish();
+        assert!(log.entries().is_empty());
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn trace_only_events_do_not_touch_the_log() {
+        let mut obs = observer(16);
+        obs.fetch_deferred(SimTime::ZERO, ProjectId(0), SimTime::from_secs(60.0));
+        obs.transfer_failed(SimTime::ZERO, JobId(1), true);
+        obs.recovered(SimTime::ZERO, 12.0);
+        let (log, trace) = obs.finish();
+        assert!(log.entries().is_empty());
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn disabled_trace_still_logs() {
+        let mut obs = observer(0);
+        assert!(!obs.tracing());
+        obs.rpc_down(SimTime::ZERO, ProjectId(2));
+        let (log, trace) = obs.finish();
+        assert_eq!(log.entries().len(), 1);
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Typed trace events and the [`Tracer`] emission API.
+//!
+//! A [`TraceEvent`] records one *decision* the emulated client (or the
+//! fault layer) made — which tasks were started or preempted, what an RPC
+//! returned, why work fetch stayed idle. Events are plain data: no string
+//! is formatted at emission time. Rendering happens only at export time
+//! ([`crate::export`]) or when a human asks for the decision log.
+//!
+//! The emission API is designed so that a disabled tracer costs nothing on
+//! the hot path:
+//!
+//! * [`Tracer::emit`] takes a *closure* that builds the event. When the
+//!   sink is disabled the closure is never called, so the event — and any
+//!   `Vec` it would carry — is never constructed.
+//! * [`TraceSink::Noop`] is a fieldless variant; `is_enabled()` is a
+//!   discriminant test the optimizer folds away, and the zero-allocation
+//!   guarantee is enforced by a counting-allocator test in the `client`
+//!   crate's style (see `tests/noop_zero_alloc.rs`).
+//!
+//! Determinism contract: tracing is *observation only*. An enabled tracer
+//! records what happened but must never influence what happens — the
+//! emulator consults trace state only to decide whether to build an event.
+
+use bce_types::{JobId, ProjectId, SimTime};
+
+/// One typed decision record. Field names double as the JSONL schema (see
+/// [`crate::export`]); variants carry ids and numbers, never strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The job scheduler changed the running set.
+    Scheduled { started: Vec<JobId>, preempted: Vec<JobId> },
+    /// A job completed and its deadline outcome is known.
+    JobFinished { job: JobId, project: ProjectId, met_deadline: bool },
+    /// A job failed permanently (transfer retry budget exhausted).
+    JobErrored { job: JobId, project: ProjectId },
+    /// A scheduler RPC round-trip succeeded.
+    RpcReply { project: ProjectId, cpu_secs: f64, gpu_secs: f64, jobs: u64 },
+    /// A scheduler RPC hit a scheduled server outage.
+    RpcDown { project: ProjectId },
+    /// A scheduler RPC was lost to an injected transient fault.
+    RpcLost { project: ProjectId },
+    /// Work fetch saw a shortfall but every candidate project was backed
+    /// off; `until` is when the earliest project becomes eligible again.
+    FetchDeferred { project: ProjectId, until: SimTime },
+    /// Host availability changed.
+    AvailChanged { can_compute: bool, can_gpu: bool, net_up: bool },
+    /// A file transfer attempt failed (`upload=false` means download).
+    TransferFailed { job: JobId, upload: bool },
+    /// An injected host crash rolled back running work.
+    Crashed { tasks_rolled_back: u64, exec_secs_lost: f64, transfers_restarted: u64 },
+    /// All work lost to the last crash has been re-computed.
+    Recovered { secs: f64 },
+}
+
+impl TraceEvent {
+    /// Stable machine name of the variant; the `"kind"` key in JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Scheduled { .. } => "scheduled",
+            TraceEvent::JobFinished { .. } => "job_finished",
+            TraceEvent::JobErrored { .. } => "job_errored",
+            TraceEvent::RpcReply { .. } => "rpc_reply",
+            TraceEvent::RpcDown { .. } => "rpc_down",
+            TraceEvent::RpcLost { .. } => "rpc_lost",
+            TraceEvent::FetchDeferred { .. } => "fetch_deferred",
+            TraceEvent::AvailChanged { .. } => "avail_changed",
+            TraceEvent::TransferFailed { .. } => "transfer_failed",
+            TraceEvent::Crashed { .. } => "crashed",
+            TraceEvent::Recovered { .. } => "recovered",
+        }
+    }
+
+    /// Which subsystem emitted the event; the `"component"` key in JSONL.
+    pub fn component(&self) -> &'static str {
+        match self {
+            TraceEvent::Scheduled { .. } => "sched",
+            TraceEvent::JobFinished { .. } | TraceEvent::JobErrored { .. } => "task",
+            TraceEvent::RpcReply { .. }
+            | TraceEvent::RpcDown { .. }
+            | TraceEvent::RpcLost { .. }
+            | TraceEvent::FetchDeferred { .. } => "fetch",
+            TraceEvent::AvailChanged { .. } => "avail",
+            TraceEvent::TransferFailed { .. } => "xfer",
+            TraceEvent::Crashed { .. } | TraceEvent::Recovered { .. } => "fault",
+        }
+    }
+
+    /// All kinds the schema defines, for CLI filter validation.
+    pub const KINDS: &'static [&'static str] = &[
+        "scheduled",
+        "job_finished",
+        "job_errored",
+        "rpc_reply",
+        "rpc_down",
+        "rpc_lost",
+        "fetch_deferred",
+        "avail_changed",
+        "transfer_failed",
+        "crashed",
+        "recovered",
+    ];
+
+    /// All components the schema defines, for CLI filter validation.
+    pub const COMPONENTS: &'static [&'static str] =
+        &["sched", "task", "fetch", "avail", "xfer", "fault"];
+
+    /// Human one-liner for `bce trace` pretty output.
+    pub fn describe(&self) -> String {
+        match self {
+            TraceEvent::Scheduled { started, preempted } => {
+                format!("start {started:?}, preempt {preempted:?}")
+            }
+            TraceEvent::JobFinished { job, project, met_deadline } => {
+                let ok = if *met_deadline { "met deadline" } else { "MISSED deadline" };
+                format!("{job} of {project} finished ({ok})")
+            }
+            TraceEvent::JobErrored { job, project } => {
+                format!("{job} of {project} errored: transfer retries exhausted")
+            }
+            TraceEvent::RpcReply { project, cpu_secs, gpu_secs, jobs } => {
+                format!("RPC to {project}: asked {cpu_secs:.0}s CPU / {gpu_secs:.0}s GPU, got {jobs} jobs")
+            }
+            TraceEvent::RpcDown { project } => format!("RPC to {project}: server down"),
+            TraceEvent::RpcLost { project } => {
+                format!("RPC to {project}: lost in transit (transient)")
+            }
+            TraceEvent::FetchDeferred { project, until } => {
+                format!(
+                    "fetch deferred: all projects backed off, {project} eligible at t={:.0}s",
+                    until.secs()
+                )
+            }
+            TraceEvent::AvailChanged { can_compute, can_gpu, net_up } => {
+                format!("availability: compute={can_compute} gpu={can_gpu} net={net_up}")
+            }
+            TraceEvent::TransferFailed { job, upload } => {
+                let dir = if *upload { "upload" } else { "download" };
+                format!("{dir} for {job} failed")
+            }
+            TraceEvent::Crashed { tasks_rolled_back, exec_secs_lost, transfers_restarted } => {
+                format!(
+                    "host crash: {tasks_rolled_back} task(s) rolled back ({exec_secs_lost:.0} exec-s lost), {transfers_restarted} transfer(s) restarted"
+                )
+            }
+            TraceEvent::Recovered { secs } => {
+                format!("recovered crash-lost work after {secs:.0}s")
+            }
+        }
+    }
+}
+
+/// A timestamped, sequence-numbered event as stored in a buffer or a
+/// JSONL file. `seq` is assigned by the recording sink and is strictly
+/// increasing within a run, so ties at equal sim time keep emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    pub seq: u64,
+    pub t: SimTime,
+    pub event: TraceEvent,
+}
+
+/// Emission side of the API. Implemented by [`TraceSink`]; generic code
+/// (and tests) can supply their own recorders.
+pub trait Tracer {
+    /// Cheap gate; callers may use it to skip *computing inputs* to an
+    /// event, not just the event itself.
+    fn is_enabled(&self) -> bool;
+
+    /// Record an already-built event. Only called when enabled.
+    fn record(&mut self, t: SimTime, event: TraceEvent);
+
+    /// Emit an event lazily: `build` runs only when the sink is enabled,
+    /// so a disabled sink never constructs the event.
+    #[inline(always)]
+    fn emit(&mut self, t: SimTime, build: impl FnOnce() -> TraceEvent)
+    where
+        Self: Sized,
+    {
+        if self.is_enabled() {
+            self.record(t, build());
+        }
+    }
+}
+
+/// A tracer that records nothing. Exists for generic contexts; the
+/// emulator itself uses [`TraceSink::Noop`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn record(&mut self, _t: SimTime, _event: TraceEvent) {}
+}
+
+/// Bounded in-memory recorder. When full, further events are counted in
+/// `dropped` rather than grown into — population runs must not let a noisy
+/// host balloon memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer that keeps at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer { records: Vec::new(), capacity, dropped: 0, next_seq: 0 }
+    }
+
+    /// Like [`TraceBuffer::new`], but recycling a previously drained
+    /// record vector (see [`TraceBuffer::into_records`]). The buffer is
+    /// cleared and `dropped`/`seq` restart at zero — reuse only recycles
+    /// the allocation, never prior state.
+    pub fn with_buffer(capacity: usize, mut records: Vec<TraceRecord>) -> Self {
+        records.clear();
+        TraceBuffer { records, capacity, dropped: 0, next_seq: 0 }
+    }
+
+    /// Recorded events in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events offered to the buffer (recorded + dropped).
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Surrender the backing vector for reuse. The contract mirrors
+    /// `MsgLog::into_entries`: the caller owns the records; handing the
+    /// (cleared) vector back through [`TraceBuffer::with_buffer`] recycles
+    /// the allocation for the next run.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl Tracer for TraceBuffer {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, t: SimTime, event: TraceEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.records.len() < self.capacity {
+            self.records.push(TraceRecord { seq, t, event });
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// The sink the emulator threads through a run: either off (the default,
+/// provably allocation-free) or an owned bounded buffer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum TraceSink {
+    #[default]
+    Noop,
+    Buffer(TraceBuffer),
+}
+
+impl TraceSink {
+    /// A recording sink with the given capacity (0 yields `Noop`).
+    pub fn buffered(capacity: usize) -> Self {
+        if capacity == 0 {
+            TraceSink::Noop
+        } else {
+            TraceSink::Buffer(TraceBuffer::new(capacity))
+        }
+    }
+
+    /// Extract the buffer, leaving `Noop` behind. Empty buffer if the
+    /// sink never recorded.
+    pub fn take_buffer(&mut self) -> TraceBuffer {
+        match std::mem::take(self) {
+            TraceSink::Noop => TraceBuffer::default(),
+            TraceSink::Buffer(b) => b,
+        }
+    }
+}
+
+impl Tracer for TraceSink {
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        matches!(self, TraceSink::Buffer(_))
+    }
+
+    #[inline]
+    fn record(&mut self, t: SimTime, event: TraceEvent) {
+        if let TraceSink::Buffer(b) = self {
+            b.record(t, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::JobFinished { job: JobId(i), project: ProjectId(0), met_deadline: true }
+    }
+
+    #[test]
+    fn buffer_records_in_order_with_seq() {
+        let mut b = TraceBuffer::new(8);
+        for i in 0..3 {
+            b.emit(SimTime::from_secs(i as f64), || ev(i));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.records()[2].seq, 2);
+        assert_eq!(b.records()[2].event, ev(2));
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(b.emitted(), 3);
+    }
+
+    #[test]
+    fn buffer_bounds_and_counts_drops() {
+        let mut b = TraceBuffer::new(2);
+        for i in 0..5 {
+            b.record(SimTime::from_secs(0.0), ev(i));
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 3);
+        assert_eq!(b.emitted(), 5);
+    }
+
+    #[test]
+    fn with_buffer_resets_state_and_reuses_allocation() {
+        let mut b = TraceBuffer::new(4);
+        for i in 0..9 {
+            b.record(SimTime::from_secs(0.0), ev(i));
+        }
+        assert!(b.dropped() > 0);
+        let recycled = b.into_records();
+        let cap = recycled.capacity();
+        let b2 = TraceBuffer::with_buffer(4, recycled);
+        assert_eq!(b2.len(), 0);
+        assert_eq!(b2.dropped(), 0);
+        assert_eq!(b2.emitted(), 0);
+        assert_eq!(b2.records.capacity(), cap);
+    }
+
+    #[test]
+    fn noop_sink_never_builds_the_event() {
+        let mut sink = TraceSink::Noop;
+        let mut built = false;
+        sink.emit(SimTime::from_secs(1.0), || {
+            built = true;
+            ev(0)
+        });
+        assert!(!built);
+        assert!(sink.take_buffer().is_empty());
+    }
+
+    #[test]
+    fn sink_buffered_zero_capacity_is_noop() {
+        assert!(!TraceSink::buffered(0).is_enabled());
+        assert!(TraceSink::buffered(1).is_enabled());
+    }
+
+    #[test]
+    fn kind_and_component_cover_every_variant() {
+        let samples = vec![
+            TraceEvent::Scheduled { started: vec![], preempted: vec![] },
+            ev(0),
+            TraceEvent::JobErrored { job: JobId(1), project: ProjectId(0) },
+            TraceEvent::RpcReply { project: ProjectId(0), cpu_secs: 1.0, gpu_secs: 0.0, jobs: 2 },
+            TraceEvent::RpcDown { project: ProjectId(0) },
+            TraceEvent::RpcLost { project: ProjectId(0) },
+            TraceEvent::FetchDeferred { project: ProjectId(0), until: SimTime::from_secs(5.0) },
+            TraceEvent::AvailChanged { can_compute: true, can_gpu: false, net_up: true },
+            TraceEvent::TransferFailed { job: JobId(1), upload: true },
+            TraceEvent::Crashed {
+                tasks_rolled_back: 1,
+                exec_secs_lost: 2.0,
+                transfers_restarted: 0,
+            },
+            TraceEvent::Recovered { secs: 10.0 },
+        ];
+        assert_eq!(samples.len(), TraceEvent::KINDS.len());
+        for s in &samples {
+            assert!(TraceEvent::KINDS.contains(&s.kind()), "{}", s.kind());
+            assert!(TraceEvent::COMPONENTS.contains(&s.component()), "{}", s.component());
+            assert!(!s.describe().is_empty());
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! concrete job parameters the paper leaves open are fixed here and
 //! documented per scenario.
 
-use bce_core::Scenario;
+use bce_core::{Scenario, ScenarioBuilder};
 use bce_types::{AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration};
 
 /// Preferences used across the paper scenarios: a small work buffer
@@ -30,9 +30,9 @@ pub fn paper_prefs() -> Preferences {
 /// bound (the paper sweeps 1000–2000 s); project 1's jobs are identical
 /// but with a loose 24 h bound.
 pub fn scenario1(latency_bound: SimDuration) -> Scenario {
-    Scenario::new("scenario1", Hardware::cpu_only(1, 1e9))
-        .with_seed(101)
-        .with_prefs(Preferences {
+    ScenarioBuilder::new("scenario1", Hardware::cpu_only(1, 1e9))
+        .seed(101)
+        .prefs(Preferences {
             // A shallow queue (~one job in flight per project): deeper
             // queues make every batch-mate of a tight job unsaveable by
             // any scheduling policy, obscuring the EDF-vs-WRR contrast
@@ -41,17 +41,19 @@ pub fn scenario1(latency_bound: SimDuration) -> Scenario {
             work_buf_extra: SimDuration::from_secs(450.0),
             ..Default::default()
         })
-        .with_project(ProjectSpec::new(0, "tight", 100.0).with_app(
+        .project(ProjectSpec::new(0, "tight", 100.0).with_app(
             // Mild runtime variance breaks deterministic lock-step
             // resonances between fetch batching and the latency bound.
             AppClass::cpu(0, SimDuration::from_secs(1000.0), latency_bound).with_cv(0.05),
         ))
-        .with_project(
+        .project(
             ProjectSpec::new(1, "loose", 100.0).with_app(
                 AppClass::cpu(1, SimDuration::from_secs(1000.0), SimDuration::from_hours(24.0))
                     .with_cv(0.05),
             ),
         )
+        .build()
+        .expect("scenario1 is valid")
 }
 
 /// Scenario 2 (§5, Figure 4): 4 CPUs (1 GFLOPS each) and 1 GPU 10× faster
@@ -59,16 +61,16 @@ pub fn scenario1(latency_bound: SimDuration) -> Scenario {
 /// project 1 has both CPU and GPU jobs.
 pub fn scenario2() -> Scenario {
     let hw = Hardware::cpu_only(4, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
-    Scenario::new("scenario2", hw)
-        .with_seed(102)
-        .with_prefs(paper_prefs())
-        .with_project(
+    ScenarioBuilder::new("scenario2", hw)
+        .seed(102)
+        .prefs(paper_prefs())
+        .project(
             ProjectSpec::new(0, "cpu_only", 100.0).with_app(
                 AppClass::cpu(0, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
                     .with_cv(0.05),
             ),
         )
-        .with_project(
+        .project(
             ProjectSpec::new(1, "cpu_gpu", 100.0)
                 .with_app(
                     AppClass::cpu(1, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
@@ -84,16 +86,18 @@ pub fn scenario2() -> Scenario {
                     .with_cv(0.05),
                 ),
         )
+        .build()
+        .expect("scenario2 is valid")
 }
 
 /// Scenario 3 (§5, Figure 6): CPU only (one 1 GFLOPS CPU); project 0 has
 /// very long (10⁶ s ≈ 11.6 days) low-slack jobs that are immediately
 /// deadline-endangered; project 1 has normal jobs.
 pub fn scenario3() -> Scenario {
-    Scenario::new("scenario3", Hardware::cpu_only(1, 1e9))
-        .with_seed(103)
-        .with_prefs(paper_prefs())
-        .with_project(
+    ScenarioBuilder::new("scenario3", Hardware::cpu_only(1, 1e9))
+        .seed(103)
+        .prefs(paper_prefs())
+        .project(
             ProjectSpec::new(0, "long_low_slack", 100.0).with_app(
                 // Slack 10% of the runtime: the job must run nearly
                 // exclusively to meet its deadline.
@@ -101,12 +105,14 @@ pub fn scenario3() -> Scenario {
                     .with_cv(0.0),
             ),
         )
-        .with_project(
+        .project(
             ProjectSpec::new(1, "normal", 100.0).with_app(
                 AppClass::cpu(1, SimDuration::from_secs(2000.0), SimDuration::from_hours(24.0))
                     .with_cv(0.05),
             ),
         )
+        .build()
+        .expect("scenario3 is valid")
 }
 
 /// Scenario 4 (§5, Figure 5): CPU and GPU host, twenty projects with
@@ -120,7 +126,7 @@ pub fn scenario4() -> Scenario {
 /// Scenario 4 with a configurable project count (used by sweeps).
 pub fn scenario4_sized(nprojects: u32) -> Scenario {
     let hw = Hardware::cpu_only(4, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
-    let mut s = Scenario::new("scenario4", hw).with_seed(104).with_prefs(Preferences {
+    let mut b = ScenarioBuilder::new("scenario4", hw).seed(104).prefs(Preferences {
         // A couple of hours of buffer: enough for hysteresis batching to
         // matter with 20 projects.
         work_buf_min: SimDuration::from_hours(1.0),
@@ -151,9 +157,11 @@ pub fn scenario4_sized(nprojects: u32) -> Scenario {
                 .with_cv(0.1),
             );
         }
-        s = s.with_project(p);
+        b = b.project(p);
     }
-    s
+    // `nprojects` may be zero in degenerate sweeps; the callers that do
+    // that never emulate the result, so skip validation here.
+    b.build_unchecked()
 }
 
 /// All four scenarios with their default parameters, for sweeps and

@@ -86,12 +86,26 @@ impl MsgLog {
     /// As [`MsgLog::new`], but reusing a previously allocated entry buffer
     /// (cleared first). Together with [`MsgLog::into_entries`] this lets an
     /// emulator arena recycle the log allocation across runs.
+    ///
+    /// Reuse contract: only the *allocation* carries over. The entries are
+    /// cleared and the `dropped` counter restarts at zero, so a log built
+    /// on a recycled buffer is observably identical to one built by
+    /// [`MsgLog::new`] — even when the surrendered log had overflowed
+    /// (`dropped() > 0`). Determinism across fresh and reused arenas
+    /// depends on this.
     pub fn with_buffer(min_level: Level, capacity: usize, mut entries: Vec<LogEntry>) -> Self {
         entries.clear();
         MsgLog { min_level, entries, capacity, dropped: 0 }
     }
 
     /// Consume the log and hand back its entry buffer for reuse.
+    ///
+    /// The returned vector still holds this log's entries (callers may
+    /// read them first); it is NOT cleared here so the hand-off stays
+    /// move-only. Pass it back through [`MsgLog::with_buffer`], which
+    /// clears it and resets the drop counter — never splice a returned
+    /// buffer into a log by hand, or stale entries and a stale `dropped`
+    /// count would leak into the next run.
     pub fn into_entries(self) -> Vec<LogEntry> {
         self.entries
     }
@@ -192,6 +206,26 @@ mod tests {
         assert_eq!(log.entries().len(), 2);
         assert_eq!(log.dropped(), 3);
         assert!(log.render().contains("3 further messages dropped"));
+    }
+
+    #[test]
+    fn recycled_overflowed_buffer_resets_dropped_counter() {
+        // Overflow a log so its dropped counter is non-zero, then recycle
+        // its buffer: the new log must start with dropped() == 0 and be
+        // allowed the full capacity again (the with_buffer contract).
+        let mut log = MsgLog::new(Level::Info, 2);
+        for i in 0..7 {
+            log.info(t(i as f64), Component::Task, || format!("m{i}"));
+        }
+        assert_eq!(log.dropped(), 5);
+        let mut recycled = MsgLog::with_buffer(Level::Info, 2, log.into_entries());
+        assert_eq!(recycled.dropped(), 0);
+        assert!(recycled.entries().is_empty());
+        recycled.info(t(0.0), Component::Task, || "a".into());
+        recycled.info(t(1.0), Component::Task, || "b".into());
+        assert_eq!(recycled.entries().len(), 2);
+        assert_eq!(recycled.dropped(), 0);
+        assert!(!recycled.render().contains("dropped"));
     }
 
     #[test]

@@ -17,28 +17,32 @@
 //! ```
 
 use boinc_policy_emu::client::{ClientConfig, FetchPolicy, JobSchedPolicy};
-use boinc_policy_emu::core::{render_timeline, Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::core::{
+    render_timeline, Emulator, EmulatorConfig, Scenario, ScenarioBuilder,
+};
 use boinc_policy_emu::sim::Level;
 use boinc_policy_emu::types::{AppClass, Hardware, Preferences, ProjectSpec, SimDuration};
 
 fn volunteer_scenario(buf: SimDuration) -> Scenario {
-    Scenario::new("anomaly-report", Hardware::cpu_only(1, 1e9))
-        .with_seed(20110516) // from the volunteer's state file: replay exactly
-        .with_prefs(Preferences {
+    ScenarioBuilder::new("anomaly-report", Hardware::cpu_only(1, 1e9))
+        .seed(20110516) // from the volunteer's state file: replay exactly
+        .prefs(Preferences {
             // The volunteer keeps a deep buffer "so the machine never runs dry".
             work_buf_min: buf,
             work_buf_extra: buf,
             ..Default::default()
         })
-        .with_project(ProjectSpec::new(0, "pulsar_search", 100.0).with_app(
+        .project(ProjectSpec::new(0, "pulsar_search", 100.0).with_app(
             // Tight latency bound: 1500 s for 1000 s jobs.
             AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_secs(1500.0)),
         ))
-        .with_project(ProjectSpec::new(1, "protein_fold", 100.0).with_app(AppClass::cpu(
+        .project(ProjectSpec::new(1, "protein_fold", 100.0).with_app(AppClass::cpu(
             1,
             SimDuration::from_secs(1000.0),
             SimDuration::from_days(1.0),
         )))
+        .build()
+        .expect("valid scenario")
 }
 
 fn run(policy: JobSchedPolicy, buf: SimDuration) -> boinc_policy_emu::core::EmulationResult {

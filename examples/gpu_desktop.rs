@@ -11,7 +11,7 @@
 
 use boinc_policy_emu::avail::{AvailSpec, OnOffSpec};
 use boinc_policy_emu::client::ClientConfig;
-use boinc_policy_emu::core::{render_timeline, Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::core::{render_timeline, Emulator, EmulatorConfig, ScenarioBuilder};
 use boinc_policy_emu::types::{
     AppClass, DailyWindow, Hardware, Preferences, ProcType, ProjectSpec, SimDuration,
 };
@@ -38,21 +38,23 @@ fn main() {
         network: OnOffSpec::AlwaysOn,
     };
 
-    let scenario = Scenario::new("gpu-desktop", hardware)
-        .with_seed(7)
-        .with_prefs(prefs)
-        .with_avail(avail)
-        .with_project(ProjectSpec::new(0, "gpugrid", 100.0).with_app(AppClass::gpu(
+    let scenario = ScenarioBuilder::new("gpu-desktop", hardware)
+        .seed(7)
+        .prefs(prefs)
+        .avail(avail)
+        .project(ProjectSpec::new(0, "gpugrid", 100.0).with_app(AppClass::gpu(
             0,
             ProcType::NvidiaGpu,
             SimDuration::from_hours(2.0),
             SimDuration::from_days(2.0),
         )))
-        .with_project(ProjectSpec::new(1, "climate", 100.0).with_app(AppClass::cpu(
+        .project(ProjectSpec::new(1, "climate", 100.0).with_app(AppClass::cpu(
             1,
             SimDuration::from_hours(8.0),
             SimDuration::from_days(7.0),
-        )));
+        )))
+        .build()
+        .expect("valid scenario");
 
     let cfg = EmulatorConfig {
         duration: SimDuration::from_days(3.0),

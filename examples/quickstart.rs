@@ -6,7 +6,7 @@
 //! ```
 
 use boinc_policy_emu::client::{ClientConfig, FetchPolicy, JobSchedPolicy};
-use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, ScenarioBuilder};
 use boinc_policy_emu::types::{AppClass, Hardware, ProjectSpec, SimDuration};
 
 fn main() {
@@ -25,10 +25,12 @@ fn main() {
         SimDuration::from_days(3.0),
     ));
 
-    let scenario = Scenario::new("quickstart", hardware)
-        .with_seed(42)
-        .with_project(einstein)
-        .with_project(rosetta);
+    let scenario = ScenarioBuilder::new("quickstart", hardware)
+        .seed(42)
+        .project(einstein)
+        .project(rosetta)
+        .build()
+        .expect("valid scenario");
 
     // The client's policy configuration: the paper's "current" policies
     // are global (REC) accounting with EDF promotion, plus hysteresis

@@ -6,6 +6,7 @@ pub use bce_core as core;
 pub use bce_emboinc as emboinc;
 pub use bce_faults as faults;
 pub use bce_fleet as fleet;
+pub use bce_obs as obs;
 pub use bce_scenarios as scenarios;
 pub use bce_server as server;
 pub use bce_sim as sim;

@@ -90,6 +90,46 @@ fn log_and_timeline_do_not_perturb_results() {
 }
 
 #[test]
+fn traced_runs_match_untraced_at_every_thread_count() {
+    // The trace/metrics/profile layer is observation-only: enabling a
+    // trace buffer and the profiler must not move a single bit of any
+    // run's outcome, serial or parallel. Fingerprints here use the full
+    // `bit_fingerprint` (which deliberately excludes the observability
+    // fields) so a traced run and an untraced run can be compared at all.
+    use boinc_policy_emu::controller::{run_all, RunSpec};
+
+    let specs = |traced: bool| -> Vec<RunSpec> {
+        let emu = EmulatorConfig {
+            duration: SimDuration::from_days(0.5),
+            trace_capacity: if traced { 500_000 } else { 0 },
+            profile: traced,
+            ..Default::default()
+        };
+        (0..6u32)
+            .map(|i| {
+                RunSpec::new(format!("run{i}"), scenario4_sized(3 + i), ClientConfig::default())
+                    .with_emulator(emu.clone())
+            })
+            .collect()
+    };
+
+    let baseline: Vec<u64> =
+        run_all(specs(false), 1).into_iter().map(|(_, r)| r.bit_fingerprint()).collect();
+    for threads in [1, 2, 8] {
+        let traced = run_all(specs(true), threads);
+        for (i, (label, r)) in traced.iter().enumerate() {
+            assert_eq!(
+                r.bit_fingerprint(),
+                baseline[i],
+                "{label} diverged under tracing at {threads} threads"
+            );
+            assert!(r.trace.emitted() > 0, "{label} traced nothing at {threads} threads");
+            assert!(r.profile.is_some(), "{label} lost its profile at {threads} threads");
+        }
+    }
+}
+
+#[test]
 fn fault_injected_emulation_is_bit_reproducible() {
     // The fault-injection subsystem draws from dedicated named RNG
     // streams, so a faulty run is exactly as reproducible as a clean one:

@@ -1,0 +1,78 @@
+//! Trace-schema round-trip: events emitted by a real emulation, exported
+//! as JSONL, must parse back to exactly the records that were emitted.
+//! This is the contract `bce trace --jsonl` (and any external consumer of
+//! the trace files) relies on.
+
+use boinc_policy_emu::client::ClientConfig;
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, FaultConfig, TraceEvent};
+use boinc_policy_emu::obs::{parse_jsonl, record_to_json, to_jsonl};
+use boinc_policy_emu::scenarios::{scenario1, scenario2};
+use boinc_policy_emu::types::SimDuration;
+
+fn traced_cfg(days: f64) -> EmulatorConfig {
+    EmulatorConfig {
+        duration: SimDuration::from_days(days),
+        trace_capacity: 1_000_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn emitted_trace_round_trips_through_jsonl() {
+    let r = Emulator::new(scenario2(), ClientConfig::default(), traced_cfg(1.0)).run();
+    let records = r.trace.records();
+    assert!(!records.is_empty(), "a day of scenario2 must trace something");
+    assert_eq!(r.trace.dropped(), 0, "capacity must hold the whole run");
+
+    let jsonl = to_jsonl(records);
+    let parsed = parse_jsonl(&jsonl).expect("export must parse");
+    assert_eq!(parsed.len(), records.len());
+    for (a, b) in parsed.iter().zip(records) {
+        assert_eq!(a, b, "JSONL round-trip must be lossless");
+    }
+}
+
+#[test]
+fn fault_events_round_trip_too() {
+    // Crashes/recoveries/lost RPCs/transfer failures only appear under
+    // fault injection; make sure those schema variants round-trip as well.
+    let mut faults = FaultConfig::with_failure_rate(0.2);
+    faults.crash_mtbf = Some(SimDuration::from_hours(4.0));
+    let cfg = EmulatorConfig { faults, ..traced_cfg(1.0) };
+    let r = Emulator::new(scenario2(), ClientConfig::default(), cfg).run();
+    let kinds: std::collections::BTreeSet<&str> =
+        r.trace.records().iter().map(|rec| rec.event.kind()).collect();
+    assert!(kinds.contains("rpc_lost"), "kinds seen: {kinds:?}");
+    assert!(kinds.contains("crashed"), "kinds seen: {kinds:?}");
+
+    let parsed = parse_jsonl(&to_jsonl(r.trace.records())).expect("faulty trace must parse");
+    assert_eq!(parsed.len(), r.trace.len());
+    for (a, b) in parsed.iter().zip(r.trace.records()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn trace_schema_fields_are_wellformed() {
+    let r = Emulator::new(
+        scenario1(SimDuration::from_secs(1500.0)),
+        ClientConfig::default(),
+        traced_cfg(0.5),
+    )
+    .run();
+    let mut last_seq = None;
+    for rec in r.trace.records() {
+        // Sequence numbers strictly increase; time never runs backwards.
+        if let Some(prev) = last_seq {
+            assert!(rec.seq > prev, "seq must be strictly increasing");
+        }
+        last_seq = Some(rec.seq);
+        assert!(TraceEvent::KINDS.contains(&rec.event.kind()));
+        assert!(TraceEvent::COMPONENTS.contains(&rec.event.component()));
+        // Every line is a flat JSON object carrying the closed schema.
+        let line = record_to_json(rec);
+        assert!(line.starts_with("{\"seq\":"), "{line}");
+        assert!(line.contains(&format!("\"kind\":\"{}\"", rec.event.kind())), "{line}");
+        assert!(line.contains(&format!("\"component\":\"{}\"", rec.event.component())), "{line}");
+    }
+}
