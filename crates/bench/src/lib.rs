@@ -8,7 +8,7 @@
 //! out in DESIGN.md.
 
 use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy};
-use bce_core::EmulatorConfig;
+use bce_core::{CheckpointPolicy, EmulatorConfig};
 use bce_types::SimDuration;
 
 pub mod figs;
@@ -37,10 +37,14 @@ pub struct FigOpts {
     pub quick: bool,
     /// Also write the figure's tables as JSON to this path.
     pub json: Option<std::path::PathBuf>,
+    /// Crash-safety: checkpoint every run this often (simulated days)
+    /// under `target/checkpoints`, resuming automatically on restart.
+    pub checkpoint_every: Option<f64>,
 }
 
 impl FigOpts {
-    /// Parse `--days N`, `--quick` and `--json PATH` from
+    /// Parse `--days N`, `--quick`, `--json PATH` and
+    /// `--checkpoint-every DAYS` from
     /// `std::env::args`. Unknown arguments are an error (exit 1), not a
     /// warning — a typo'd flag silently producing a default-config figure
     /// is worse than no figure.
@@ -50,7 +54,7 @@ impl FigOpts {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--days N] [--quick] [--json PATH]");
+                eprintln!("usage: [--days N] [--quick] [--json PATH] [--checkpoint-every DAYS]");
                 std::process::exit(1);
             }
         }
@@ -61,6 +65,7 @@ impl FigOpts {
         let mut days = default_days;
         let mut quick = false;
         let mut json = None;
+        let mut checkpoint_every = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -75,6 +80,16 @@ impl FigOpts {
                     json = Some(std::path::PathBuf::from(v));
                     i += 1;
                 }
+                "--checkpoint-every" => {
+                    let v = args.get(i + 1).ok_or("--checkpoint-every requires a value")?;
+                    let d: f64 =
+                        v.parse().map_err(|_| format!("invalid --checkpoint-every value {v:?}"))?;
+                    if !(d > 0.0) {
+                        return Err(format!("--checkpoint-every must be positive, got {v:?}"));
+                    }
+                    checkpoint_every = Some(d);
+                    i += 1;
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
             i += 1;
@@ -82,11 +97,18 @@ impl FigOpts {
         if quick {
             days = days.min(1.0);
         }
-        Ok(FigOpts { days, quick, json })
+        Ok(FigOpts { days, quick, json, checkpoint_every })
     }
 
     pub fn emulator(&self) -> EmulatorConfig {
-        EmulatorConfig { duration: SimDuration::from_days(self.days), ..Default::default() }
+        let checkpoint = self
+            .checkpoint_every
+            .map(|d| CheckpointPolicy { dir: checkpoints_dir(), every: SimDuration::from_days(d) });
+        EmulatorConfig {
+            duration: SimDuration::from_days(self.days),
+            checkpoint,
+            ..Default::default()
+        }
     }
 
     /// Serialize a figure's named tables as one JSON object.
@@ -119,6 +141,11 @@ pub fn figures_dir() -> std::path::PathBuf {
     std::path::PathBuf::from("target/figures")
 }
 
+/// Where `--checkpoint-every` run checkpoints land.
+pub fn checkpoints_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("target/checkpoints")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,7 +162,7 @@ mod tests {
 
     #[test]
     fn opts_default() {
-        let o = FigOpts { days: 10.0, quick: false, json: None };
+        let o = FigOpts { days: 10.0, quick: false, json: None, checkpoint_every: None };
         assert_eq!(o.emulator().duration, SimDuration::from_days(10.0));
     }
 
@@ -165,6 +192,26 @@ mod tests {
             .unwrap_err()
             .contains("invalid"));
         assert!(FigOpts::parse_from(&args(&["--json"]), 10.0).unwrap_err().contains("path"));
+    }
+
+    #[test]
+    fn parse_checkpoint_every_configures_the_emulator() {
+        let o = FigOpts::parse_from(&args(&["--checkpoint-every", "0.5"]), 10.0).unwrap();
+        assert_eq!(o.checkpoint_every, Some(0.5));
+        let policy = o.emulator().checkpoint.expect("checkpoint policy set");
+        assert_eq!(policy.every, SimDuration::from_days(0.5));
+        assert_eq!(policy.dir, checkpoints_dir());
+        // Unset leaves checkpointing off.
+        assert!(FigOpts::parse_from(&[], 10.0).unwrap().emulator().checkpoint.is_none());
+        // Zero, negative and garbage are rejected.
+        for bad in [
+            &["--checkpoint-every", "0"][..],
+            &["--checkpoint-every", "-1"],
+            &["--checkpoint-every", "x"],
+            &["--checkpoint-every"],
+        ] {
+            assert!(FigOpts::parse_from(&args(bad), 10.0).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

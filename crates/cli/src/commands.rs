@@ -3,7 +3,10 @@
 
 use crate::args::{ArgError, Args};
 use bce_client::{ClientConfig, DeadlineOrder, FetchPolicy, JobSchedPolicy};
-use bce_controller::{compare_policies, population_study, population_table, Metric, Table};
+use bce_controller::{
+    compare_policies, population_campaign, population_study, population_table, CampaignOptions,
+    Metric, Table,
+};
 use bce_core::{render_timeline, Emulator, EmulatorConfig, FaultConfig, Scenario};
 use bce_fleet::{assign_shares, run_fleet, Fleet, FleetHost, ShareStrategy};
 use bce_obs::TraceEvent;
@@ -35,6 +38,13 @@ USAGE:
   bce population [--hosts N] [--days N] [--seed N] [--threads N]
       Monte-Carlo policy study over a sampled host population
       (--threads 0, the default, uses one worker per CPU)
+      --checkpoint FILE      run crash-safe: write a resumable campaign
+                             checkpoint (atomically) to FILE
+      --checkpoint-every N   also write it every N completed runs
+      --resume FILE          resume a killed campaign from FILE
+                             (implies --checkpoint FILE)
+      --max-runs N           stop after N runs, checkpoint, and exit
+                             (budgeted execution; finish with --resume)
 
   bce export <scenarioN> [--out FILE]
       write the scenario as a client_state.xml template
@@ -62,9 +72,11 @@ USAGE:
       summary table instead; --population overrides the
       population-study run count)
 
-  bce fig <1-6> [--days N] [--quick] [--json FILE]
+  bce fig <1-6> [--days N] [--quick] [--json FILE] [--checkpoint-every D]
       regenerate one of the paper's figures (same output as the
-      standalone fig1..fig6 binaries)
+      standalone fig1..fig6 binaries); --checkpoint-every D checkpoints
+      each run every D simulated days under target/checkpoints and
+      resumes automatically after a crash
 
   bce trace <state_file.xml | scenarioN> [options]
       run with tracing enabled and pretty-print the typed decision log
@@ -121,6 +133,10 @@ const VALUE_OPTS: &[&str] = &[
     "limit",
     "capacity",
     "jsonl",
+    "checkpoint",
+    "checkpoint-every",
+    "resume",
+    "max-runs",
 ];
 
 /// Parse and run a full command line (without the program name). Returns
@@ -295,6 +311,11 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
     let days: f64 = args.opt_or("days", 2.0)?;
     let seed: u64 = args.opt_or("seed", 1u64)?;
     let threads: usize = args.opt_or("threads", 0usize)?;
+    let resume_path = args.opt("resume").map(std::path::PathBuf::from);
+    let checkpoint_path =
+        args.opt("checkpoint").map(std::path::PathBuf::from).or_else(|| resume_path.clone());
+    let checkpoint_every: usize = args.opt_or("checkpoint-every", 0usize)?;
+    let max_runs: Option<usize> = args.opt_parse("max-runs")?;
     let mut sampler = PopulationSampler::new(PopulationModel::default(), seed);
     let scenarios: Vec<std::sync::Arc<Scenario>> =
         sampler.sample_many(hosts).into_iter().map(std::sync::Arc::new).collect();
@@ -310,9 +331,43 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
             },
         ),
     ];
-    let outcomes = population_study(&scenarios, &policies, &emu, threads);
     let mut out = format!("population study: {hosts} hosts x {days} days (seed {seed})\n\n");
-    out.push_str(&population_table(&outcomes).render());
+
+    if checkpoint_path.is_none() && max_runs.is_none() {
+        let outcomes = population_study(&scenarios, &policies, &emu, threads);
+        out.push_str(&population_table(&outcomes).render());
+        return Ok(out);
+    }
+
+    // Crash-safe path: the resumable campaign runner. All status lines
+    // start with "# " so scripts comparing tables can strip them.
+    let opts = CampaignOptions {
+        checkpoint_path: checkpoint_path.clone(),
+        checkpoint_every_runs: checkpoint_every,
+        resume: resume_path.is_some(),
+        stop_after_runs: max_runs,
+    };
+    let report = population_campaign(&scenarios, &policies, &emu, threads, &opts)
+        .map_err(|e| CliError(e.to_string()))?;
+    if report.resumed_runs > 0 {
+        out.push_str(&format!(
+            "# resumed: {}/{} runs restored from checkpoint\n",
+            report.resumed_runs, report.total_runs
+        ));
+    }
+    for e in &report.errors {
+        out.push_str(&format!("# quarantined: {e}\n"));
+    }
+    if report.completed_runs < report.total_runs {
+        out.push_str(&format!(
+            "# stopped after {}/{} runs (--max-runs); finish with --resume\n",
+            report.completed_runs, report.total_runs
+        ));
+    }
+    out.push_str(&population_table(&report.outcomes).render());
+    if let Some(p) = &checkpoint_path {
+        out.push_str(&format!("# checkpoint: {}\n", p.display()));
+    }
     Ok(out)
 }
 
@@ -566,7 +621,13 @@ fn cmd_fig(args: &Args) -> Result<String, CliError> {
         days = days.min(1.0);
     }
     let json = args.opt("json").map(std::path::PathBuf::from);
-    let opts = bce_bench::FigOpts { days, quick, json };
+    let checkpoint_every: Option<f64> = args.opt_parse("checkpoint-every")?;
+    if let Some(d) = checkpoint_every {
+        if !(d > 0.0) {
+            return Err(CliError(format!("--checkpoint-every must be positive, got {d}")));
+        }
+    }
+    let opts = bce_bench::FigOpts { days, quick, json, checkpoint_every };
     bce_bench::figs::run_fig(n, &opts).map_err(CliError)
 }
 
@@ -875,6 +936,54 @@ mod tests {
         let a = run("population --hosts 4 --days 0.2 --threads 1").unwrap();
         let b = run("population --hosts 4 --days 0.2 --threads 8").unwrap();
         assert_eq!(a, b, "population table must not depend on thread count");
+    }
+
+    #[test]
+    fn population_kill_and_resume_matches_straight_run() {
+        let dir = std::env::temp_dir().join("bce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join(format!("pop-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&ck);
+        let ck_s = ck.to_str().unwrap();
+
+        let reference = run("population --hosts 3 --days 0.2").unwrap();
+        // "Kill" after 2 of the 6 runs (budgeted stop leaves exactly the
+        // on-disk state a SIGKILL there would).
+        let partial = run(&format!(
+            "population --hosts 3 --days 0.2 --checkpoint {ck_s} --checkpoint-every 1 --max-runs 2"
+        ))
+        .unwrap();
+        assert!(partial.contains("# stopped after 2/6 runs"), "{partial}");
+        // Resume with a different thread count; status lines are "# "
+        // prefixed so the table itself must match the straight run.
+        let resumed =
+            run(&format!("population --hosts 3 --days 0.2 --threads 2 --resume {ck_s}")).unwrap();
+        assert!(resumed.contains("# resumed: 2/6"), "{resumed}");
+        let table: String =
+            resumed.lines().filter(|l| !l.starts_with("# ")).collect::<Vec<_>>().join("\n");
+        assert_eq!(table.trim_end(), reference.trim_end());
+        let _ = std::fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn population_resume_errors_are_loud() {
+        // Missing file: error, not a silent fresh start.
+        assert!(run("population --hosts 3 --days 0.2 --resume /nonexistent/x.ckpt").is_err());
+        // Mismatched campaign (different hosts): rejected.
+        let dir = std::env::temp_dir().join("bce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join(format!("pop-mismatch-{}.ckpt", std::process::id()));
+        let ck_s = ck.to_str().unwrap().to_string();
+        run(&format!("population --hosts 3 --days 0.2 --checkpoint {ck_s}")).unwrap();
+        let err = run(&format!("population --hosts 4 --days 0.2 --resume {ck_s}")).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+        let _ = std::fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn fig_checkpoint_every_is_validated() {
+        assert!(run("fig 1 --checkpoint-every 0").is_err());
+        assert!(run("fig 1 --checkpoint-every -2").is_err());
     }
 
     #[test]

@@ -80,6 +80,16 @@ impl UsageSample {
     }
 }
 
+/// Complete mutable accounting state, for checkpointing. Shares, kind and
+/// half-life are scenario constants reconstructed from the scenario itself.
+#[derive(Debug, Clone, Default)]
+pub struct AccountingSnapshot {
+    pub debts: Vec<(ProjectId, ProcMap<f64>)>,
+    pub lt_debts: Vec<(ProjectId, ProcMap<f64>)>,
+    pub rec: Vec<(ProjectId, f64)>,
+    pub rec_updated: SimTime,
+}
+
 /// Resource-share accounting state.
 #[derive(Debug, Clone)]
 pub struct Accounting {
@@ -113,6 +123,24 @@ impl Accounting {
 
     pub fn kind(&self) -> AccountingKind {
         self.kind
+    }
+
+    /// Capture all mutable state (debts, REC averages, decay clock).
+    pub fn snapshot(&self) -> AccountingSnapshot {
+        AccountingSnapshot {
+            debts: self.debts.iter().map(|(&p, m)| (p, *m)).collect(),
+            lt_debts: self.lt_debts.iter().map(|(&p, m)| (p, *m)).collect(),
+            rec: self.rec.iter().map(|(&p, &r)| (p, r)).collect(),
+            rec_updated: self.rec_updated,
+        }
+    }
+
+    /// Overwrite all mutable state from a capture (checkpoint restore).
+    pub fn restore_snapshot(&mut self, snap: &AccountingSnapshot) {
+        self.debts = snap.debts.iter().map(|&(p, m)| (p, m)).collect();
+        self.lt_debts = snap.lt_debts.iter().map(|&(p, m)| (p, m)).collect();
+        self.rec = snap.rec.iter().map(|&(p, r)| (p, r)).collect();
+        self.rec_updated = snap.rec_updated;
     }
 
     pub fn half_life(&self) -> SimDuration {

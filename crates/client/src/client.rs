@@ -7,14 +7,15 @@
 //! fetch and preference enforcement behave as the real client; job
 //! execution, servers and availability are simulated around it.
 
-use crate::accounting::{Accounting, UsageSample};
+use crate::accounting::{Accounting, AccountingSnapshot, UsageSample};
 use crate::fetch::{self, Backoff, FetchDecision, FetchPolicy, FetchProject};
 use crate::rr_sim::{self, RrJob, RrOutcome, RrPlatform, RrScratch};
 use crate::sched::{self, JobSchedPolicy, PlanInput};
-use crate::task::{Task, TaskState};
+use crate::task::{Task, TaskSnapshot, TaskState};
 use crate::xfer::{NetworkModel, Transfers};
 use bce_avail::HostRunState;
 use bce_faults::{RetryPolicy, RetryState, RetryVerdict, TransferFaultModel};
+use bce_sim::Rng;
 use bce_types::{
     Hardware, JobId, JobSpec, Preferences, ProcMap, ProcType, ProjectId, SimDuration, SimTime,
 };
@@ -166,6 +167,53 @@ impl ClientScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Captured per-project client state (checkpointing).
+#[derive(Debug, Clone)]
+pub struct ProjectClientSnapshot {
+    pub id: ProjectId,
+    pub backoff: RetryState,
+    pub comm_retry: RetryState,
+    pub next_rpc_allowed: SimTime,
+}
+
+/// Captured backoff entry for one failed transfer awaiting retry.
+#[derive(Debug, Clone)]
+pub struct XferRetrySnapshot {
+    pub job: JobId,
+    /// `true` = upload queue, `false` = download queue.
+    pub upload: bool,
+    pub bytes: f64,
+    pub state: RetryState,
+}
+
+/// Complete mutable state of the emulated client, for checkpointing.
+///
+/// Scenario constants (hardware, preferences, shares, policies, fault
+/// models) are *not* captured: restore rebuilds the client through the
+/// normal construction path and then overwrites the mutable state from
+/// this snapshot. The RR cache (`rr_cache`/`rr_key`/`rr_stats`) is part of
+/// the capture so the restored run reproduces the exact cache hit/miss
+/// sequence — and therefore the `rr_runs` perf counter — of the
+/// uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct ClientSnapshot {
+    pub projects: Vec<ProjectClientSnapshot>,
+    pub tasks: Vec<TaskSnapshot>,
+    pub finished: Vec<TaskSnapshot>,
+    pub accounting: AccountingSnapshot,
+    pub downloads: Vec<(JobId, f64, f64, Option<f64>)>,
+    pub uploads: Vec<(JobId, f64, f64, Option<f64>)>,
+    pub last_advance: SimTime,
+    pub rpcs_issued: u64,
+    /// Transfer-fault stream position; `None` when faults are disabled.
+    pub xfer_faults_rng: Option<Rng>,
+    pub xfer_retries: Vec<XferRetrySnapshot>,
+    pub state_gen: u64,
+    pub rr_cache: RrOutcome,
+    pub rr_key: Option<(SimTime, HostRunState, u64, u64)>,
+    pub rr_stats: RrStats,
 }
 
 /// The emulated client.
@@ -858,6 +906,81 @@ impl Client {
             self.state_gen += 1;
         }
         out
+    }
+
+    /// Capture the client's complete mutable state (checkpointing).
+    pub fn snapshot(&self) -> ClientSnapshot {
+        ClientSnapshot {
+            projects: self
+                .projects
+                .iter()
+                .map(|p| ProjectClientSnapshot {
+                    id: p.id,
+                    backoff: p.backoff.retry_state(),
+                    comm_retry: p.comm_retry,
+                    next_rpc_allowed: p.next_rpc_allowed,
+                })
+                .collect(),
+            tasks: self.tasks.iter().map(Task::snapshot).collect(),
+            finished: self.finished.iter().map(Task::snapshot).collect(),
+            accounting: self.accounting.snapshot(),
+            downloads: self.transfers.downloads.snapshot(),
+            uploads: self.transfers.uploads.snapshot(),
+            last_advance: self.last_advance,
+            rpcs_issued: self.rpcs_issued,
+            xfer_faults_rng: self.xfer_faults.as_ref().map(|m| m.rng().clone()),
+            xfer_retries: self
+                .xfer_retries
+                .iter()
+                .map(|r| XferRetrySnapshot {
+                    job: r.job,
+                    upload: r.dir == XferDir::Upload,
+                    bytes: r.bytes,
+                    state: r.state,
+                })
+                .collect(),
+            state_gen: self.state_gen,
+            rr_cache: self.rr_cache.clone(),
+            rr_key: self.rr_key,
+            rr_stats: self.rr_stats,
+        }
+    }
+
+    /// Overwrite the client's mutable state from a capture (checkpoint
+    /// restore). The client must have been constructed from the same
+    /// scenario through the normal path first (same projects, config and
+    /// fault models); scenario constants are not restored.
+    pub fn restore_snapshot(&mut self, snap: &ClientSnapshot) {
+        for ps in &snap.projects {
+            if let Some(p) = self.projects.iter_mut().find(|p| p.id == ps.id) {
+                p.backoff = Backoff::from_state(ps.backoff);
+                p.comm_retry = ps.comm_retry;
+                p.next_rpc_allowed = ps.next_rpc_allowed;
+            }
+        }
+        self.tasks.clear();
+        self.tasks.extend(snap.tasks.iter().cloned().map(Task::from_snapshot));
+        self.finished.clear();
+        self.finished.extend(snap.finished.iter().cloned().map(Task::from_snapshot));
+        self.accounting.restore_snapshot(&snap.accounting);
+        self.transfers.downloads.restore(&snap.downloads);
+        self.transfers.uploads.restore(&snap.uploads);
+        self.last_advance = snap.last_advance;
+        self.rpcs_issued = snap.rpcs_issued;
+        if let (Some(m), Some(rng)) = (self.xfer_faults.as_mut(), snap.xfer_faults_rng.as_ref()) {
+            m.restore_rng(rng.clone());
+        }
+        self.xfer_retries.clear();
+        self.xfer_retries.extend(snap.xfer_retries.iter().map(|r| XferRetry {
+            job: r.job,
+            dir: if r.upload { XferDir::Upload } else { XferDir::Download },
+            bytes: r.bytes,
+            state: r.state,
+        }));
+        self.state_gen = snap.state_gen;
+        self.rr_cache = snap.rr_cache.clone();
+        self.rr_key = snap.rr_key;
+        self.rr_stats = snap.rr_stats;
     }
 
     /// Peak FLOPS this job consumes while running (for converting lost

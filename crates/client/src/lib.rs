@@ -18,9 +18,10 @@ pub mod sched;
 pub mod task;
 pub mod xfer;
 
-pub use accounting::{Accounting, AccountingKind, UsageSample};
+pub use accounting::{Accounting, AccountingKind, AccountingSnapshot, UsageSample};
 pub use client::{
-    AdvanceEvents, Client, ClientConfig, ClientProject, ClientScratch, Reschedule, RrStats,
+    AdvanceEvents, Client, ClientConfig, ClientProject, ClientScratch, ClientSnapshot,
+    ProjectClientSnapshot, Reschedule, RrStats, XferRetrySnapshot,
 };
 pub use fetch::{Backoff, FetchDecision, FetchPolicy, FetchProject, FetchRequest};
 pub use rr_sim::{
@@ -28,5 +29,5 @@ pub use rr_sim::{
     simulate_reference as rr_simulate_reference, RrJob, RrOutcome, RrPlatform, RrScratch,
 };
 pub use sched::{plan, DeadlineOrder, JobSchedPolicy, PlanInput, RunPlan};
-pub use task::{Task, TaskState};
+pub use task::{Task, TaskSnapshot, TaskState};
 pub use xfer::{NetworkModel, TransferQueue, Transfers};

@@ -1,0 +1,459 @@
+//! Resumable population campaigns: the supervised executor plus a
+//! periodic, atomically-written campaign checkpoint, so a 100k-run study
+//! killed at run 99,999 restarts from run 99,999 — not from zero — and a
+//! single panicking run is quarantined instead of aborting the campaign.
+//!
+//! The campaign checkpoint holds the completed-run bitmap (which, because
+//! reduction happens in submission order, is always a prefix — the
+//! parser enforces that invariant), every quarantined [`RunError`], and
+//! the full per-policy accumulator state: Welford moments *and* the
+//! retained per-metric sample (needed for the exact p95). Restoring it
+//! and finishing the remaining runs therefore produces outcomes
+//! bit-identical to an uninterrupted study — the same oracle discipline
+//! the run-level [`bce_core::CheckpointState`] keeps.
+//!
+//! Files are written with the shared write-temp-then-rename protocol
+//! ([`bce_core::checkpoint::write_atomic`]), so a crash mid-write leaves
+//! the previous checkpoint intact, never a truncated one.
+
+use crate::montecarlo::{population_specs, PolicyAccum, PopulationOutcome};
+use crate::run::{run_supervised, RunError};
+use crate::sweep::Metric;
+use bce_client::ClientConfig;
+use bce_core::checkpoint::write_atomic;
+use bce_core::{CheckpointError, EmulatorConfig, Scenario};
+use bce_sim::OnlineStats;
+use bce_statefile::{
+    attr_f64_bits, attr_parse, envelope, fmt_f64_bits, open_envelope, parse_u64_hex, req_attr,
+    req_child, CodecError, XmlNode,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Campaign checkpoint document version.
+const VERSION: u32 = 1;
+/// Campaign checkpoint document root element.
+const ROOT: &str = "bce_campaign";
+
+/// Error starting, checkpointing or resuming a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Reading, decoding or writing the checkpoint file failed.
+    Checkpoint(CheckpointError),
+    /// The checkpoint belongs to a different campaign (different
+    /// scenarios, policies or emulator horizon); resuming it here could
+    /// not reproduce the uninterrupted study.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Checkpoint(e) => write!(f, "campaign checkpoint: {e}"),
+            CampaignError::Mismatch(what) => {
+                write!(f, "campaign checkpoint does not match this study: {what}")
+            }
+        }
+    }
+}
+impl std::error::Error for CampaignError {}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+impl From<CodecError> for CampaignError {
+    fn from(e: CodecError) -> Self {
+        CampaignError::Checkpoint(CheckpointError::Codec(e))
+    }
+}
+
+/// Checkpointing/resume options for [`population_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Where the campaign checkpoint lives. `None` disables
+    /// checkpointing (and `resume` is then meaningless).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many completed runs (0 = only the
+    /// final completion checkpoint).
+    pub checkpoint_every_runs: usize,
+    /// Resume from `checkpoint_path` if it holds a matching checkpoint.
+    /// An unreadable or mismatched file is an error — silently starting
+    /// over would discard work the user explicitly asked to keep.
+    pub resume: bool,
+    /// Budgeted execution: stop after this many runs (beyond any resumed
+    /// prefix), write the checkpoint, and return the partial report.
+    /// `None` runs to completion. This is also how tests emulate a kill
+    /// deterministically — the on-disk state after `stop_after_runs: k`
+    /// is exactly what a SIGKILL after run `k` would have left.
+    pub stop_after_runs: Option<usize>,
+}
+
+/// What a (possibly resumed) campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-policy aggregated outcomes, exactly as [`population_study`]
+    /// (crate::population_study) would report for the same inputs.
+    pub outcomes: Vec<PopulationOutcome>,
+    /// Runs quarantined by the supervised executor, in submission order.
+    pub errors: Vec<RunError>,
+    /// Runs skipped because the checkpoint had already completed them.
+    pub resumed_runs: usize,
+    /// Runs completed so far (resumed + executed). Less than
+    /// `total_runs` only under [`CampaignOptions::stop_after_runs`], in
+    /// which case the outcomes aggregate a partial campaign.
+    pub completed_runs: usize,
+    /// Total runs in the campaign (policies × scenarios).
+    pub total_runs: usize,
+}
+
+/// One metric's accumulator state: Welford parts plus the retained
+/// sample.
+#[derive(Debug, Clone)]
+struct MetricAccumState {
+    parts: (u64, f64, f64, f64, f64),
+    values: Vec<f64>,
+}
+
+/// A serializable snapshot of a campaign in flight. Opaque outside this
+/// module; produced and consumed by [`population_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignCheckpoint {
+    fingerprint: u64,
+    total: usize,
+    completed: usize,
+    errors: Vec<RunError>,
+    /// `[policy][metric]` accumulator states.
+    accums: Vec<Vec<MetricAccumState>>,
+}
+
+impl CampaignCheckpoint {
+    /// Runs already completed (always a submission-order prefix).
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Total runs in the campaign.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `true` once every run has completed; resuming a complete
+    /// checkpoint reproduces the outcomes without emulating anything.
+    pub fn is_complete(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    /// Serialize to the versioned XML document format.
+    pub fn to_xml_string(&self) -> String {
+        let mut root = envelope(ROOT, VERSION);
+
+        let mut c = XmlNode::new("campaign");
+        c.attrs.push(("fingerprint".into(), format!("{:016x}", self.fingerprint)));
+        c.attrs.push(("total".into(), self.total.to_string()));
+        c.attrs.push(("completed".into(), self.completed.to_string()));
+        root.push(c);
+
+        // Completed-run bitmap, one hex word per 64 runs. Redundant with
+        // `completed` today (reduction is submission-ordered, so the set
+        // is a prefix) but explicit in the format, and verified on load.
+        let nwords = self.total.div_ceil(64);
+        let mut words = vec![0u64; nwords];
+        for i in 0..self.completed {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+        let text = words.iter().map(|w| format!("{w:016x}")).collect::<Vec<_>>().join(" ");
+        root.push(XmlNode::with_text("bitmap", text));
+
+        let mut errs = XmlNode::new("errors");
+        for e in &self.errors {
+            let mut n = XmlNode::new("error");
+            n.attrs.push(("index".into(), e.index.to_string()));
+            n.attrs.push(("label".into(), e.label.clone()));
+            n.attrs.push(("message".into(), e.message.clone()));
+            errs.push(n);
+        }
+        root.push(errs);
+
+        let mut accums = XmlNode::new("accums");
+        for policy in &self.accums {
+            let mut p = XmlNode::new("policy");
+            for m in policy {
+                let (n, mean, m2, min, max) = m.parts;
+                let mut node = XmlNode::with_text(
+                    "metric",
+                    m.values.iter().map(|&v| fmt_f64_bits(v)).collect::<Vec<_>>().join(" "),
+                );
+                node.attrs.push(("n".into(), n.to_string()));
+                node.attrs.push(("mean".into(), fmt_f64_bits(mean)));
+                node.attrs.push(("m2".into(), fmt_f64_bits(m2)));
+                node.attrs.push(("min".into(), fmt_f64_bits(min)));
+                node.attrs.push(("max".into(), fmt_f64_bits(max)));
+                p.push(node);
+            }
+            accums.push(p);
+        }
+        root.push(accums);
+        root.render()
+    }
+
+    /// Parse a serialized campaign checkpoint. Malformed input returns
+    /// an error, never panics; internal inconsistencies (bitmap not a
+    /// prefix, sample length disagreeing with the Welford count) are
+    /// rejected too.
+    pub fn from_xml_str(src: &str) -> Result<Self, CampaignError> {
+        let (_v, root) = open_envelope(src, ROOT, VERSION)?;
+
+        let c = req_child(&root, "campaign")?;
+        let fingerprint = parse_u64_hex(req_attr(c, "fingerprint")?)?;
+        let total: usize = attr_parse(c, "total")?;
+        let completed: usize = attr_parse(c, "completed")?;
+        if completed > total {
+            return Err(CampaignError::Mismatch(format!(
+                "completed {completed} exceeds total {total}"
+            )));
+        }
+
+        let bitmap = req_child(&root, "bitmap")?;
+        let words: Vec<u64> =
+            bitmap.text.split_whitespace().map(parse_u64_hex).collect::<Result<_, _>>()?;
+        if words.len() != total.div_ceil(64) {
+            return Err(CampaignError::Mismatch(format!(
+                "bitmap has {} words for {total} runs",
+                words.len()
+            )));
+        }
+        for i in 0..total {
+            let set = words[i / 64] >> (i % 64) & 1 == 1;
+            if set != (i < completed) {
+                return Err(CampaignError::Mismatch(format!(
+                    "completed-run bitmap is not the prefix of length {completed} (run {i})"
+                )));
+            }
+        }
+
+        let mut errors = Vec::new();
+        for n in &req_child(&root, "errors")?.children {
+            errors.push(RunError {
+                index: attr_parse(n, "index")?,
+                label: req_attr(n, "label")?.to_string(),
+                message: req_attr(n, "message")?.to_string(),
+            });
+        }
+
+        let mut accums = Vec::new();
+        for p in &req_child(&root, "accums")?.children {
+            let mut policy = Vec::new();
+            for m in &p.children {
+                let n: u64 = attr_parse(m, "n")?;
+                let values: Vec<f64> = m
+                    .text
+                    .split_whitespace()
+                    .map(|w| parse_u64_hex(w).map(f64::from_bits))
+                    .collect::<Result<_, _>>()?;
+                if values.len() as u64 != n {
+                    return Err(CampaignError::Mismatch(format!(
+                        "metric sample holds {} values but Welford n is {n}",
+                        values.len()
+                    )));
+                }
+                policy.push(MetricAccumState {
+                    parts: (
+                        n,
+                        attr_f64_bits(m, "mean")?,
+                        attr_f64_bits(m, "m2")?,
+                        attr_f64_bits(m, "min")?,
+                        attr_f64_bits(m, "max")?,
+                    ),
+                    values,
+                });
+            }
+            if policy.len() != Metric::ALL.len() {
+                return Err(CampaignError::Mismatch(format!(
+                    "policy accumulator has {} metrics, expected {}",
+                    policy.len(),
+                    Metric::ALL.len()
+                )));
+            }
+            accums.push(policy);
+        }
+
+        Ok(CampaignCheckpoint { fingerprint, total, completed, errors, accums })
+    }
+
+    /// Write atomically (shared temp-then-rename protocol).
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CampaignError> {
+        Ok(write_atomic(path, self.to_xml_string().as_bytes())?)
+    }
+
+    /// Read and parse a campaign checkpoint file.
+    pub fn read_from(path: &Path) -> Result<Self, CampaignError> {
+        let src = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+        Self::from_xml_str(&src)
+    }
+
+    fn capture(
+        fingerprint: u64,
+        total: usize,
+        completed: usize,
+        errors: &[RunError],
+        accums: &[PolicyAccum],
+    ) -> Self {
+        CampaignCheckpoint {
+            fingerprint,
+            total,
+            completed,
+            errors: errors.to_vec(),
+            accums: accums
+                .iter()
+                .map(|a| {
+                    a.stats
+                        .iter()
+                        .zip(&a.values)
+                        .map(|(s, v)| MetricAccumState { parts: s.parts(), values: v.clone() })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn restore_accums(&self) -> Vec<PolicyAccum> {
+        self.accums
+            .iter()
+            .map(|policy| PolicyAccum {
+                stats: policy
+                    .iter()
+                    .map(|m| {
+                        let (n, mean, m2, min, max) = m.parts;
+                        OnlineStats::from_parts(n, mean, m2, min, max)
+                    })
+                    .collect(),
+                values: policy.iter().map(|m| m.values.clone()).collect(),
+            })
+            .collect()
+    }
+}
+
+/// Identity of a campaign: every input that determines its results.
+/// Thread count is deliberately excluded — results are bit-identical
+/// across thread counts, so a campaign may resume with a different `-j`.
+fn campaign_fingerprint(
+    scenarios: &[Arc<Scenario>],
+    policies: &[(String, ClientConfig)],
+    emulator: &EmulatorConfig,
+) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(policies.len() as u64).to_le_bytes());
+    for (label, _) in policies {
+        eat(label.as_bytes());
+        eat(&[0]);
+    }
+    eat(&(scenarios.len() as u64).to_le_bytes());
+    for s in scenarios {
+        eat(s.name.as_bytes());
+        eat(&[0]);
+        eat(&s.seed.to_le_bytes());
+    }
+    eat(&emulator.duration.secs().to_bits().to_le_bytes());
+    hash
+}
+
+/// Run a population study under the supervised executor, optionally
+/// writing periodic campaign checkpoints and resuming from one.
+///
+/// Outcomes are bit-identical to [`crate::population_study`] over the
+/// same inputs when no run panics; panicking runs are quarantined into
+/// [`CampaignReport::errors`] and simply absent from the aggregates (each
+/// policy's `scenarios_run` counts its successful runs).
+pub fn population_campaign(
+    scenarios: &[Arc<Scenario>],
+    policies: &[(String, ClientConfig)],
+    emulator: &EmulatorConfig,
+    threads: usize,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, CampaignError> {
+    let n = scenarios.len();
+    let specs = population_specs(scenarios, policies, emulator);
+    let total = specs.len();
+    let fingerprint = campaign_fingerprint(scenarios, policies, emulator);
+
+    let mut accums: Vec<PolicyAccum> = policies.iter().map(|_| PolicyAccum::new(n)).collect();
+    let mut errors: Vec<RunError> = Vec::new();
+    let mut start = 0usize;
+
+    if opts.resume {
+        let Some(path) = &opts.checkpoint_path else {
+            return Err(CampaignError::Mismatch(
+                "resume requested without a checkpoint path".into(),
+            ));
+        };
+        let ckpt = CampaignCheckpoint::read_from(path)?;
+        if ckpt.fingerprint != fingerprint {
+            return Err(CampaignError::Mismatch(
+                "fingerprint differs (other scenarios, policies or horizon)".into(),
+            ));
+        }
+        if ckpt.total != total || ckpt.accums.len() != policies.len() {
+            return Err(CampaignError::Mismatch(format!(
+                "checkpoint shape ({} runs, {} policies) differs from this study ({total} runs, {} policies)",
+                ckpt.total,
+                ckpt.accums.len(),
+                policies.len()
+            )));
+        }
+        start = ckpt.completed;
+        errors = ckpt.errors.clone();
+        accums = ckpt.restore_accums();
+    }
+
+    let stop = opts.stop_after_runs.map_or(total, |k| start.saturating_add(k).min(total));
+    let every = opts.checkpoint_every_runs;
+    run_supervised(&specs[start..stop], threads, |j, _, outcome| {
+        let i = start + j;
+        match outcome {
+            Ok(result) => accums[i / n].push(&result.merit),
+            Err(e) => errors.push(RunError { index: i, ..e }),
+        }
+        let completed = i + 1;
+        if let Some(path) = &opts.checkpoint_path {
+            if every > 0 && completed.is_multiple_of(every) && completed < stop {
+                let ckpt =
+                    CampaignCheckpoint::capture(fingerprint, total, completed, &errors, &accums);
+                // Best-effort mid-flight: a failed write degrades
+                // crash-safety, not the study.
+                let _ = ckpt.write_atomic(path);
+            }
+        }
+    });
+
+    if let Some(path) = &opts.checkpoint_path {
+        // The final checkpoint (completion, or the stop point under a
+        // run budget) is not best-effort: it is the artifact a
+        // `--resume` reads.
+        CampaignCheckpoint::capture(fingerprint, total, stop, &errors, &accums)
+            .write_atomic(path)?;
+    }
+
+    let outcomes = policies
+        .iter()
+        .zip(accums)
+        .map(|((label, _), accum)| {
+            let ok_runs = accum.stats.first().map_or(0, |s| s.count() as usize);
+            accum.finish(label, ok_runs)
+        })
+        .collect();
+    Ok(CampaignReport {
+        outcomes,
+        errors,
+        resumed_runs: start,
+        completed_runs: stop,
+        total_runs: total,
+    })
+}

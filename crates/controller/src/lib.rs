@@ -5,6 +5,7 @@
 //! run execution, parameter sweeps, policy comparisons, Monte-Carlo
 //! population studies, and terminal-friendly tables/plots plus CSV export.
 
+pub mod campaign;
 pub mod compare;
 pub mod montecarlo;
 pub mod plot;
@@ -12,11 +13,15 @@ pub mod run;
 pub mod sweep;
 pub mod table;
 
+pub use campaign::{
+    population_campaign, CampaignCheckpoint, CampaignError, CampaignOptions, CampaignReport,
+};
 pub use compare::{compare_policies, Comparison};
 pub use montecarlo::{population_study, population_table, MetricStats, PopulationOutcome};
 pub use plot::{bar_chart, line_chart, Series};
 pub use run::{
-    resolve_threads, run_all, run_all_reference, run_streaming, run_streaming_profiled, RunSpec,
+    resolve_threads, run_all, run_all_reference, run_streaming, run_streaming_profiled,
+    run_supervised, run_supervised_profiled, RunError, RunOutcome, RunSpec,
 };
 pub use sweep::{sweep, Metric, SweepResult};
 pub use table::Table;

@@ -41,21 +41,31 @@ impl PopulationOutcome {
 }
 
 /// Streaming accumulator for one policy: running moments plus the raw
-/// sample of each metric (needed only for the exact p95).
-struct PolicyAccum {
-    stats: Vec<OnlineStats>,
-    values: Vec<Vec<f64>>,
+/// sample of each metric (needed only for the exact p95). `pub(crate)`
+/// so the campaign module can checkpoint and restore it.
+pub(crate) struct PolicyAccum {
+    pub(crate) stats: Vec<OnlineStats>,
+    pub(crate) values: Vec<Vec<f64>>,
 }
 
 impl PolicyAccum {
-    fn new(expected_runs: usize) -> Self {
+    pub(crate) fn new(expected_runs: usize) -> Self {
         PolicyAccum {
             stats: vec![OnlineStats::new(); Metric::ALL.len()],
             values: vec![Vec::with_capacity(expected_runs); Metric::ALL.len()],
         }
     }
 
-    fn finish(mut self, label: &str, scenarios_run: usize) -> PopulationOutcome {
+    /// Fold one run's figures of merit into every metric's accumulator.
+    pub(crate) fn push(&mut self, merit: &bce_core::FiguresOfMerit) {
+        for (k, metric) in Metric::ALL.iter().enumerate() {
+            let v = metric.extract(merit);
+            self.stats[k].push(v);
+            self.values[k].push(v);
+        }
+    }
+
+    pub(crate) fn finish(mut self, label: &str, scenarios_run: usize) -> PopulationOutcome {
         let per_metric = Metric::ALL
             .iter()
             .enumerate()
@@ -85,9 +95,28 @@ pub fn population_study(
     emulator: &EmulatorConfig,
     threads: usize,
 ) -> Vec<PopulationOutcome> {
-    let emulator = Arc::new(emulator.clone());
     let n = scenarios.len();
-    let specs: Vec<RunSpec> = policies
+    let specs = population_specs(scenarios, policies, emulator);
+
+    let mut accums: Vec<PolicyAccum> = policies.iter().map(|_| PolicyAccum::new(n)).collect();
+    run_streaming(&specs, threads, |i, _, result| {
+        // `n == 0` means no specs, so the reducer is never called.
+        accums[i / n].push(&result.merit);
+    });
+
+    policies.iter().zip(accums).map(|((label, _), accum)| accum.finish(label, n)).collect()
+}
+
+/// The policy × scenario spec matrix of a population study, in the
+/// submission order both [`population_study`] and the resumable campaign
+/// runner rely on: all of policy 0's scenarios, then policy 1's, …
+pub(crate) fn population_specs(
+    scenarios: &[Arc<Scenario>],
+    policies: &[(String, ClientConfig)],
+    emulator: &EmulatorConfig,
+) -> Vec<RunSpec> {
+    let emulator = Arc::new(emulator.clone());
+    policies
         .iter()
         .flat_map(|(label, client)| {
             let emulator = emulator.clone();
@@ -96,20 +125,7 @@ pub fn population_study(
                     .with_emulator(emulator.clone())
             })
         })
-        .collect();
-
-    let mut accums: Vec<PolicyAccum> = policies.iter().map(|_| PolicyAccum::new(n)).collect();
-    run_streaming(&specs, threads, |i, _, result| {
-        // `n == 0` means no specs, so the reducer is never called.
-        let accum = &mut accums[i / n];
-        for (k, metric) in Metric::ALL.iter().enumerate() {
-            let v = metric.extract(&result.merit);
-            accum.stats[k].push(v);
-            accum.values[k].push(v);
-        }
-    });
-
-    policies.iter().zip(accums).map(|((label, _), accum)| accum.finish(label, n)).collect()
+        .collect()
 }
 
 /// Summary table: one row per (policy, metric) with mean/sd/min/max/p95.

@@ -27,9 +27,46 @@
 //! and reused arenas.
 
 use bce_client::ClientConfig;
-use bce_core::{EmulationResult, Emulator, EmulatorArena, EmulatorConfig, Scenario};
+use bce_core::{
+    CheckpointPolicy, CheckpointState, EmulationResult, Emulator, EmulatorArena, EmulatorConfig,
+    Scenario,
+};
 use bce_obs::Profiler;
 use std::sync::Arc;
+
+/// A run that panicked inside the emulator, quarantined by the
+/// supervised executor instead of tearing down the whole campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Submission index of the failed spec.
+    pub index: usize,
+    /// Label of the failed spec.
+    pub label: String,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run {} ({}) panicked: {}", self.index, self.label, self.message)
+    }
+}
+impl std::error::Error for RunError {}
+
+/// What the supervised executor delivers per run: the result, or the
+/// quarantined panic.
+pub type RunOutcome = Result<EmulationResult, RunError>;
+
+/// Extract a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One unit of work: a scenario plus client policy configuration. The
 /// scenario and emulator config are shared (`Arc`), so cloning a spec —
@@ -62,8 +99,58 @@ impl RunSpec {
     }
 
     fn emulate(&self, arena: &mut EmulatorArena) -> EmulationResult {
-        Emulator::new(self.scenario.clone(), self.client, self.emulator.clone()).run_in(arena)
+        let emu = Emulator::new(self.scenario.clone(), self.client, self.emulator.clone());
+        let Some(policy) = &self.emulator.checkpoint else {
+            return emu.run_in(arena);
+        };
+        self.emulate_checkpointed(emu, arena, policy)
     }
+
+    /// Crash-safe run path: resume from this spec's checkpoint file if a
+    /// valid one exists, otherwise run while writing a checkpoint every
+    /// `policy.every` of simulated time. The file is removed once the run
+    /// completes, and the result is bit-identical to a straight run.
+    fn emulate_checkpointed(
+        &self,
+        emu: Emulator,
+        arena: &mut EmulatorArena,
+        policy: &CheckpointPolicy,
+    ) -> EmulationResult {
+        let path = policy.dir.join(checkpoint_file_name(&self.label));
+        if let Ok(ckpt) = CheckpointState::read_from(&path) {
+            // A stale or foreign checkpoint (different scenario/config)
+            // fails the resume guards; fall through to a fresh run then.
+            if let Ok(result) = emu.resume_in(&ckpt, arena) {
+                let _ = std::fs::remove_file(&path);
+                return result;
+            }
+        }
+        let _ = std::fs::create_dir_all(&policy.dir);
+        let result = emu.run_with_checkpoints_in(arena, policy.every, |ckpt| {
+            // Best-effort: a failed write degrades crash-safety, not the
+            // run itself.
+            let _ = ckpt.write_atomic(&path);
+        });
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+}
+
+/// Stable, filesystem-safe checkpoint file name for a run label: a
+/// sanitized prefix for the human, an FNV-1a hash of the full label for
+/// uniqueness (labels may differ only in characters the sanitizer folds).
+fn checkpoint_file_name(label: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let prefix: String = label
+        .chars()
+        .take(40)
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect();
+    format!("{prefix}-{hash:016x}.ckpt")
 }
 
 /// Resolve a thread-count argument (0 = one per available CPU).
@@ -112,6 +199,38 @@ pub fn run_streaming_profiled<F>(
 ) where
     F: FnMut(usize, &RunSpec, EmulationResult),
 {
+    run_supervised_profiled(specs, threads, prof, |i, spec, outcome| match outcome {
+        Ok(result) => consume(i, spec, result),
+        // The unsupervised contract is all-or-abort: re-raise the
+        // quarantined panic with its structured context instead of the
+        // old hung-channel failure mode.
+        Err(e) => panic!("{e}"),
+    });
+}
+
+/// Supervised variant of [`run_streaming`]: each run executes under
+/// `catch_unwind`, so a panicking emulation is quarantined as a
+/// [`RunError`] delivered to the reducer (still in submission order)
+/// while every other run completes normally. The panicking worker's
+/// arena is discarded — a partially-unwound arena could poison later
+/// runs — and replaced with a fresh one.
+pub fn run_supervised<F>(specs: &[RunSpec], threads: usize, consume: F)
+where
+    F: FnMut(usize, &RunSpec, RunOutcome),
+{
+    run_supervised_profiled(specs, threads, &mut Profiler::disabled(), consume)
+}
+
+/// As [`run_supervised`], with executor-phase profiling (see
+/// [`run_streaming_profiled`] for the span vocabulary).
+pub fn run_supervised_profiled<F>(
+    specs: &[RunSpec],
+    threads: usize,
+    prof: &mut Profiler,
+    mut consume: F,
+) where
+    F: FnMut(usize, &RunSpec, RunOutcome),
+{
     let n = specs.len();
     let nthreads = resolve_threads(threads).min(n.max(1));
     let sp_reduce = prof.span("exec.reduce");
@@ -119,8 +238,13 @@ pub fn run_streaming_profiled<F>(
         let sp_emulate = prof.span("exec.emulate");
         let mut arena = EmulatorArena::new();
         for (i, spec) in specs.iter().enumerate() {
-            let result = prof.time(sp_emulate, || spec.emulate(&mut arena));
-            prof.time(sp_reduce, || consume(i, spec, result));
+            let outcome = prof.time(sp_emulate, || supervised_emulate(spec, &mut arena));
+            let outcome = outcome.map_err(|message| RunError {
+                index: i,
+                label: spec.label.clone(),
+                message,
+            });
+            prof.time(sp_reduce, || consume(i, spec, outcome));
         }
         return;
     }
@@ -133,13 +257,14 @@ pub fn run_streaming_profiled<F>(
         // without any reorder buffer or shared lock.
         let receivers: Vec<_> = (0..nthreads)
             .map(|w| {
-                let (tx, rx) = std::sync::mpsc::sync_channel::<EmulationResult>(WORKER_SLACK);
+                let (tx, rx) =
+                    std::sync::mpsc::sync_channel::<Result<EmulationResult, String>>(WORKER_SLACK);
                 scope.spawn(move || {
                     let mut arena = EmulatorArena::new();
                     for spec in specs.iter().skip(w).step_by(nthreads) {
                         // A closed channel means the consumer was dropped
                         // (panic unwinding); stop quietly.
-                        if tx.send(spec.emulate(&mut arena)).is_err() {
+                        if tx.send(supervised_emulate(spec, &mut arena)).is_err() {
                             break;
                         }
                     }
@@ -148,12 +273,33 @@ pub fn run_streaming_profiled<F>(
             })
             .collect();
         for (i, spec) in specs.iter().enumerate() {
-            let result = prof
+            let outcome = prof
                 .time(sp_wait, || receivers[i % nthreads].recv())
-                .expect("worker delivered result");
-            prof.time(sp_reduce, || consume(i, spec, result));
+                .expect("worker delivered outcome");
+            let outcome = outcome.map_err(|message| RunError {
+                index: i,
+                label: spec.label.clone(),
+                message,
+            });
+            prof.time(sp_reduce, || consume(i, spec, outcome));
         }
     });
+}
+
+/// Run one spec under `catch_unwind`. On panic the arena is replaced
+/// with a fresh one (its buffers may have been left mid-mutation by the
+/// unwind) and the panic message is returned as the error.
+fn supervised_emulate(
+    spec: &RunSpec,
+    arena: &mut EmulatorArena,
+) -> Result<EmulationResult, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.emulate(arena))) {
+        Ok(result) => Ok(result),
+        Err(payload) => {
+            *arena = EmulatorArena::new();
+            Err(panic_message(payload))
+        }
+    }
 }
 
 /// Execute all runs and retain every result, in input order. Built on
@@ -333,5 +479,134 @@ mod tests {
     fn empty_specs() {
         assert!(run_all(vec![], 4).is_empty());
         run_streaming(&[], 4, |_, _, _| panic!("no results expected"));
+    }
+
+    /// A scenario that reliably panics inside the emulator: a project
+    /// with zero apps. `Scenario::validate` rejects it, which is exactly
+    /// why the emulator has no defined behaviour for it — constructing it
+    /// directly (bypassing the builder) models a corrupted input slipping
+    /// into a large campaign.
+    fn poison_spec() -> RunSpec {
+        let s = Scenario::new("poison", Hardware::cpu_only(1, 1e9))
+            .with_project(ProjectSpec::new(0, "p", 100.0));
+        RunSpec::new("poison", s, ClientConfig::default()).with_emulator(Arc::new(short()))
+    }
+
+    // The quarantined panics below print to stderr via the default
+    // hook — noise, but harmless; swapping in a silent global hook
+    // would race with other tests.
+    #[test]
+    fn supervised_quarantines_poison_run_at_every_thread_count() {
+        for threads in [1, 2, 8] {
+            let mut specs = mk_specs(6);
+            specs[3] = poison_spec();
+            let mut good: Vec<usize> = Vec::new();
+            let mut errors: Vec<RunError> = Vec::new();
+            let mut order: Vec<usize> = Vec::new();
+            run_supervised(&specs, threads, |i, _, outcome| {
+                order.push(i);
+                match outcome {
+                    Ok(r) => {
+                        assert!(r.jobs_completed > 0);
+                        good.push(i);
+                    }
+                    Err(e) => errors.push(e),
+                }
+            });
+            assert_eq!(order, (0..6).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(good, vec![0, 1, 2, 4, 5], "threads={threads}");
+            assert_eq!(errors.len(), 1, "threads={threads}");
+            assert_eq!(errors[0].index, 3);
+            assert_eq!(errors[0].label, "poison");
+            assert!(!errors[0].message.is_empty());
+            assert!(errors[0].to_string().contains("run 3 (poison) panicked"));
+        }
+    }
+
+    #[test]
+    fn poisoned_arena_does_not_perturb_later_runs() {
+        // The panicking run executes FIRST on its worker's arena; every
+        // subsequent run on that arena must still be bit-identical to a
+        // clean batch (the executor replaces the poisoned arena).
+        let clean = run_all(mk_specs(6), 1);
+        for threads in [1, 2] {
+            let mut specs = vec![poison_spec()];
+            specs.extend(mk_specs(6));
+            let mut fps: Vec<(String, u64)> = Vec::new();
+            run_supervised(&specs, threads, |_, spec, outcome| {
+                if let Ok(r) = outcome {
+                    fps.push((spec.label.clone(), r.bit_fingerprint()));
+                }
+            });
+            assert_eq!(fps.len(), 6);
+            for ((label, fp), (clean_label, clean_r)) in fps.iter().zip(&clean) {
+                assert_eq!(label, clean_label);
+                assert_eq!(*fp, clean_r.bit_fingerprint(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupervised_executor_aborts_with_context() {
+        // run_streaming keeps its all-or-abort contract: the quarantined
+        // panic is re-raised on the consuming thread with run context,
+        // instead of the old hung-channel failure mode.
+        let specs = vec![poison_spec()];
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_streaming(&specs, 1, |_, _, _| {});
+        }))
+        .expect_err("poison run must abort the unsupervised executor");
+        let msg = panic_message(payload);
+        assert!(msg.contains("run 0 (poison) panicked"), "{msg}");
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("bce-runckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let every = SimDuration::from_mins(20.0);
+        let plain = run_all(mk_specs(1), 1);
+
+        // Simulate a crash: capture the first mid-run checkpoint and drop
+        // it under the file name the executor derives for this label.
+        let spec = &mk_specs(1)[0];
+        let emu = Emulator::new(spec.scenario.clone(), spec.client, spec.emulator.clone());
+        let mut captured: Option<CheckpointState> = None;
+        emu.run_with_checkpoints_in(&mut EmulatorArena::new(), every, |ckpt| {
+            if captured.is_none() {
+                captured = Some(ckpt.clone());
+            }
+        });
+        let mid = captured.expect("a mid-run checkpoint");
+        assert!(!mid.finished(), "checkpoint must be mid-run for this test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(checkpoint_file_name(&spec.label));
+        mid.write_atomic(&path).unwrap();
+
+        // Re-running the same spec with a checkpoint policy must resume
+        // from the dropped file, finish bit-identical, and remove it.
+        let ckpt_emu = EmulatorConfig {
+            checkpoint: Some(CheckpointPolicy { dir: dir.clone(), every }),
+            ..short()
+        };
+        let specs = vec![RunSpec::new("run0", tiny_scenario(0), ClientConfig::default())
+            .with_emulator(Arc::new(ckpt_emu))];
+        let resumed = run_all(specs.clone(), 1);
+        assert_eq!(resumed[0].1.bit_fingerprint(), plain[0].1.bit_fingerprint());
+        assert!(!path.exists(), "checkpoint removed after completion");
+
+        // A fresh checkpointed run (no file on disk) is also unchanged.
+        let fresh = run_all(specs, 1);
+        assert_eq!(fresh[0].1.bit_fingerprint(), plain[0].1.bit_fingerprint());
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_file_names_are_safe_and_distinct() {
+        let a = checkpoint_file_name("default/host 17: weird*chars");
+        assert!(a.ends_with(".ckpt"));
+        assert!(a.chars().all(|c| c.is_ascii_alphanumeric() || "-._".contains(c)));
+        assert_ne!(checkpoint_file_name("a/b"), checkpoint_file_name("a_b"));
     }
 }

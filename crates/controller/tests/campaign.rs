@@ -1,0 +1,341 @@
+//! End-to-end tests of the resumable, panic-tolerant campaign runner.
+//!
+//! The crash-safety contract: a campaign killed mid-flight and resumed
+//! from its checkpoint reports outcomes bit-identical to the
+//! uninterrupted study, and a single panicking run is quarantined as a
+//! structured `RunError` while every other run completes. Kills are
+//! emulated deterministically with `CampaignOptions::stop_after_runs`,
+//! whose on-disk state is exactly what a SIGKILL at that point leaves
+//! (the real-signal variant lives in CI's resume-smoke job).
+
+use bce_client::{ClientConfig, JobSchedPolicy};
+use bce_controller::{
+    population_campaign, population_study, CampaignCheckpoint, CampaignError, CampaignOptions,
+    Metric, PopulationOutcome,
+};
+use bce_core::{EmulatorConfig, Scenario};
+use bce_scenarios::{PopulationModel, PopulationSampler};
+use bce_types::{Hardware, ProjectSpec, SimDuration};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn population(n: usize) -> Vec<Arc<Scenario>> {
+    let mut sampler = PopulationSampler::new(PopulationModel::default(), 11);
+    sampler.sample_many(n).into_iter().map(Arc::new).collect()
+}
+
+fn policies() -> Vec<(String, ClientConfig)> {
+    vec![
+        ("current".to_string(), ClientConfig::default()),
+        (
+            "wrr".to_string(),
+            ClientConfig { sched_policy: JobSchedPolicy::WRR, ..ClientConfig::default() },
+        ),
+    ]
+}
+
+fn emu() -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_hours(2.0), ..Default::default() }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bce-campaign-{}-{name}.ckpt", std::process::id()))
+}
+
+fn assert_outcomes_identical(a: &[PopulationOutcome], b: &[PopulationOutcome]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.scenarios_run, y.scenarios_run);
+        for m in Metric::ALL {
+            let (mx, my) = (x.metric(m), y.metric(m));
+            assert_eq!(mx.stats.count(), my.stats.count(), "{m:?}");
+            assert_eq!(mx.stats.mean().to_bits(), my.stats.mean().to_bits(), "{m:?}");
+            assert_eq!(mx.stats.std_dev().to_bits(), my.stats.std_dev().to_bits(), "{m:?}");
+            assert_eq!(mx.stats.min().to_bits(), my.stats.min().to_bits(), "{m:?}");
+            assert_eq!(mx.stats.max().to_bits(), my.stats.max().to_bits(), "{m:?}");
+            assert_eq!(mx.p95.to_bits(), my.p95.to_bits(), "{m:?}");
+        }
+    }
+}
+
+#[test]
+fn campaign_without_checkpointing_matches_population_study() {
+    let scenarios = population(6);
+    let report =
+        population_campaign(&scenarios, &policies(), &emu(), 2, &CampaignOptions::default())
+            .unwrap();
+    assert!(report.errors.is_empty());
+    assert_eq!(report.resumed_runs, 0);
+    assert_eq!(report.completed_runs, 12);
+    assert_eq!(report.total_runs, 12);
+    let study = population_study(&scenarios, &policies(), &emu(), 1);
+    assert_outcomes_identical(&report.outcomes, &study);
+}
+
+#[test]
+fn killed_and_resumed_campaign_is_bit_identical() {
+    let scenarios = population(8);
+    let path = tmp("kill-resume");
+    let _ = std::fs::remove_file(&path);
+    let opts = CampaignOptions {
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_runs: 1,
+        resume: false,
+        stop_after_runs: None,
+    };
+    let reference = population_study(&scenarios, &policies(), &emu(), 1);
+
+    // "Kill" the campaign after 5 of its 16 runs. Mid-policy-0, so the
+    // resumed half crosses a policy boundary too.
+    let partial = population_campaign(
+        &scenarios,
+        &policies(),
+        &emu(),
+        2,
+        &CampaignOptions { stop_after_runs: Some(5), ..opts.clone() },
+    )
+    .unwrap();
+    assert_eq!(partial.completed_runs, 5);
+    assert_eq!(partial.total_runs, 16);
+    let ckpt = CampaignCheckpoint::read_from(&path).unwrap();
+    assert_eq!(ckpt.completed(), 5);
+    assert!(!ckpt.is_complete());
+
+    // Resume — with a different thread count, which must not matter.
+    let resumed = population_campaign(
+        &scenarios,
+        &policies(),
+        &emu(),
+        4,
+        &CampaignOptions { resume: true, ..opts.clone() },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_runs, 5);
+    assert_eq!(resumed.completed_runs, 16);
+    assert!(resumed.errors.is_empty());
+    assert_outcomes_identical(&resumed.outcomes, &reference);
+
+    // A second resume sees the complete checkpoint and re-derives the
+    // same outcomes without emulating anything.
+    let again = population_campaign(
+        &scenarios,
+        &policies(),
+        &emu(),
+        1,
+        &CampaignOptions { resume: true, ..opts },
+    )
+    .unwrap();
+    assert_eq!(again.resumed_runs, 16);
+    assert_outcomes_identical(&again.outcomes, &reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn repeated_kill_resume_cycles_converge_to_the_reference() {
+    // Crash-loop discipline: kill after every 3 runs until done; the
+    // final aggregate must still be bit-identical.
+    let scenarios = population(5);
+    let policies = &policies()[..1];
+    let path = tmp("crashloop");
+    let _ = std::fs::remove_file(&path);
+    let reference = population_study(&scenarios, policies, &emu(), 1);
+
+    let mut resume = false;
+    let final_report = loop {
+        let report = population_campaign(
+            &scenarios,
+            policies,
+            &emu(),
+            1,
+            &CampaignOptions {
+                checkpoint_path: Some(path.clone()),
+                checkpoint_every_runs: 1,
+                resume,
+                stop_after_runs: Some(3),
+            },
+        )
+        .unwrap();
+        resume = true;
+        if report.completed_runs == report.total_runs {
+            break report;
+        }
+    };
+    assert_outcomes_identical(&final_report.outcomes, &reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn poison_run_in_campaign_is_quarantined_and_checkpoint_stays_resumable() {
+    // 100 runs; scenario 42 is poisoned (a zero-app project, which
+    // validation would reject — modelling a corrupt input) and panics
+    // inside the emulator.
+    let mut scenarios = population(100);
+    scenarios[42] = Arc::new(
+        Scenario::new("poisoned", Hardware::cpu_only(1, 1e9))
+            .with_project(ProjectSpec::new(0, "p", 100.0)),
+    );
+    let policies = &policies()[..1];
+    let path = tmp("poison");
+    let _ = std::fs::remove_file(&path);
+    let opts = CampaignOptions {
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_runs: 10,
+        resume: false,
+        stop_after_runs: None,
+    };
+
+    let report = population_campaign(&scenarios, policies, &emu(), 4, &opts).unwrap();
+    assert_eq!(report.total_runs, 100);
+    assert_eq!(report.errors.len(), 1, "exactly one quarantined run");
+    assert_eq!(report.errors[0].index, 42);
+    assert!(report.errors[0].label.contains("poisoned"));
+    assert!(!report.errors[0].message.is_empty());
+    // The other 99 runs all completed and were aggregated.
+    assert_eq!(report.outcomes[0].scenarios_run, 99);
+    assert_eq!(report.outcomes[0].metric(Metric::Idle).stats.count(), 99);
+
+    // The checkpoint left behind is complete, parseable and resumable —
+    // and the resume reproduces the outcomes AND the recorded error
+    // without re-running anything.
+    let ckpt = CampaignCheckpoint::read_from(&path).unwrap();
+    assert!(ckpt.is_complete());
+    let resumed = population_campaign(
+        &scenarios,
+        policies,
+        &emu(),
+        2,
+        &CampaignOptions { resume: true, ..opts },
+    )
+    .unwrap();
+    assert_eq!(resumed.errors.len(), 1);
+    assert_eq!(resumed.errors[0].index, 42);
+    assert_outcomes_identical(&resumed.outcomes, &report.outcomes);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn campaign_checkpoint_xml_round_trips() {
+    let scenarios = population(5);
+    let path = tmp("roundtrip");
+    let _ = std::fs::remove_file(&path);
+    let opts = CampaignOptions {
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_runs: 0,
+        resume: false,
+        stop_after_runs: Some(4),
+    };
+    let _ = population_campaign(&scenarios, &policies(), &emu(), 1, &opts).unwrap();
+    let ckpt = CampaignCheckpoint::read_from(&path).unwrap();
+    assert_eq!(ckpt.completed(), 4);
+    let again = CampaignCheckpoint::from_xml_str(&ckpt.to_xml_string()).unwrap();
+    assert_eq!(again.completed(), ckpt.completed());
+    assert_eq!(again.total(), ckpt.total());
+    assert_eq!(again.to_xml_string(), ckpt.to_xml_string(), "stable serialization");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mismatched_checkpoint_is_rejected_not_silently_restarted() {
+    let scenarios = population(4);
+    let path = tmp("mismatch");
+    let _ = std::fs::remove_file(&path);
+    let opts = CampaignOptions {
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_runs: 0,
+        resume: false,
+        stop_after_runs: None,
+    };
+    let _ = population_campaign(&scenarios, &policies(), &emu(), 1, &opts).unwrap();
+
+    // Different population → different fingerprint → Mismatch.
+    let others = population(3);
+    let err = population_campaign(
+        &others,
+        &policies(),
+        &emu(),
+        1,
+        &CampaignOptions { resume: true, ..opts.clone() },
+    )
+    .unwrap_err();
+    assert!(matches!(err, CampaignError::Mismatch(_)), "{err}");
+
+    // Different emulation horizon → Mismatch too.
+    let longer = EmulatorConfig { duration: SimDuration::from_hours(3.0), ..Default::default() };
+    let err = population_campaign(
+        &scenarios,
+        &policies(),
+        &longer,
+        1,
+        &CampaignOptions { resume: true, ..opts.clone() },
+    )
+    .unwrap_err();
+    assert!(matches!(err, CampaignError::Mismatch(_)), "{err}");
+
+    // Fewer policies → shape mismatch even before any label check.
+    let err = population_campaign(
+        &scenarios,
+        &policies()[..1],
+        &emu(),
+        1,
+        &CampaignOptions { resume: true, ..opts.clone() },
+    )
+    .unwrap_err();
+    assert!(matches!(err, CampaignError::Mismatch(_)), "{err}");
+
+    // Resume without a path is an error, not a silent fresh start.
+    let err = population_campaign(
+        &scenarios,
+        &policies(),
+        &emu(),
+        1,
+        &CampaignOptions {
+            checkpoint_path: None,
+            checkpoint_every_runs: 0,
+            resume: true,
+            stop_after_runs: None,
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, CampaignError::Mismatch(_)), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_campaign_checkpoint_errors_cleanly() {
+    for garbage in [
+        "",
+        "not xml at all",
+        "<bce_campaign version=\"1\"></bce_campaign>",
+        "<wrong_root version=\"1\"/>",
+        "<bce_campaign version=\"99\"/>",
+    ] {
+        assert!(CampaignCheckpoint::from_xml_str(garbage).is_err(), "{garbage:?}");
+    }
+
+    let scenarios = population(3);
+    let policies = &policies()[..1];
+    let path = tmp("corrupt");
+    let _ = std::fs::remove_file(&path);
+    let opts = CampaignOptions {
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_runs: 0,
+        resume: false,
+        stop_after_runs: None,
+    };
+    let _ = population_campaign(&scenarios, policies, &emu(), 1, &opts).unwrap();
+    let good = std::fs::read_to_string(&path).unwrap();
+
+    // Truncation at every prefix must error (or, for a prefix that is
+    // itself well-formed, parse) — never panic.
+    for cut in 0..good.len() {
+        let _ = CampaignCheckpoint::from_xml_str(&good[..cut]);
+    }
+
+    // Rewind the completed count without touching the bitmap: the
+    // prefix-consistency check must reject the document.
+    let tampered = good.replacen("completed=\"3\"", "completed=\"2\"", 1);
+    assert_ne!(tampered, good, "fixture assumes completed=\"3\" appears");
+    assert!(matches!(CampaignCheckpoint::from_xml_str(&tampered), Err(CampaignError::Mismatch(_))));
+    let _ = std::fs::remove_file(&path);
+}

@@ -30,7 +30,7 @@
 use crate::scenario::Scenario;
 use bce_avail::{AvailSpec, AvailTrace};
 use bce_client::NetworkModel;
-use bce_types::{Hardware, InitialJob, ModelError, Preferences, ProjectSpec};
+use bce_types::{Hardware, InitialJob, Preferences, ProjectSpec, ScenarioErrors};
 
 /// Fluent builder for [`Scenario`]. See the module docs for an example.
 #[derive(Debug, Clone)]
@@ -109,8 +109,8 @@ impl ScenarioBuilder {
     }
 
     /// Validate and finish. Fails exactly when [`Scenario::validate`]
-    /// would.
-    pub fn build(self) -> Result<Scenario, ModelError> {
+    /// would, reporting the full typed error list.
+    pub fn build(self) -> Result<Scenario, ScenarioErrors> {
         self.scenario.validate()?;
         Ok(self.scenario)
     }
@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn build_validates() {
         let err = ScenarioBuilder::new("empty", Hardware::cpu_only(1, 1e9)).build();
-        assert_eq!(err.unwrap_err(), ModelError::Empty("projects"));
+        assert_eq!(err.unwrap_err().0, vec![bce_types::ModelError::Empty("projects")]);
         let ok = ScenarioBuilder::new("empty", Hardware::cpu_only(1, 1e9)).build_unchecked();
         assert!(ok.projects.is_empty());
     }

@@ -10,16 +10,19 @@
 //! transitions, predicted task/transfer completions (generation-stamped so
 //! stale predictions are ignored), and fetch-retry wakeups.
 
+use crate::checkpoint::{CheckpointError, CheckpointState};
 use crate::metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
 use crate::observe::RunObserver;
 use crate::scenario::Scenario;
-use bce_avail::HostRunState;
+use bce_avail::{AvailSource, Governor, HostRunState, OnOffProcess};
 use bce_client::{Client, ClientConfig, ClientProject, ClientScratch, FetchPolicy, JobSchedPolicy};
 use bce_faults::{CrashProcess, FaultConfig, RpcFaultInjector, TransferFaultModel};
-use bce_obs::{MetricsSnapshot, ProfileReport, Profiler, TraceBuffer, TraceRecord, TraceSink};
+use bce_obs::{
+    MetricsSnapshot, ProfileReport, Profiler, SpanId, TraceBuffer, TraceRecord, TraceSink,
+};
 use bce_server::{ProjectServer, RpcOutcome, SchedulerRequest, ServerConfig, TypeRequest};
 use bce_sim::{EventQueue, Level, LogEntry, MsgLog, Occupancy, Rng, Timeline};
-use bce_types::{InstanceId, JobId, ProcType, ProjectId, SimDuration, SimTime};
+use bce_types::{Hardware, InstanceId, JobId, ProcType, ProjectId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,6 +56,12 @@ pub struct EmulatorConfig {
     /// default; span timings are reported out-of-band
     /// ([`EmulationResult::profile`]) and never fingerprinted.
     pub profile: bool,
+    /// Crash-safety for executor-driven runs: write a periodic
+    /// [`crate::CheckpointState`] per run and auto-resume from it (see
+    /// [`crate::CheckpointPolicy`]). `None` (the default) runs straight
+    /// through. Honored by the `bce-controller` executor, not by a bare
+    /// [`Emulator::run`]; checkpointing never changes a result bit.
+    pub checkpoint: Option<crate::CheckpointPolicy>,
 }
 
 impl Default for EmulatorConfig {
@@ -69,13 +78,15 @@ impl Default for EmulatorConfig {
             faults: FaultConfig::OFF,
             trace_capacity: 0,
             profile: false,
+            checkpoint: None,
         }
     }
 }
 
-/// Events driving the loop.
+/// Events driving the loop. `pub(crate)` so the checkpoint codec can
+/// serialize the pending queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     /// Periodic scheduling point.
     SchedPoint,
     /// Predicted client event (task or transfer completion); stale when
@@ -344,13 +355,22 @@ impl Emulator {
     /// worker so the event queue, RR scratch, task buffers and log buffer
     /// are allocated once per worker rather than once per run.
     pub fn run_in(&self, arena: &mut EmulatorArena) -> EmulationResult {
-        let EmulatorArena {
-            queue,
-            client: client_scratch,
-            per_project,
-            log_entries,
-            trace_records,
-        } = arena;
+        let mut st = self.start_in(arena);
+        while st.step(self) {}
+        st.finalize(self, arena)
+    }
+
+    /// Construct the live [`RunState`] of a fresh run: every component is
+    /// built on its own named RNG stream in a fixed order (checkpoint
+    /// restore replays exactly this path before overwriting mutable
+    /// state), the event queue is seeded, and the reusable buffers are
+    /// taken out of the arena ([`RunState::finalize`] hands them back).
+    fn start_in(&self, arena: &mut EmulatorArena) -> RunState {
+        let mut queue = std::mem::replace(&mut arena.queue, EventQueue::with_capacity(0));
+        let client_scratch = arena.client.take();
+        let mut per_project = std::mem::take(&mut arena.per_project);
+        let log_entries = std::mem::take(&mut arena.log_entries);
+        let trace_records = std::mem::take(&mut arena.trace_records);
         let scenario = &*self.scenario;
         debug_assert!(scenario.validate().is_ok(), "invalid scenario: {:?}", scenario.validate());
         let hw = scenario.hardware.clone();
@@ -388,7 +408,7 @@ impl Emulator {
             scenario.prefs.clone(),
             client_projects,
             client_cfg,
-            client_scratch.take().unwrap_or_default(),
+            client_scratch.unwrap_or_default(),
         );
 
         // Fault processes, each on its own RNG stream. None is created (or
@@ -396,7 +416,7 @@ impl Emulator {
         // identity: with `FaultConfig::OFF` this whole block is inert.
         let faults = &self.cfg.faults;
         let project_ids: Vec<ProjectId> = scenario.projects.iter().map(|p| p.id).collect();
-        let mut rpc_faults: Option<RpcFaultInjector> = (faults.rpc_fail_prob > 0.0)
+        let rpc_faults: Option<RpcFaultInjector> = (faults.rpc_fail_prob > 0.0)
             .then(|| RpcFaultInjector::new(scenario.seed, faults.rpc_fail_prob, &project_ids));
         if faults.transfer_fail_prob > 0.0 {
             client.set_transfer_faults(TransferFaultModel::new(
@@ -408,7 +428,7 @@ impl Emulator {
         client.set_rpc_retry_policy(faults.rpc_retry);
         let mut crash_proc: Option<CrashProcess> =
             faults.crash_mtbf.map(|mtbf| CrashProcess::new(scenario.seed, mtbf));
-        let mut recoveries: Vec<RecoveryTracker> = Vec::new();
+        let recoveries: Vec<RecoveryTracker> = Vec::new();
 
         // Restore imported in-flight jobs (state-file replay, §4.3).
         for ij in &scenario.initial_queue {
@@ -424,30 +444,23 @@ impl Emulator {
 
         let shares: Vec<(ProjectId, f64)> =
             scenario.projects.iter().map(|p| (p.id, p.resource_share)).collect();
-        let mut metrics = MetricsAccum::new(
+        let metrics = MetricsAccum::new(
             hw.total_peak_flops(),
             scenario.projects.len(),
             SimTime::ZERO,
             self.cfg.monotony_window,
         );
         let log = if self.cfg.log_capacity > 0 {
-            MsgLog::with_buffer(
-                self.cfg.log_level,
-                self.cfg.log_capacity,
-                std::mem::take(log_entries),
-            )
+            MsgLog::with_buffer(self.cfg.log_level, self.cfg.log_capacity, log_entries)
         } else {
             MsgLog::disabled()
         };
         let trace = if self.cfg.trace_capacity > 0 {
-            TraceSink::Buffer(TraceBuffer::with_buffer(
-                self.cfg.trace_capacity,
-                std::mem::take(trace_records),
-            ))
+            TraceSink::Buffer(TraceBuffer::with_buffer(self.cfg.trace_capacity, trace_records))
         } else {
             TraceSink::Noop
         };
-        let mut obs = RunObserver::new(log, trace);
+        let obs = RunObserver::new(log, trace);
         let mut prof = if self.cfg.profile { Profiler::enabled() } else { Profiler::disabled() };
         let sp_advance = prof.span("emu.client_advance");
         let sp_resched = prof.span("emu.reschedule");
@@ -462,10 +475,9 @@ impl Emulator {
                 (0..hw.ninstances(t)).map(move |i| InstanceId { proc_type: t, index: i })
             })
             .collect();
-        let mut timeline =
-            self.cfg.record_timeline.then(|| Timeline::new(instances.iter().copied()));
+        let timeline = self.cfg.record_timeline.then(|| Timeline::new(instances.iter().copied()));
         // job -> assigned instances (for the timeline only).
-        let mut assignment: BTreeMap<JobId, Vec<InstanceId>> = BTreeMap::new();
+        let assignment: BTreeMap<JobId, Vec<InstanceId>> = BTreeMap::new();
 
         // --- Event loop (queue recycled from the arena, emptied with its
         // tie-break sequence restarted so reuse is bit-identical). ---
@@ -478,306 +490,584 @@ impl Emulator {
                 queue.push(first, Event::Crash);
             }
         }
-        let mut generation: u64 = 0;
-        let mut now = SimTime::ZERO;
         governor.advance(SimTime::ZERO);
-        let mut run_state = governor.run_state(SimTime::ZERO, &scenario.prefs);
-        let mut events_processed: u64 = 0;
-        let mut peak_jobs: usize = client.tasks().len();
+        let run_state = governor.run_state(SimTime::ZERO, &scenario.prefs);
+        let peak_jobs = client.tasks().len();
         per_project.clear();
 
-        while let Some((t_ev, event)) = queue.pop() {
-            events_processed += 1;
-            let t = t_ev.min(end);
-            // 1. Account the elapsed interval under the constant allocation.
-            if t > now {
-                client.flops_in_use_by_project_into(per_project);
-                metrics.advance(now, t, per_project, run_state.can_compute);
-                if !run_state.can_compute {
-                    prof.record_sim(sp_unavail, (t - now).secs());
-                }
-                if let Some(tl) = &mut timeline {
-                    record_timeline(tl, &client, &assignment, now, t, run_state, &instances);
-                }
-            }
-            let events = prof.time(sp_advance, || client.advance(t, run_state));
-            now = t;
+        RunState {
+            hw,
+            end,
+            on_frac,
+            shares,
+            instances,
+            governor,
+            servers,
+            client,
+            rpc_faults,
+            crash_proc,
+            recoveries,
+            metrics,
+            obs,
+            prof,
+            sp_advance,
+            sp_resched,
+            sp_rpc,
+            sp_unavail,
+            run_start,
+            timeline,
+            assignment,
+            queue,
+            per_project,
+            generation: 0,
+            now: SimTime::ZERO,
+            run_state,
+            events_processed: 0,
+            peak_jobs,
+            done: false,
+        }
+    }
 
-            // 2. Report uploaded jobs to their servers and retire them.
-            // Whether a result counts is the *server's* verdict: under the
-            // default strict deadline check this equals the client-side
-            // deadline test; grace/none policies are more forgiving.
-            for id in &events.uploaded {
-                let (project, flops_spent) = {
-                    let task = client.task(*id).expect("uploaded task exists");
-                    (
-                        task.spec.project,
-                        task.spec.duration.secs() * task.spec.usage.peak_flops_on(&hw),
-                    )
-                };
-                let met = match servers.iter_mut().find(|s| s.id() == project) {
-                    Some(server) => {
-                        server.check_deadlines(now);
-                        server.report_completed(now, *id)
-                    }
-                    None => false,
-                };
-                metrics.record_job_done(*id, met, if met { 0.0 } else { flops_spent });
-                if let Some(task) = client.retire(*id) {
-                    if task.rollback_waste > 0.0 {
-                        metrics.record_rollback_waste(
-                            task.rollback_waste * task.spec.usage.peak_flops_on(&hw),
-                        );
-                    }
-                    obs.job_finished(now, *id, project, met);
-                }
-                assignment.remove(id);
-            }
+    /// Rebuild a [`RunState`] from a checkpoint: run the normal
+    /// construction path (which draws every RNG stream and fork in the
+    /// same order as the original run), then overwrite each component's
+    /// mutable state — RNG positions, queues, tasks, debts, counters —
+    /// from the capture. Fails when the checkpoint was taken from a
+    /// different scenario or under an incompatible configuration.
+    fn restore_in(
+        &self,
+        ckpt: &CheckpointState,
+        arena: &mut EmulatorArena,
+    ) -> Result<RunState, CheckpointError> {
+        let scenario = &*self.scenario;
+        if ckpt.scenario_name != scenario.name || ckpt.seed != scenario.seed {
+            return Err(CheckpointError::ScenarioMismatch {
+                expected: format!("{} (seed {})", scenario.name, scenario.seed),
+                found: format!("{} (seed {})", ckpt.scenario_name, ckpt.seed),
+            });
+        }
+        if ckpt.duration != self.cfg.duration {
+            return Err(CheckpointError::ConfigMismatch("duration".into()));
+        }
+        let faults = &self.cfg.faults;
+        if ckpt.rpc_fault_streams.is_some() != (faults.rpc_fail_prob > 0.0) {
+            return Err(CheckpointError::ConfigMismatch("rpc fault injection".into()));
+        }
+        if ckpt.client.xfer_faults_rng.is_some() != (faults.transfer_fail_prob > 0.0) {
+            return Err(CheckpointError::ConfigMismatch("transfer fault injection".into()));
+        }
+        if ckpt.crash_rng.is_some() != faults.crash_mtbf.is_some() {
+            return Err(CheckpointError::ConfigMismatch("crash injection".into()));
+        }
+        if ckpt.log.is_some() != (self.cfg.log_capacity > 0) {
+            return Err(CheckpointError::ConfigMismatch("log capacity".into()));
+        }
+        if ckpt.timeline.is_some() != self.cfg.record_timeline {
+            return Err(CheckpointError::ConfigMismatch("record_timeline".into()));
+        }
 
-            // Fault bookkeeping: failed transfer attempts, jobs that
-            // exhausted their retry budget, and crash-recovery progress.
-            for &(job, upload) in &events.failed_transfers {
-                metrics.record_transfer_failure();
-                obs.transfer_failed(now, job, upload);
+        let mut st = self.start_in(arena);
+        st.queue.restore(&ckpt.queue, ckpt.queue_next_seq);
+        {
+            let (host, user, net) = st.governor.sources_mut();
+            for (src, saved) in
+                [(host, &ckpt.avail[0]), (user, &ckpt.avail[1]), (net, &ckpt.avail[2])]
+            {
+                restore_avail_source(src, saved)?;
             }
-            for id in &events.errored {
-                let (project, flops_spent) = {
-                    let task = client.task(*id).expect("errored task exists");
-                    (task.spec.project, task.progress() * task.spec.usage.peak_flops_on(&hw))
-                };
-                if let Some(server) = servers.iter_mut().find(|s| s.id() == project) {
-                    server.report_errored(*id);
-                }
-                metrics.record_job_errored(flops_spent);
-                obs.job_errored(now, *id, project);
-                client.retire(*id);
-                assignment.remove(id);
+        }
+        if ckpt.servers.len() != st.servers.len() {
+            return Err(CheckpointError::ConfigMismatch("project set".into()));
+        }
+        for (id, snap) in &ckpt.servers {
+            let server = st
+                .servers
+                .iter_mut()
+                .find(|s| s.id() == *id)
+                .ok_or_else(|| CheckpointError::ConfigMismatch(format!("project {id}")))?;
+            server.restore_snapshot(snap);
+        }
+        st.client.restore_snapshot(&ckpt.client);
+        if let (Some(inj), Some(streams)) = (&mut st.rpc_faults, &ckpt.rpc_fault_streams) {
+            inj.restore_streams(streams);
+        }
+        if let (Some(cp), Some(rng)) = (&mut st.crash_proc, &ckpt.crash_rng) {
+            cp.restore_rng(rng.clone());
+        }
+        st.recoveries = ckpt
+            .recoveries
+            .iter()
+            .map(|(start, targets)| RecoveryTracker { start: *start, targets: targets.clone() })
+            .collect();
+        st.metrics.restore_snapshot(&ckpt.metrics);
+        if let Some((entries, dropped)) = &ckpt.log {
+            st.obs.log.restore_history(entries.iter().cloned(), *dropped);
+        }
+        if let (Some(tl), Some(tracks)) = (&mut st.timeline, &ckpt.timeline) {
+            for (inst, segs) in tracks {
+                let track = tl
+                    .track_mut(*inst)
+                    .ok_or_else(|| CheckpointError::ConfigMismatch(format!("instance {inst}")))?;
+                track.restore_segments(segs.iter().copied());
             }
-            if !recoveries.is_empty() {
-                recoveries.retain_mut(|r| {
-                    r.targets.retain(|&(id, target)| match client.task(id) {
-                        // Still recovering only while the task is live,
-                        // healthy, and below its pre-crash progress.
-                        Some(t) => !t.is_errored() && t.progress() + 1e-9 < target,
-                        None => false,
-                    });
-                    if r.targets.is_empty() {
-                        let secs = (now - r.start).secs();
-                        metrics.record_recovery(secs);
-                        obs.recovered(now, secs);
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
+        }
+        st.assignment = ckpt.assignment.iter().cloned().collect();
+        st.generation = ckpt.generation;
+        st.now = ckpt.now;
+        st.run_state = ckpt.run_state;
+        st.events_processed = ckpt.events_processed;
+        st.peak_jobs = ckpt.peak_jobs as usize;
+        st.done = ckpt.finished;
+        Ok(st)
+    }
 
-            if now >= end {
+    /// Run until the first event boundary at or after `at` and capture a
+    /// checkpoint there (fresh working state). If the run finishes before
+    /// `at`, the capture is of the completed run and resuming it just
+    /// finalizes.
+    pub fn checkpoint_at(&self, at: SimTime) -> CheckpointState {
+        self.checkpoint_at_in(at, &mut EmulatorArena::new())
+    }
+
+    /// [`Emulator::checkpoint_at`] inside a reusable [`EmulatorArena`].
+    pub fn checkpoint_at_in(&self, at: SimTime, arena: &mut EmulatorArena) -> CheckpointState {
+        let mut st = self.start_in(arena);
+        while st.now < at && st.step(self) {}
+        let ckpt = st.capture(self);
+        // Finish the run only to hand the working buffers back to the
+        // arena; the result itself is discarded.
+        let _ = st.finalize(self, arena);
+        ckpt
+    }
+
+    /// Resume a checkpointed run to completion (fresh working state). The
+    /// result is bit-identical to the uninterrupted run: restoring
+    /// rebuilds every component through the original construction path
+    /// and overwrites all mutable state, RNG stream positions included.
+    pub fn resume(&self, ckpt: &CheckpointState) -> Result<EmulationResult, CheckpointError> {
+        self.resume_in(ckpt, &mut EmulatorArena::new())
+    }
+
+    /// [`Emulator::resume`] inside a reusable [`EmulatorArena`].
+    pub fn resume_in(
+        &self,
+        ckpt: &CheckpointState,
+        arena: &mut EmulatorArena,
+    ) -> Result<EmulationResult, CheckpointError> {
+        let mut st = self.restore_in(ckpt, arena)?;
+        while st.step(self) {}
+        Ok(st.finalize(self, arena))
+    }
+
+    /// Run to completion, handing `sink` a checkpoint at the first event
+    /// boundary at or after each multiple of `every` (the crash-safe
+    /// executor writes these to disk so a killed process can resume).
+    pub fn run_with_checkpoints_in(
+        &self,
+        arena: &mut EmulatorArena,
+        every: SimDuration,
+        mut sink: impl FnMut(&CheckpointState),
+    ) -> EmulationResult {
+        let mut st = self.start_in(arena);
+        let mut next = SimTime::ZERO + every;
+        loop {
+            if st.now >= next {
+                sink(&st.capture(self));
+                while st.now >= next {
+                    next += every;
+                }
+            }
+            if !st.step(self) {
                 break;
             }
+        }
+        st.finalize(self, arena)
+    }
+}
 
-            // 3. Interpret the event.
-            let mut need_sched = !events.computed.is_empty() || !events.ready.is_empty();
-            match event {
-                Event::SchedPoint => {
-                    need_sched = true;
-                    queue.push(now + self.cfg.sched_period, Event::SchedPoint);
-                }
-                Event::Client { generation: g } => {
-                    if g == generation {
-                        need_sched = true;
-                    }
-                }
-                Event::AvailChange => {
-                    governor.advance(now);
-                    let new_state = governor.run_state(now, &scenario.prefs);
-                    if new_state != run_state {
-                        obs.avail_changed(
-                            now,
-                            new_state.can_compute,
-                            new_state.can_gpu,
-                            new_state.net_up,
-                        );
-                        run_state = new_state;
-                        need_sched = true;
-                    }
-                    let next = governor.next_change_after(now, &scenario.prefs);
-                    if next.is_finite() && next < end {
-                        queue.push(next, Event::AvailChange);
-                    }
-                }
-                Event::FetchRetry { generation: g } => {
-                    if g == generation {
-                        need_sched = true;
-                    }
-                }
-                Event::Crash => {
-                    let outcome = client.crash(now);
-                    let lost_flops: f64 = outcome
-                        .lost
-                        .iter()
-                        .map(|&(id, secs)| secs * client.peak_flops_of(id))
-                        .sum();
-                    metrics.record_crash(lost_flops);
-                    obs.crashed(
-                        now,
-                        outcome.lost.len(),
-                        outcome.lost.iter().map(|&(_, s)| s).sum::<f64>(),
-                        outcome.restarted_transfers,
-                    );
-                    if !outcome.lost.is_empty() {
-                        // Recovery target: the progress each task had at
-                        // the instant of the crash (post-rollback progress
-                        // plus what the crash destroyed).
-                        let targets = outcome
-                            .lost
-                            .iter()
-                            .map(|&(id, lost)| {
-                                let p = client.task(id).map(|t| t.progress()).unwrap_or(0.0);
-                                (id, p + lost)
-                            })
-                            .collect();
-                        recoveries.push(RecoveryTracker { start: now, targets });
-                    }
-                    need_sched = true;
-                    if let Some(cp) = &mut crash_proc {
-                        let next = cp.next_after(now);
-                        if next < end {
-                            queue.push(next, Event::Crash);
-                        }
-                    }
-                }
+/// The live state of one emulation run between event-loop iterations:
+/// every component, RNG stream, buffer and counter the loop mutates.
+/// [`Emulator::start_in`] builds one, [`RunState::step`] executes one
+/// queue pop (one full loop iteration), [`RunState::finalize`] produces
+/// the result and returns the reusable buffers to the arena. A checkpoint
+/// is a [`RunState::capture`] between two `step` calls.
+struct RunState {
+    // Constants resolved at construction; not checkpointed — they are
+    // re-derived from the scenario and config on restore.
+    hw: Hardware,
+    end: SimTime,
+    on_frac: f64,
+    shares: Vec<(ProjectId, f64)>,
+    instances: Vec<InstanceId>,
+    // Live components.
+    governor: Governor,
+    servers: Vec<ProjectServer>,
+    client: Client,
+    rpc_faults: Option<RpcFaultInjector>,
+    crash_proc: Option<CrashProcess>,
+    recoveries: Vec<RecoveryTracker>,
+    metrics: MetricsAccum,
+    obs: RunObserver,
+    prof: Profiler,
+    sp_advance: SpanId,
+    sp_resched: SpanId,
+    sp_rpc: SpanId,
+    sp_unavail: SpanId,
+    run_start: Option<Instant>,
+    timeline: Option<Timeline>,
+    assignment: BTreeMap<JobId, Vec<InstanceId>>,
+    queue: EventQueue<Event>,
+    per_project: Vec<(ProjectId, f64)>,
+    // Loop scalars.
+    generation: u64,
+    now: SimTime,
+    run_state: HostRunState,
+    events_processed: u64,
+    peak_jobs: usize,
+    /// Set once `step` has returned `false`: the run reached its horizon
+    /// (or drained its queue) and must not be stepped further. Carried
+    /// through checkpoints so resuming a completed capture only
+    /// finalizes.
+    done: bool,
+}
+
+impl RunState {
+    /// Execute one event-loop iteration (one queue pop). Returns `false`
+    /// when the run is over — queue drained or the horizon reached — and
+    /// must not be called again after that.
+    fn step(&mut self, emu: &Emulator) -> bool {
+        if self.done {
+            return false;
+        }
+        let scenario = &*emu.scenario;
+        let cfg = &*emu.cfg;
+        let RunState {
+            hw,
+            end,
+            on_frac,
+            instances,
+            governor,
+            servers,
+            client,
+            rpc_faults,
+            crash_proc,
+            recoveries,
+            metrics,
+            obs,
+            prof,
+            sp_advance,
+            sp_resched,
+            sp_rpc,
+            sp_unavail,
+            timeline,
+            assignment,
+            queue,
+            per_project,
+            generation,
+            now,
+            run_state,
+            events_processed,
+            peak_jobs,
+            done,
+            ..
+        } = self;
+        let end = *end;
+        let on_frac = *on_frac;
+        let (sp_advance, sp_resched, sp_rpc, sp_unavail) =
+            (*sp_advance, *sp_resched, *sp_rpc, *sp_unavail);
+
+        let Some((t_ev, event)) = queue.pop() else {
+            *done = true;
+            return false;
+        };
+        *events_processed += 1;
+        let t = t_ev.min(end);
+        // 1. Account the elapsed interval under the constant allocation.
+        if t > *now {
+            client.flops_in_use_by_project_into(per_project);
+            metrics.advance(*now, t, per_project, run_state.can_compute);
+            if !run_state.can_compute {
+                prof.record_sim(sp_unavail, (t - *now).secs());
             }
-
-            if !need_sched {
-                continue;
+            if let Some(tl) = timeline {
+                record_timeline(tl, client, assignment, *now, t, *run_state, instances);
             }
-            generation += 1;
+        }
+        let events = prof.time(sp_advance, || client.advance(t, *run_state));
+        *now = t;
+        let now = t;
 
-            // 4. Reschedule and run the fetch loop. The first fetch
-            //    decision reuses the snapshot the reschedule was based on
-            //    (as the pre-cache code did); later iterations refresh it,
-            //    which re-runs the simulation only after an RPC actually
-            //    changed the queue.
-            let resched = prof.time(sp_resched, || client.reschedule(now, run_state, on_frac));
-            obs.scheduled(now, &resched);
-            let mut fetched_any = false;
-            let mut first_rpc = true;
-            prof.time(sp_rpc, || {
-                for _ in 0..self.cfg.max_rpcs_per_point {
-                    if !first_rpc {
-                        client.rr_refresh(now, run_state, on_frac);
-                    }
-                    first_rpc = false;
-                    let Some(decision) =
-                        client.fetch_decision(now, run_state, client.rr_snapshot())
-                    else {
-                        // Trace-only forensics: the queue wanted work (some
-                        // type shows a shortfall) but no project was
-                        // eligible. A disabled sink skips even the check.
-                        if obs.tracing() && run_state.net_up {
-                            let rr = client.rr_snapshot();
-                            let wants = ProcType::ALL.iter().any(|&pt| rr.shortfall[pt] > 1.0);
-                            if wants {
-                                if let Some((p, until)) = client.next_fetch_unblock_detail(now) {
-                                    obs.fetch_deferred(now, p, until);
-                                }
-                            }
-                        }
-                        break;
-                    };
-                    let project = decision.project;
-                    let mut request = SchedulerRequest::default();
-                    for pt in ProcType::ALL {
-                        request.per_type[pt] = TypeRequest {
-                            secs: decision.request.secs[pt],
-                            instances: decision.request.instances[pt],
-                        };
-                    }
-                    let server = servers
-                        .iter_mut()
-                        .find(|s| s.id() == project)
-                        .expect("fetch decision for unknown project");
+        // 2. Report uploaded jobs to their servers and retire them.
+        // Whether a result counts is the *server's* verdict: under the
+        // default strict deadline check this equals the client-side
+        // deadline test; grace/none policies are more forgiving.
+        for id in &events.uploaded {
+            let (project, flops_spent) = {
+                let task = client.task(*id).expect("uploaded task exists");
+                (task.spec.project, task.spec.duration.secs() * task.spec.usage.peak_flops_on(&*hw))
+            };
+            let met = match servers.iter_mut().find(|s| s.id() == project) {
+                Some(server) => {
                     server.check_deadlines(now);
-                    metrics.record_rpc();
-                    // Transient-fault injection: a lost request never reaches
-                    // the server (its state is untouched). With no injector
-                    // this is exactly the seed path.
-                    let lost_in_transit =
-                        rpc_faults.as_mut().is_some_and(|inj| inj.rpc_fails(project));
-                    let outcome = if lost_in_transit {
-                        RpcOutcome::TransientFailure
-                    } else {
-                        server.handle_rpc(now, &request)
-                    };
-                    match outcome {
-                        RpcOutcome::Reply(reply) => {
-                            obs.rpc_reply(
-                                now,
-                                project,
-                                request.per_type[ProcType::Cpu].secs,
-                                request.per_type[ProcType::NvidiaGpu].secs
-                                    + request.per_type[ProcType::AtiGpu].secs,
-                                reply.jobs.len(),
-                            );
-                            let got_jobs = !reply.jobs.is_empty();
-                            client.record_reply(now, project, reply.jobs, reply.delay);
-                            fetched_any |= got_jobs;
-                        }
-                        RpcOutcome::Down => {
-                            obs.rpc_down(now, project);
-                            client.record_rpc_failure(now, project);
-                        }
-                        RpcOutcome::TransientFailure => {
-                            obs.rpc_lost(now, project);
-                            let jitter_u =
-                                rpc_faults.as_mut().map_or(0.0, |inj| inj.jitter_u(project));
-                            client.record_transient_rpc_failure(now, project, jitter_u);
-                            metrics.record_transient_rpc_failure();
-                        }
-                    }
+                    server.report_completed(now, *id)
+                }
+                None => false,
+            };
+            metrics.record_job_done(*id, met, if met { 0.0 } else { flops_spent });
+            if let Some(task) = client.retire(*id) {
+                if task.rollback_waste > 0.0 {
+                    metrics.record_rollback_waste(
+                        task.rollback_waste * task.spec.usage.peak_flops_on(&*hw),
+                    );
+                }
+                obs.job_finished(now, *id, project, met);
+            }
+            assignment.remove(id);
+        }
+
+        // Fault bookkeeping: failed transfer attempts, jobs that
+        // exhausted their retry budget, and crash-recovery progress.
+        for &(job, upload) in &events.failed_transfers {
+            metrics.record_transfer_failure();
+            obs.transfer_failed(now, job, upload);
+        }
+        for id in &events.errored {
+            let (project, flops_spent) = {
+                let task = client.task(*id).expect("errored task exists");
+                (task.spec.project, task.progress() * task.spec.usage.peak_flops_on(&*hw))
+            };
+            if let Some(server) = servers.iter_mut().find(|s| s.id() == project) {
+                server.report_errored(*id);
+            }
+            metrics.record_job_errored(flops_spent);
+            obs.job_errored(now, *id, project);
+            client.retire(*id);
+            assignment.remove(id);
+        }
+        if !recoveries.is_empty() {
+            recoveries.retain_mut(|r| {
+                r.targets.retain(|&(id, target)| match client.task(id) {
+                    // Still recovering only while the task is live,
+                    // healthy, and below its pre-crash progress.
+                    Some(t) => !t.is_errored() && t.progress() + 1e-9 < target,
+                    None => false,
+                });
+                if r.targets.is_empty() {
+                    let secs = (now - r.start).secs();
+                    metrics.record_recovery(secs);
+                    obs.recovered(now, secs);
+                    false
+                } else {
+                    true
                 }
             });
-            if fetched_any {
-                let r2 = prof.time(sp_resched, || client.reschedule(now, run_state, on_frac));
-                obs.scheduled(now, &r2);
-            }
-            peak_jobs = peak_jobs.max(client.tasks().len());
+        }
 
-            // 5. Refresh the timeline instance assignment (only kept up to
-            //    date when a timeline is actually recorded) and schedule
-            //    the next predicted client event.
-            if timeline.is_some() {
-                update_assignment(&mut assignment, &client, &instances);
+        if now >= end {
+            *done = true;
+            return false;
+        }
+
+        // 3. Interpret the event.
+        let mut need_sched = !events.computed.is_empty() || !events.ready.is_empty();
+        match event {
+            Event::SchedPoint => {
+                need_sched = true;
+                queue.push(now + cfg.sched_period, Event::SchedPoint);
             }
-            if let Some(t_next) = client.next_event_after(now) {
-                // Enforce a minimum event granularity: predicted completion
-                // times can round to `now` itself in f64 (a sub-picosecond
-                // transfer residue at t ~ 10^4 s), which would stall the
-                // clock with same-instant events. One millisecond is far
-                // below anything the policies can observe.
-                let t_next = t_next.max(now + SimDuration::from_secs(1e-3));
-                if t_next <= end {
-                    queue.push(t_next, Event::Client { generation });
+            Event::Client { generation: g } => {
+                if g == *generation {
+                    need_sched = true;
                 }
             }
-            if let Some(t_unblock) = client.next_fetch_unblock(now) {
-                if t_unblock <= end {
-                    queue.push(t_unblock, Event::FetchRetry { generation });
+            Event::AvailChange => {
+                governor.advance(now);
+                let new_state = governor.run_state(now, &scenario.prefs);
+                if new_state != *run_state {
+                    obs.avail_changed(
+                        now,
+                        new_state.can_compute,
+                        new_state.can_gpu,
+                        new_state.net_up,
+                    );
+                    *run_state = new_state;
+                    need_sched = true;
+                }
+                let next = governor.next_change_after(now, &scenario.prefs);
+                if next.is_finite() && next < end {
+                    queue.push(next, Event::AvailChange);
+                }
+            }
+            Event::FetchRetry { generation: g } => {
+                if g == *generation {
+                    need_sched = true;
+                }
+            }
+            Event::Crash => {
+                let outcome = client.crash(now);
+                let lost_flops: f64 =
+                    outcome.lost.iter().map(|&(id, secs)| secs * client.peak_flops_of(id)).sum();
+                metrics.record_crash(lost_flops);
+                obs.crashed(
+                    now,
+                    outcome.lost.len(),
+                    outcome.lost.iter().map(|&(_, s)| s).sum::<f64>(),
+                    outcome.restarted_transfers,
+                );
+                if !outcome.lost.is_empty() {
+                    // Recovery target: the progress each task had at
+                    // the instant of the crash (post-rollback progress
+                    // plus what the crash destroyed).
+                    let targets = outcome
+                        .lost
+                        .iter()
+                        .map(|&(id, lost)| {
+                            let p = client.task(id).map(|t| t.progress()).unwrap_or(0.0);
+                            (id, p + lost)
+                        })
+                        .collect();
+                    recoveries.push(RecoveryTracker { start: now, targets });
+                }
+                need_sched = true;
+                if let Some(cp) = crash_proc {
+                    let next = cp.next_after(now);
+                    if next < end {
+                        queue.push(next, Event::Crash);
+                    }
                 }
             }
         }
 
-        // --- Finalize ---
-        let merit = metrics.finalize(&shares);
-        let total_used = metrics.total_flops_used();
+        if !need_sched {
+            return true;
+        }
+        *generation += 1;
+
+        // 4. Reschedule and run the fetch loop. The first fetch
+        //    decision reuses the snapshot the reschedule was based on
+        //    (as the pre-cache code did); later iterations refresh it,
+        //    which re-runs the simulation only after an RPC actually
+        //    changed the queue.
+        let resched = prof.time(sp_resched, || client.reschedule(now, *run_state, on_frac));
+        obs.scheduled(now, &resched);
+        let mut fetched_any = false;
+        let mut first_rpc = true;
+        prof.time(sp_rpc, || {
+            for _ in 0..cfg.max_rpcs_per_point {
+                if !first_rpc {
+                    client.rr_refresh(now, *run_state, on_frac);
+                }
+                first_rpc = false;
+                let Some(decision) = client.fetch_decision(now, *run_state, client.rr_snapshot())
+                else {
+                    // Trace-only forensics: the queue wanted work (some
+                    // type shows a shortfall) but no project was
+                    // eligible. A disabled sink skips even the check.
+                    if obs.tracing() && run_state.net_up {
+                        let rr = client.rr_snapshot();
+                        let wants = ProcType::ALL.iter().any(|&pt| rr.shortfall[pt] > 1.0);
+                        if wants {
+                            if let Some((p, until)) = client.next_fetch_unblock_detail(now) {
+                                obs.fetch_deferred(now, p, until);
+                            }
+                        }
+                    }
+                    break;
+                };
+                let project = decision.project;
+                let mut request = SchedulerRequest::default();
+                for pt in ProcType::ALL {
+                    request.per_type[pt] = TypeRequest {
+                        secs: decision.request.secs[pt],
+                        instances: decision.request.instances[pt],
+                    };
+                }
+                let server = servers
+                    .iter_mut()
+                    .find(|s| s.id() == project)
+                    .expect("fetch decision for unknown project");
+                server.check_deadlines(now);
+                metrics.record_rpc();
+                // Transient-fault injection: a lost request never reaches
+                // the server (its state is untouched). With no injector
+                // this is exactly the seed path.
+                let lost_in_transit = rpc_faults.as_mut().is_some_and(|inj| inj.rpc_fails(project));
+                let outcome = if lost_in_transit {
+                    RpcOutcome::TransientFailure
+                } else {
+                    server.handle_rpc(now, &request)
+                };
+                match outcome {
+                    RpcOutcome::Reply(reply) => {
+                        obs.rpc_reply(
+                            now,
+                            project,
+                            request.per_type[ProcType::Cpu].secs,
+                            request.per_type[ProcType::NvidiaGpu].secs
+                                + request.per_type[ProcType::AtiGpu].secs,
+                            reply.jobs.len(),
+                        );
+                        let got_jobs = !reply.jobs.is_empty();
+                        client.record_reply(now, project, reply.jobs, reply.delay);
+                        fetched_any |= got_jobs;
+                    }
+                    RpcOutcome::Down => {
+                        obs.rpc_down(now, project);
+                        client.record_rpc_failure(now, project);
+                    }
+                    RpcOutcome::TransientFailure => {
+                        obs.rpc_lost(now, project);
+                        let jitter_u = rpc_faults.as_mut().map_or(0.0, |inj| inj.jitter_u(project));
+                        client.record_transient_rpc_failure(now, project, jitter_u);
+                        metrics.record_transient_rpc_failure();
+                    }
+                }
+            }
+        });
+        if fetched_any {
+            let r2 = prof.time(sp_resched, || client.reschedule(now, *run_state, on_frac));
+            obs.scheduled(now, &r2);
+        }
+        *peak_jobs = (*peak_jobs).max(client.tasks().len());
+
+        // 5. Refresh the timeline instance assignment (only kept up to
+        //    date when a timeline is actually recorded) and schedule
+        //    the next predicted client event.
+        if timeline.is_some() {
+            update_assignment(assignment, client, instances);
+        }
+        if let Some(t_next) = client.next_event_after(now) {
+            // Enforce a minimum event granularity: predicted completion
+            // times can round to `now` itself in f64 (a sub-picosecond
+            // transfer residue at t ~ 10^4 s), which would stall the
+            // clock with same-instant events. One millisecond is far
+            // below anything the policies can observe.
+            let t_next = t_next.max(now + SimDuration::from_secs(1e-3));
+            if t_next <= end {
+                queue.push(t_next, Event::Client { generation: *generation });
+            }
+        }
+        if let Some(t_unblock) = client.next_fetch_unblock(now) {
+            if t_unblock <= end {
+                queue.push(t_unblock, Event::FetchRetry { generation: *generation });
+            }
+        }
+        true
+    }
+
+    /// Produce the result and hand the reusable buffers (client scratch,
+    /// event queue, per-project scratch) back to the arena.
+    fn finalize(mut self, emu: &Emulator, arena: &mut EmulatorArena) -> EmulationResult {
+        let scenario = &*emu.scenario;
+        let merit = self.metrics.finalize(&self.shares);
+        let total_used = self.metrics.total_flops_used();
         let projects: Vec<ProjectReport> = scenario
             .projects
             .iter()
             .map(|p| {
-                let server = servers.iter().find(|s| s.id() == p.id).expect("server");
+                let server = self.servers.iter().find(|s| s.id() == p.id).expect("server");
                 let share_sum: f64 = scenario.projects.iter().map(|q| q.resource_share).sum();
-                let flops_used = metrics.flops_used_by(p.id);
+                let flops_used = self.metrics.flops_used_by(p.id);
                 ProjectReport {
                     id: p.id,
                     name: p.name.clone(),
@@ -791,38 +1081,101 @@ impl Emulator {
             })
             .collect();
 
-        let rr = client.rr_stats();
-        let perf =
-            PerfStats { events_processed, peak_jobs, rr_queries: rr.queries, rr_runs: rr.runs };
-        let jobs_unfinished = client.tasks().iter().filter(|t| !t.is_complete()).count() as u64;
-        // Hand the client's buffers back to the arena for the next run.
-        *client_scratch = Some(client.into_scratch());
-        let fault_metrics = metrics.fault_metrics();
-        let metrics_snapshot = metrics.export_snapshot(&merit, &fault_metrics, &perf);
-        if let Some(start) = run_start {
-            let sp_total = prof.span("emu.total");
-            prof.add_wall_nanos(sp_total, start.elapsed().as_nanos());
+        let rr = self.client.rr_stats();
+        let perf = PerfStats {
+            events_processed: self.events_processed,
+            peak_jobs: self.peak_jobs,
+            rr_queries: rr.queries,
+            rr_runs: rr.runs,
+        };
+        let jobs_unfinished =
+            self.client.tasks().iter().filter(|t| !t.is_complete()).count() as u64;
+        // Hand the working buffers back to the arena for the next run.
+        arena.client = Some(self.client.into_scratch());
+        arena.queue = self.queue;
+        arena.per_project = self.per_project;
+        let fault_metrics = self.metrics.fault_metrics();
+        let metrics_snapshot = self.metrics.export_snapshot(&merit, &fault_metrics, &perf);
+        if let Some(start) = self.run_start {
+            let sp_total = self.prof.span("emu.total");
+            self.prof.add_wall_nanos(sp_total, start.elapsed().as_nanos());
         }
-        let (log, trace) = obs.finish();
+        let (log, trace) = self.obs.finish();
 
         EmulationResult {
             scenario_name: scenario.name.clone(),
             merit,
             projects,
-            jobs_completed: metrics.jobs_completed(),
-            jobs_missed_deadline: metrics.jobs_missed(),
+            jobs_completed: self.metrics.jobs_completed(),
+            jobs_missed_deadline: self.metrics.jobs_missed(),
             jobs_unfinished,
-            available_fraction: metrics.available_fraction(),
+            available_fraction: self.metrics.available_fraction(),
             total_flops_used: total_used,
-            duration: self.cfg.duration,
+            duration: emu.cfg.duration,
             faults: fault_metrics,
             perf,
-            timeline,
+            timeline: self.timeline,
             log,
             metrics: metrics_snapshot,
             trace,
-            profile: self.cfg.profile.then(|| prof.report()),
+            profile: emu.cfg.profile.then(|| self.prof.report()),
         }
+    }
+
+    /// Capture the complete deterministic state of the run at the current
+    /// event boundary. Wall-clock instruments (profiler, trace buffer)
+    /// are excluded: they are not part of the determinism contract.
+    fn capture(&self, emu: &Emulator) -> CheckpointState {
+        let scenario = &*emu.scenario;
+        let (host, user, net) = self.governor.sources();
+        let (queue, queue_next_seq) = self.queue.snapshot();
+        CheckpointState {
+            scenario_name: scenario.name.clone(),
+            seed: scenario.seed,
+            duration: emu.cfg.duration,
+            now: self.now,
+            generation: self.generation,
+            events_processed: self.events_processed,
+            peak_jobs: self.peak_jobs as u64,
+            finished: self.done,
+            run_state: self.run_state,
+            queue,
+            queue_next_seq,
+            avail: [avail_source_state(host), avail_source_state(user), avail_source_state(net)],
+            servers: self.servers.iter().map(|s| (s.id(), s.snapshot())).collect(),
+            client: self.client.snapshot(),
+            rpc_fault_streams: self.rpc_faults.as_ref().map(|inj| inj.streams().to_vec()),
+            crash_rng: self.crash_proc.as_ref().map(|cp| cp.rng().clone()),
+            recoveries: self.recoveries.iter().map(|r| (r.start, r.targets.clone())).collect(),
+            metrics: self.metrics.snapshot(),
+            log: (emu.cfg.log_capacity > 0)
+                .then(|| (self.obs.log.entries().to_vec(), self.obs.log.dropped())),
+            timeline: self.timeline.as_ref().map(|tl| {
+                tl.tracks().iter().map(|tr| (tr.instance, tr.segments().to_vec())).collect()
+            }),
+            assignment: self.assignment.iter().map(|(j, v)| (*j, v.clone())).collect(),
+        }
+    }
+}
+
+fn avail_source_state(src: &AvailSource) -> Option<(Rng, bool, SimTime)> {
+    match src {
+        AvailSource::Process(p) => Some(p.snapshot()),
+        AvailSource::Trace(_) => None,
+    }
+}
+
+fn restore_avail_source(
+    src: &mut AvailSource,
+    saved: &Option<(Rng, bool, SimTime)>,
+) -> Result<(), CheckpointError> {
+    match (src, saved) {
+        (AvailSource::Process(p), Some((rng, state, next))) => {
+            *p = OnOffProcess::from_parts(*p.spec(), rng.clone(), *state, *next);
+            Ok(())
+        }
+        (AvailSource::Trace(_), None) => Ok(()),
+        _ => Err(CheckpointError::ConfigMismatch("availability source kind".into())),
     }
 }
 

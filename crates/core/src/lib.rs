@@ -12,6 +12,7 @@
 //! message log.
 
 pub mod builder;
+pub mod checkpoint;
 pub mod emulator;
 pub mod metrics;
 pub mod observe;
@@ -24,6 +25,7 @@ pub use bce_obs::{
     TraceRecord, TraceSink, Tracer,
 };
 pub use builder::ScenarioBuilder;
+pub use checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState};
 pub use emulator::{EmulationResult, Emulator, EmulatorArena, EmulatorConfig};
 pub use metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, ProjectReport};
 pub use observe::RunObserver;

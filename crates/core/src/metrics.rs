@@ -130,6 +130,27 @@ pub struct ProjectReport {
     pub rpcs: u64,
 }
 
+/// The complete mutable state of a [`MetricsAccum`], captured by a run
+/// checkpoint. Counter values are stored positionally in registration
+/// order: `rpc.issued`, `rpc.transient_failures`, `jobs.completed`,
+/// `jobs.missed_deadline`, `jobs.errored`, `xfer.failures`,
+/// `fault.crashes`, `fault.recoveries`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsAccumSnapshot {
+    pub capacity_secs: f64,
+    pub available_secs: f64,
+    pub used: Vec<(ProjectId, f64)>,
+    pub wasted_flops: f64,
+    pub window_used: Vec<(ProjectId, f64)>,
+    pub window_end: SimTime,
+    pub monotony_sum: f64,
+    pub monotony_windows: u64,
+    pub missed_ids: Vec<JobId>,
+    pub fault_wasted_flops: f64,
+    pub recovery_secs_sum: f64,
+    pub counters: [u64; 8],
+}
+
 /// Accumulates metrics during an emulation run.
 ///
 /// Since the observability redesign every discrete count lives in a
@@ -415,6 +436,66 @@ impl MetricsAccum {
         };
 
         FiguresOfMerit { idle_fraction, wasted_fraction, share_violation, monotony, rpcs_per_job }
+    }
+
+    /// Capture every mutable accumulator field for a checkpoint. The
+    /// construction-time constants (capacity, window length, project
+    /// count) are not captured: a restore target is always built through
+    /// the same scenario and therefore already agrees on them.
+    pub fn snapshot(&self) -> MetricsAccumSnapshot {
+        MetricsAccumSnapshot {
+            capacity_secs: self.capacity_secs,
+            available_secs: self.available_secs,
+            used: self.used.iter().map(|(&p, &v)| (p, v)).collect(),
+            wasted_flops: self.wasted_flops,
+            window_used: self.window_used.iter().map(|(&p, &v)| (p, v)).collect(),
+            window_end: self.window_end,
+            monotony_sum: self.monotony_sum,
+            monotony_windows: self.monotony_windows,
+            missed_ids: self.missed_ids.clone(),
+            fault_wasted_flops: self.fault_wasted_flops,
+            recovery_secs_sum: self.recovery_secs_sum,
+            counters: [
+                self.registry.counter_value(self.c_rpcs),
+                self.registry.counter_value(self.c_transient_rpc_failures),
+                self.registry.counter_value(self.c_jobs_completed),
+                self.registry.counter_value(self.c_jobs_missed),
+                self.registry.counter_value(self.c_jobs_errored),
+                self.registry.counter_value(self.c_transfer_failures),
+                self.registry.counter_value(self.c_crashes),
+                self.registry.counter_value(self.c_recoveries),
+            ],
+        }
+    }
+
+    /// Overwrite the mutable state from a snapshot. Must be called on a
+    /// freshly-constructed accumulator (all counters zero) so the counter
+    /// replay lands on the captured values exactly.
+    pub fn restore_snapshot(&mut self, snap: &MetricsAccumSnapshot) {
+        self.capacity_secs = snap.capacity_secs;
+        self.available_secs = snap.available_secs;
+        self.used = snap.used.iter().copied().collect();
+        self.wasted_flops = snap.wasted_flops;
+        self.window_used = snap.window_used.iter().copied().collect();
+        self.window_end = snap.window_end;
+        self.monotony_sum = snap.monotony_sum;
+        self.monotony_windows = snap.monotony_windows;
+        self.missed_ids = snap.missed_ids.clone();
+        self.fault_wasted_flops = snap.fault_wasted_flops;
+        self.recovery_secs_sum = snap.recovery_secs_sum;
+        let ids = [
+            self.c_rpcs,
+            self.c_transient_rpc_failures,
+            self.c_jobs_completed,
+            self.c_jobs_missed,
+            self.c_jobs_errored,
+            self.c_transfer_failures,
+            self.c_crashes,
+            self.c_recoveries,
+        ];
+        for (id, &v) in ids.into_iter().zip(&snap.counters) {
+            self.registry.add(id, v);
+        }
     }
 
     /// Freeze the run's instruments — the registry counters plus derived

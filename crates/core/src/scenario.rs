@@ -8,7 +8,7 @@
 use bce_avail::{AvailSpec, AvailTrace};
 use bce_client::NetworkModel;
 use bce_types::{Hardware, ProjectSpec};
-use bce_types::{InitialJob, ModelError, Preferences, ProcType};
+use bce_types::{InitialJob, ModelError, Preferences, ProcType, ScenarioErrors};
 
 /// A complete scenario description.
 #[derive(Debug, Clone)]
@@ -74,65 +74,98 @@ impl Scenario {
         self
     }
 
-    /// Sanity-check the scenario before emulation.
-    pub fn validate(&self) -> Result<(), ModelError> {
-        if self.projects.is_empty() {
-            return Err(ModelError::Empty("projects"));
+    /// Sanity-check the scenario before emulation, reporting *every*
+    /// problem found (a typed [`ScenarioErrors`] list), not just the
+    /// first. The emulator assumes a validated scenario; feeding it an
+    /// invalid one may panic, so [`crate::ScenarioBuilder::build`] and
+    /// the `bce validate` subcommand both route through here.
+    pub fn validate(&self) -> Result<(), ScenarioErrors> {
+        // `true` when `x` is a usable positive finite quantity; NaN and
+        // infinities fail (NaN fails every comparison).
+        fn positive_finite(x: f64) -> bool {
+            x > 0.0 && x.is_finite()
         }
-        if self.hardware.total_peak_flops() <= 0.0 {
-            return Err(ModelError::OutOfRange {
+
+        let mut errors: Vec<ModelError> = Vec::new();
+        if self.projects.is_empty() {
+            errors.push(ModelError::Empty("projects"));
+        }
+        if !positive_finite(self.hardware.total_peak_flops()) {
+            errors.push(ModelError::OutOfRange {
                 what: "total_peak_flops",
                 value: self.hardware.total_peak_flops(),
-                expected: "> 0",
+                expected: "> 0 and finite",
             });
         }
         let mut seen = std::collections::HashSet::new();
         for p in &self.projects {
             if !seen.insert(p.id) {
-                return Err(ModelError::DuplicateId(p.id.to_string()));
+                errors.push(ModelError::DuplicateId(p.id.to_string()));
             }
-            if p.resource_share < 0.0 {
-                return Err(ModelError::OutOfRange {
+            if !positive_finite(p.resource_share) {
+                errors.push(ModelError::OutOfRange {
                     what: "resource_share",
                     value: p.resource_share,
-                    expected: ">= 0",
+                    expected: "> 0 and finite",
                 });
             }
             if p.apps.is_empty() {
-                return Err(ModelError::Empty("project apps"));
+                errors.push(ModelError::Empty("project apps"));
             }
             for app in &p.apps {
                 let t = app.usage.main_proc_type();
                 if self.hardware.ninstances(t) == 0 && t != ProcType::Cpu {
-                    return Err(ModelError::MissingProcType {
+                    errors.push(ModelError::MissingProcType {
                         project: p.name.clone(),
                         proc_type: t.name(),
                     });
                 }
-                if !app.runtime_mean.is_positive() {
-                    return Err(ModelError::OutOfRange {
+                if !positive_finite(app.runtime_mean.secs()) {
+                    errors.push(ModelError::OutOfRange {
                         what: "runtime_mean",
                         value: app.runtime_mean.secs(),
-                        expected: "> 0",
+                        expected: "> 0 and finite",
                     });
+                }
+                if !positive_finite(app.latency_bound.secs()) {
+                    errors.push(ModelError::OutOfRange {
+                        what: "latency_bound",
+                        value: app.latency_bound.secs(),
+                        expected: "> 0 and finite",
+                    });
+                }
+                if let Some(cp) = app.checkpoint_period {
+                    if !positive_finite(cp.secs()) {
+                        errors.push(ModelError::OutOfRange {
+                            what: "checkpoint_period",
+                            value: cp.secs(),
+                            expected: "> 0 and finite when present",
+                        });
+                    }
                 }
             }
         }
         for ij in &self.initial_queue {
-            let Some(project) = self.projects.iter().find(|p| p.id == ij.project) else {
-                return Err(ModelError::DuplicateId(format!(
+            match self.projects.iter().find(|p| p.id == ij.project) {
+                None => errors.push(ModelError::DuplicateId(format!(
                     "initial job references unknown project {}",
                     ij.project
-                )));
-            };
-            if !project.apps.iter().any(|a| a.id == ij.app) {
-                return Err(ModelError::DuplicateId(format!(
-                    "initial job references unknown app {} of {}",
-                    ij.app, ij.project
-                )));
+                ))),
+                Some(project) => {
+                    if !project.apps.iter().any(|a| a.id == ij.app) {
+                        errors.push(ModelError::DuplicateId(format!(
+                            "initial job references unknown app {} of {}",
+                            ij.app, ij.project
+                        )));
+                    }
+                }
             }
         }
-        Ok(())
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(ScenarioErrors(errors))
+        }
     }
 }
 
@@ -156,10 +189,14 @@ mod tests {
         assert!(base().validate().is_ok());
     }
 
+    fn errors_of(s: &Scenario) -> Vec<ModelError> {
+        s.validate().expect_err("expected validation errors").0
+    }
+
     #[test]
     fn empty_projects_rejected() {
         let s = Scenario::new("t", Hardware::cpu_only(1, 1e9));
-        assert_eq!(s.validate(), Err(ModelError::Empty("projects")));
+        assert_eq!(errors_of(&s), vec![ModelError::Empty("projects")]);
     }
 
     #[test]
@@ -172,20 +209,67 @@ mod tests {
                 SimDuration::from_secs(1000.0),
             )),
         );
-        assert!(matches!(s.validate(), Err(ModelError::MissingProcType { .. })));
+        assert!(matches!(errors_of(&s)[..], [ModelError::MissingProcType { .. }]));
     }
 
     #[test]
     fn duplicate_project_ids_rejected() {
         let mut s = base();
         s.projects.push(s.projects[0].clone());
-        assert!(matches!(s.validate(), Err(ModelError::DuplicateId(_))));
+        assert!(errors_of(&s).iter().any(|e| matches!(e, ModelError::DuplicateId(_))));
     }
 
     #[test]
-    fn negative_share_rejected() {
+    fn nonpositive_or_nonfinite_share_rejected() {
+        for bad in [-1.0, 0.0, f64::NAN, f64::INFINITY] {
+            let mut s = base();
+            s.projects[0].resource_share = bad;
+            assert!(
+                errors_of(&s)
+                    .iter()
+                    .any(|e| matches!(e, ModelError::OutOfRange { what: "resource_share", .. })),
+                "share {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn nonfinite_durations_rejected() {
+        let mut s = base();
+        s.projects[0].apps[0].runtime_mean = SimDuration::from_secs(f64::NAN);
+        s.projects[0].apps[0].latency_bound = SimDuration::from_secs(f64::INFINITY);
+        let errs = errors_of(&s);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::OutOfRange { what: "runtime_mean", .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::OutOfRange { what: "latency_bound", .. })));
+    }
+
+    #[test]
+    fn zero_checkpoint_period_rejected_but_none_allowed() {
+        let mut s = base();
+        s.projects[0].apps[0].checkpoint_period = Some(SimDuration::from_secs(0.0));
+        assert!(errors_of(&s)
+            .iter()
+            .any(|e| matches!(e, ModelError::OutOfRange { what: "checkpoint_period", .. })));
+        s.projects[0].apps[0].checkpoint_period = None;
+        assert!(s.validate().is_ok(), "a never-checkpointing app is legal");
+    }
+
+    #[test]
+    fn all_problems_reported_at_once() {
+        // One pass must surface every defect, not stop at the first.
         let mut s = base();
         s.projects[0].resource_share = -1.0;
-        assert!(matches!(s.validate(), Err(ModelError::OutOfRange { .. })));
+        s.projects[0].apps[0].runtime_mean = SimDuration::from_secs(0.0);
+        s.projects.push(s.projects[0].clone());
+        let errs = errors_of(&s);
+        assert!(errs.len() >= 4, "expected share x2 + runtime x2 + duplicate, got {errs:?}");
+        assert!(errs.iter().any(|e| matches!(e, ModelError::DuplicateId(_))));
+        let rendered = bce_types::ScenarioErrors(errs).to_string();
+        assert!(rendered.contains("problems:"), "{rendered}");
+        assert!(rendered.contains("resource_share"), "{rendered}");
     }
 }

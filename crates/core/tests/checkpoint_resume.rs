@@ -1,0 +1,276 @@
+//! Checkpoint/restore differential tests: capturing a run mid-flight and
+//! resuming it — in-process or through the serialized XML document, even
+//! across a simulated process restart — must produce a result whose
+//! [`EmulationResult::bit_fingerprint`] equals the uninterrupted run's.
+//! This is the determinism contract the crash-safe executor builds on.
+
+use bce_avail::{AvailSpec, OnOffSpec};
+use bce_client::ClientConfig;
+use bce_core::{
+    CheckpointError, CheckpointState, EmulationResult, Emulator, EmulatorArena, EmulatorConfig,
+    FaultConfig, Scenario,
+};
+use bce_sim::Level;
+use bce_types::{AppClass, Hardware, ProcType, ProjectSpec, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn cpu_scenario(seed: u64) -> Scenario {
+    Scenario::new(format!("ckpt-cpu-{seed}"), Hardware::cpu_only(2, 1.5e9))
+        .with_seed(seed)
+        .with_avail(AvailSpec {
+            host: OnOffSpec::duty_cycle(0.8, SimDuration::from_hours(3.0)),
+            user_active: OnOffSpec::duty_cycle(0.3, SimDuration::from_hours(5.0)),
+            network: OnOffSpec::duty_cycle(0.9, SimDuration::from_hours(7.0)),
+        })
+        .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
+            0,
+            SimDuration::from_secs(900.0),
+            SimDuration::from_hours(6.0),
+        )))
+        .with_project(ProjectSpec::new(1, "beta", 300.0).with_app(AppClass::cpu(
+            1,
+            SimDuration::from_secs(1400.0),
+            SimDuration::from_hours(12.0),
+        )))
+}
+
+fn gpu_scenario(seed: u64) -> Scenario {
+    Scenario::new(
+        format!("ckpt-gpu-{seed}"),
+        Hardware::cpu_only(4, 2e9).with_group(ProcType::NvidiaGpu, 1, 1e10),
+    )
+    .with_seed(seed)
+    .with_project(
+        ProjectSpec::new(0, "mixed", 100.0)
+            .with_app(AppClass::gpu(
+                0,
+                ProcType::NvidiaGpu,
+                SimDuration::from_secs(700.0),
+                SimDuration::from_hours(8.0),
+            ))
+            .with_app(AppClass::cpu(
+                1,
+                SimDuration::from_secs(2000.0),
+                SimDuration::from_hours(8.0),
+            )),
+    )
+}
+
+fn bare_cfg() -> EmulatorConfig {
+    EmulatorConfig { duration: SimDuration::from_hours(18.0), ..Default::default() }
+}
+
+/// Every optional subsystem on: faults (RPC + transfer + crashes),
+/// message log, timeline, typed trace. Restore must reproduce all of it.
+fn observed_cfg() -> EmulatorConfig {
+    let mut faults = FaultConfig::with_failure_rate(0.1);
+    faults.crash_mtbf = Some(SimDuration::from_hours(9.0));
+    EmulatorConfig {
+        duration: SimDuration::from_hours(18.0),
+        log_capacity: 50_000,
+        log_level: Level::Debug,
+        record_timeline: true,
+        trace_capacity: 50_000,
+        faults,
+        ..Default::default()
+    }
+}
+
+fn assert_same(resumed: &EmulationResult, straight: &EmulationResult, what: &str) {
+    assert_eq!(
+        resumed.bit_fingerprint(),
+        straight.bit_fingerprint(),
+        "{what}: resumed run diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn resume_is_bit_identical_across_configs_and_instants() {
+    let client = ClientConfig::default();
+    let cases: Vec<(Scenario, EmulatorConfig)> = vec![
+        (cpu_scenario(11), bare_cfg()),
+        (cpu_scenario(11), observed_cfg()),
+        (gpu_scenario(7), bare_cfg()),
+        (gpu_scenario(7), observed_cfg()),
+    ];
+    for (scenario, cfg) in cases {
+        let emu = Emulator::new(scenario.clone(), client, cfg);
+        let straight = emu.run();
+        for hours in [0.0, 0.5, 4.0, 11.3, 17.9, 30.0] {
+            let at = SimTime::from_secs(hours * 3600.0);
+            let ckpt = emu.checkpoint_at(at);
+            let resumed = emu.resume(&ckpt).expect("restore own checkpoint");
+            assert_same(&resumed, &straight, &format!("{} at {hours}h", scenario.name));
+        }
+    }
+}
+
+#[test]
+fn serialized_checkpoint_resumes_bit_identically() {
+    // Round-trip through the XML document — the same path a process
+    // restart takes — and through an actual file written atomically.
+    let client = ClientConfig::default();
+    for (scenario, cfg) in [(cpu_scenario(3), observed_cfg()), (gpu_scenario(4), bare_cfg())] {
+        let emu = Emulator::new(scenario.clone(), client, cfg);
+        let straight = emu.run();
+        let ckpt = emu.checkpoint_at(SimTime::from_secs(6.5 * 3600.0));
+
+        let doc = ckpt.to_xml_string();
+        let parsed = CheckpointState::from_xml_str(&doc).expect("parse own serialization");
+        let resumed = emu.resume(&parsed).expect("resume parsed checkpoint");
+        assert_same(&resumed, &straight, &format!("{} via XML", scenario.name));
+        // The format itself is stable: re-serializing the parsed state
+        // reproduces the document byte-for-byte.
+        assert_eq!(parsed.to_xml_string(), doc, "serialization is not canonical");
+
+        let path = std::env::temp_dir().join(format!("bce-test-{}.ckpt", scenario.name));
+        ckpt.write_atomic(&path).expect("atomic write");
+        let read = CheckpointState::read_from(&path).expect("read checkpoint file");
+        let _ = std::fs::remove_file(&path);
+        let resumed = emu.resume(&read).expect("resume file checkpoint");
+        assert_same(&resumed, &straight, &format!("{} via file", scenario.name));
+    }
+}
+
+#[test]
+fn periodic_checkpoint_sink_observes_and_preserves_the_run() {
+    let client = ClientConfig::default();
+    let emu = Emulator::new(cpu_scenario(21), client, observed_cfg());
+    let straight = emu.run();
+    let mut ckpts: Vec<CheckpointState> = Vec::new();
+    let result =
+        emu.run_with_checkpoints_in(&mut EmulatorArena::new(), SimDuration::from_hours(4.0), |c| {
+            ckpts.push(c.clone());
+        });
+    assert_same(&result, &straight, "run_with_checkpoints result");
+    assert!(
+        ckpts.len() >= 3,
+        "expected a checkpoint roughly every 4h of an 18h run, got {}",
+        ckpts.len()
+    );
+    let mut last = SimTime::ZERO;
+    for (i, ckpt) in ckpts.iter().enumerate() {
+        assert!(ckpt.now() >= last, "checkpoint times must be monotone");
+        last = ckpt.now();
+        let resumed = emu.resume(ckpt).expect("resume periodic checkpoint");
+        assert_same(&resumed, &straight, &format!("periodic checkpoint {i}"));
+    }
+}
+
+#[test]
+fn checkpoint_reuses_arena_without_contamination() {
+    // checkpoint_at_in / resume_in through one shared arena must match
+    // the fresh-state paths exactly, and leave the arena reusable.
+    let client = ClientConfig::default();
+    let mut arena = EmulatorArena::new();
+    for seed in [1u64, 2, 3] {
+        let emu = Emulator::new(cpu_scenario(seed), client, observed_cfg());
+        let straight = emu.run();
+        let ckpt = emu.checkpoint_at_in(SimTime::from_secs(9.0 * 3600.0), &mut arena);
+        let resumed = emu.resume_in(&ckpt, &mut arena).expect("resume in arena");
+        assert_same(&resumed, &straight, &format!("arena path seed {seed}"));
+    }
+}
+
+#[test]
+fn mismatched_scenario_or_config_is_rejected() {
+    let client = ClientConfig::default();
+    let emu = Emulator::new(cpu_scenario(5), client, bare_cfg());
+    let ckpt = emu.checkpoint_at(SimTime::from_secs(3600.0));
+
+    let other = Emulator::new(cpu_scenario(6), client, bare_cfg());
+    assert!(matches!(other.resume(&ckpt), Err(CheckpointError::ScenarioMismatch { .. })));
+
+    let longer = EmulatorConfig { duration: SimDuration::from_hours(30.0), ..Default::default() };
+    let other = Emulator::new(cpu_scenario(5), client, longer);
+    assert!(matches!(other.resume(&ckpt), Err(CheckpointError::ConfigMismatch(_))));
+
+    let faulty = EmulatorConfig {
+        duration: SimDuration::from_hours(18.0),
+        faults: FaultConfig::with_failure_rate(0.1),
+        ..Default::default()
+    };
+    let other = Emulator::new(cpu_scenario(5), client, faulty);
+    assert!(matches!(other.resume(&ckpt), Err(CheckpointError::ConfigMismatch(_))));
+}
+
+#[test]
+fn corrupt_checkpoint_documents_error_and_never_panic() {
+    let emu = Emulator::new(cpu_scenario(9), ClientConfig::default(), observed_cfg());
+    let doc = emu.checkpoint_at(SimTime::from_secs(5.0 * 3600.0)).to_xml_string();
+
+    // Every strict prefix (truncation at any byte on a char boundary)
+    // must return Err — the envelope or a required field is incomplete.
+    let solid = doc.trim_end();
+    for cut in (0..solid.len()).step_by(97).chain([solid.len() - 1]) {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        assert!(
+            CheckpointState::from_xml_str(&doc[..cut]).is_err(),
+            "truncation at byte {cut} parsed successfully"
+        );
+    }
+    // Whole-document mutations: wrong root, bad version, mangled numbers.
+    assert!(CheckpointState::from_xml_str("").is_err());
+    assert!(CheckpointState::from_xml_str("<client_state version=\"1\"/>").is_err());
+    assert!(
+        CheckpointState::from_xml_str(&doc.replacen("version=\"1\"", "version=\"99\"", 1)).is_err()
+    );
+    let mangled = doc.replacen("seed=\"9\"", "seed=\"nine\"", 1);
+    assert!(CheckpointState::from_xml_str(&mangled).is_err());
+    let mangled = doc.replacen("<queue", "<kueue", 1);
+    assert!(CheckpointState::from_xml_str(&mangled).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// For random scenario shapes and a random checkpoint instant, the
+    /// full pipeline — checkpoint → serialize → parse → restore → run to
+    /// completion — is bit-identical to the uninterrupted run, with
+    /// faults and observation both on and off.
+    #[test]
+    fn random_checkpoint_roundtrips_bit_identically(
+        seed in 0u64..1000,
+        ncpus in 1u32..4,
+        share in 1.0f64..900.0,
+        job_secs in 500.0f64..4000.0,
+        at_frac in 0.0f64..1.1,
+        observed in any::<bool>(),
+    ) {
+        let scenario = Scenario::new(
+            format!("ckpt-prop-{seed}"),
+            Hardware::cpu_only(ncpus, 1.5e9),
+        )
+        .with_seed(seed)
+        .with_avail(AvailSpec {
+            host: OnOffSpec::duty_cycle(0.75, SimDuration::from_hours(2.0)),
+            user_active: OnOffSpec::AlwaysOff,
+            network: OnOffSpec::AlwaysOn,
+        })
+        .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
+            0,
+            SimDuration::from_secs(job_secs),
+            SimDuration::from_hours(6.0),
+        )))
+        .with_project(ProjectSpec::new(1, "beta", share).with_app(AppClass::cpu(
+            1,
+            SimDuration::from_secs(1100.0),
+            SimDuration::from_hours(10.0),
+        )));
+        let cfg = if observed {
+            EmulatorConfig { duration: SimDuration::from_hours(12.0), ..observed_cfg() }
+        } else {
+            EmulatorConfig { duration: SimDuration::from_hours(12.0), ..Default::default() }
+        };
+        let emu = Emulator::new(scenario, ClientConfig::default(), cfg);
+        let straight = emu.run();
+        let at = SimTime::from_secs(at_frac * 12.0 * 3600.0);
+        let ckpt = emu.checkpoint_at(at);
+        let doc = ckpt.to_xml_string();
+        let parsed = CheckpointState::from_xml_str(&doc).expect("parse");
+        let resumed = emu.resume(&parsed).expect("resume");
+        prop_assert_eq!(resumed.bit_fingerprint(), straight.bit_fingerprint());
+    }
+}

@@ -40,6 +40,39 @@ impl Component {
             Component::Emulator => "emu",
         }
     }
+
+    /// Inverse of [`Component::name`], for checkpoint deserialization.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "sched" => Component::Sched,
+            "fetch" => Component::Fetch,
+            "server" => Component::Server,
+            "avail" => Component::Avail,
+            "task" => Component::Task,
+            "emu" => Component::Emulator,
+            _ => return None,
+        })
+    }
+}
+
+impl Level {
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+
+    /// Inverse of [`Level::name`], for checkpoint deserialization.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "debug" => Level::Debug,
+            "info" => Level::Info,
+            "warn" => Level::Warn,
+            _ => return None,
+        })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -150,6 +183,14 @@ impl MsgLog {
 
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Overwrite the recorded history (checkpoint restore). Level and
+    /// capacity are unchanged; the existing buffer allocation is reused.
+    pub fn restore_history(&mut self, entries: impl IntoIterator<Item = LogEntry>, dropped: u64) {
+        self.entries.clear();
+        self.entries.extend(entries);
+        self.dropped = dropped;
     }
 
     pub fn render(&self) -> String {

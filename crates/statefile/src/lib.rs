@@ -5,8 +5,13 @@
 //! scenario (§4.3). This crate provides a from-scratch XML-subset parser
 //! and the mapping between such documents and the domain model.
 
+pub mod codec;
 pub mod doc;
 pub mod xml;
 
+pub use codec::{
+    attr_f64_bits, attr_parse, envelope, fmt_f64_bits, fmt_u64_hex, open_envelope, parse_f64_bits,
+    parse_u64_hex, req_attr, req_child, CodecError,
+};
 pub use doc::{ClientStateDoc, StateFileError};
 pub use xml::{parse as parse_xml, XmlError, XmlNode};

@@ -32,6 +32,50 @@ impl fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
+/// Every problem a scenario validation found, not just the first one —
+/// so a user fixing a hand-written state file sees the whole list in one
+/// round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioErrors(pub Vec<ModelError>);
+
+impl ScenarioErrors {
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, ModelError> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for ScenarioErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.as_slice() {
+            [] => write!(f, "no errors"),
+            [one] => write!(f, "{one}"),
+            many => {
+                write!(f, "{} problems:", many.len())?;
+                for e in many {
+                    write!(f, "\n  - {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioErrors {}
+
+impl From<ModelError> for ScenarioErrors {
+    fn from(e: ModelError) -> Self {
+        ScenarioErrors(vec![e])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,7 @@ pub mod project;
 pub mod share;
 pub mod time;
 
-pub use error::ModelError;
+pub use error::{ModelError, ScenarioErrors};
 pub use ids::{AppId, InstanceId, JobId, ProjectId};
 pub use job::{EstErrorModel, InitialJob, JobOutcome, JobSpec, ResourceUsage};
 pub use prefs::{DailyWindow, Preferences};
