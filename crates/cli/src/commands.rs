@@ -4,15 +4,14 @@
 use crate::args::{ArgError, Args};
 use bce_client::{ClientConfig, DeadlineOrder, FetchPolicy, JobSchedPolicy};
 use bce_controller::{
-    compare_policies, population_campaign, population_study, population_table, CampaignOptions,
-    Metric, Table,
+    compare_policies, population_campaign, population_header, population_study, population_table,
+    standard_policies, standard_population, CampaignOptions, Metric, Table,
 };
 use bce_core::{render_timeline, Emulator, EmulatorConfig, FaultConfig, Scenario};
-use bce_fleet::{assign_shares, run_fleet, Fleet, FleetHost, ShareStrategy};
+use bce_fleet::{assign_shares, host_scenarios, run_fleet, Fleet, FleetHost, ShareStrategy};
 use bce_obs::TraceEvent;
 use bce_scenarios::{
     doc_from_scenario, scenario1, scenario2, scenario3, scenario4, scenario_from_state_file,
-    PopulationModel, PopulationSampler,
 };
 use bce_sim::Level;
 use bce_types::{AppClass, Hardware, ProcType, ProjectSpec, SimDuration};
@@ -78,6 +77,20 @@ USAGE:
       each run every D simulated days under target/checkpoints and
       resumes automatically after a crash
 
+  bce serve [options]
+      run the hardened emulation daemon (HTTP/1.1 on a bounded worker
+      pool; overload is shed with 503 + Retry-After; SIGTERM drains
+      gracefully, parking campaigns as resumable checkpoints)
+      --addr A:P          listen address (default 127.0.0.1:7070; port 0
+                          picks a free port)
+      --workers N         worker threads (default 4; 0 = one per CPU)
+      --queue-depth N     admission queue capacity (default 64)
+      --max-body-kib N    request body cap in KiB (default 1024)
+      --deadline-secs N   per-campaign wall budget (default 120)
+      --max-days D        emulated-days cap per request (default 60)
+      --checkpoint-dir D  campaign checkpoint directory
+      --chunk N           runs per campaign chunk (default 8)
+
   bce trace <state_file.xml | scenarioN> [options]
       run with tracing enabled and pretty-print the typed decision log
       --days N        emulated days (default 1)
@@ -137,6 +150,14 @@ const VALUE_OPTS: &[&str] = &[
     "checkpoint-every",
     "resume",
     "max-runs",
+    "addr",
+    "workers",
+    "queue-depth",
+    "max-body-kib",
+    "deadline-secs",
+    "max-days",
+    "checkpoint-dir",
+    "chunk",
 ];
 
 /// Parse and run a full command line (without the program name). Returns
@@ -155,6 +176,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "bench" => cmd_bench(&args)?,
         "fig" => cmd_fig(&args)?,
         "trace" => cmd_trace(&args)?,
+        "serve" => cmd_serve(&args)?,
         "help" | "--help" => {
             return Ok(HELP.to_string());
         }
@@ -185,6 +207,16 @@ fn load_scenario(args: &Args) -> Result<Scenario, CliError> {
     }
     scenario.validate().map_err(|e| CliError(format!("invalid scenario: {e}")))?;
     Ok(scenario)
+}
+
+/// Gate a batch of scenarios on the typed validator before any emulation
+/// starts: the full `ScenarioErrors` list (every problem at once, not
+/// just the first) comes back as the command error.
+fn validate_all<'a>(scenarios: impl IntoIterator<Item = &'a Scenario>) -> Result<(), CliError> {
+    for s in scenarios {
+        s.validate().map_err(|e| CliError(format!("invalid scenario {:?}: {e}", s.name)))?;
+    }
+    Ok(())
 }
 
 fn parse_sched(name: &str) -> Result<JobSchedPolicy, CliError> {
@@ -316,22 +348,14 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
         args.opt("checkpoint").map(std::path::PathBuf::from).or_else(|| resume_path.clone());
     let checkpoint_every: usize = args.opt_or("checkpoint-every", 0usize)?;
     let max_runs: Option<usize> = args.opt_parse("max-runs")?;
-    let mut sampler = PopulationSampler::new(PopulationModel::default(), seed);
-    let scenarios: Vec<std::sync::Arc<Scenario>> =
-        sampler.sample_many(hosts).into_iter().map(std::sync::Arc::new).collect();
+    // The daemon's /campaign endpoint shares these exact constructors, so
+    // a drained-and-resumed service campaign diffs cleanly against this
+    // command's uninterrupted output.
+    let scenarios = standard_population(hosts, seed);
+    validate_all(scenarios.iter().map(|s| s.as_ref()))?;
     let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
-    let policies = vec![
-        ("GLOBAL+HYST".to_string(), ClientConfig::default()),
-        (
-            "LOCAL+ORIG".to_string(),
-            ClientConfig {
-                sched_policy: JobSchedPolicy::LOCAL,
-                fetch_policy: FetchPolicy::Orig,
-                ..Default::default()
-            },
-        ),
-    ];
-    let mut out = format!("population study: {hosts} hosts x {days} days (seed {seed})\n\n");
+    let policies = standard_policies();
+    let mut out = population_header(hosts, days, seed);
 
     if checkpoint_path.is_none() && max_runs.is_none() {
         let outcomes = population_study(&scenarios, &policies, &emu, threads);
@@ -445,6 +469,7 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     );
     for strategy in [ShareStrategy::PerHost, ShareStrategy::CrossHost] {
         let assignment = assign_shares(&fleet, strategy);
+        validate_all(host_scenarios(&fleet, &assignment).iter())?;
         let r = run_fleet(&fleet, strategy, ClientConfig::default(), &emu, threads);
         out.push_str(&format!(
             "{}: fleet share violation {:.4}, total {:.2} TFLOP-days\n",
@@ -591,6 +616,14 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         }
         None => None,
     };
+    // The bench scenario set is built-in, but it goes through the same
+    // validation gate as user submissions before any emulation starts.
+    validate_all(&[
+        scenario1(SimDuration::from_secs(1500.0)),
+        scenario2(),
+        scenario3(),
+        scenario4(),
+    ])?;
     let report = crate::perf_report::run_bench(quick, threads, population);
     let json = crate::perf_report::to_json(&report);
     match args.opt("out") {
@@ -628,7 +661,55 @@ fn cmd_fig(args: &Args) -> Result<String, CliError> {
         }
     }
     let opts = bce_bench::FigOpts { days, quick, json, checkpoint_every };
+    // Figures run on the paper's built-in scenarios; validate them with
+    // the same typed gate as user submissions before any emulation.
+    validate_all(&[
+        scenario1(SimDuration::from_secs(1500.0)),
+        scenario2(),
+        scenario3(),
+        scenario4(),
+    ])?;
     bce_bench::figs::run_fig(n, &opts).map_err(CliError)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    let mut cfg = bce_serve::ServeConfig::default();
+    if let Some(addr) = args.opt("addr") {
+        cfg.addr = addr.to_string();
+    }
+    cfg.workers = args.opt_or("workers", cfg.workers)?;
+    cfg.queue_depth = args.opt_or("queue-depth", cfg.queue_depth)?;
+    if cfg.queue_depth == 0 {
+        return Err(CliError("--queue-depth must be positive".into()));
+    }
+    if let Some(kib) = args.opt_parse::<usize>("max-body-kib")? {
+        cfg.max_body_bytes = kib.saturating_mul(1024).max(1);
+    }
+    if let Some(secs) = args.opt_parse::<u64>("deadline-secs")? {
+        cfg.request_deadline = std::time::Duration::from_secs(secs.max(1));
+    }
+    cfg.max_days = args.opt_or("max-days", cfg.max_days)?;
+    if !(cfg.max_days > 0.0) {
+        return Err(CliError("--max-days must be positive".into()));
+    }
+    if let Some(dir) = args.opt("checkpoint-dir") {
+        cfg.checkpoint_dir = std::path::PathBuf::from(dir);
+    }
+    cfg.campaign_chunk_runs = args.opt_or("chunk", cfg.campaign_chunk_runs)?.max(1);
+
+    let server = bce_serve::Server::bind(cfg)
+        .map_err(|e| CliError(format!("cannot bind the listener: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError(format!("cannot resolve the bound address: {e}")))?;
+    // `run` blocks until drained; announce readiness first so wrappers
+    // (and the CI smoke job) can poll for this line.
+    println!("bce-serve listening on http://{addr} (SIGTERM or SIGINT drains)");
+    let _ = std::io::stdout().flush();
+    let summary = server.run();
+    Ok(format!("{summary}\n"))
 }
 
 /// Parse a comma-separated `--kind`/`--component` filter, validating each

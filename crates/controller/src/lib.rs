@@ -17,7 +17,10 @@ pub use campaign::{
     population_campaign, CampaignCheckpoint, CampaignError, CampaignOptions, CampaignReport,
 };
 pub use compare::{compare_policies, Comparison};
-pub use montecarlo::{population_study, population_table, MetricStats, PopulationOutcome};
+pub use montecarlo::{
+    population_header, population_study, population_table, standard_policies, standard_population,
+    MetricStats, PopulationOutcome,
+};
 pub use plot::{bar_chart, line_chart, Series};
 pub use run::{
     resolve_threads, run_all, run_all_reference, run_streaming, run_streaming_profiled,

@@ -128,6 +128,41 @@ pub(crate) fn population_specs(
         .collect()
 }
 
+/// The standard sampled population shared by every front end (the
+/// `bce population` command and the daemon's `/campaign` endpoint).
+/// Both must build scenarios through this one function: identical
+/// sampling is what makes a drained-and-resumed daemon campaign
+/// byte-comparable against the CLI's uninterrupted reference table.
+pub fn standard_population(hosts: usize, seed: u64) -> Vec<Arc<Scenario>> {
+    let mut sampler =
+        bce_scenarios::PopulationSampler::new(bce_scenarios::PopulationModel::default(), seed);
+    sampler.sample_many(hosts).into_iter().map(Arc::new).collect()
+}
+
+/// The standard policy pair of the population study: the paper's
+/// recommended combination (GLOBAL scheduling + hysteresis fetch)
+/// against the original BOINC baseline (LOCAL + ORIG).
+pub fn standard_policies() -> Vec<(String, ClientConfig)> {
+    use bce_client::{FetchPolicy, JobSchedPolicy};
+    vec![
+        ("GLOBAL+HYST".to_string(), ClientConfig::default()),
+        (
+            "LOCAL+ORIG".to_string(),
+            ClientConfig {
+                sched_policy: JobSchedPolicy::LOCAL,
+                fetch_policy: FetchPolicy::Orig,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// The one-line header every population report starts with. Shared so
+/// table-diffing scripts see the same bytes from the CLI and the daemon.
+pub fn population_header(hosts: usize, days: f64, seed: u64) -> String {
+    format!("population study: {hosts} hosts x {days} days (seed {seed})\n\n")
+}
+
 /// Summary table: one row per (policy, metric) with mean/sd/min/max/p95.
 pub fn population_table(outcomes: &[PopulationOutcome]) -> Table {
     let mut t = Table::new(&["policy", "metric", "mean", "sd", "min", "max", "p95"]);

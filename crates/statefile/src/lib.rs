@@ -14,4 +14,4 @@ pub use codec::{
     parse_u64_hex, req_attr, req_child, CodecError,
 };
 pub use doc::{ClientStateDoc, StateFileError};
-pub use xml::{parse as parse_xml, XmlError, XmlNode};
+pub use xml::{parse as parse_xml, XmlError, XmlNode, MAX_NESTING_DEPTH};

@@ -104,6 +104,15 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Deepest element nesting the parser accepts. Real `client_state.xml`
+/// files are ~4 levels deep; the cap exists so a hostile document of the
+/// form `<a><a><a>…` gets a typed, line-numbered error instead of
+/// overflowing the stack of the recursive-descent parser — a stack
+/// overflow aborts the process and cannot be caught, so on an untrusted
+/// ingest path (the daemon's POST bodies) it would be a one-request
+/// denial of service.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// Parse error with 1-based line number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct XmlError {
@@ -248,7 +257,10 @@ impl<'a> Parser<'a> {
         Ok(out)
     }
 
-    fn element(&mut self) -> Result<XmlNode, XmlError> {
+    fn element(&mut self, depth: usize) -> Result<XmlNode, XmlError> {
+        if depth > MAX_NESTING_DEPTH {
+            return self.err(format!("element nesting deeper than {MAX_NESTING_DEPTH} levels"));
+        }
         if !self.consume("<") {
             return self.err("expected '<'");
         }
@@ -305,7 +317,7 @@ impl<'a> Parser<'a> {
                 node.text = self.unescape(&text_raw)?.trim().to_string();
                 return Ok(node);
             } else if self.starts_with("<") {
-                node.children.push(self.element()?);
+                node.children.push(self.element(depth + 1)?);
             } else {
                 match self.bump() {
                     Some(c) => text_raw.push(c),
@@ -320,7 +332,7 @@ impl<'a> Parser<'a> {
 pub fn parse(src: &str) -> Result<XmlNode, XmlError> {
     let mut p = Parser { src: src.as_bytes(), pos: 0, line: 1 };
     p.skip_misc()?;
-    let root = p.element()?;
+    let root = p.element(0)?;
     p.skip_misc()?;
     if p.pos != p.src.len() {
         return p.err("trailing content after root element");
@@ -369,6 +381,22 @@ mod tests {
         let e = parse("<a>\n<b>\n</c>\n</a>").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // A stack overflow would abort the process (uncatchable), so the
+        // depth cap is load-bearing for the daemon's untrusted ingest.
+        let deep = "<a>".repeat(100_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting deeper"), "{e}");
+
+        // At the cap itself (root is depth 0), documents still parse.
+        let n = MAX_NESTING_DEPTH;
+        let ok = format!("{}{}", "<a>".repeat(n + 1), "</a>".repeat(n + 1));
+        assert!(parse(&ok).is_ok());
+        let over = format!("{}{}", "<a>".repeat(n + 2), "</a>".repeat(n + 2));
+        assert!(parse(&over).is_err());
     }
 
     #[test]

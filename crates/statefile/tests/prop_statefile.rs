@@ -138,4 +138,13 @@ proptest! {
         let _ = parse_xml(&input);
         let _ = ClientStateDoc::parse_str(&input);
     }
+
+    /// Nesting bombs (balanced or not) are typed errors, never a stack
+    /// overflow — an overflow would abort an ingesting daemon worker.
+    #[test]
+    fn deep_nesting_is_total(depth in 0usize..4096, closes in 0usize..4096) {
+        let input = format!("{}{}", "<x>".repeat(depth), "</x>".repeat(closes));
+        let _ = parse_xml(&input);
+        let _ = ClientStateDoc::parse_str(&input);
+    }
 }

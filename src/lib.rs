@@ -8,6 +8,7 @@ pub use bce_faults as faults;
 pub use bce_fleet as fleet;
 pub use bce_obs as obs;
 pub use bce_scenarios as scenarios;
+pub use bce_serve as serve;
 pub use bce_server as server;
 pub use bce_sim as sim;
 pub use bce_statefile as statefile;
