@@ -157,5 +157,104 @@ fn bench_cached_vs_uncached(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rr, bench_scratch_vs_alloc, bench_cached_vs_uncached);
+/// A client sized for the dirty-group bench: `ndirty` CPU instances over
+/// 16 projects and 128 very long jobs, so `reschedule` keeps `ndirty`
+/// tasks (and therefore `ndirty` distinct `(proc type, project)` groups)
+/// running, and neither completions nor deadline misses perturb the
+/// queue over millions of bench iterations.
+fn dirty_bench_client(ndirty: u32) -> Client {
+    let nprojects = 16u32;
+    let mut c = Client::new(
+        Hardware::cpu_only(ndirty, 1e9),
+        Preferences::default(),
+        (0..nprojects)
+            .map(|p| Client::project(p, format!("p{p}"), 1.0, &[ProcType::Cpu]))
+            .collect(),
+        ClientConfig::default(),
+    );
+    let mut rng = Rng::from_seed(23);
+    c.add_jobs(
+        (0..128)
+            .map(|i| JobSpec {
+                id: JobId(i as u64),
+                project: ProjectId(i as u32 % nprojects),
+                app: AppId(0),
+                usage: ResourceUsage::one_cpu(),
+                duration: SimDuration::from_secs(rng.range(1e7, 2e7)),
+                duration_est: SimDuration::from_secs(rng.range(1e7, 2e7)),
+                latency_bound: SimDuration::from_secs(1e8),
+                checkpoint_period: Some(SimDuration::from_secs(60.0)),
+                working_set_bytes: 1e8,
+                input_bytes: 0.0,
+                output_bytes: 0.0,
+                received: SimTime::ZERO,
+            })
+            .collect(),
+    );
+    c
+}
+
+/// Incremental refresh vs. full re-simulation vs. the reference oracle,
+/// per decision point, with 1 / 4 / 16 groups dirtied between queries.
+/// Each "incremental"/"full_resim" iteration advances running tasks by a
+/// small step (progress dirt on every running group) and then asks for
+/// the snapshot: the ladder serves the retained outcome until the frozen
+/// window expires (then re-anchors with one real run), while "full_resim"
+/// re-simulates every query and "reference" pays the original allocating
+/// oracle on an equivalent queue. The incremental bars should be flat in
+/// the dirty-group count; the full/reference bars scale with queue size.
+fn bench_incremental_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rr_sim_incremental");
+    let rs = HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false };
+    let step = SimDuration::from_secs(0.05);
+    for ndirty in [1u32, 4, 16] {
+        let mut client = dirty_bench_client(ndirty);
+        client.reschedule(SimTime::ZERO, rs, 1.0);
+        client.rr_refresh(SimTime::ZERO, rs, 1.0);
+        let mut now = SimTime::ZERO;
+        g.bench_function(BenchmarkId::new("incremental", ndirty), |b| {
+            b.iter(|| {
+                now = now + step;
+                client.advance(now, rs);
+                client.rr_refresh(now, rs, 1.0);
+                black_box(client.rr_snapshot().finish.len())
+            })
+        });
+
+        let mut client = dirty_bench_client(ndirty);
+        client.reschedule(SimTime::ZERO, rs, 1.0);
+        let mut now = SimTime::ZERO;
+        g.bench_function(BenchmarkId::new("full_resim", ndirty), |b| {
+            b.iter(|| {
+                now = now + step;
+                client.advance(now, rs);
+                black_box(client.rr_simulate(now, rs, 1.0))
+            })
+        });
+    }
+    // The pre-fast-path oracle on an equivalent 128-job queue: one bar,
+    // the dirty-group count is irrelevant to a from-scratch simulation.
+    let mut rng = Rng::from_seed(23);
+    let jobs = make_jobs(128, 16, &mut rng);
+    let mut ninstances = ProcMap::zero();
+    ninstances[ProcType::Cpu] = 4.0;
+    let platform = RrPlatform {
+        now: SimTime::ZERO,
+        ninstances,
+        on_frac: 1.0,
+        shares: (0..16).map(|p| (ProjectId(p as u32), 1.0)).collect(),
+    };
+    g.bench_function(BenchmarkId::new("reference", 128), |b| {
+        b.iter(|| black_box(rr_simulate_reference(&platform, &jobs, SimDuration::from_hours(2.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rr,
+    bench_scratch_vs_alloc,
+    bench_cached_vs_uncached,
+    bench_incremental_refresh
+);
 criterion_main!(benches);

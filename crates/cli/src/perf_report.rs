@@ -29,7 +29,15 @@ pub struct BenchRecord {
     pub events_per_sec: f64,
     pub rr_queries: u64,
     pub rr_runs: u64,
+    /// Queries served from the retained snapshot inside the frozen-progress
+    /// window (see the dirty-group refresh ladder in `bce-client`).
+    pub rr_frozen: u64,
     pub cache_hit_rate: f64,
+    /// Availability transitions absorbed into an earlier same-window event.
+    pub flaps_coalesced: u64,
+    /// Availability events whose net run-state delta was zero, skipping the
+    /// reschedule pass entirely.
+    pub avail_resched_skipped: u64,
     pub peak_jobs: usize,
     pub jobs_completed: u64,
 }
@@ -154,7 +162,10 @@ fn measure(name: &str, scenario: Scenario, days: f64, cfg: ClientConfig) -> Benc
         events_per_sec: if wall_ms > 0.0 { events as f64 / (wall_ms / 1e3) } else { 0.0 },
         rr_queries: r.perf.rr_queries,
         rr_runs: r.perf.rr_runs,
+        rr_frozen: r.perf.rr_frozen,
         cache_hit_rate: r.perf.rr_hit_rate(),
+        flaps_coalesced: r.perf.flaps_coalesced,
+        avail_resched_skipped: r.perf.avail_resched_skipped,
         peak_jobs: r.perf.peak_jobs,
         jobs_completed: r.jobs_completed,
     }
@@ -367,7 +378,10 @@ pub fn to_json(report: &BenchReport) -> String {
         out.push_str(&format!("      \"events_per_sec\": {},\n", jnum(r.events_per_sec)));
         out.push_str(&format!("      \"rr_sim_queries\": {},\n", r.rr_queries));
         out.push_str(&format!("      \"rr_sim_runs\": {},\n", r.rr_runs));
+        out.push_str(&format!("      \"rr_sim_frozen\": {},\n", r.rr_frozen));
         out.push_str(&format!("      \"cache_hit_rate\": {},\n", jnum(r.cache_hit_rate)));
+        out.push_str(&format!("      \"flaps_coalesced\": {},\n", r.flaps_coalesced));
+        out.push_str(&format!("      \"avail_resched_skipped\": {},\n", r.avail_resched_skipped));
         out.push_str(&format!("      \"peak_jobs\": {},\n", r.peak_jobs));
         out.push_str(&format!("      \"jobs_completed\": {}\n", r.jobs_completed));
         out.push_str(if i + 1 < report.scenarios.len() { "    },\n" } else { "    }\n" });
@@ -424,7 +438,9 @@ pub fn summary(report: &BenchReport) -> String {
         "events",
         "events/s",
         "rr runs",
+        "frozen",
         "hit rate",
+        "flaps",
         "peak jobs",
     ]);
     for r in &report.scenarios {
@@ -435,7 +451,9 @@ pub fn summary(report: &BenchReport) -> String {
             r.events.to_string(),
             format!("{:.0}", r.events_per_sec),
             format!("{}/{}", r.rr_runs, r.rr_queries),
+            r.rr_frozen.to_string(),
             format!("{:.3}", r.cache_hit_rate),
+            format!("{}+{}", r.flaps_coalesced, r.avail_resched_skipped),
             r.peak_jobs.to_string(),
         ]);
     }
@@ -489,6 +507,11 @@ mod tests {
         for r in &report.scenarios {
             assert!(r.events > 0, "{}: no events", r.name);
             assert!(r.rr_queries >= r.rr_runs, "{}: runs exceed queries", r.name);
+            assert!(
+                r.rr_frozen <= r.rr_queries - r.rr_runs,
+                "{}: frozen hits must be a subset of hits",
+                r.name
+            );
         }
         // Scenario 3's jobs outlast the quick horizon, so completions are
         // only guaranteed suite-wide.
@@ -531,7 +554,10 @@ mod tests {
                 events_per_sec: 8000.0,
                 rr_queries: 10,
                 rr_runs: 4,
+                rr_frozen: 3,
                 cache_hit_rate: 0.6,
+                flaps_coalesced: 5,
+                avail_resched_skipped: 2,
                 peak_jobs: 7,
                 jobs_completed: 3,
             }],
@@ -570,6 +596,9 @@ mod tests {
         assert!(j.contains("\"quick\": true"));
         assert!(j.contains("\"wall_ms\": 12.500"));
         assert!(j.contains("\"cache_hit_rate\": 0.600"));
+        assert!(j.contains("\"rr_sim_frozen\": 3"));
+        assert!(j.contains("\"flaps_coalesced\": 5"));
+        assert!(j.contains("\"avail_resched_skipped\": 2"));
         assert!(j.contains("\"available_parallelism\": 8"));
         assert!(j.contains("\"threads_used\": 4"));
         assert!(j.contains("\"runs_per_sec\": 2000.000"));

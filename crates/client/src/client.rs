@@ -10,7 +10,7 @@
 use crate::accounting::{Accounting, AccountingSnapshot, UsageSample};
 use crate::fetch::{self, Backoff, FetchDecision, FetchPolicy, FetchProject};
 use crate::rr_sim::{self, RrJob, RrOutcome, RrPlatform, RrScratch};
-use crate::sched::{self, JobSchedPolicy, PlanInput};
+use crate::sched::{self, JobSchedPolicy, PlanInput, PlanScratch};
 use crate::task::{Task, TaskSnapshot, TaskState};
 use crate::xfer::{NetworkModel, Transfers};
 use bce_avail::HostRunState;
@@ -127,6 +127,9 @@ pub struct RrStats {
     pub queries: u64,
     /// Times the simulation actually ran (cache misses).
     pub runs: u64,
+    /// Queries served from the retained snapshot inside the frozen-progress
+    /// window (partial refreshes; a subset of [`RrStats::hits`]).
+    pub frozen: u64,
 }
 
 impl RrStats {
@@ -139,6 +142,101 @@ impl RrStats {
         } else {
             self.hits() as f64 / self.queries as f64
         }
+    }
+}
+
+/// Severity of the dirt accumulated since the last full RR simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DirtClass {
+    /// Nothing relevant changed.
+    #[default]
+    Clean,
+    /// Only running-task progress drifted (monotone remaining-estimate
+    /// decay, or a start-rollback to the last task checkpoint). The group
+    /// structure of the queue is unchanged.
+    Progress,
+    /// Structural change: job arrival/removal, task error, crash loss,
+    /// share/preference change, or an explicit invalidation. The retained
+    /// snapshot may be arbitrarily wrong.
+    Global,
+}
+
+impl DirtClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirtClass::Clean => "clean",
+            DirtClass::Progress => "progress",
+            DirtClass::Global => "global",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "clean" => Some(DirtClass::Clean),
+            "progress" => Some(DirtClass::Progress),
+            "global" => Some(DirtClass::Global),
+            _ => None,
+        }
+    }
+}
+
+/// Tracks which `(proc type, project)` groups client mutations touched
+/// since the last full RR simulation, and how severe the dirt is. Drives
+/// the refresh ladder in [`Client::rr_refresh`]: progress-only dirt inside
+/// the frozen window keeps the retained snapshot; global dirt always forces
+/// a full re-simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DirtyGroups {
+    class: DirtClass,
+    /// Dirtied groups, deduped, in first-touch order. Bounded: once more
+    /// than [`DirtyGroups::MAX_GROUPS`] distinct groups are touched the
+    /// tracker escalates to [`DirtClass::Global`] (a mutation storm that
+    /// wide will be re-simulated anyway).
+    groups: Vec<(ProcType, ProjectId)>,
+}
+
+impl DirtyGroups {
+    const MAX_GROUPS: usize = 32;
+
+    /// Record progress-class dirt against one group.
+    fn mark_progress(&mut self, pt: ProcType, project: ProjectId) {
+        if self.class == DirtClass::Global {
+            return;
+        }
+        if self.class == DirtClass::Clean {
+            self.class = DirtClass::Progress;
+        }
+        if !self.groups.contains(&(pt, project)) {
+            if self.groups.len() >= Self::MAX_GROUPS {
+                self.class = DirtClass::Global;
+                return;
+            }
+            self.groups.push((pt, project));
+        }
+    }
+
+    /// Record a structural (cross-group) mutation.
+    fn mark_global(&mut self) {
+        self.class = DirtClass::Global;
+    }
+
+    fn clear(&mut self) {
+        self.class = DirtClass::Clean;
+        self.groups.clear();
+    }
+
+    pub fn class(&self) -> DirtClass {
+        self.class
+    }
+
+    /// The dirtied groups (meaningful for [`DirtClass::Progress`]).
+    pub fn groups(&self) -> &[(ProcType, ProjectId)] {
+        &self.groups
+    }
+
+    /// Rebuild from captured parts (checkpoint restore).
+    pub fn from_parts(class: DirtClass, groups: Vec<(ProcType, ProjectId)>) -> Self {
+        DirtyGroups { class, groups }
     }
 }
 
@@ -161,6 +259,7 @@ pub struct ClientScratch {
     rr_scratch: RrScratch,
     rr_cache: RrOutcome,
     usage_buf: UsageSample,
+    plan_scratch: PlanScratch,
 }
 
 impl ClientScratch {
@@ -214,6 +313,10 @@ pub struct ClientSnapshot {
     pub rr_cache: RrOutcome,
     pub rr_key: Option<(SimTime, HostRunState, u64, u64)>,
     pub rr_stats: RrStats,
+    /// End of the retained snapshot's frozen-progress validity window.
+    pub rr_frozen_until: SimTime,
+    /// Dirt accumulated since the snapshot's last full simulation.
+    pub rr_dirty: DirtyGroups,
 }
 
 /// The emulated client.
@@ -244,12 +347,22 @@ pub struct Client {
     /// Reusable job-list buffer for the simulation.
     rr_jobs: Vec<RrJob>,
     rr_scratch: RrScratch,
-    /// The cached simulation outcome; valid for `rr_key`.
+    /// The cached simulation outcome; valid for `rr_key`, or — when only
+    /// progress-class dirt accumulated — until `rr_frozen_until`.
     rr_cache: RrOutcome,
     rr_key: Option<RrKey>,
     rr_stats: RrStats,
+    /// End of the frozen-progress window opened by the last full
+    /// simulation (see `rr_refresh`). `SimTime::from_secs(f64::INFINITY)`
+    /// when the simulated queue was empty (the outcome is then
+    /// `now`-independent).
+    rr_frozen_until: SimTime,
+    /// Which groups mutations dirtied since the last full simulation.
+    rr_dirty: DirtyGroups,
     /// Reusable accounting sample, refilled each advance.
     usage_buf: UsageSample,
+    /// Reusable planner workspace ([`sched::plan_into`]).
+    plan_scratch: PlanScratch,
 }
 
 /// What a host crash destroyed (see [`Client::crash`]).
@@ -290,6 +403,7 @@ impl Client {
             rr_scratch,
             rr_cache,
             mut usage_buf,
+            plan_scratch,
         } = scratch;
         tasks.clear();
         finished.clear();
@@ -333,7 +447,10 @@ impl Client {
             rr_cache,
             rr_key: None,
             rr_stats: RrStats::default(),
+            rr_frozen_until: SimTime::ZERO,
+            rr_dirty: DirtyGroups::default(),
             usage_buf,
+            plan_scratch,
         }
     }
 
@@ -348,6 +465,7 @@ impl Client {
             rr_scratch: self.rr_scratch,
             rr_cache: self.rr_cache,
             usage_buf: self.usage_buf,
+            plan_scratch: self.plan_scratch,
         }
     }
 
@@ -438,6 +556,7 @@ impl Client {
         }
         self.tasks.push(task);
         self.state_gen += 1;
+        self.rr_dirty.mark_global();
     }
 
     /// Queue a transfer attempt, consulting the fault plan (if any) for a
@@ -477,6 +596,7 @@ impl Client {
         }
         if accepted_any {
             self.state_gen += 1;
+            self.rr_dirty.mark_global();
         }
         rejected
     }
@@ -525,6 +645,7 @@ impl Client {
         for task in &mut self.tasks {
             if task.is_running() {
                 progressed = true;
+                self.rr_dirty.mark_progress(task.spec.usage.main_proc_type(), task.spec.project);
                 if task.advance(dt, now) {
                     ev.computed.push(task.spec.id);
                 }
@@ -550,6 +671,9 @@ impl Client {
         // activity does not (downloading tasks are simulated either way).
         if progressed || !ev.errored.is_empty() {
             self.state_gen += 1;
+        }
+        if !ev.errored.is_empty() {
+            self.rr_dirty.mark_global();
         }
         self.last_advance = now;
         ev
@@ -701,6 +825,7 @@ impl Client {
     /// after mutating the public `hw`/`prefs` fields directly.
     pub fn invalidate_rr(&mut self) {
         self.state_gen += 1;
+        self.rr_dirty.mark_global();
     }
 
     /// Current value of the RR-relevant state generation counter.
@@ -718,14 +843,72 @@ impl Client {
         &self.rr_cache
     }
 
+    /// Fraction of the tightest job's deadline slack the frozen-progress
+    /// window may cover. Bounds the classification drift of serving a
+    /// retained snapshot: a job's endangered/safe verdict can flip at most
+    /// ~2τ of slack early or late, i.e. ≤ ~10% of the tightest slack —
+    /// small against the latency bounds that set the slack, and further
+    /// capped by an eighth of the minimum work buffer below (shortfall
+    /// staleness must stay small against the buffer depth that triggers
+    /// fetches, or shallow-queue scenarios drift visibly; the paper's
+    /// Figure 3 scenario is the sentinel for that regime).
+    const FROZEN_SLACK_FRAC: f64 = 0.05;
+
+    /// End of the frozen-progress validity window opened by a full
+    /// simulation at `now` over `jobs`: `now + τ` with
+    /// `τ = clamp(0.05 · min slack, 0, 0.125 · work_buf_min)`. An empty
+    /// queue's outcome is `now`-independent, so its window never closes.
+    fn frozen_until(now: SimTime, jobs: &[RrJob], prefs: &Preferences) -> SimTime {
+        // True slack — time to the deadline minus the remaining compute —
+        // not mere deadline distance: a long job close to its deadline has
+        // tiny slack even when the deadline itself is far away, and the
+        // endangered/safe verdict drifts on the slack scale.
+        let mut min_slack = f64::INFINITY;
+        for j in jobs {
+            min_slack = min_slack.min((j.deadline - now).secs() - j.remaining.secs());
+        }
+        if min_slack.is_infinite() {
+            return SimTime::from_secs(f64::INFINITY);
+        }
+        let cap = 0.125 * prefs.work_buf_min.secs();
+        let tau = (Self::FROZEN_SLACK_FRAC * min_slack).clamp(0.0, cap.max(0.0));
+        now + SimDuration::from_secs(tau)
+    }
+
     /// Ensure the cached RR snapshot is valid for `(now, run_state,
     /// on_frac)` and the current client state, re-running the simulation
     /// only if something relevant changed since the previous call. The
     /// refreshed snapshot is read via [`Client::rr_snapshot`].
+    ///
+    /// Refresh ladder:
+    /// 1. *Pure hit*: the key (including the state generation) matches —
+    ///    the snapshot is exact.
+    /// 2. *Frozen hit*: only progress-class dirt accumulated since the
+    ///    last full simulation, the platform (run state, `on_frac`) is
+    ///    unchanged and `now` is still inside the frozen window — the
+    ///    retained snapshot is served as-is. Running-task progress only
+    ///    drifts job completion estimates by at most the window length τ,
+    ///    which [`Client::frozen_until`] bounds to a small fraction of the
+    ///    tightest deadline slack and of the minimum work buffer, so
+    ///    endangered-set and fetch-trigger decisions move by at most that
+    ///    bounded amount.
+    /// 3. *Full run*: anything else (global dirt, platform change, window
+    ///    expired) re-simulates from the live queue.
     pub fn rr_refresh(&mut self, now: SimTime, run_state: HostRunState, on_frac: f64) {
         self.rr_stats.queries += 1;
         let key: RrKey = (now, run_state, on_frac.to_bits(), self.state_gen);
         if self.rr_key == Some(key) {
+            return;
+        }
+        if self.rr_dirty.class() != DirtClass::Global
+            && now <= self.rr_frozen_until
+            && matches!(self.rr_key, Some((k_now, k_rs, k_of, _))
+                if k_rs == run_state && k_of == on_frac.to_bits() && k_now <= now)
+        {
+            self.rr_stats.frozen += 1;
+            // Re-key so repeated queries at this instant become pure hits;
+            // the frozen window stays anchored at the last full simulation.
+            self.rr_key = Some(key);
             return;
         }
         self.rr_stats.runs += 1;
@@ -740,7 +923,14 @@ impl Client {
             &mut self.rr_scratch,
             &mut self.rr_cache,
         );
+        self.rr_dirty.clear();
+        self.rr_frozen_until = Self::frozen_until(now, &self.rr_jobs, &self.prefs);
         self.rr_key = Some(key);
+    }
+
+    /// The dirt tracker's current view (observability/tests).
+    pub fn rr_dirty(&self) -> &DirtyGroups {
+        &self.rr_dirty
     }
 
     /// Apply the job-scheduling policy (§3.3): start/preempt tasks so the
@@ -763,7 +953,7 @@ impl Client {
                 run_state,
                 mem_budget: self.mem_budget(run_state),
             };
-            sched::plan(self.cfg.sched_policy, &input)
+            sched::plan_into(self.cfg.sched_policy, &input, &mut self.plan_scratch)
         };
         let mut started = Vec::new();
         let mut preempted = Vec::new();
@@ -779,7 +969,11 @@ impl Client {
                 // checkpoint, which changes its remaining estimate.
                 let before = task.progress();
                 task.start();
-                progress_changed |= task.progress() != before;
+                if task.progress() != before {
+                    progress_changed = true;
+                    self.rr_dirty
+                        .mark_progress(task.spec.usage.main_proc_type(), task.spec.project);
+                }
                 started.push(task.spec.id);
             }
         }
@@ -797,6 +991,12 @@ impl Client {
         rr: &RrOutcome,
     ) -> Option<FetchDecision> {
         if !run_state.net_up {
+            return None;
+        }
+        // No type triggers the policy: skip building the per-project
+        // eligibility list (`decide` would return None anyway).
+        if !fetch::would_fetch(self.cfg.fetch_policy, rr, &self.hw, &self.prefs, run_state.can_gpu)
+        {
             return None;
         }
         let projects: Vec<FetchProject> = self
@@ -904,6 +1104,9 @@ impl Client {
         }
         if !out.lost.is_empty() {
             self.state_gen += 1;
+            // A crash can roll many tasks back at once across the whole
+            // queue; treat it as structural rather than bounding the drift.
+            self.rr_dirty.mark_global();
         }
         out
     }
@@ -943,6 +1146,8 @@ impl Client {
             rr_cache: self.rr_cache.clone(),
             rr_key: self.rr_key,
             rr_stats: self.rr_stats,
+            rr_frozen_until: self.rr_frozen_until,
+            rr_dirty: self.rr_dirty.clone(),
         }
     }
 
@@ -981,6 +1186,8 @@ impl Client {
         self.rr_cache = snap.rr_cache.clone();
         self.rr_key = snap.rr_key;
         self.rr_stats = snap.rr_stats;
+        self.rr_frozen_until = snap.rr_frozen_until;
+        self.rr_dirty = snap.rr_dirty.clone();
     }
 
     /// Peak FLOPS this job consumes while running (for converting lost

@@ -73,6 +73,30 @@ pub struct FetchDecision {
 /// on microscopic shortfalls.
 const MIN_REQUEST_SECS: f64 = 1.0;
 
+/// Cheap necessary condition for [`decide`] returning a decision: does any
+/// processor type trigger the policy at all? Exactly replicates the
+/// per-type trigger tests, so callers can skip assembling the per-project
+/// eligibility list when no fetch can happen — the common case at most
+/// decision points.
+pub fn would_fetch(
+    policy: FetchPolicy,
+    rr: &RrOutcome,
+    hw: &Hardware,
+    prefs: &Preferences,
+    gpu_allowed: bool,
+) -> bool {
+    let min_queue = prefs.work_buf_min;
+    ProcType::ALL.iter().any(|&t| {
+        hw.ninstances(t) > 0
+            && (!t.is_gpu() || gpu_allowed)
+            && rr.shortfall[t] > MIN_REQUEST_SECS
+            && match policy {
+                FetchPolicy::Orig => true,
+                FetchPolicy::Hysteresis => rr.sat[t] < min_queue,
+            }
+    })
+}
+
 /// Decide whether to fetch, from which project, and how much.
 ///
 /// `rr` must have been computed with the `max_queue` buffer window (its

@@ -20,14 +20,14 @@ pub mod xfer;
 
 pub use accounting::{Accounting, AccountingKind, AccountingSnapshot, UsageSample};
 pub use client::{
-    AdvanceEvents, Client, ClientConfig, ClientProject, ClientScratch, ClientSnapshot,
-    ProjectClientSnapshot, Reschedule, RrStats, XferRetrySnapshot,
+    AdvanceEvents, Client, ClientConfig, ClientProject, ClientScratch, ClientSnapshot, DirtClass,
+    DirtyGroups, ProjectClientSnapshot, Reschedule, RrStats, XferRetrySnapshot,
 };
-pub use fetch::{Backoff, FetchDecision, FetchPolicy, FetchProject, FetchRequest};
+pub use fetch::{would_fetch, Backoff, FetchDecision, FetchPolicy, FetchProject, FetchRequest};
 pub use rr_sim::{
     simulate as rr_simulate, simulate_into as rr_simulate_into,
     simulate_reference as rr_simulate_reference, RrJob, RrOutcome, RrPlatform, RrScratch,
 };
-pub use sched::{plan, DeadlineOrder, JobSchedPolicy, PlanInput, RunPlan};
+pub use sched::{plan, plan_into, DeadlineOrder, JobSchedPolicy, PlanInput, PlanScratch, RunPlan};
 pub use task::{Task, TaskSnapshot, TaskState};
 pub use xfer::{NetworkModel, TransferQueue, Transfers};

@@ -112,6 +112,11 @@ pub struct RrScratch {
     remaining: Vec<f64>,
     done: Vec<bool>,
     rates: Vec<f64>,
+    /// Unfinished job indices, ascending. The event loop's per-step scans
+    /// (next completion, work advance) walk this instead of every job;
+    /// ascending order keeps completion discovery — and therefore the
+    /// `finish`/`missed` output order — identical to the full scan.
+    alive_idx: Vec<u32>,
     /// Group index of each job.
     job_group: Vec<u32>,
     // Per-group index, built once per call.
@@ -150,6 +155,7 @@ impl RrScratch {
         self.done.clear();
         self.rates.clear();
         self.rates.resize(njobs, 0.0);
+        self.alive_idx.clear();
         self.job_group.clear();
         self.groups.clear();
         for list in &mut self.pt_groups {
@@ -226,13 +232,14 @@ pub fn simulate_into(
     // first appearance, per-type group lists, and jobs counting-sorted by
     // group while preserving original job order within each group.
     let mut alive = 0usize;
-    for j in jobs {
+    for (i, j) in jobs.iter().enumerate() {
         let r = j.remaining.secs().max(0.0);
         s.remaining.push(r);
         let done = r <= 0.0;
         s.done.push(done);
         if !done {
             alive += 1;
+            s.alive_idx.push(i as u32);
         }
         let pt_list = &mut s.pt_groups[j.proc_type.index()];
         let gid = match pt_list.iter().find(|&&g| s.groups[g as usize].project == j.project) {
@@ -271,17 +278,30 @@ pub fn simulate_into(
     let mut t = 0.0f64; // offset from now
     let mut first_step = true;
 
+    // Per-type step cache: a type's allocation (and therefore every job
+    // rate and the busy total) only changes when one of *its* jobs
+    // completes, so between completions the previous step's values are
+    // reused verbatim. Reusing a value is trivially bit-identical to
+    // recomputing it from unchanged inputs.
+    let mut type_dirty = [true; ProcType::COUNT];
+    let mut busy = ProcMap::zero();
+
     loop {
         // Per-type, per-project allocation under weighted round robin.
         // rate[i] = fraction of dedicated speed job i runs at.
-        s.rates.fill(0.0);
-        let mut busy = ProcMap::zero();
-
         for pt in ProcType::ALL {
             let ninst = platform.ninstances[pt];
             if ninst <= 0.0 {
                 continue;
             }
+            if !type_dirty[pt.index()] {
+                continue;
+            }
+            type_dirty[pt.index()] = false;
+            // Every alive job of this type gets its rate reassigned below
+            // (all alive groups enter `order`); finished jobs' stale rates
+            // are never read thanks to the `done` guards.
+            busy[pt] = 0.0;
             // Groups of this type with unfinished jobs, ordered by first
             // unfinished job index (the discovery order of the reference
             // scan), with their total instance demand summed in job order.
@@ -370,10 +390,13 @@ pub fn simulate_into(
             first_step = false;
         }
 
-        // Next completion event.
+        // Next completion event. Only unfinished jobs are scanned; the
+        // division sequence is the one the reference performs on the
+        // same operands (done jobs contribute nothing to the min).
         let mut dt = f64::INFINITY;
-        for i in 0..jobs.len() {
-            if !s.done[i] && s.rates[i] > 0.0 {
+        for &i in &s.alive_idx {
+            let i = i as usize;
+            if s.rates[i] > 0.0 {
                 dt = dt.min(s.remaining[i] / s.rates[i]);
             }
         }
@@ -413,23 +436,37 @@ pub fn simulate_into(
             break;
         }
 
-        // Advance to the event.
+        // Advance to the event, compacting completed jobs out of the
+        // alive list in place (ascending order is preserved, so
+        // same-step completions are discovered in job order exactly as
+        // the reference's full scan does).
         t += dt;
-        for (i, job) in jobs.iter().enumerate() {
-            if s.done[i] || s.rates[i] <= 0.0 {
+        let mut w = 0usize;
+        for r in 0..s.alive_idx.len() {
+            let iu = s.alive_idx[r];
+            let i = iu as usize;
+            if s.rates[i] <= 0.0 {
+                s.alive_idx[w] = iu;
+                w += 1;
                 continue;
             }
             s.remaining[i] -= s.rates[i] * dt;
             if s.remaining[i] <= 1e-6 {
+                let job = &jobs[i];
                 s.done[i] = true;
                 alive -= 1;
+                type_dirty[job.proc_type.index()] = true;
                 let fin = SimDuration::from_secs(t);
                 out.finish.push((job.id, fin));
                 if job.deadline < platform.now + fin {
                     out.missed.push(job.id);
                 }
+            } else {
+                s.alive_idx[w] = iu;
+                w += 1;
             }
         }
+        s.alive_idx.truncate(w);
         if alive == 0 {
             for pt in ProcType::ALL {
                 let ninst = platform.ninstances[pt];

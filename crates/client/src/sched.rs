@@ -21,7 +21,6 @@ use crate::rr_sim::RrOutcome;
 use crate::task::Task;
 use bce_avail::HostRunState;
 use bce_types::{Hardware, Preferences, ProcMap, ProcType, ProjectId, SimTime};
-use std::collections::BTreeMap;
 
 /// How deadline-endangered jobs are ordered among themselves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +105,63 @@ impl RunPlan {
     }
 }
 
+/// One class-2 candidate, with every round-invariant part of its
+/// selection key resolved up front.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    idx: usize,
+    gpu: bool,
+    base: f64,
+    neg_recv: f64,
+    /// Index into [`PlanScratch::adj`] for this candidate's
+    /// (project, type) anticipated debt.
+    slot: usize,
+    /// Debt delta applied to `adj[slot]` when this candidate places.
+    delta: f64,
+}
+
+/// One distinct (project, processor type) pair among the class-2
+/// candidates, with its share-derived constants resolved once.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    project: ProjectId,
+    pt: usize,
+    /// `PRIO_sched(project, pt)` — frozen for the duration of a plan.
+    base: f64,
+    ninst: f64,
+    share: f64,
+}
+
+/// Reusable workspace for [`plan_into`]. All vectors retain their
+/// capacity across calls, so steady-state planning performs no heap
+/// allocation. [`plan`] allocates one per call; the client owns one and
+/// reuses it at every scheduling point.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    classes: [Vec<usize>; 3],
+    slots: Vec<Slot>,
+    remaining: Vec<Cand>,
+    adj: Vec<f64>,
+}
+
+impl PlanScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Build the run plan. Deterministic: ties break on dispatch order.
+/// Allocating convenience wrapper around [`plan_into`].
 pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
+    plan_into(policy, input, &mut PlanScratch::new())
+}
+
+/// [`plan`] with a caller-owned workspace; bit-identical output.
+pub fn plan_into(
+    policy: JobSchedPolicy,
+    input: &PlanInput<'_>,
+    scratch: &mut PlanScratch,
+) -> RunPlan {
     let hw = input.hw;
     let mut free = ProcMap::from_fn(|t| match t {
         ProcType::Cpu => {
@@ -133,7 +187,10 @@ pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
 
     // Candidate indices, classed. Class 0: running & uncheckpointed.
     // Class 1: deadline-endangered. Class 2: the rest.
-    let mut classes: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let classes = &mut scratch.classes;
+    for c in classes.iter_mut() {
+        c.clear();
+    }
     for (i, task) in input.tasks.iter().enumerate() {
         if !task.is_runnable() {
             continue;
@@ -208,10 +265,60 @@ pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
     // Class 2: repeated argmax with anticipated-debt adjustment so a
     // single scan interleaves projects instead of letting whichever
     // project is microscopically ahead fill every instance.
-    let mut adj: BTreeMap<(ProjectId, usize), f64> = BTreeMap::new();
-    let mut remaining: Vec<usize> =
-        classes[2].iter().copied().filter(|&i| !plan.contains(i)).collect();
+    //
+    // Everything but the debt adjustment is invariant across rounds —
+    // the accounting state is frozen for the duration of a plan — so
+    // each candidate's base priority, receive-order tiebreak, debt slot
+    // and post-placement delta are computed once up front, and the
+    // accounting lookups (`prio_sched` walks every project under global
+    // accounting; `share_frac` is a map probe) happen once per distinct
+    // (project, type) slot rather than once per candidate per round.
+    // The selection key `base + adj[slot]` and the adjustment
+    // arithmetic are exactly the expressions the per-round version
+    // evaluated, on the same operands, so the plan is bit-identical.
     const ADJ_SLICE: f64 = 3600.0;
+    let slots = &mut scratch.slots;
+    let remaining = &mut scratch.remaining;
+    slots.clear();
+    remaining.clear();
+    for &i in classes[2].iter() {
+        if plan.contains(i) {
+            continue;
+        }
+        let task = &input.tasks[i];
+        let pt = task.spec.usage.main_proc_type();
+        let slot =
+            match slots.iter().position(|s| s.project == task.spec.project && s.pt == pt.index()) {
+                Some(p) => p,
+                None => {
+                    slots.push(Slot {
+                        project: task.spec.project,
+                        pt: pt.index(),
+                        base: input.accounting.prio_sched(task.spec.project, pt),
+                        ninst: input.hw.ninstances(pt).max(1) as f64,
+                        share: input.accounting.share_frac(task.spec.project).max(1e-6),
+                    });
+                    slots.len() - 1
+                }
+            };
+        let s = &slots[slot];
+        // Anticipated-debt delta: the project claims a slice of this
+        // type, so its effective priority drops — scaled inversely by
+        // its share so the single scan interleaves projects in share
+        // proportion (a project with 3x the share gets 3x the slots
+        // before parity).
+        remaining.push(Cand {
+            idx: i,
+            gpu: task.spec.usage.is_gpu_job(),
+            base: s.base,
+            neg_recv: -task.spec.received.secs(),
+            slot,
+            delta: task.spec.usage.instances_of(pt) / s.ninst * ADJ_SLICE / s.share,
+        });
+    }
+    let adj = &mut scratch.adj;
+    adj.clear();
+    adj.resize(slots.len(), 0.0);
     while !remaining.is_empty() {
         // Stop early if nothing can fit at all.
         let cpu_space = free[ProcType::Cpu] > 1e-9;
@@ -220,12 +327,8 @@ pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
             break;
         }
         let mut best: Option<(usize, (bool, f64, f64))> = None; // (pos, (gpu, prio, -recv))
-        for (pos, &i) in remaining.iter().enumerate() {
-            let task = &input.tasks[i];
-            let pt = task.spec.usage.main_proc_type();
-            let base = input.accounting.prio_sched(task.spec.project, pt);
-            let adj_v = adj.get(&(task.spec.project, pt.index())).copied().unwrap_or(0.0);
-            let key = (task.spec.usage.is_gpu_job(), base + adj_v, -task.spec.received.secs());
+        for (pos, c) in remaining.iter().enumerate() {
+            let key = (c.gpu, c.base + adj[c.slot], c.neg_recv);
             let better = match &best {
                 None => true,
                 Some((_, bk)) => {
@@ -241,20 +344,9 @@ pub fn plan(policy: JobSchedPolicy, input: &PlanInput<'_>) -> RunPlan {
             }
         }
         let Some((pos, _)) = best else { break };
-        let i = remaining.swap_remove(pos);
-        let task = &input.tasks[i];
-        let pt = task.spec.usage.main_proc_type();
-        let placed = try_place(i, &mut free, &mut mem_left, &mut plan);
-        if placed {
-            // Anticipated debt: the project just claimed a slice of this
-            // type, so its effective priority drops — scaled inversely by
-            // its share so the single scan interleaves projects in share
-            // proportion (a project with 3x the share gets 3x the slots
-            // before parity).
-            let ninst = input.hw.ninstances(pt).max(1) as f64;
-            let share = input.accounting.share_frac(task.spec.project).max(1e-6);
-            let delta = task.spec.usage.instances_of(pt) / ninst * ADJ_SLICE / share;
-            *adj.entry((task.spec.project, pt.index())).or_insert(0.0) -= delta;
+        let c = remaining.swap_remove(pos);
+        if try_place(c.idx, &mut free, &mut mem_left, &mut plan) {
+            adj[c.slot] -= c.delta;
         }
     }
 

@@ -13,8 +13,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bce_client::{rr_simulate_into, RrJob, RrOutcome, RrPlatform, RrScratch};
-use bce_types::{JobId, ProcMap, ProcType, ProjectId, SimDuration, SimTime};
+use bce_avail::HostRunState;
+use bce_client::{rr_simulate_into, Client, ClientConfig, RrJob, RrOutcome, RrPlatform, RrScratch};
+use bce_types::{
+    AppId, Hardware, JobId, JobSpec, Preferences, ProcMap, ProcType, ProjectId, ResourceUsage,
+    SimDuration, SimTime,
+};
 
 struct Counting;
 
@@ -92,4 +96,51 @@ fn simulate_into_is_allocation_free_in_steady_state() {
         rr_simulate_into(&platform, &small, window, &mut scratch, &mut out);
     }
     assert_eq!(ALLOCS.load(Ordering::Relaxed) - before, 0, "shrunk workload allocated");
+
+    // Partial refreshes through the client's frozen-progress ladder are
+    // zero-alloc per query too: a frozen hit is a key compare and two
+    // counter bumps, never a re-simulation. (Same test body as above —
+    // the counting allocator is process-wide, so all sections share one
+    // serial #[test].)
+    let mut c = Client::new(
+        Hardware::cpu_only(4, 1e9),
+        Preferences::default(),
+        vec![
+            Client::project(0, "alpha", 2.0, &[ProcType::Cpu]),
+            Client::project(1, "beta", 1.0, &[ProcType::Cpu]),
+        ],
+        ClientConfig::default(),
+    );
+    let rs = HostRunState { can_compute: true, can_gpu: true, net_up: true, user_active: false };
+    c.add_jobs(
+        (0..8)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                project: ProjectId((i % 2) as u32),
+                app: AppId(0),
+                usage: ResourceUsage::one_cpu(),
+                duration: SimDuration::from_secs(4_000.0),
+                duration_est: SimDuration::from_secs(4_000.0),
+                latency_bound: SimDuration::from_secs(20_000.0),
+                checkpoint_period: None,
+                working_set_bytes: 1e8,
+                input_bytes: 0.0,
+                output_bytes: 0.0,
+                received: SimTime::ZERO,
+            })
+            .collect(),
+    );
+    // Full run at t=0 anchors the frozen window (slack 16 000 s ⇒ τ is
+    // capped at 0.125 · work_buf_min = 225 s for default preferences).
+    c.rr_refresh(SimTime::ZERO, rs, 1.0);
+    let runs_before = c.rr_stats().runs;
+    let frozen_before = c.rr_stats().frozen;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for t in 1..=100 {
+        c.rr_refresh(SimTime::from_secs(t as f64), rs, 1.0);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "frozen refresh allocated {} times", after - before);
+    assert_eq!(c.rr_stats().runs, runs_before, "sweep left the frozen window and re-simulated");
+    assert_eq!(c.rr_stats().frozen, frozen_before + 100, "sweep was not served frozen");
 }

@@ -143,6 +143,77 @@ proptest! {
             assert_identical(&out, &oracle);
         }
     }
+
+    /// Adversarial dirty sequences: one workload *evolved in place* by
+    /// small deltas — progress decay, single-job removal and arrival,
+    /// platform flips — with the scratch (and its per-type step cache,
+    /// persistent busy table and alive-index list) carried across every
+    /// step. Small deltas are the dangerous case for incremental caches:
+    /// most of the scratch's previous contents stay plausible, so stale
+    /// entries are reachable in a way that fresh random workloads never
+    /// exercise.
+    #[test]
+    fn evolving_workload_matches_reference(
+        w0 in workload(),
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // Decay one job's remaining time (running-task progress).
+                (0usize..64, 0.01f64..0.99).prop_map(|(i, f)| Mutation::Decay(i, f)),
+                // Remove one job (completion).
+                (0usize..64).prop_map(Mutation::Remove),
+                // A new arrival.
+                (0u32..6, any::<bool>(), 1.0f64..50_000.0, 50.0f64..500_000.0, 0.25f64..3.0)
+                    .prop_map(|(p, g, r, d, i)| Mutation::Add(p, g, r, d, i)),
+                // Host availability / duty-cycle drift.
+                (0.1f64..1.0).prop_map(Mutation::OnFrac),
+                // GPU appears or disappears (run-state flip).
+                prop_oneof![Just(0.0f64), 1.0f64..4.0].prop_map(Mutation::Gpus),
+                // A project's resource share changes.
+                (0usize..6, 0.0f64..10.0).prop_map(|(p, s)| Mutation::Share(p, s)),
+            ],
+            1..24,
+        ),
+    ) {
+        let mut w = w0;
+        let mut scratch = RrScratch::new();
+        let mut out = RrOutcome::default();
+        for op in ops {
+            match op {
+                Mutation::Decay(i, frac) => {
+                    if !w.jobs.is_empty() {
+                        let i = i % w.jobs.len();
+                        w.jobs[i].2 *= frac;
+                    }
+                }
+                Mutation::Remove(i) => {
+                    if !w.jobs.is_empty() {
+                        let i = i % w.jobs.len();
+                        w.jobs.remove(i);
+                    }
+                }
+                Mutation::Add(p, gpu, rem, dl, inst) => w.jobs.push((p, gpu, rem, dl, inst)),
+                Mutation::OnFrac(f) => w.on_frac = f,
+                Mutation::Gpus(n) => w.ngpus = n,
+                Mutation::Share(p, s) => w.shares[p] = s,
+            }
+            let (platform, jobs) = build(&w);
+            let window = SimDuration::from_secs(w.window);
+            rr_simulate_into(&platform, &jobs, window, &mut scratch, &mut out);
+            let oracle = rr_simulate_reference(&platform, &jobs, window);
+            assert_identical(&out, &oracle);
+        }
+    }
+}
+
+/// One evolution step of [`evolving_workload_matches_reference`].
+#[derive(Debug, Clone)]
+enum Mutation {
+    Decay(usize, f64),
+    Remove(usize),
+    Add(u32, bool, f64, f64, f64),
+    OnFrac(f64),
+    Gpus(f64),
+    Share(usize, f64),
 }
 
 // ---------------------------------------------------------------------------
@@ -228,8 +299,107 @@ fn cached_snapshot_matches_uncached_through_mutations() {
     check(&mut c, SimTime::from_secs(2500.0), rs, 1.0);
 }
 
-/// Hit/miss accounting: repeated same-key refreshes are hits (no rerun);
-/// any relevant mutation or key change forces exactly one rerun.
+/// One step of [`client_ladder_serves_exact_or_retained_snapshots`].
+#[derive(Debug, Clone)]
+enum ClientOp {
+    /// New arrivals: global dirt, must force a full rerun.
+    Add(u8),
+    /// Advance time (progress dirt if anything is running).
+    Advance(f64),
+    /// Apply the scheduling policy (starts/preempts tasks).
+    Reschedule,
+    /// GPU availability flips (platform change).
+    Gpu(bool),
+    /// Duty-cycle estimate drifts (platform change).
+    OnFrac(f64),
+    /// Explicit invalidation.
+    Invalidate,
+}
+
+fn client_op() -> impl Strategy<Value = ClientOp> {
+    prop_oneof![
+        (1u8..4).prop_map(ClientOp::Add),
+        (1.0f64..2_000.0).prop_map(ClientOp::Advance),
+        Just(ClientOp::Reschedule),
+        any::<bool>().prop_map(ClientOp::Gpu),
+        (0.3f64..1.0).prop_map(ClientOp::OnFrac),
+        Just(ClientOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// The refresh ladder's exactness contract under adversarial mutation
+    /// sequences: every query is served either by a *fresh* simulation of
+    /// the live state (bit-identical to an uncached run) or by the
+    /// *unmodified* retained outcome of the last full simulation — never
+    /// by anything in between. Mutations must not leak into a retained
+    /// snapshot, and a fresh run must never start from a corrupted
+    /// scratch.
+    #[test]
+    fn client_ladder_serves_exact_or_retained_snapshots(
+        ops in proptest::collection::vec(client_op(), 1..40),
+    ) {
+        let mut c = cache_client();
+        let mut rs = run_state();
+        let mut on_frac = 1.0f64;
+        let mut now = SimTime::ZERO;
+        let mut next_id = 1_000u64;
+        c.rr_refresh(now, rs, on_frac);
+        let mut last_full = c.rr_snapshot().clone();
+        let mut last_runs = c.rr_stats().runs;
+        for op in ops {
+            match op {
+                ClientOp::Add(n) => {
+                    let base = now.secs();
+                    c.add_jobs(
+                        (0..n as u64)
+                            .map(|i| {
+                                next_id += 1;
+                                spec(
+                                    next_id,
+                                    (next_id % 3) as u32,
+                                    500.0 + 700.0 * i as f64,
+                                    20_000.0 + base,
+                                    next_id % 4 == 0,
+                                )
+                            })
+                            .collect(),
+                    );
+                }
+                ClientOp::Advance(dt) => {
+                    now = now + SimDuration::from_secs(dt);
+                    c.advance(now, rs);
+                }
+                ClientOp::Reschedule => {
+                    c.reschedule(now, rs, on_frac);
+                }
+                ClientOp::Gpu(g) => rs.can_gpu = g,
+                ClientOp::OnFrac(f) => on_frac = f,
+                ClientOp::Invalidate => c.invalidate_rr(),
+            }
+            c.rr_refresh(now, rs, on_frac);
+            if c.rr_stats().runs != last_runs {
+                // A full run: must be bit-identical to an uncached
+                // simulation of the same live state.
+                last_runs = c.rr_stats().runs;
+                let fresh = c.rr_simulate(now, rs, on_frac);
+                assert_identical(c.rr_snapshot(), &fresh);
+                last_full = c.rr_snapshot().clone();
+            } else {
+                // A pure or frozen hit: must be the retained outcome,
+                // untouched by any mutation since.
+                assert_identical(c.rr_snapshot(), &last_full);
+            }
+        }
+    }
+}
+
+/// Hit/miss accounting under the refresh ladder: same-key refreshes are
+/// pure hits; clean/progress drift inside the frozen window is a frozen
+/// hit (no rerun); structural mutations, platform changes and window
+/// expiry each force exactly one rerun.
 #[test]
 fn refresh_hit_miss_accounting() {
     let mut c = cache_client();
@@ -240,32 +410,45 @@ fn refresh_hit_miss_accounting() {
     let after_first = c.rr_stats();
     assert_eq!(after_first.runs, 1);
 
-    // Ten same-key queries: all hits.
+    // Ten same-key queries: all pure hits.
     for _ in 0..10 {
         c.rr_refresh(SimTime::ZERO, rs, 1.0);
     }
     let s = c.rr_stats();
     assert_eq!(s.runs, 1, "same-key refreshes must not rerun");
+    assert_eq!(s.frozen, 0, "same-key refreshes are pure, not frozen, hits");
     assert_eq!(s.queries, after_first.queries + 10);
 
-    // Time moves: miss.
+    // Time moves inside the frozen window (slack 20 000 − 4 000 = 16 000 s
+    // ⇒ 5% is 800 s, clamped to the 0.125·work_buf_min = 225 s cap):
+    // frozen hit, no rerun.
     c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
-    assert_eq!(c.rr_stats().runs, 2);
-    // Same new key: hit.
+    assert_eq!(c.rr_stats().runs, 1);
+    assert_eq!(c.rr_stats().frozen, 1);
+    // Same new key again: pure hit (the frozen hit re-keyed the cache).
     c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
+    assert_eq!(c.rr_stats().runs, 1);
+    assert_eq!(c.rr_stats().frozen, 1);
+
+    // A platform change (different on_frac) cannot be served frozen.
+    c.rr_refresh(SimTime::from_secs(10.0), rs, 0.5);
     assert_eq!(c.rr_stats().runs, 2);
 
-    // Queue mutation bumps the generation: miss even at the same instant.
-    c.add_jobs(vec![spec(2, 1, 100.0, 1_000.0, false)]);
-    c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
+    // Time beyond the window (10 + τ(225) < 1000): rerun.
+    c.rr_refresh(SimTime::from_secs(1000.0), rs, 0.5);
     assert_eq!(c.rr_stats().runs, 3);
 
-    // Manual invalidation behaves like any other mutation.
-    c.invalidate_rr();
-    c.rr_refresh(SimTime::from_secs(10.0), rs, 1.0);
+    // Queue mutation is global dirt: rerun even at the same instant.
+    c.add_jobs(vec![spec(2, 1, 100.0, 2_500.0, false)]);
+    c.rr_refresh(SimTime::from_secs(1000.0), rs, 0.5);
     assert_eq!(c.rr_stats().runs, 4);
 
+    // Manual invalidation behaves like any other structural mutation.
+    c.invalidate_rr();
+    c.rr_refresh(SimTime::from_secs(1000.0), rs, 0.5);
+    assert_eq!(c.rr_stats().runs, 5);
+
     // And the snapshot still matches an uncached run.
-    let fresh = c.rr_simulate(SimTime::from_secs(10.0), rs, 1.0);
+    let fresh = c.rr_simulate(SimTime::from_secs(1000.0), rs, 0.5);
     assert_identical(c.rr_snapshot(), &fresh);
 }

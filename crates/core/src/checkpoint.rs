@@ -30,8 +30,8 @@ use crate::emulator::Event;
 use crate::metrics::MetricsAccumSnapshot;
 use bce_avail::HostRunState;
 use bce_client::{
-    AccountingSnapshot, ClientSnapshot, ProjectClientSnapshot, RrOutcome, RrStats, TaskSnapshot,
-    TaskState, XferRetrySnapshot,
+    AccountingSnapshot, ClientSnapshot, DirtClass, DirtyGroups, ProjectClientSnapshot, RrOutcome,
+    RrStats, TaskSnapshot, TaskState, XferRetrySnapshot,
 };
 use bce_faults::RetryState;
 use bce_server::{ServerSnapshot, ServerStats};
@@ -46,8 +46,11 @@ use bce_types::{
 };
 use std::path::Path;
 
-/// Current (and only) version of the checkpoint document format.
-const VERSION: u32 = 1;
+/// Current version of the checkpoint document format. Bumped to 2 when
+/// the RR dirty-tracking state (`rr_dirty`, `frozen_until`, the `frozen`
+/// counter) and the availability coalescing counters joined the capture;
+/// v1 documents lack them and cannot resume bit-identically.
+const VERSION: u32 = 2;
 /// Root element name of the checkpoint document.
 const ROOT: &str = "bce_checkpoint";
 
@@ -109,6 +112,8 @@ pub struct CheckpointState {
     pub(crate) generation: u64,
     pub(crate) events_processed: u64,
     pub(crate) peak_jobs: u64,
+    pub(crate) flaps_coalesced: u64,
+    pub(crate) avail_resched_skipped: u64,
     /// The run had already reached its end when captured; resuming only
     /// finalizes.
     pub(crate) finished: bool,
@@ -151,6 +156,17 @@ impl CheckpointState {
         self.finished
     }
 
+    /// Dirt class of the captured client's RR tracker (tests use this to
+    /// witness that a checkpoint really was taken mid-dirty).
+    pub fn rr_dirt_class(&self) -> bce_client::DirtClass {
+        self.client.rr_dirty.class()
+    }
+
+    /// End of the captured client's frozen-progress window.
+    pub fn rr_frozen_until(&self) -> SimTime {
+        self.client.rr_frozen_until
+    }
+
     /// Serialize to the versioned XML document format.
     pub fn to_xml_string(&self) -> String {
         self.to_xml().render()
@@ -160,7 +176,17 @@ impl CheckpointState {
     /// truncation, wrong document type, missing fields, bad numbers —
     /// returns an error and never panics.
     pub fn from_xml_str(src: &str) -> Result<Self, CheckpointError> {
-        let (_v, root) = open_envelope(src, ROOT, VERSION)?;
+        let (v, root) = open_envelope(src, ROOT, VERSION)?;
+        if v < VERSION {
+            // Every field is required for a bit-identical resume; older
+            // documents are missing the RR dirty-tracking state, so they
+            // are rejected outright rather than resumed with silently
+            // reset cache state.
+            return Err(bce_statefile::CodecError::BadVersion(format!(
+                "v{v} checkpoint predates RR dirty-state tracking (need v{VERSION})"
+            ))
+            .into());
+        }
         Ok(Self::from_xml(&root)?)
     }
 
@@ -192,6 +218,8 @@ impl CheckpointState {
         clock.attrs.push(("generation".into(), self.generation.to_string()));
         clock.attrs.push(("events_processed".into(), self.events_processed.to_string()));
         clock.attrs.push(("peak_jobs".into(), self.peak_jobs.to_string()));
+        clock.attrs.push(("flaps_coalesced".into(), self.flaps_coalesced.to_string()));
+        clock.attrs.push(("avail_resched_skipped".into(), self.avail_resched_skipped.to_string()));
         push_bool(&mut clock, "finished", self.finished);
         root.push(clock);
 
@@ -341,6 +369,8 @@ impl CheckpointState {
         let generation: u64 = attr_parse(clock, "generation")?;
         let events_processed: u64 = attr_parse(clock, "events_processed")?;
         let peak_jobs: u64 = attr_parse(clock, "peak_jobs")?;
+        let flaps_coalesced: u64 = attr_parse(clock, "flaps_coalesced")?;
+        let avail_resched_skipped: u64 = attr_parse(clock, "avail_resched_skipped")?;
         let finished = bool_attr(clock, "finished")?;
 
         let run_state = parse_run_state(req_child(root, "run_state")?)?;
@@ -492,6 +522,8 @@ impl CheckpointState {
             generation,
             events_processed,
             peak_jobs,
+            flaps_coalesced,
+            avail_resched_skipped,
             finished,
             run_state,
             queue,
@@ -966,7 +998,22 @@ fn client_node(c: &ClientSnapshot) -> XmlNode {
     let mut stats = XmlNode::new("rr_stats");
     stats.attrs.push(("queries".into(), c.rr_stats.queries.to_string()));
     stats.attrs.push(("runs".into(), c.rr_stats.runs.to_string()));
+    stats.attrs.push(("frozen".into(), c.rr_stats.frozen.to_string()));
     n.push(stats);
+
+    // Dirty-tracking state of the retained snapshot: without it a resumed
+    // run would full-resimulate where the uninterrupted run served a
+    // frozen hit, skewing the rr_runs counter out of bit-identity.
+    let mut dirty = XmlNode::new("rr_dirty");
+    dirty.attrs.push(("class".into(), c.rr_dirty.class().name().into()));
+    push_time(&mut dirty, "frozen_until", c.rr_frozen_until);
+    for (pt, id) in c.rr_dirty.groups() {
+        let mut g = XmlNode::new("group");
+        g.attrs.push(("pt".into(), pt.index().to_string()));
+        g.attrs.push(("project".into(), id.0.to_string()));
+        dirty.push(g);
+    }
+    n.push(dirty);
 
     n
 }
@@ -1043,8 +1090,26 @@ fn parse_client(n: &XmlNode) -> Result<ClientSnapshot, CodecError> {
         None => None,
     };
     let stats = req_child(n, "rr_stats")?;
-    let rr_stats =
-        RrStats { queries: attr_parse(stats, "queries")?, runs: attr_parse(stats, "runs")? };
+    let rr_stats = RrStats {
+        queries: attr_parse(stats, "queries")?,
+        runs: attr_parse(stats, "runs")?,
+        frozen: attr_parse(stats, "frozen")?,
+    };
+
+    let dirty = req_child(n, "rr_dirty")?;
+    let rr_frozen_until = time_attr(dirty, "frozen_until")?;
+    let class_name = req_attr(dirty, "class")?;
+    let class = DirtClass::from_name(class_name)
+        .ok_or_else(|| CodecError::Field(format!("unknown dirt class {class_name:?}")))?;
+    let mut dirty_groups = Vec::new();
+    for g in dirty.children_named("group") {
+        let pti: usize = attr_parse(g, "pt")?;
+        let pt = *ProcType::ALL
+            .get(pti)
+            .ok_or_else(|| CodecError::Field(format!("bad proc type index {pti}")))?;
+        dirty_groups.push((pt, ProjectId(attr_parse(g, "project")?)));
+    }
+    let rr_dirty = DirtyGroups::from_parts(class, dirty_groups);
 
     Ok(ClientSnapshot {
         projects,
@@ -1061,6 +1126,8 @@ fn parse_client(n: &XmlNode) -> Result<ClientSnapshot, CodecError> {
         rr_cache,
         rr_key,
         rr_stats,
+        rr_frozen_until,
+        rr_dirty,
     })
 }
 

@@ -62,6 +62,16 @@ pub struct EmulatorConfig {
     /// through. Honored by the `bce-controller` executor, not by a bare
     /// [`Emulator::run`]; checkpointing never changes a result bit.
     pub checkpoint: Option<crate::CheckpointPolicy>,
+    /// Availability-flap coalescing window: when an availability event
+    /// fires, any further on/off transitions within this window are
+    /// absorbed into it and the run state is evaluated once, after all of
+    /// them. Collapses the reschedule storms a flapping host would
+    /// otherwise cause. Zero disables coalescing (every transition gets
+    /// its own event, as the seed emulator behaved). The window must stay
+    /// well below any policy-visible timescale (scheduling period,
+    /// work-buffer preferences); the 0.25 s default is ~240x below the
+    /// 60 s scheduling period.
+    pub avail_coalesce_window: SimDuration,
 }
 
 impl Default for EmulatorConfig {
@@ -79,6 +89,7 @@ impl Default for EmulatorConfig {
             trace_capacity: 0,
             profile: false,
             checkpoint: None,
+            avail_coalesce_window: SimDuration::from_secs(0.25),
         }
     }
 }
@@ -179,6 +190,9 @@ impl EmulationResult {
         h.u64(self.perf.peak_jobs as u64);
         h.u64(self.perf.rr_queries);
         h.u64(self.perf.rr_runs);
+        h.u64(self.perf.rr_frozen);
+        h.u64(self.perf.flaps_coalesced);
+        h.u64(self.perf.avail_resched_skipped);
         if let Some(tl) = &self.timeline {
             for track in tl.tracks() {
                 h.u64(track.instance.proc_type.index() as u64);
@@ -524,6 +538,8 @@ impl Emulator {
             run_state,
             events_processed: 0,
             peak_jobs,
+            flaps_coalesced: 0,
+            avail_resched_skipped: 0,
             done: false,
         }
     }
@@ -617,6 +633,8 @@ impl Emulator {
         st.run_state = ckpt.run_state;
         st.events_processed = ckpt.events_processed;
         st.peak_jobs = ckpt.peak_jobs as usize;
+        st.flaps_coalesced = ckpt.flaps_coalesced;
+        st.avail_resched_skipped = ckpt.avail_resched_skipped;
         st.done = ckpt.finished;
         Ok(st)
     }
@@ -724,6 +742,12 @@ struct RunState {
     run_state: HostRunState,
     events_processed: u64,
     peak_jobs: usize,
+    /// Availability transitions absorbed into an earlier event by the
+    /// coalescing window ([`EmulatorConfig::avail_coalesce_window`]).
+    flaps_coalesced: u64,
+    /// Availability events whose net run-state delta was zero, so the
+    /// reschedule/fetch pass was skipped entirely.
+    avail_resched_skipped: u64,
     /// Set once `step` has returned `false`: the run reached its horizon
     /// (or drained its queue) and must not be stepped further. Carried
     /// through checkpoints so resuming a completed capture only
@@ -768,6 +792,8 @@ impl RunState {
             run_state,
             events_processed,
             peak_jobs,
+            flaps_coalesced,
+            avail_resched_skipped,
             done,
             ..
         } = self;
@@ -882,7 +908,30 @@ impl RunState {
             }
             Event::AvailChange => {
                 governor.advance(now);
-                let new_state = governor.run_state(now, &scenario.prefs);
+                // Flap coalescing: absorb every further transition inside
+                // the window into this event and evaluate the run state
+                // once, after all of them. A host that flaps on/off n
+                // times within the window costs one state evaluation
+                // instead of n reschedule passes; a flap with zero net
+                // delta then falls through to the skip branch below. The
+                // cursor (not `now`) must drive the scan: recorded traces
+                // and preference-window boundaries are pure functions of
+                // the query time that `advance` does not consume, so
+                // re-querying from a fixed `now` would never terminate.
+                // With nothing to coalesce the cursor stays at `now` and
+                // this arm is bit-identical to the uncoalesced path.
+                let horizon = now + cfg.avail_coalesce_window;
+                let mut cursor = now;
+                loop {
+                    let t_next = governor.next_change_after(cursor, &scenario.prefs);
+                    if !(t_next.is_finite() && t_next <= horizon && t_next < end) {
+                        break;
+                    }
+                    governor.advance(t_next);
+                    cursor = t_next;
+                    *flaps_coalesced += 1;
+                }
+                let new_state = governor.run_state(cursor, &scenario.prefs);
                 if new_state != *run_state {
                     obs.avail_changed(
                         now,
@@ -892,8 +941,14 @@ impl RunState {
                     );
                     *run_state = new_state;
                     need_sched = true;
+                } else {
+                    *avail_resched_skipped += 1;
                 }
-                let next = governor.next_change_after(now, &scenario.prefs);
+                // Requeue from the cursor, not `now`: transitions the scan
+                // absorbed are already reflected in the state above, and
+                // re-firing on them would undo the coalescing for pure
+                // trace sources.
+                let next = governor.next_change_after(cursor, &scenario.prefs);
                 if next.is_finite() && next < end {
                     queue.push(next, Event::AvailChange);
                 }
@@ -1087,6 +1142,9 @@ impl RunState {
             peak_jobs: self.peak_jobs,
             rr_queries: rr.queries,
             rr_runs: rr.runs,
+            rr_frozen: rr.frozen,
+            flaps_coalesced: self.flaps_coalesced,
+            avail_resched_skipped: self.avail_resched_skipped,
         };
         let jobs_unfinished =
             self.client.tasks().iter().filter(|t| !t.is_complete()).count() as u64;
@@ -1137,6 +1195,8 @@ impl RunState {
             generation: self.generation,
             events_processed: self.events_processed,
             peak_jobs: self.peak_jobs as u64,
+            flaps_coalesced: self.flaps_coalesced,
+            avail_resched_skipped: self.avail_resched_skipped,
             finished: self.done,
             run_state: self.run_state,
             queue,

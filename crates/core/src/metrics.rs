@@ -100,6 +100,15 @@ pub struct PerfStats {
     pub rr_queries: u64,
     /// Times the RR simulation actually ran (cache misses).
     pub rr_runs: u64,
+    /// RR queries served from the retained snapshot inside the
+    /// frozen-progress window (partial refreshes; a subset of hits).
+    pub rr_frozen: u64,
+    /// Availability transitions absorbed into an earlier one by the
+    /// coalescing window (each saved one event-loop pass).
+    pub flaps_coalesced: u64,
+    /// Availability events whose net run-state delta was zero, skipping
+    /// the reschedule/fetch pass entirely.
+    pub avail_resched_skipped: u64,
 }
 
 impl PerfStats {
@@ -532,6 +541,12 @@ impl MetricsAccum {
         self.registry.add(c, perf.rr_queries);
         let c = self.registry.counter("perf", "rr_runs");
         self.registry.add(c, perf.rr_runs);
+        let c = self.registry.counter("perf", "rr_frozen");
+        self.registry.add(c, perf.rr_frozen);
+        let c = self.registry.counter("perf", "flaps_coalesced");
+        self.registry.add(c, perf.flaps_coalesced);
+        let c = self.registry.counter("perf", "avail_resched_skipped");
+        self.registry.add(c, perf.avail_resched_skipped);
         self.registry.snapshot()
     }
 }

@@ -172,6 +172,42 @@ fn checkpoint_reuses_arena_without_contamination() {
     }
 }
 
+/// Checkpoints taken *inside* a frozen-progress window — progress-class
+/// dirt accumulated, the retained RR snapshot still being served — must
+/// resume bit-identically: the dirty tracker, frozen window and retained
+/// snapshot all survive the XML round trip, so the resumed run serves the
+/// same frozen hits the uninterrupted run did. A dense instant sweep
+/// guarantees some checkpoints land mid-window; the test asserts it
+/// actually witnessed at least one.
+#[test]
+fn resume_mid_dirty_window_is_bit_identical() {
+    let client = ClientConfig::default();
+    let emu = Emulator::new(cpu_scenario(17), client, bare_cfg());
+    let straight = emu.run();
+    let mut saw_mid_dirty = 0u32;
+    // Every ~13 min across the first 6 hours: jobs run 900–1400 s, so
+    // many instants fall between a task start and its completion, where
+    // progress dirt is pending and the frozen window is open.
+    for minutes in (0..360).step_by(13) {
+        let at = SimTime::from_secs(minutes as f64 * 60.0);
+        let ckpt = emu.checkpoint_at(at);
+        if ckpt.rr_dirt_class() == bce_client::DirtClass::Progress
+            && ckpt.rr_frozen_until() > ckpt.now()
+        {
+            saw_mid_dirty += 1;
+        }
+        let doc = ckpt.to_xml_string();
+        let parsed = CheckpointState::from_xml_str(&doc).expect("parse mid-dirty checkpoint");
+        let resumed = emu.resume(&parsed).expect("resume mid-dirty checkpoint");
+        assert_same(&resumed, &straight, &format!("mid-dirty resume at {minutes}min"));
+    }
+    assert!(
+        saw_mid_dirty >= 3,
+        "sweep never landed inside a dirty frozen window ({saw_mid_dirty}); \
+         the test is not exercising the mid-dirty path"
+    );
+}
+
 #[test]
 fn mismatched_scenario_or_config_is_rejected() {
     let client = ClientConfig::default();
@@ -214,8 +250,14 @@ fn corrupt_checkpoint_documents_error_and_never_panic() {
     // Whole-document mutations: wrong root, bad version, mangled numbers.
     assert!(CheckpointState::from_xml_str("").is_err());
     assert!(CheckpointState::from_xml_str("<client_state version=\"1\"/>").is_err());
+    assert!(doc.contains("version=\"2\""), "format version changed; update this test");
     assert!(
-        CheckpointState::from_xml_str(&doc.replacen("version=\"1\"", "version=\"99\"", 1)).is_err()
+        CheckpointState::from_xml_str(&doc.replacen("version=\"2\"", "version=\"99\"", 1)).is_err()
+    );
+    // v1 documents predate the RR dirty-tracking state and must be
+    // rejected rather than resumed with silently-reset cache state.
+    assert!(
+        CheckpointState::from_xml_str(&doc.replacen("version=\"2\"", "version=\"1\"", 1)).is_err()
     );
     let mangled = doc.replacen("seed=\"9\"", "seed=\"nine\"", 1);
     assert!(CheckpointState::from_xml_str(&mangled).is_err());

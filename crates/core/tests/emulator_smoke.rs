@@ -76,7 +76,10 @@ fn different_seeds_differ() {
             }
         }
         let r = Emulator::new(s, ClientConfig::default(), short_cfg(1.0)).run();
-        r.total_flops_used.to_bits()
+        // The full-result fingerprint, not `total_flops_used`: a saturated
+        // CPU does the same total work under any seed, but the job
+        // boundaries and completion counts it hashes still differ.
+        r.bit_fingerprint()
     };
     assert_ne!(run(1), run(2));
 }
@@ -129,6 +132,65 @@ fn unavailable_host_does_nothing() {
     let r = Emulator::new(s, ClientConfig::default(), short_cfg(1.0)).run();
     assert_eq!(r.jobs_completed, 0);
     assert_eq!(r.available_fraction, 0.0);
+}
+
+#[test]
+fn flapping_host_trace_is_coalesced() {
+    // A recorded trace that flaps off/on in 50 ms bursts every 10 minutes.
+    // Each burst has zero net delta, so under the default 250 ms window the
+    // emulator must absorb the whole burst into one availability event and
+    // skip the reschedule; with the window disabled every transition fires
+    // its own event. (This also regression-tests loop termination: trace
+    // sources are pure functions of time that `advance` does not consume,
+    // so a cursor-less coalescing scan would spin forever right here.)
+    let mk = |window_secs: f64| {
+        let mut transitions = Vec::new();
+        let mut t = 600.0;
+        while t < 86_000.0 {
+            transitions.push((bce_types::SimTime::from_secs(t), false));
+            transitions.push((bce_types::SimTime::from_secs(t + 0.05), true));
+            transitions.push((bce_types::SimTime::from_secs(t + 0.10), false));
+            transitions.push((bce_types::SimTime::from_secs(t + 0.15), true));
+            t += 600.0;
+        }
+        let nbursts = transitions.len() / 4;
+        let mut s = one_project_scenario();
+        s.host_trace = Some(bce_avail::AvailTrace::new(true, transitions));
+        let cfg = EmulatorConfig {
+            duration: SimDuration::from_days(1.0),
+            avail_coalesce_window: SimDuration::from_secs(window_secs),
+            ..Default::default()
+        };
+        (Emulator::new(s, ClientConfig::default(), cfg).run(), nbursts)
+    };
+
+    let (coalesced, nbursts) = mk(0.25);
+    assert_eq!(
+        coalesced.perf.flaps_coalesced as usize,
+        3 * nbursts,
+        "each 4-transition burst should leave 1 event + 3 absorbed flaps"
+    );
+    assert_eq!(
+        coalesced.perf.avail_resched_skipped as usize, nbursts,
+        "net-zero bursts must not trigger a reschedule"
+    );
+    assert!(coalesced.jobs_completed > 0);
+
+    let (uncoalesced, _) = mk(0.0);
+    assert_eq!(uncoalesced.perf.flaps_coalesced, 0, "window 0 disables coalescing");
+    // Taking every burst transition literally preempts the running task
+    // four times per burst and rolls progress back to its last checkpoint;
+    // absorbing the burst keeps that work. Coalescing must never do worse.
+    assert!(
+        coalesced.jobs_completed >= uncoalesced.jobs_completed,
+        "coalesced {} < uncoalesced {}",
+        coalesced.jobs_completed,
+        uncoalesced.jobs_completed
+    );
+    assert!(uncoalesced.jobs_completed > 0);
+
+    // Coalescing is deterministic: same scenario, same fingerprint.
+    assert_eq!(mk(0.25).0.bit_fingerprint(), coalesced.bit_fingerprint());
 }
 
 #[test]

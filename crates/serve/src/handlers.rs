@@ -190,6 +190,10 @@ fn run(req: &Request, shared: &Shared) -> Response {
         Some(Ok(result)) => {
             *shared.last_trace.lock().expect("trace poisoned") = result.trace.records().to_vec();
             shared.inc(shared.ids.runs_completed);
+            shared.add(shared.ids.emu_rr_runs, result.perf.rr_runs);
+            shared.add(shared.ids.emu_rr_frozen, result.perf.rr_frozen);
+            shared.add(shared.ids.emu_flaps_coalesced, result.perf.flaps_coalesced);
+            shared.add(shared.ids.emu_avail_resched_skipped, result.perf.avail_resched_skipped);
             let body = format!(
                 "# run {label}: ok\n# fingerprint: {:016x}\n{result}",
                 result.bit_fingerprint()

@@ -112,6 +112,14 @@ pub(crate) struct Ids {
     pub panics_quarantined: CounterId,
     pub accept_retries: CounterId,
     pub runs_completed: CounterId,
+    /// Cumulative RR-simulation reruns across all served emulations.
+    pub emu_rr_runs: CounterId,
+    /// Cumulative frozen-window partial refreshes across served emulations.
+    pub emu_rr_frozen: CounterId,
+    /// Cumulative availability flaps coalesced across served emulations.
+    pub emu_flaps_coalesced: CounterId,
+    /// Cumulative zero-delta availability events that skipped a reschedule.
+    pub emu_avail_resched_skipped: CounterId,
     pub campaign_chunks: CounterId,
     pub campaigns_completed: CounterId,
     pub campaigns_parked: CounterId,
@@ -135,6 +143,10 @@ impl Ids {
             panics_quarantined: reg.counter("serve", "panics_quarantined"),
             accept_retries: reg.counter("serve", "accept_retries"),
             runs_completed: reg.counter("serve", "runs_completed"),
+            emu_rr_runs: reg.counter("emulation", "rr_runs"),
+            emu_rr_frozen: reg.counter("emulation", "rr_frozen"),
+            emu_flaps_coalesced: reg.counter("emulation", "flaps_coalesced"),
+            emu_avail_resched_skipped: reg.counter("emulation", "avail_resched_skipped"),
             campaign_chunks: reg.counter("serve", "campaign_chunks"),
             campaigns_completed: reg.counter("serve", "campaigns_completed"),
             campaigns_parked: reg.counter("serve", "campaigns_parked"),
@@ -167,6 +179,9 @@ pub(crate) struct Shared {
 impl Shared {
     pub fn inc(&self, id: CounterId) {
         self.metrics.lock().expect("metrics poisoned").inc(id);
+    }
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.metrics.lock().expect("metrics poisoned").add(id, n);
     }
     pub fn set_gauge(&self, id: GaugeId, v: f64) {
         self.metrics.lock().expect("metrics poisoned").set(id, v);

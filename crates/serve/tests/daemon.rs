@@ -110,6 +110,11 @@ fn observability_run_and_drain_end_to_end() {
     let (status, _, metrics) = get(addr, "/metrics");
     assert_eq!(status, 200);
     assert!(metrics.contains("serve.runs_completed"), "{metrics}");
+    // Emulation perf counters accumulate into the daemon registry: two
+    // runs of the same scenario ran some RR simulations.
+    assert!(metrics.contains("emulation.rr_runs"), "{metrics}");
+    assert!(metrics.contains("emulation.rr_frozen"), "{metrics}");
+    assert!(metrics.contains("emulation.flaps_coalesced"), "{metrics}");
 
     // Typed 4xx for bad input, not a wedged or dead worker.
     let (status, _, _) = post(addr, "/run?scenario=nope");
