@@ -122,6 +122,11 @@ impl AvailTrace {
     pub fn transitions(&self) -> &[(SimTime, bool)] {
         &self.transitions
     }
+
+    /// State before the first transition.
+    pub fn initial(&self) -> bool {
+        self.initial
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use bce_types::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 128 })]
 
     /// Traces round-trip through the text format.
     #[test]

@@ -10,7 +10,7 @@
 //!   multiprocessors").
 
 use bce_client::{ClientConfig, DeadlineOrder, JobSchedPolicy};
-use bce_core::{Emulator, EmulatorConfig, Scenario};
+use bce_core::{Emulator, EmulatorConfig, Scenario, ScenarioBuilder};
 use bce_scenarios::scenario1;
 use bce_types::{AppClass, EstErrorModel, Hardware, Preferences, ProjectSpec, SimDuration};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -24,21 +24,21 @@ fn one_day() -> EmulatorConfig {
 /// A contended scenario where preemption (and hence checkpointing)
 /// matters: tight jobs keep preempting loose ones.
 fn contended(checkpoint: Option<f64>, est_error: EstErrorModel) -> Scenario {
-    Scenario::new("ablation", Hardware::cpu_only(1, 1e9))
-        .with_seed(21)
-        .with_prefs(Preferences {
+    ScenarioBuilder::new("ablation", Hardware::cpu_only(1, 1e9))
+        .seed(21)
+        .prefs(Preferences {
             work_buf_min: SimDuration::from_secs(2000.0),
             work_buf_extra: SimDuration::from_secs(2000.0),
             ..Default::default()
         })
-        .with_project(
+        .project(
             ProjectSpec::new(0, "tight", 100.0).with_app(
                 AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_secs(1800.0))
                     .with_cv(0.1)
                     .with_est_error(est_error),
             ),
         )
-        .with_project(
+        .project(
             ProjectSpec::new(1, "loose", 100.0).with_app(
                 AppClass::cpu(1, SimDuration::from_secs(3000.0), SimDuration::from_hours(24.0))
                     .with_cv(0.1)
@@ -46,6 +46,7 @@ fn contended(checkpoint: Option<f64>, est_error: EstErrorModel) -> Scenario {
                     .with_est_error(est_error),
             ),
         )
+        .build_unchecked()
 }
 
 static PRINT_ONCE: Once = Once::new();

@@ -214,7 +214,7 @@ fn bench_incremental_refresh(c: &mut Criterion) {
         let mut now = SimTime::ZERO;
         g.bench_function(BenchmarkId::new("incremental", ndirty), |b| {
             b.iter(|| {
-                now = now + step;
+                now += step;
                 client.advance(now, rs);
                 client.rr_refresh(now, rs, 1.0);
                 black_box(client.rr_snapshot().finish.len())
@@ -226,7 +226,7 @@ fn bench_incremental_refresh(c: &mut Criterion) {
         let mut now = SimTime::ZERO;
         g.bench_function(BenchmarkId::new("full_resim", ndirty), |b| {
             b.iter(|| {
-                now = now + step;
+                now += step;
                 client.advance(now, rs);
                 black_box(client.rr_simulate(now, rs, 1.0))
             })

@@ -40,6 +40,11 @@ pub fn default_days(n: u32) -> f64 {
 /// Run figure `n` (1–6) and return its full stdout rendering. JSON
 /// side-output (`--json`) is written here too, so callers only print.
 pub fn run_fig(n: u32, opts: &FigOpts) -> Result<String, String> {
+    if opts.scenario.is_some() && !(3..=6).contains(&n) {
+        return Err(format!(
+            "figure {n} builds its own workload; --scenario applies to figures 3-6"
+        ));
+    }
     match n {
         1 => fig1(opts),
         2 => fig2(opts),
@@ -49,6 +54,15 @@ pub fn run_fig(n: u32, opts: &FigOpts) -> Result<String, String> {
         6 => fig6(opts),
         _ => Err(format!("unknown figure {n} (expected 1-6)")),
     }
+}
+
+/// The scenario a figure runs on: the `--scenario` override when given,
+/// otherwise the figure's builtin.
+fn base_scenario(
+    opts: &FigOpts,
+    builtin: impl FnOnce() -> bce_core::Scenario,
+) -> bce_core::Scenario {
+    opts.scenario.clone().unwrap_or_else(builtin)
 }
 
 /// As [`FigOpts::write_json`], but appending the confirmation line to
@@ -266,9 +280,22 @@ fn fig3(opts: &FigOpts) -> Result<String, String> {
         "scenario 1: 1 CPU, two equal-share projects; latency bound of project 'tight' swept\n"
     );
 
+    // An override replaces the base scenario; the sweep still retunes the
+    // first project's first app's latency bound at every point, so a spec
+    // that lowers to scenario1 reproduces the builtin figure exactly.
+    let base = opts.scenario.clone();
     let result =
-        sweep("latency_bound_s", &points, &sched_policies(), &opts.emulator(), 0, |latency| {
-            scenario1(SimDuration::from_secs(latency))
+        sweep("latency_bound_s", &points, &sched_policies(), &opts.emulator(), 0, move |latency| {
+            match &base {
+                Some(s) => {
+                    let mut s = s.clone();
+                    if let Some(app) = s.projects.first_mut().and_then(|p| p.apps.first_mut()) {
+                        app.latency_bound = SimDuration::from_secs(latency);
+                    }
+                    s
+                }
+                None => scenario1(SimDuration::from_secs(latency)),
+            }
         });
 
     let table = result.table(Metric::Wasted);
@@ -319,7 +346,7 @@ fn fig4(opts: &FigOpts) -> Result<String, String> {
     outln!(out, "Figure 4 — local vs. global resource-share accounting");
     outln!(out, "scenario 2: 4 CPUs + 1 GPU (10x); P0 CPU-only, P1 CPU+GPU, equal shares\n");
 
-    let cmp = compare_policies(&scenario2(), &policies, &opts.emulator(), 0);
+    let cmp = compare_policies(&base_scenario(opts, scenario2), &policies, &opts.emulator(), 0);
     outln!(out, "{}", cmp.table().render());
     outln!(out, "{}", cmp.bars(Metric::ShareViolation, 40));
 
@@ -354,7 +381,8 @@ fn fig5(opts: &FigOpts) -> Result<String, String> {
     outln!(out, "Figure 5 — job fetch with and without hysteresis");
     outln!(out, "scenario 4: 4 CPUs + 1 GPU, 20 projects with varying job types\n");
 
-    let cmp = compare_policies(&scenario4(), &fetch_policies(), &opts.emulator(), 0);
+    let cmp =
+        compare_policies(&base_scenario(opts, scenario4), &fetch_policies(), &opts.emulator(), 0);
     outln!(out, "{}", cmp.table().render());
     outln!(out, "{}", cmp.bars(Metric::RpcsPerJob, 40));
     outln!(out, "{}", cmp.bars(Metric::Monotony, 40));
@@ -413,7 +441,10 @@ fn fig6(opts: &FigOpts) -> Result<String, String> {
             )
         })
         .collect();
-    let result = sweep("half_life_s", &[0.0], &policies, &opts.emulator(), 0, |_| scenario3());
+    let base = opts.scenario.clone();
+    let result = sweep("half_life_s", &[0.0], &policies, &opts.emulator(), 0, move |_| {
+        base.clone().unwrap_or_else(scenario3)
+    });
 
     // Re-shape: one row per half-life.
     let mut rows: Vec<(f64, f64)> = Vec::new();
@@ -463,7 +494,8 @@ mod tests {
 
     #[test]
     fn unknown_figure_is_an_error() {
-        let opts = FigOpts { days: 0.0, quick: true, json: None, checkpoint_every: None };
+        let opts =
+            FigOpts { days: 0.0, quick: true, json: None, checkpoint_every: None, scenario: None };
         assert!(run_fig(0, &opts).unwrap_err().contains("unknown figure"));
         assert!(run_fig(7, &opts).unwrap_err().contains("unknown figure"));
     }
@@ -472,10 +504,26 @@ mod tests {
     fn fig2_snapshot_renders() {
         // Figure 2 is pure computation (no emulation), so it is cheap
         // enough to run in a unit test and pins the runner wiring.
-        let opts = FigOpts { days: 0.0, quick: false, json: None, checkpoint_every: None };
+        let opts =
+            FigOpts { days: 0.0, quick: false, json: None, checkpoint_every: None, scenario: None };
         let out = run_fig(2, &opts).unwrap();
         assert!(out.contains("Figure 2 — round-robin simulation"));
         assert!(out.contains("SHORTFALL(T)"));
         assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn scenario_override_rejected_for_computed_figures() {
+        let opts = FigOpts {
+            days: 0.0,
+            quick: true,
+            json: None,
+            checkpoint_every: None,
+            scenario: Some(bce_scenarios::scenario2()),
+        };
+        for n in [1, 2] {
+            let err = run_fig(n, &opts).unwrap_err();
+            assert!(err.contains("--scenario applies to figures 3-6"), "{err}");
+        }
     }
 }

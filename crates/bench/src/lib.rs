@@ -40,6 +40,10 @@ pub struct FigOpts {
     /// Crash-safety: checkpoint every run this often (simulated days)
     /// under `target/checkpoints`, resuming automatically on restart.
     pub checkpoint_every: Option<f64>,
+    /// Replace the figure's base scenario (figures 3-6; loaded through
+    /// the unified `--scenario` resolver). A scenario spec that lowers to
+    /// the figure's builtin reproduces its output byte-for-byte.
+    pub scenario: Option<bce_core::Scenario>,
 }
 
 impl FigOpts {
@@ -84,7 +88,7 @@ impl FigOpts {
                     let v = args.get(i + 1).ok_or("--checkpoint-every requires a value")?;
                     let d: f64 =
                         v.parse().map_err(|_| format!("invalid --checkpoint-every value {v:?}"))?;
-                    if !(d > 0.0) {
+                    if !d.is_finite() || d <= 0.0 {
                         return Err(format!("--checkpoint-every must be positive, got {v:?}"));
                     }
                     checkpoint_every = Some(d);
@@ -97,7 +101,7 @@ impl FigOpts {
         if quick {
             days = days.min(1.0);
         }
-        Ok(FigOpts { days, quick, json, checkpoint_every })
+        Ok(FigOpts { days, quick, json, checkpoint_every, scenario: None })
     }
 
     pub fn emulator(&self) -> EmulatorConfig {
@@ -162,7 +166,13 @@ mod tests {
 
     #[test]
     fn opts_default() {
-        let o = FigOpts { days: 10.0, quick: false, json: None, checkpoint_every: None };
+        let o = FigOpts {
+            days: 10.0,
+            quick: false,
+            json: None,
+            checkpoint_every: None,
+            scenario: None,
+        };
         assert_eq!(o.emulator().duration, SimDuration::from_days(10.0));
     }
 

@@ -5,13 +5,15 @@ use crate::args::{ArgError, Args};
 use bce_client::{ClientConfig, DeadlineOrder, FetchPolicy, JobSchedPolicy};
 use bce_controller::{
     compare_policies, population_campaign, population_header, population_study, population_table,
-    standard_policies, standard_population, CampaignOptions, Metric, Table,
+    run_manifest, standard_policies, standard_population, CampaignManifest, CampaignOptions,
+    Metric, Table,
 };
 use bce_core::{render_timeline, Emulator, EmulatorConfig, FaultConfig, Scenario};
 use bce_fleet::{assign_shares, host_scenarios, run_fleet, Fleet, FleetHost, ShareStrategy};
 use bce_obs::TraceEvent;
 use bce_scenarios::{
-    doc_from_scenario, scenario1, scenario2, scenario3, scenario4, scenario_from_state_file,
+    doc_from_scenario, scenario1, scenario2, scenario3, scenario4, LoadedScenario, ScenarioSource,
+    ScenarioSpec, BUILTIN_NAMES,
 };
 use bce_sim::Level;
 use bce_types::{AppClass, Hardware, ProcType, ProjectSpec, SimDuration};
@@ -21,7 +23,13 @@ bce — BOINC client emulator (reproduction of Anderson, 'Emulating
 Volunteer Computing Scheduling Policies', 2011)
 
 USAGE:
-  bce run <state_file.xml | scenario1..scenario4> [options]
+  Every command that emulates takes one scenario reference, positionally
+  or as --scenario REF, resolved the same way everywhere: a builtin name
+  (scenario1..scenario4, optionally prefixed builtin:), a JSON scenario
+  spec (*.json, see docs/SCENARIO_FORMAT.md), or a client_state.xml
+  dump. Spec files may carry a fault overlay, which the command applies.
+
+  bce run <scenario-ref> [options]
       --days N        emulated days (default 10)
       --sched P       wrr | local | global | local-llf | global-dd
       --fetch P       orig | hysteresis
@@ -31,12 +39,24 @@ USAGE:
       --log           print the scheduling message log
       --seed N        override the scenario seed
 
-  bce compare <state_file.xml | scenarioN> [--days N] [--threads N]
+  bce compare <scenario-ref> [--days N] [--threads N]
       run every scheduling x fetch policy combination and tabulate
+
+  bce scenario list | validate <ref> | print <ref>
+      list        builtin scenarios plus *.json files under scenarios/
+      validate    load a scenario ref and report every validation error
+      print       emit the canonical JSON spec (usable as a golden file)
+
+  bce campaign <manifest.json> [--threads N] [--out DIR]
+      run a declarative campaign manifest (scenario refs x policies x
+      seeds) through the resumable campaign runner; --out writes
+      summary.json, table.txt and campaign.ckpt into DIR
 
   bce population [--hosts N] [--days N] [--seed N] [--threads N]
       Monte-Carlo policy study over a sampled host population
       (--threads 0, the default, uses one worker per CPU)
+      --scenario REF         study this one scenario instead of the
+                             sampled population (conflicts with --hosts)
       --checkpoint FILE      run crash-safe: write a resumable campaign
                              checkpoint (atomically) to FILE
       --checkpoint-every N   also write it every N completed runs
@@ -45,16 +65,18 @@ USAGE:
       --max-runs N           stop after N runs, checkpoint, and exit
                              (budgeted execution; finish with --resume)
 
-  bce export <scenarioN> [--out FILE]
+  bce export <scenario-ref> [--out FILE]
       write the scenario as a client_state.xml template
 
-  bce validate <state_file.xml>
-      parse and validate a state file, reporting precise errors
+  bce validate <scenario-ref>
+      load and validate a scenario, reporting precise errors
 
-  bce fleet [--days N] [--threads N]
-      cross-host share-enforcement study on a demo heterogeneous fleet
+  bce fleet [--days N] [--threads N] [--scenario REF]
+      cross-host share-enforcement study on a demo heterogeneous fleet;
+      --scenario replaces the demo projects and seed with the
+      referenced scenario's
 
-  bce faults <state_file.xml | scenarioN> [options]
+  bce faults <scenario-ref> [options]
       sweep transient failure rate x {JS, JF} policy and tabulate the
       graceful degradation of the figures of merit
       --days N        emulated days (default 2)
@@ -69,13 +91,15 @@ USAGE:
       RR-simulation cache statistics, runs/sec, executor overhead and
       tracing overhead as JSON (--out writes the JSON and prints a
       summary table instead; --population overrides the
-      population-study run count)
+      population-study run count; --scenario REF benchmarks that
+      scenario alongside the standard set)
 
   bce fig <1-6> [--days N] [--quick] [--json FILE] [--checkpoint-every D]
       regenerate one of the paper's figures (same output as the
       standalone fig1..fig6 binaries); --checkpoint-every D checkpoints
       each run every D simulated days under target/checkpoints and
-      resumes automatically after a crash
+      resumes automatically after a crash; --scenario REF replaces the
+      figure's base scenario (figures 3-6)
 
   bce serve [options]
       run the hardened emulation daemon (HTTP/1.1 on a bounded worker
@@ -90,8 +114,10 @@ USAGE:
       --max-days D        emulated-days cap per request (default 60)
       --checkpoint-dir D  campaign checkpoint directory
       --chunk N           runs per campaign chunk (default 8)
+      --scenario REF      default scenario for /run requests that give
+                          neither ?scenario= nor a body
 
-  bce trace <state_file.xml | scenarioN> [options]
+  bce trace <scenario-ref> [options]
       run with tracing enabled and pretty-print the typed decision log
       --days N        emulated days (default 1)
       --sched P / --fetch P / --half-life S / --seed N   as for `run`
@@ -158,6 +184,7 @@ const VALUE_OPTS: &[&str] = &[
     "max-days",
     "checkpoint-dir",
     "chunk",
+    "scenario",
 ];
 
 /// Parse and run a full command line (without the program name). Returns
@@ -168,6 +195,8 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
     let out = match cmd {
         "run" => cmd_run(&args)?,
         "compare" => cmd_compare(&args)?,
+        "scenario" => cmd_scenario(&args)?,
+        "campaign" => cmd_campaign(&args)?,
         "population" => cmd_population(&args)?,
         "export" => cmd_export(&args)?,
         "validate" => cmd_validate(&args)?,
@@ -186,27 +215,61 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
     Ok(out)
 }
 
-fn load_scenario(args: &Args) -> Result<Scenario, CliError> {
-    let target = args
-        .positional
-        .get(1)
-        .ok_or_else(|| CliError("expected a scenario name or state-file path".into()))?;
-    let mut scenario = match target.as_str() {
-        "scenario1" => scenario1(SimDuration::from_secs(1500.0)),
-        "scenario2" => scenario2(),
-        "scenario3" => scenario3(),
-        "scenario4" => scenario4(),
-        path => {
-            let xml = std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-            scenario_from_state_file(&xml, path).map_err(|e| CliError(format!("{path}: {e}")))?
+/// The one scenario-reference grammar shared by every command: a builtin
+/// name (`scenario1..scenario4`, optionally `builtin:`-prefixed), a JSON
+/// scenario-spec path, or a `client_state.xml` path. `raw` resolves
+/// through [`ScenarioSource`], so every command shares one error path.
+fn load_source(raw: &str) -> Result<LoadedScenario, CliError> {
+    ScenarioSource::parse(raw).load().map_err(|e| CliError(e.to_string()))
+}
+
+/// Resolve a command's scenario from `--scenario REF` or the positional
+/// reference (exactly one of the two), then apply `--seed`.
+fn resolve_scenario(args: &Args) -> Result<LoadedScenario, CliError> {
+    let raw = match (args.positional.get(1).map(String::as_str), args.opt("scenario")) {
+        (Some(p), Some(f)) => {
+            return Err(CliError(format!(
+                "scenario given twice: positional {p:?} and --scenario {f:?}"
+            )));
+        }
+        (Some(p), None) => p,
+        (None, Some(f)) => f,
+        (None, None) => {
+            return Err(CliError(
+                "expected a scenario reference: a builtin name (scenario1..scenario4), \
+                 a JSON scenario spec, or a client_state.xml path"
+                    .into(),
+            ));
         }
     };
+    let mut loaded = load_source(raw)?;
     if let Some(seed) = args.opt_parse::<u64>("seed")? {
-        scenario.seed = seed;
+        loaded.scenario.seed = seed;
     }
-    scenario.validate().map_err(|e| CliError(format!("invalid scenario: {e}")))?;
-    Ok(scenario)
+    Ok(loaded)
+}
+
+/// Like [`resolve_scenario`], but for commands whose positionals mean
+/// something else (`fig <n>`): only `--scenario REF` is consulted.
+fn resolve_scenario_flag_only(args: &Args) -> Result<LoadedScenario, CliError> {
+    let raw = args.opt("scenario").ok_or_else(|| CliError("expected --scenario REF".into()))?;
+    let mut loaded = load_source(raw)?;
+    if let Some(seed) = args.opt_parse::<u64>("seed")? {
+        loaded.scenario.seed = seed;
+    }
+    Ok(loaded)
+}
+
+/// For commands that run their own fault schedule (or none at all): a
+/// spec-carried fault overlay would be silently ignored, so refuse it.
+fn reject_fault_overlay(loaded: &LoadedScenario, why: &str) -> Result<(), CliError> {
+    if loaded.faults.is_some() {
+        return Err(CliError(format!(
+            "{} carries a fault overlay, but {why}; drop the \"faults\" section",
+            loaded.origin
+        )));
+    }
+    Ok(())
 }
 
 /// Gate a batch of scenarios on the typed validator before any emulation
@@ -280,7 +343,7 @@ fn parse_deadline_check(v: &str) -> Result<bce_server::DeadlineCheckPolicy, CliE
 }
 
 fn cmd_run(args: &Args) -> Result<String, CliError> {
-    let scenario = load_scenario(args)?;
+    let LoadedScenario { scenario, faults, .. } = resolve_scenario(args)?;
     let client = client_config(args)?;
     let days: f64 = args.opt_or("days", 10.0)?;
     let want_timeline = args.flag("timeline");
@@ -290,6 +353,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         record_timeline: want_timeline,
         log_capacity: if want_log { 200_000 } else { 0 },
         log_level: Level::Info,
+        faults: faults.unwrap_or(FaultConfig::OFF),
         ..Default::default()
     };
     if let Some(dc) = args.opt("deadline-check") {
@@ -325,10 +389,14 @@ fn all_policies() -> Vec<(String, ClientConfig)> {
 }
 
 fn cmd_compare(args: &Args) -> Result<String, CliError> {
-    let scenario = load_scenario(args)?;
+    let LoadedScenario { scenario, faults, .. } = resolve_scenario(args)?;
     let days: f64 = args.opt_or("days", 10.0)?;
     let threads: usize = args.opt_or("threads", 0usize)?;
-    let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let emu = EmulatorConfig {
+        duration: SimDuration::from_days(days),
+        faults: faults.unwrap_or(FaultConfig::OFF),
+        ..Default::default()
+    };
     let cmp = compare_policies(&scenario, &all_policies(), &emu, threads);
     let mut out = format!("policy comparison on {} ({days} days):\n\n", cmp.scenario_name);
     out.push_str(&cmp.table().render());
@@ -338,24 +406,141 @@ fn cmd_compare(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `bce scenario list | validate <ref> | print <ref>` — the scenario
+/// toolbox around the declarative JSON format.
+fn cmd_scenario(args: &Args) -> Result<String, CliError> {
+    let action = args.positional.get(1).map(String::as_str).unwrap_or("list");
+    match action {
+        "list" => {
+            let mut out = String::from("builtin scenarios:\n");
+            for name in BUILTIN_NAMES {
+                out.push_str(&format!("  builtin:{name}\n"));
+            }
+            let dir = std::path::Path::new("scenarios");
+            let mut files: Vec<String> = match std::fs::read_dir(dir) {
+                Ok(entries) => entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .map(|p| p.display().to_string())
+                    .collect(),
+                Err(_) => Vec::new(),
+            };
+            files.sort();
+            if !files.is_empty() {
+                out.push_str("\nscenario files:\n");
+                for f in &files {
+                    out.push_str(&format!("  {f}\n"));
+                }
+            }
+            Ok(out)
+        }
+        "validate" => {
+            let raw = args.positional.get(2).ok_or_else(|| {
+                CliError("scenario validate: expected a scenario reference".into())
+            })?;
+            let loaded = load_source(raw)?;
+            let s = &loaded.scenario;
+            Ok(format!(
+                "{}: OK — {} projects, {} initial jobs, host {:.1} GFLOPS, seed {}{}\n",
+                loaded.origin,
+                s.projects.len(),
+                s.initial_queue.len(),
+                s.hardware.total_peak_flops() / 1e9,
+                s.seed,
+                if loaded.faults.is_some() { ", fault overlay" } else { "" },
+            ))
+        }
+        "print" => {
+            let raw = args
+                .positional
+                .get(2)
+                .ok_or_else(|| CliError("scenario print: expected a scenario reference".into()))?;
+            let loaded = load_source(raw)?;
+            let mut spec = ScenarioSpec::new(loaded.scenario);
+            if let Some(f) = loaded.faults {
+                spec = spec.with_faults(f);
+            }
+            Ok(spec.to_canonical_json())
+        }
+        other => Err(CliError(format!(
+            "unknown scenario action {other:?} (expected list, validate or print)"
+        ))),
+    }
+}
+
+/// `bce campaign <manifest.json>` — run a declarative campaign manifest
+/// through the resumable campaign runner.
+fn cmd_campaign(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError("expected a campaign manifest path".into()))?;
+    let threads: usize = args.opt_or("threads", 0usize)?;
+    let out_dir = args.opt("out").map(std::path::PathBuf::from);
+    let manifest = CampaignManifest::read_from(std::path::Path::new(path))
+        .map_err(|e| CliError(e.to_string()))?;
+    let opts = CampaignOptions::default();
+    let outcome = run_manifest(&manifest, threads, &opts, out_dir.as_deref())
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = format!(
+        "campaign {:?}: {} days, {} policies, {}/{} runs\n",
+        manifest.name,
+        manifest.days,
+        manifest.policies.len(),
+        outcome.report.completed_runs,
+        outcome.report.total_runs,
+    );
+    for e in &outcome.report.errors {
+        out.push_str(&format!("# quarantined: {e}\n"));
+    }
+    out.push('\n');
+    out.push_str(&outcome.table);
+    out.push_str(&format!("\ntable fingerprint: {:016x}\n", outcome.table_fingerprint));
+    if let Some(dir) = &out_dir {
+        out.push_str(&format!("wrote {}\n", dir.join("summary.json").display()));
+    }
+    Ok(out)
+}
+
 fn cmd_population(args: &Args) -> Result<String, CliError> {
-    let hosts: usize = args.opt_or("hosts", 16usize)?;
     let days: f64 = args.opt_or("days", 2.0)?;
-    let seed: u64 = args.opt_or("seed", 1u64)?;
     let threads: usize = args.opt_or("threads", 0usize)?;
     let resume_path = args.opt("resume").map(std::path::PathBuf::from);
     let checkpoint_path =
         args.opt("checkpoint").map(std::path::PathBuf::from).or_else(|| resume_path.clone());
     let checkpoint_every: usize = args.opt_or("checkpoint-every", 0usize)?;
     let max_runs: Option<usize> = args.opt_parse("max-runs")?;
-    // The daemon's /campaign endpoint shares these exact constructors, so
-    // a drained-and-resumed service campaign diffs cleanly against this
-    // command's uninterrupted output.
-    let scenarios = standard_population(hosts, seed);
-    validate_all(scenarios.iter().map(|s| s.as_ref()))?;
-    let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let mut faults = FaultConfig::OFF;
+    let (scenarios, mut out) = if args.opt("scenario").is_some() {
+        // Single-scenario study through the unified resolver.
+        if args.opt("hosts").is_some() {
+            return Err(CliError(
+                "--scenario and --hosts conflict: a referenced scenario \
+                                 replaces the sampled population"
+                    .into(),
+            ));
+        }
+        let loaded = resolve_scenario(args)?;
+        faults = loaded.faults.unwrap_or(FaultConfig::OFF);
+        let header = format!(
+            "population study: scenario {} x {days} days (seed {})\n\n",
+            loaded.scenario.name, loaded.scenario.seed
+        );
+        (vec![std::sync::Arc::new(loaded.scenario)], header)
+    } else {
+        let hosts: usize = args.opt_or("hosts", 16usize)?;
+        let seed: u64 = args.opt_or("seed", 1u64)?;
+        // The daemon's /campaign endpoint shares these exact
+        // constructors, so a drained-and-resumed service campaign diffs
+        // cleanly against this command's uninterrupted output.
+        let scenarios = standard_population(hosts, seed);
+        validate_all(scenarios.iter().map(|s| s.as_ref()))?;
+        (scenarios, population_header(hosts, days, seed))
+    };
+    let emu =
+        EmulatorConfig { duration: SimDuration::from_days(days), faults, ..Default::default() };
     let policies = standard_policies();
-    let mut out = population_header(hosts, days, seed);
 
     if checkpoint_path.is_none() && max_runs.is_none() {
         let outcomes = population_study(&scenarios, &policies, &emu, threads);
@@ -396,8 +581,9 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_export(args: &Args) -> Result<String, CliError> {
-    let scenario = load_scenario(args)?;
-    let xml = doc_from_scenario(&scenario).render();
+    let loaded = resolve_scenario(args)?;
+    reject_fault_overlay(&loaded, "client_state.xml cannot express faults")?;
+    let xml = doc_from_scenario(&loaded.scenario).render();
     match args.opt("out") {
         Some(path) => {
             std::fs::write(path, &xml)
@@ -409,15 +595,13 @@ fn cmd_export(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_validate(args: &Args) -> Result<String, CliError> {
-    let path =
-        args.positional.get(1).ok_or_else(|| CliError("expected a state-file path".into()))?;
-    let xml =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    let scenario =
-        scenario_from_state_file(&xml, path).map_err(|e| CliError(format!("{path}: {e}")))?;
-    scenario.validate().map_err(|e| CliError(format!("{path}: {e}")))?;
+    let raw =
+        args.positional.get(1).ok_or_else(|| CliError("expected a scenario reference".into()))?;
+    let loaded = load_source(raw)?;
+    let scenario = &loaded.scenario;
     Ok(format!(
-        "{path}: OK — {} projects, {} initial jobs, host {:.1} GFLOPS\n",
+        "{}: OK — {} projects, {} initial jobs, host {:.1} GFLOPS\n",
+        loaded.origin,
         scenario.projects.len(),
         scenario.initial_queue.len(),
         scenario.hardware.total_peak_flops() / 1e9
@@ -460,7 +644,15 @@ fn demo_fleet() -> Fleet {
 fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     let days: f64 = args.opt_or("days", 1.0)?;
     let threads: usize = args.opt_or("threads", 0usize)?;
-    let fleet = demo_fleet();
+    let mut fleet = demo_fleet();
+    if args.opt("scenario").is_some() {
+        // The referenced scenario supplies the project mix and seed; the
+        // demo hosts stay (the study is about cross-host shares).
+        let loaded = resolve_scenario(args)?;
+        reject_fault_overlay(&loaded, "the fleet study does not inject faults")?;
+        fleet.projects = loaded.scenario.projects.clone();
+        fleet.seed = loaded.scenario.seed;
+    }
     let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
     let mut out = format!(
         "cross-host share enforcement (§6.2): {} hosts, {} projects, {days} days/host\n\n",
@@ -533,7 +725,9 @@ fn parse_rates(args: &Args) -> Result<Vec<f64>, CliError> {
 }
 
 fn cmd_faults(args: &Args) -> Result<String, CliError> {
-    let scenario = load_scenario(args)?;
+    let loaded = resolve_scenario(args)?;
+    reject_fault_overlay(&loaded, "the faults command sweeps its own fault rates")?;
+    let scenario = loaded.scenario;
     let days: f64 = args.opt_or("days", 2.0)?;
     let rates = parse_rates(args)?;
     let mtbf = match args.opt_parse::<f64>("mtbf")? {
@@ -616,6 +810,16 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         }
         None => None,
     };
+    // `--scenario REF` benchmarks that scenario alongside the standard
+    // set, through the same resolver as every other command.
+    let extra = match args.opt("scenario") {
+        Some(_) => {
+            let loaded = resolve_scenario(args)?;
+            reject_fault_overlay(&loaded, "the benchmark measures fault-free throughput")?;
+            Some((loaded.origin, loaded.scenario))
+        }
+        None => None,
+    };
     // The bench scenario set is built-in, but it goes through the same
     // validation gate as user submissions before any emulation starts.
     validate_all(&[
@@ -624,7 +828,7 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         scenario3(),
         scenario4(),
     ])?;
-    let report = crate::perf_report::run_bench(quick, threads, population);
+    let report = crate::perf_report::run_bench(quick, threads, population, extra);
     let json = crate::perf_report::to_json(&report);
     match args.opt("out") {
         Some(path) => {
@@ -656,11 +860,20 @@ fn cmd_fig(args: &Args) -> Result<String, CliError> {
     let json = args.opt("json").map(std::path::PathBuf::from);
     let checkpoint_every: Option<f64> = args.opt_parse("checkpoint-every")?;
     if let Some(d) = checkpoint_every {
-        if !(d > 0.0) {
+        if !d.is_finite() || d <= 0.0 {
             return Err(CliError(format!("--checkpoint-every must be positive, got {d}")));
         }
     }
-    let opts = bce_bench::FigOpts { days, quick, json, checkpoint_every };
+    // `--scenario REF` replaces the figure's base scenario (figures 3-6).
+    let scenario = match args.opt("scenario") {
+        Some(_) => {
+            let loaded = resolve_scenario_flag_only(args)?;
+            reject_fault_overlay(&loaded, "figures run fault-free")?;
+            Some(loaded.scenario)
+        }
+        None => None,
+    };
+    let opts = bce_bench::FigOpts { days, quick, json, checkpoint_every, scenario };
     // Figures run on the paper's built-in scenarios; validate them with
     // the same typed gate as user submissions before any emulation.
     validate_all(&[
@@ -691,13 +904,19 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         cfg.request_deadline = std::time::Duration::from_secs(secs.max(1));
     }
     cfg.max_days = args.opt_or("max-days", cfg.max_days)?;
-    if !(cfg.max_days > 0.0) {
+    if !cfg.max_days.is_finite() || cfg.max_days <= 0.0 {
         return Err(CliError("--max-days must be positive".into()));
     }
     if let Some(dir) = args.opt("checkpoint-dir") {
         cfg.checkpoint_dir = std::path::PathBuf::from(dir);
     }
     cfg.campaign_chunk_runs = args.opt_or("chunk", cfg.campaign_chunk_runs)?.max(1);
+    if let Some(src) = args.opt("scenario") {
+        // Resolve once at startup so a bad default fails here, loudly,
+        // not on the first defaulted request.
+        load_source(src)?;
+        cfg.default_scenario = Some(src.to_string());
+    }
 
     let server = bce_serve::Server::bind(cfg)
         .map_err(|e| CliError(format!("cannot bind the listener: {e}")))?;
@@ -735,7 +954,7 @@ fn parse_name_filter(
 fn cmd_trace(args: &Args) -> Result<String, CliError> {
     use bce_obs::export::{record_to_json, to_jsonl};
 
-    let scenario = load_scenario(args)?;
+    let LoadedScenario { scenario, faults, .. } = resolve_scenario(args)?;
     let client = client_config(args)?;
     let days: f64 = args.opt_or("days", 1.0)?;
     let capacity: usize = args.opt_or("capacity", 1_000_000usize)?;
@@ -751,6 +970,7 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     let emu = EmulatorConfig {
         duration: SimDuration::from_days(days),
         trace_capacity: capacity,
+        faults: faults.unwrap_or(FaultConfig::OFF),
         ..Default::default()
     };
     let result = Emulator::new(scenario.clone(), client, emu).run();

@@ -188,7 +188,7 @@ fn run_instrumentation_bench(quick: bool) -> InstrumentationBench {
         let mut result = None;
         for _ in 0..5 {
             let start = std::time::Instant::now();
-            let r = Emulator::new(scenario3(), cfg.clone(), emu.clone()).run();
+            let r = Emulator::new(scenario3(), cfg, emu.clone()).run();
             best = best.min(start.elapsed().as_secs_f64() * 1e3);
             result = Some(r);
         }
@@ -318,10 +318,20 @@ fn run_population_bench(quick: bool, threads: usize, population: Option<usize>) 
 
 /// Run the full benchmark suite: the standard scenarios plus the
 /// population-executor section. `threads` 0 means one worker per CPU;
-/// `population` overrides the batch run count (streaming uses 10×).
-pub fn run_bench(quick: bool, threads: usize, population: Option<usize>) -> BenchReport {
-    let scenarios =
-        standard_set(quick).into_iter().map(|(n, s, d, c)| measure(&n, s, d, c)).collect();
+/// `population` overrides the batch run count (streaming uses 10×);
+/// `extra` appends one user-referenced scenario to the measured set.
+pub fn run_bench(
+    quick: bool,
+    threads: usize,
+    population: Option<usize>,
+    extra: Option<(String, Scenario)>,
+) -> BenchReport {
+    let mut set = standard_set(quick);
+    if let Some((name, s)) = extra {
+        let days = if quick { 0.5 } else { 10.0 };
+        set.push((name, s, days, ClientConfig::default()));
+    }
+    let scenarios = set.into_iter().map(|(n, s, d, c)| measure(&n, s, d, c)).collect();
     let instrumentation = run_instrumentation_bench(quick);
     let population = run_population_bench(quick, threads, population);
     BenchReport {
@@ -502,7 +512,7 @@ mod tests {
 
     #[test]
     fn quick_bench_produces_records() {
-        let report = run_bench(true, 2, Some(8));
+        let report = run_bench(true, 2, Some(8), None);
         assert_eq!(report.scenarios.len(), 4);
         for r in &report.scenarios {
             assert!(r.events > 0, "{}: no events", r.name);

@@ -23,7 +23,7 @@ fn rr_case() -> impl Strategy<Value = (f64, Vec<(u32, f64, f64, f64)>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 128 })]
 
     /// RR simulation invariants: all jobs eventually finish (positive
     /// rates), busy never exceeds instances, shortfall bounded by

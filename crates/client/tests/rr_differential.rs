@@ -362,14 +362,14 @@ proptest! {
                                     (next_id % 3) as u32,
                                     500.0 + 700.0 * i as f64,
                                     20_000.0 + base,
-                                    next_id % 4 == 0,
+                                    next_id.is_multiple_of(4),
                                 )
                             })
                             .collect(),
                     );
                 }
                 ClientOp::Advance(dt) => {
-                    now = now + SimDuration::from_secs(dt);
+                    now += SimDuration::from_secs(dt);
                     c.advance(now, rs);
                 }
                 ClientOp::Reschedule => {

@@ -83,18 +83,19 @@ mod tests {
     use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
 
     fn scenario() -> Scenario {
-        Scenario::new("cmp", Hardware::cpu_only(2, 1e9))
-            .with_seed(5)
-            .with_project(ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
+        bce_core::ScenarioBuilder::new("cmp", Hardware::cpu_only(2, 1e9))
+            .seed(5)
+            .project(ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
                 0,
                 SimDuration::from_secs(600.0),
                 SimDuration::from_hours(8.0),
             )))
-            .with_project(ProjectSpec::new(1, "b", 100.0).with_app(AppClass::cpu(
+            .project(ProjectSpec::new(1, "b", 100.0).with_app(AppClass::cpu(
                 1,
                 SimDuration::from_secs(600.0),
                 SimDuration::from_hours(8.0),
             )))
+            .build_unchecked()
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 pub mod campaign;
 pub mod compare;
+pub mod manifest;
 pub mod montecarlo;
 pub mod plot;
 pub mod run;
@@ -17,6 +18,9 @@ pub use campaign::{
     population_campaign, CampaignCheckpoint, CampaignError, CampaignOptions, CampaignReport,
 };
 pub use compare::{compare_policies, Comparison};
+pub use manifest::{
+    fnv64, run_manifest, summary_json, CampaignManifest, ManifestError, ManifestOutcome,
+};
 pub use montecarlo::{
     population_header, population_study, population_table, standard_policies, standard_population,
     MetricStats, PopulationOutcome,

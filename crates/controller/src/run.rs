@@ -350,13 +350,14 @@ mod tests {
     use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
 
     fn tiny_scenario(seed: u64) -> Scenario {
-        Scenario::new(format!("tiny{seed}"), Hardware::cpu_only(1, 1e9))
-            .with_seed(seed)
-            .with_project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
+        bce_core::ScenarioBuilder::new(format!("tiny{seed}"), Hardware::cpu_only(1, 1e9))
+            .seed(seed)
+            .project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
                 0,
                 SimDuration::from_secs(500.0),
                 SimDuration::from_hours(4.0),
             )))
+            .build_unchecked()
     }
 
     fn short() -> EmulatorConfig {
@@ -487,8 +488,9 @@ mod tests {
     /// directly (bypassing the builder) models a corrupted input slipping
     /// into a large campaign.
     fn poison_spec() -> RunSpec {
-        let s = Scenario::new("poison", Hardware::cpu_only(1, 1e9))
-            .with_project(ProjectSpec::new(0, "p", 100.0));
+        let s = bce_core::ScenarioBuilder::new("poison", Hardware::cpu_only(1, 1e9))
+            .project(ProjectSpec::new(0, "p", 100.0))
+            .build_unchecked();
         RunSpec::new("poison", s, ClientConfig::default()).with_emulator(Arc::new(short()))
     }
 

@@ -136,13 +136,14 @@ mod tests {
     use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
 
     fn scenario(runtime: f64) -> Scenario {
-        Scenario::new("sweep-test", Hardware::cpu_only(1, 1e9)).with_seed(9).with_project(
-            ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
+        bce_core::ScenarioBuilder::new("sweep-test", Hardware::cpu_only(1, 1e9))
+            .seed(9)
+            .project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
                 0,
                 SimDuration::from_secs(runtime),
                 SimDuration::from_hours(8.0),
-            )),
-        )
+            )))
+            .build_unchecked()
     }
 
     #[test]

@@ -172,8 +172,9 @@ fn poison_run_in_campaign_is_quarantined_and_checkpoint_stays_resumable() {
     // inside the emulator.
     let mut scenarios = population(100);
     scenarios[42] = Arc::new(
-        Scenario::new("poisoned", Hardware::cpu_only(1, 1e9))
-            .with_project(ProjectSpec::new(0, "p", 100.0)),
+        bce_core::ScenarioBuilder::new("poisoned", Hardware::cpu_only(1, 1e9))
+            .project(ProjectSpec::new(0, "p", 100.0))
+            .build_unchecked(),
     );
     let policies = &policies()[..1];
     let path = tmp("poison");

@@ -7,19 +7,20 @@ use bce_controller::{
     compare_policies, line_chart, population_study, run_all, run_streaming, save_text, sweep,
     Metric, RunSpec, Series,
 };
-use bce_core::{EmulatorConfig, Scenario};
+use bce_core::{EmulatorConfig, Scenario, ScenarioBuilder};
 use bce_scenarios::{PopulationModel, PopulationSampler};
 use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
 use std::sync::Arc;
 
 fn scenario(runtime: f64) -> Scenario {
-    Scenario::new("ctl", Hardware::cpu_only(2, 1e9)).with_seed(77).with_project(
-        ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
+    ScenarioBuilder::new("ctl", Hardware::cpu_only(2, 1e9))
+        .seed(77)
+        .project(ProjectSpec::new(0, "a", 100.0).with_app(AppClass::cpu(
             0,
             SimDuration::from_secs(runtime),
             SimDuration::from_hours(6.0),
-        )),
-    )
+        )))
+        .build_unchecked()
 }
 
 fn emu() -> EmulatorConfig {

@@ -22,10 +22,11 @@
 //! assert_eq!(scenario.seed, 7);
 //! ```
 //!
-//! The `Scenario::with_*` chain methods remain for backward
-//! compatibility, but new code (and everything under `examples/` and
-//! `bce-scenarios`) goes through the builder. `build_unchecked` exists
-//! for tests that construct deliberately-invalid scenarios.
+//! The legacy `Scenario::with_*` chain methods are deprecated: every
+//! in-tree user goes through the builder (or [`Scenario::from_spec`] for
+//! JSON scenario files), and a single shim test below keeps the old
+//! chain compiling until it is removed. `build_unchecked` exists for
+//! tests that construct deliberately-invalid scenarios.
 
 use crate::scenario::Scenario;
 use bce_avail::{AvailSpec, AvailTrace};
@@ -138,7 +139,10 @@ mod tests {
         AppClass::cpu(0, SimDuration::from_secs(100.0), SimDuration::from_secs(1000.0))
     }
 
+    /// The one place the deprecated chain API is still exercised: it must
+    /// keep compiling and agreeing with the builder until it is removed.
     #[test]
+    #[allow(deprecated)]
     fn builder_matches_chain_construction() {
         let chained = Scenario::new("s", Hardware::cpu_only(2, 1e9))
             .with_seed(3)
@@ -176,8 +180,9 @@ mod tests {
 
     #[test]
     fn from_scenario_continues_building() {
-        let preset = Scenario::new("preset", Hardware::cpu_only(1, 1e9))
-            .with_project(ProjectSpec::new(0, "p", 100.0).with_app(app()));
+        let preset = ScenarioBuilder::new("preset", Hardware::cpu_only(1, 1e9))
+            .project(ProjectSpec::new(0, "p", 100.0).with_app(app()))
+            .build_unchecked();
         let tweaked = ScenarioBuilder::from(preset).seed(99).build().unwrap();
         assert_eq!(tweaked.seed, 99);
         assert_eq!(tweaked.name, "preset");

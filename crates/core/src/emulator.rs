@@ -264,14 +264,16 @@ struct RecoveryTracker {
 ///
 /// ```
 /// use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy};
-/// use bce_core::{Emulator, EmulatorConfig, Scenario};
+/// use bce_core::{Emulator, EmulatorConfig, ScenarioBuilder};
 /// use bce_types::{AppClass, Hardware, ProjectSpec, SimDuration};
 ///
-/// let scenario = Scenario::new("doc", Hardware::cpu_only(2, 1e9))
-///     .with_seed(1)
-///     .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(
+/// let scenario = ScenarioBuilder::new("doc", Hardware::cpu_only(2, 1e9))
+///     .seed(1)
+///     .project(ProjectSpec::new(0, "alpha", 100.0).with_app(
 ///         AppClass::cpu(0, SimDuration::from_secs(600.0), SimDuration::from_hours(6.0)),
-///     ));
+///     ))
+///     .build()
+///     .unwrap();
 /// let cfg = EmulatorConfig { duration: SimDuration::from_hours(4.0), ..Default::default() };
 /// let result = Emulator::new(scenario, ClientConfig::default(), cfg).run();
 /// assert!(result.jobs_completed > 0);

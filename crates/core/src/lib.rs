@@ -18,6 +18,7 @@ pub mod metrics;
 pub mod observe;
 pub mod render;
 pub mod scenario;
+pub mod spec;
 
 pub use bce_faults::{FaultConfig, RetryPolicy};
 pub use bce_obs::{
@@ -31,3 +32,4 @@ pub use metrics::{FaultMetrics, FiguresOfMerit, MetricsAccum, PerfStats, Project
 pub use observe::RunObserver;
 pub use render::{render_report, render_timeline};
 pub use scenario::Scenario;
+pub use spec::{ScenarioSpec, SpecError};

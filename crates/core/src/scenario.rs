@@ -44,31 +44,37 @@ impl Scenario {
         }
     }
 
+    #[deprecated(note = "use ScenarioBuilder::seed (or Scenario::from_spec)")]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    #[deprecated(note = "use ScenarioBuilder::prefs (or Scenario::from_spec)")]
     pub fn with_prefs(mut self, prefs: Preferences) -> Self {
         self.prefs = prefs;
         self
     }
 
+    #[deprecated(note = "use ScenarioBuilder::project (or Scenario::from_spec)")]
     pub fn with_project(mut self, p: ProjectSpec) -> Self {
         self.projects.push(p);
         self
     }
 
+    #[deprecated(note = "use ScenarioBuilder::avail (or Scenario::from_spec)")]
     pub fn with_avail(mut self, avail: AvailSpec) -> Self {
         self.avail = avail;
         self
     }
 
+    #[deprecated(note = "use ScenarioBuilder::network (or Scenario::from_spec)")]
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = Some(network);
         self
     }
 
+    #[deprecated(note = "use ScenarioBuilder::initial_job (or Scenario::from_spec)")]
     pub fn with_initial_job(mut self, job: InitialJob) -> Self {
         self.initial_queue.push(job);
         self
@@ -175,13 +181,13 @@ mod tests {
     use bce_types::{AppClass, SimDuration};
 
     fn base() -> Scenario {
-        Scenario::new("t", Hardware::cpu_only(1, 1e9)).with_project(
-            ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
+        crate::ScenarioBuilder::new("t", Hardware::cpu_only(1, 1e9))
+            .project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::cpu(
                 0,
                 SimDuration::from_secs(100.0),
                 SimDuration::from_secs(1000.0),
-            )),
-        )
+            )))
+            .build_unchecked()
     }
 
     #[test]
@@ -201,14 +207,14 @@ mod tests {
 
     #[test]
     fn gpu_app_without_gpu_rejected() {
-        let s = Scenario::new("t", Hardware::cpu_only(1, 1e9)).with_project(
-            ProjectSpec::new(0, "p", 100.0).with_app(AppClass::gpu(
+        let s = crate::ScenarioBuilder::new("t", Hardware::cpu_only(1, 1e9))
+            .project(ProjectSpec::new(0, "p", 100.0).with_app(AppClass::gpu(
                 0,
                 ProcType::NvidiaGpu,
                 SimDuration::from_secs(100.0),
                 SimDuration::from_secs(1000.0),
-            )),
-        );
+            )))
+            .build_unchecked();
         assert!(matches!(errors_of(&s)[..], [ModelError::MissingProcType { .. }]));
     }
 

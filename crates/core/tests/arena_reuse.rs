@@ -5,33 +5,37 @@
 //! per worker across an unbounded stream of runs.
 
 use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy};
-use bce_core::{EmulationResult, Emulator, EmulatorArena, EmulatorConfig, FaultConfig, Scenario};
+use bce_core::{
+    EmulationResult, Emulator, EmulatorArena, EmulatorConfig, FaultConfig, Scenario,
+    ScenarioBuilder,
+};
 use bce_sim::Level;
 use bce_types::{AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration};
 
 fn cpu_scenario(seed: u64) -> Scenario {
-    Scenario::new(format!("arena-cpu-{seed}"), Hardware::cpu_only(2, 1.5e9))
-        .with_seed(seed)
-        .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
+    ScenarioBuilder::new(format!("arena-cpu-{seed}"), Hardware::cpu_only(2, 1.5e9))
+        .seed(seed)
+        .project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
             0,
             SimDuration::from_secs(900.0),
             SimDuration::from_hours(6.0),
         )))
-        .with_project(ProjectSpec::new(1, "beta", 300.0).with_app(AppClass::cpu(
+        .project(ProjectSpec::new(1, "beta", 300.0).with_app(AppClass::cpu(
             1,
             SimDuration::from_secs(1400.0),
             SimDuration::from_hours(12.0),
         )))
+        .build_unchecked()
 }
 
 fn gpu_scenario(seed: u64) -> Scenario {
-    Scenario::new(
+    ScenarioBuilder::new(
         format!("arena-gpu-{seed}"),
         Hardware::cpu_only(4, 2e9).with_group(ProcType::NvidiaGpu, 1, 1e10),
     )
-    .with_seed(seed)
-    .with_prefs(Preferences { max_ncpus_frac: 0.75, ..Default::default() })
-    .with_project(
+    .seed(seed)
+    .prefs(Preferences { max_ncpus_frac: 0.75, ..Default::default() })
+    .project(
         ProjectSpec::new(0, "mixed", 100.0)
             .with_app(AppClass::gpu(
                 0,
@@ -45,6 +49,7 @@ fn gpu_scenario(seed: u64) -> Scenario {
                 SimDuration::from_hours(8.0),
             )),
     )
+    .build_unchecked()
 }
 
 fn observed_cfg() -> EmulatorConfig {

@@ -8,39 +8,40 @@ use bce_avail::{AvailSpec, OnOffSpec};
 use bce_client::ClientConfig;
 use bce_core::{
     CheckpointError, CheckpointState, EmulationResult, Emulator, EmulatorArena, EmulatorConfig,
-    FaultConfig, Scenario,
+    FaultConfig, Scenario, ScenarioBuilder,
 };
 use bce_sim::Level;
 use bce_types::{AppClass, Hardware, ProcType, ProjectSpec, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn cpu_scenario(seed: u64) -> Scenario {
-    Scenario::new(format!("ckpt-cpu-{seed}"), Hardware::cpu_only(2, 1.5e9))
-        .with_seed(seed)
-        .with_avail(AvailSpec {
+    ScenarioBuilder::new(format!("ckpt-cpu-{seed}"), Hardware::cpu_only(2, 1.5e9))
+        .seed(seed)
+        .avail(AvailSpec {
             host: OnOffSpec::duty_cycle(0.8, SimDuration::from_hours(3.0)),
             user_active: OnOffSpec::duty_cycle(0.3, SimDuration::from_hours(5.0)),
             network: OnOffSpec::duty_cycle(0.9, SimDuration::from_hours(7.0)),
         })
-        .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
+        .project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
             0,
             SimDuration::from_secs(900.0),
             SimDuration::from_hours(6.0),
         )))
-        .with_project(ProjectSpec::new(1, "beta", 300.0).with_app(AppClass::cpu(
+        .project(ProjectSpec::new(1, "beta", 300.0).with_app(AppClass::cpu(
             1,
             SimDuration::from_secs(1400.0),
             SimDuration::from_hours(12.0),
         )))
+        .build_unchecked()
 }
 
 fn gpu_scenario(seed: u64) -> Scenario {
-    Scenario::new(
+    ScenarioBuilder::new(
         format!("ckpt-gpu-{seed}"),
         Hardware::cpu_only(4, 2e9).with_group(ProcType::NvidiaGpu, 1, 1e10),
     )
-    .with_seed(seed)
-    .with_project(
+    .seed(seed)
+    .project(
         ProjectSpec::new(0, "mixed", 100.0)
             .with_app(AppClass::gpu(
                 0,
@@ -54,6 +55,7 @@ fn gpu_scenario(seed: u64) -> Scenario {
                 SimDuration::from_hours(8.0),
             )),
     )
+    .build_unchecked()
 }
 
 fn bare_cfg() -> EmulatorConfig {
@@ -266,7 +268,7 @@ fn corrupt_checkpoint_documents_error_and_never_panic() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// For random scenario shapes and a random checkpoint instant, the
     /// full pipeline — checkpoint → serialize → parse → restore → run to
@@ -281,26 +283,27 @@ proptest! {
         at_frac in 0.0f64..1.1,
         observed in any::<bool>(),
     ) {
-        let scenario = Scenario::new(
+        let scenario = ScenarioBuilder::new(
             format!("ckpt-prop-{seed}"),
             Hardware::cpu_only(ncpus, 1.5e9),
         )
-        .with_seed(seed)
-        .with_avail(AvailSpec {
+        .seed(seed)
+        .avail(AvailSpec {
             host: OnOffSpec::duty_cycle(0.75, SimDuration::from_hours(2.0)),
             user_active: OnOffSpec::AlwaysOff,
             network: OnOffSpec::AlwaysOn,
         })
-        .with_project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
+        .project(ProjectSpec::new(0, "alpha", 100.0).with_app(AppClass::cpu(
             0,
             SimDuration::from_secs(job_secs),
             SimDuration::from_hours(6.0),
         )))
-        .with_project(ProjectSpec::new(1, "beta", share).with_app(AppClass::cpu(
+        .project(ProjectSpec::new(1, "beta", share).with_app(AppClass::cpu(
             1,
             SimDuration::from_secs(1100.0),
             SimDuration::from_hours(10.0),
-        )));
+        )))
+        .build_unchecked();
         let cfg = if observed {
             EmulatorConfig { duration: SimDuration::from_hours(12.0), ..observed_cfg() }
         } else {

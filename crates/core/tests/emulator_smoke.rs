@@ -3,22 +3,27 @@
 //! deterministic.
 
 use bce_client::{ClientConfig, FetchPolicy, JobSchedPolicy, NetworkModel};
-use bce_core::{Emulator, EmulatorConfig, Scenario};
+use bce_core::{Emulator, EmulatorConfig, Scenario, ScenarioBuilder};
 use bce_types::{AppClass, Hardware, Preferences, ProjectSpec, SimDuration};
 
 fn one_project_scenario() -> Scenario {
-    Scenario::new("smoke-1p", Hardware::cpu_only(1, 1e9)).with_seed(7).with_project(
-        ProjectSpec::new(0, "alpha", 100.0).with_app(
-            AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(6.0))
-                .with_cv(0.0),
-        ),
-    )
+    ScenarioBuilder::new("smoke-1p", Hardware::cpu_only(1, 1e9))
+        .seed(7)
+        .project(
+            ProjectSpec::new(0, "alpha", 100.0).with_app(
+                AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(6.0))
+                    .with_cv(0.0),
+            ),
+        )
+        .build_unchecked()
 }
 
 fn two_project_scenario() -> Scenario {
-    one_project_scenario().with_project(ProjectSpec::new(1, "beta", 100.0).with_app(
+    let mut s = one_project_scenario();
+    s.projects.push(ProjectSpec::new(1, "beta", 100.0).with_app(
         AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(6.0)).with_cv(0.0),
-    ))
+    ));
+    s
 }
 
 fn short_cfg(days: f64) -> EmulatorConfig {
@@ -88,9 +93,9 @@ fn different_seeds_differ() {
 fn wrr_vs_edf_on_tight_deadlines() {
     // Scenario-1-like shape: project 0 has tight deadlines.
     let mk = || {
-        Scenario::new("tight", Hardware::cpu_only(1, 1e9))
-            .with_seed(3)
-            .with_prefs(Preferences {
+        ScenarioBuilder::new("tight", Hardware::cpu_only(1, 1e9))
+            .seed(3)
+            .prefs(Preferences {
                 // A buffer deep enough to hold jobs from both projects at
                 // once: under WRR the tight job then waits behind the
                 // loose one and misses; EDF promotes it.
@@ -98,7 +103,7 @@ fn wrr_vs_edf_on_tight_deadlines() {
                 work_buf_extra: SimDuration::from_secs(2000.0),
                 ..Default::default()
             })
-            .with_project(
+            .project(
                 ProjectSpec::new(0, "tight", 100.0).with_app(
                     AppClass::cpu(
                         0,
@@ -108,12 +113,13 @@ fn wrr_vs_edf_on_tight_deadlines() {
                     .with_cv(0.0),
                 ),
             )
-            .with_project(
+            .project(
                 ProjectSpec::new(1, "loose", 100.0).with_app(
                     AppClass::cpu(1, SimDuration::from_secs(1000.0), SimDuration::from_hours(24.0))
                         .with_cv(0.0),
                 ),
             )
+            .build_unchecked()
     };
     let edf = Emulator::run_policies(mk(), JobSchedPolicy::LOCAL, FetchPolicy::Hysteresis);
     let wrr = Emulator::run_policies(mk(), JobSchedPolicy::WRR, FetchPolicy::Hysteresis);

@@ -3,16 +3,25 @@
 //! core of the paper's anomaly-replay workflow.
 
 use bce_client::ClientConfig;
-use bce_core::{Emulator, EmulatorConfig, Scenario};
+use bce_core::{Emulator, EmulatorConfig, Scenario, ScenarioBuilder};
 use bce_types::{AppClass, AppId, Hardware, InitialJob, ProjectId, ProjectSpec, SimDuration};
 
 fn scenario_with_queue() -> Scenario {
-    Scenario::new("restore", Hardware::cpu_only(1, 1e9)).with_seed(5).with_project(
-        ProjectSpec::new(0, "p", 100.0).with_app(
-            AppClass::cpu(0, SimDuration::from_secs(5000.0), SimDuration::from_hours(4.0))
-                .with_cv(0.0),
-        ),
-    )
+    ScenarioBuilder::new("restore", Hardware::cpu_only(1, 1e9))
+        .seed(5)
+        .project(
+            ProjectSpec::new(0, "p", 100.0).with_app(
+                AppClass::cpu(0, SimDuration::from_secs(5000.0), SimDuration::from_hours(4.0))
+                    .with_cv(0.0),
+            ),
+        )
+        .build_unchecked()
+}
+
+fn plus_job(job: InitialJob) -> Scenario {
+    let mut s = scenario_with_queue();
+    s.initial_queue.push(job);
+    s
 }
 
 fn short() -> EmulatorConfig {
@@ -22,7 +31,7 @@ fn short() -> EmulatorConfig {
 #[test]
 fn restored_progress_shortens_completion() {
     // A job 80% done at start completes after ~1000 s instead of 5000 s.
-    let with_progress = scenario_with_queue().with_initial_job(InitialJob {
+    let with_progress = plus_job(InitialJob {
         project: ProjectId(0),
         app: AppId(0),
         received_ago: SimDuration::from_secs(4000.0),
@@ -44,7 +53,7 @@ fn restored_progress_shortens_completion() {
 #[test]
 fn overdue_initial_job_misses_deadline() {
     // Received 5 h ago with a 4 h bound: the deadline is already past.
-    let s = scenario_with_queue().with_initial_job(InitialJob {
+    let s = plus_job(InitialJob {
         project: ProjectId(0),
         app: AppId(0),
         received_ago: SimDuration::from_hours(5.0),
@@ -57,14 +66,14 @@ fn overdue_initial_job_misses_deadline() {
 
 #[test]
 fn initial_queue_validation() {
-    let bad_project = scenario_with_queue().with_initial_job(InitialJob {
+    let bad_project = plus_job(InitialJob {
         project: ProjectId(9),
         app: AppId(0),
         received_ago: SimDuration::ZERO,
         progress: SimDuration::ZERO,
     });
     assert!(bad_project.validate().is_err());
-    let bad_app = scenario_with_queue().with_initial_job(InitialJob {
+    let bad_app = plus_job(InitialJob {
         project: ProjectId(0),
         app: AppId(9),
         received_ago: SimDuration::ZERO,

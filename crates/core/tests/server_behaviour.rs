@@ -2,7 +2,7 @@
 //! work supply, finite batches, and the client's RPC backoff.
 
 use bce_client::ClientConfig;
-use bce_core::{Emulator, EmulatorConfig, Scenario};
+use bce_core::{Emulator, EmulatorConfig, Scenario, ScenarioBuilder};
 use bce_types::{AppClass, Hardware, ProjectSpec, ServerUptime, SimDuration, WorkSupply};
 
 fn project(id: u32, name: &str) -> ProjectSpec {
@@ -12,11 +12,11 @@ fn project(id: u32, name: &str) -> ProjectSpec {
 }
 
 fn scenario(projects: Vec<ProjectSpec>) -> Scenario {
-    let mut s = Scenario::new("server-behaviour", Hardware::cpu_only(1, 1e9)).with_seed(23);
+    let mut b = ScenarioBuilder::new("server-behaviour", Hardware::cpu_only(1, 1e9)).seed(23);
     for p in projects {
-        s = s.with_project(p);
+        b = b.project(p);
     }
-    s
+    b.build_unchecked()
 }
 
 fn cfg(days: f64) -> EmulatorConfig {
@@ -116,14 +116,21 @@ fn sporadic_gpu_job_supply_falls_back_to_cpu() {
             gpu_app =
                 gpu_app.with_supply(SimDuration::from_hours(1.0), SimDuration::from_hours(1.0));
         }
-        Scenario::new("gpu-supply", hw.clone()).with_seed(31).with_project(
-            ProjectSpec::new(0, "p", 100.0)
-                .with_app(
-                    AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_hours(8.0))
+        ScenarioBuilder::new("gpu-supply", hw.clone())
+            .seed(31)
+            .project(
+                ProjectSpec::new(0, "p", 100.0)
+                    .with_app(
+                        AppClass::cpu(
+                            0,
+                            SimDuration::from_secs(1000.0),
+                            SimDuration::from_hours(8.0),
+                        )
                         .with_cv(0.0),
-                )
-                .with_app(gpu_app),
-        )
+                    )
+                    .with_app(gpu_app),
+            )
+            .build_unchecked()
     };
     let steady = Emulator::new(mk(false), ClientConfig::default(), cfg(2.0)).run();
     let sporadic = Emulator::new(mk(true), ClientConfig::default(), cfg(2.0)).run();

@@ -20,7 +20,7 @@ fn hosts_strategy() -> impl Strategy<Value = Vec<HostModel>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32 })]
 
     #[test]
     fn campaign_conservation(

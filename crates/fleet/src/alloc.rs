@@ -186,8 +186,8 @@ mod tests {
         let a = fair_alloc(&devices, &consumers, 16);
         let total: f64 = (0..3).map(|c| a.total_for(c)).sum();
         assert!((total + a.unusable - 45.0).abs() < 1e-6);
-        for d in 0..3 {
-            assert!(a.device_total(d) <= devices[d].capacity + 1e-9);
+        for (d, dev) in devices.iter().enumerate() {
+            assert!(a.device_total(d) <= dev.capacity + 1e-9);
         }
     }
 

@@ -8,7 +8,7 @@
 
 use crate::alloc::{fair_alloc, Consumer, Device};
 use bce_avail::AvailSpec;
-use bce_core::Scenario;
+use bce_core::{Scenario, ScenarioBuilder};
 use bce_types::{Hardware, Preferences, ProcType, ProjectId, ProjectSpec};
 
 /// One host in the volunteer's fleet (projects are fleet-level).
@@ -147,10 +147,10 @@ pub fn host_scenarios(fleet: &Fleet, assignment: &ShareAssignment) -> Vec<Scenar
         .zip(assignment)
         .enumerate()
         .map(|(hi, (host, shares))| {
-            let mut s = Scenario::new(format!("fleet-{}", host.name), host.hardware.clone())
-                .with_seed(fleet.seed ^ (hi as u64).wrapping_mul(0x9E3779B97F4A7C15))
-                .with_prefs(host.prefs.clone())
-                .with_avail(host.avail.clone());
+            let mut b = ScenarioBuilder::new(format!("fleet-{}", host.name), host.hardware.clone())
+                .seed(fleet.seed ^ (hi as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .prefs(host.prefs.clone())
+                .avail(host.avail.clone());
             for (pid, share) in shares {
                 if let Some(spec) = fleet.projects.iter().find(|p| p.id == *pid) {
                     // Keep only apps the host can run (a GPU app on a
@@ -159,11 +159,11 @@ pub fn host_scenarios(fleet: &Fleet, assignment: &ShareAssignment) -> Vec<Scenar
                     spec.resource_share = *share;
                     spec.apps.retain(|a| host.hardware.ninstances(a.usage.main_proc_type()) > 0);
                     if !spec.apps.is_empty() {
-                        s = s.with_project(spec);
+                        b = b.project(spec);
                     }
                 }
             }
-            s
+            b.build_unchecked()
         })
         .collect()
 }

@@ -52,7 +52,7 @@ fn emit_round(tracer: &mut impl Tracer, i: u64) {
     tracer.emit(t, || TraceEvent::JobFinished {
         job: JobId(i),
         project: ProjectId((i % 5) as u32),
-        met_deadline: i % 2 == 0,
+        met_deadline: i.is_multiple_of(2),
     });
     tracer.emit(t, || TraceEvent::RpcReply {
         project: ProjectId((i % 5) as u32),

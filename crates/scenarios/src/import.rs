@@ -4,7 +4,7 @@
 //! reproduces the reported anomaly deterministically.
 
 use bce_avail::{AvailSpec, OnOffSpec};
-use bce_core::Scenario;
+use bce_core::{Scenario, ScenarioBuilder};
 use bce_statefile::{ClientStateDoc, StateFileError};
 
 /// Convert a parsed state document into a scenario. Availability hints
@@ -16,17 +16,13 @@ pub fn scenario_from_doc(doc: &ClientStateDoc, name: impl Into<String>) -> Scena
         user_active: OnOffSpec::duty_cycle(doc.active_frac, doc.cycle_mean / 4.0),
         network: OnOffSpec::AlwaysOn,
     };
-    let mut s = Scenario::new(name, doc.hardware.clone())
-        .with_seed(doc.seed)
-        .with_prefs(doc.prefs.clone())
-        .with_avail(avail);
-    for p in &doc.projects {
-        s = s.with_project(p.clone());
-    }
-    for ij in &doc.initial_queue {
-        s = s.with_initial_job(*ij);
-    }
-    s
+    ScenarioBuilder::new(name, doc.hardware.clone())
+        .seed(doc.seed)
+        .prefs(doc.prefs.clone())
+        .avail(avail)
+        .projects(doc.projects.iter().cloned())
+        .initial_jobs(doc.initial_queue.iter().copied())
+        .build_unchecked()
 }
 
 /// Parse a state file and build the scenario in one step.

@@ -11,7 +11,7 @@
 //! a population is reproducible from its seed.
 
 use bce_avail::{AvailSpec, OnOffSpec};
-use bce_core::Scenario;
+use bce_core::{Scenario, ScenarioBuilder};
 use bce_sim::{Distribution, LogNormal, Rng, Uniform};
 use bce_types::{AppClass, Hardware, Preferences, ProcType, ProjectSpec, SimDuration};
 
@@ -54,6 +54,39 @@ impl Default for PopulationModel {
             runtime_median: 3000.0,
             runtime_sigma: 0.8,
             slack_factor: Uniform { lo: 3.0, hi: 50.0 },
+        }
+    }
+}
+
+impl PopulationModel {
+    /// A fleet shaped by the 2019 BOINC host census (Anderson, "BOINC: A
+    /// Platform for Volunteer Computing", 2019): faster medians with a
+    /// wider spread than the 2011 defaults, many-core hosts common, a
+    /// third of hosts with (much faster) GPUs, longer jobs, and tighter
+    /// deadlines.
+    pub fn boinc2019() -> Self {
+        PopulationModel {
+            core_flops_median: 3.3e9,
+            core_flops_sigma: 0.5,
+            core_count_weights: [0.08, 0.22, 0.42, 0.28],
+            gpu_probability: 0.33,
+            gpu_ratio: Uniform { lo: 10.0, hi: 80.0 },
+            max_projects: 4,
+            host_on_frac: Uniform { lo: 0.2, hi: 1.0 },
+            cycle_mean: Uniform { lo: 2.0 * 3600.0, hi: 72.0 * 3600.0 },
+            runtime_median: 7200.0,
+            runtime_sigma: 1.0,
+            slack_factor: Uniform { lo: 2.0, hi: 20.0 },
+        }
+    }
+
+    /// Look up a named model (`default` or `boinc2019`) — the names
+    /// accepted by campaign manifests.
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "default" => Some(PopulationModel::default()),
+            "boinc2019" => Some(PopulationModel::boinc2019()),
+            _ => None,
         }
     }
 }
@@ -105,10 +138,10 @@ impl PopulationSampler {
 
         // Projects.
         let nprojects = 1 + rng.below(m.max_projects as usize);
-        let mut scenario = Scenario::new(format!("pop{idx:05}"), hw.clone())
-            .with_seed(rng.next_u64())
-            .with_prefs(Preferences::default())
-            .with_avail(avail);
+        let mut builder = ScenarioBuilder::new(format!("pop{idx:05}"), hw.clone())
+            .seed(rng.next_u64())
+            .prefs(Preferences::default())
+            .avail(avail);
         for p in 0..nprojects {
             let share = [100.0, 100.0, 200.0, 50.0, 400.0][rng.below(5)];
             let runtime = LogNormal::from_median(m.runtime_median, m.runtime_sigma).sample(rng);
@@ -132,9 +165,9 @@ impl PopulationSampler {
                     .with_cv(0.1),
                 );
             }
-            scenario = scenario.with_project(spec);
+            builder = builder.project(spec);
         }
-        scenario
+        builder.build_unchecked()
     }
 
     /// Draw `n` scenarios.

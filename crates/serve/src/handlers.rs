@@ -13,9 +13,9 @@ use bce_controller::{
     population_campaign, population_header, population_table, run_supervised, standard_policies,
     standard_population, CampaignError, CampaignOptions, RunSpec,
 };
-use bce_core::{EmulatorConfig, Scenario};
+use bce_core::{EmulatorConfig, FaultConfig, Scenario};
 use bce_obs::to_jsonl;
-use bce_scenarios::{scenario1, scenario2, scenario3, scenario4, scenario_from_state_file};
+use bce_scenarios::{builtin, load_scenario_text};
 use bce_types::SimDuration;
 use std::time::{Duration, Instant};
 
@@ -26,7 +26,8 @@ const INDEX: &str = "bce-serve: volunteer-computing emulation daemon\n\
   GET  /metrics[?format=json]  daemon metrics\n\
   GET  /trace                  typed trace of the last /run (JSONL)\n\
   POST /run?scenario=..&days=..&sched=..&fetch=..&seed=..\n\
-       (or POST a client_state.xml body)   one supervised emulation\n\
+       (or POST a JSON scenario spec or client_state.xml body)\n\
+       one supervised emulation\n\
   POST /campaign?id=..&hosts=..&days=..&seed=..&threads=..\n\
        resumable population campaign; re-POST to resume after a drain\n";
 
@@ -118,27 +119,42 @@ fn parse_fetch(name: &str) -> Result<FetchPolicy, Response> {
 }
 
 /// Resolve the scenario for `/run`: a named builtin via `?scenario=`, or
-/// a `client_state.xml` body — exactly one of the two.
-fn resolve_scenario(req: &Request) -> Result<Scenario, Response> {
+/// a posted body (JSON scenario spec or `client_state.xml`, sniffed by
+/// the shared [`load_scenario_text`] resolver) — exactly one of the two.
+/// A request with neither falls back to the daemon's configured default
+/// scenario, if any. A spec body may carry a fault overlay, returned
+/// alongside.
+fn resolve_scenario(
+    req: &Request,
+    default: Option<&str>,
+) -> Result<(Scenario, Option<FaultConfig>), Response> {
     let named = req.param("scenario");
     let has_body = !req.body.is_empty();
-    let mut scenario = match (named, has_body) {
+    let (mut scenario, faults) = match (named, has_body) {
         (Some(_), true) => {
-            return Err(bad("give either ?scenario= or an XML body, not both"));
+            return Err(bad("give either ?scenario= or a scenario body, not both"));
         }
         (None, false) => {
-            return Err(bad("give a scenario: ?scenario=scenario1..4 or POST a client_state.xml"));
+            let Some(src) = default else {
+                return Err(bad(
+                    "give a scenario: ?scenario=scenario1..4 or POST a JSON spec / client_state.xml",
+                ));
+            };
+            let loaded = bce_scenarios::ScenarioSource::parse(src)
+                .load()
+                .map_err(|e| Response::text(500, format!("default scenario broken: {e}\n")))?;
+            (loaded.scenario, loaded.faults)
         }
-        (Some("scenario1"), _) => scenario1(SimDuration::from_secs(1500.0)),
-        (Some("scenario2"), _) => scenario2(),
-        (Some("scenario3"), _) => scenario3(),
-        (Some("scenario4"), _) => scenario4(),
-        (Some(other), _) => return Err(bad(format!("unknown builtin scenario {other:?}"))),
+        (Some(name), _) => match builtin(name) {
+            Some(s) => (s, None),
+            None => return Err(bad(format!("unknown builtin scenario {name:?}"))),
+        },
         (None, true) => {
-            let xml = std::str::from_utf8(&req.body)
-                .map_err(|_| bad("state-file body is not valid UTF-8"))?;
-            scenario_from_state_file(xml, "posted-state-file")
-                .map_err(|e| Response::text(422, format!("state file rejected: {e}\n")))?
+            let text = std::str::from_utf8(&req.body)
+                .map_err(|_| bad("scenario body is not valid UTF-8"))?;
+            let loaded = load_scenario_text(text, std::path::Path::new("posted-scenario"))
+                .map_err(|e| Response::text(422, format!("scenario rejected: {e}\n")))?;
+            (loaded.scenario, loaded.faults)
         }
     };
     if let Some(seed) = req.param_parse::<u64>("seed").map_err(bad)? {
@@ -147,12 +163,12 @@ fn resolve_scenario(req: &Request) -> Result<Scenario, Response> {
     // The typed validator gates every entry point; the full error list
     // (every problem at once) comes back in one response.
     scenario.validate().map_err(|e| Response::text(422, format!("invalid scenario:\n{e}\n")))?;
-    Ok(scenario)
+    Ok((scenario, faults))
 }
 
 /// `POST /run` — one supervised emulation of a validated scenario.
 fn run(req: &Request, shared: &Shared) -> Response {
-    let scenario = match resolve_scenario(req) {
+    let (scenario, faults) = match resolve_scenario(req, shared.cfg.default_scenario.as_deref()) {
         Ok(s) => s,
         Err(resp) => return resp,
     };
@@ -176,6 +192,7 @@ fn run(req: &Request, shared: &Shared) -> Response {
     let emu = EmulatorConfig {
         duration: SimDuration::from_days(days),
         trace_capacity: shared.cfg.trace_capacity,
+        faults: faults.unwrap_or(FaultConfig::OFF),
         ..Default::default()
     };
     let label = scenario.name.clone();

@@ -74,6 +74,9 @@ pub struct ServeConfig {
     pub drain_grace: Duration,
     /// Acceptor poll interval; bounds signal-to-drain latency.
     pub poll_interval: Duration,
+    /// Scenario reference (builtin name or spec/state-file path) used by
+    /// `/run` requests that give neither `?scenario=` nor a body.
+    pub default_scenario: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +96,7 @@ impl Default for ServeConfig {
             trace_capacity: 4096,
             drain_grace: Duration::from_secs(30),
             poll_interval: Duration::from_millis(20),
+            default_scenario: None,
         }
     }
 }

@@ -28,7 +28,7 @@ fn byte_strategy() -> impl Strategy<Value = u8> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 512 })]
 
     /// Arbitrary byte soup: typed outcome, no panic.
     #[test]

@@ -5,7 +5,7 @@ use bce_types::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 128 })]
 
     /// The event queue pops in (time, insertion) order — equivalent to a
     /// stable sort by time.

@@ -7,6 +7,7 @@
 
 pub mod codec;
 pub mod doc;
+pub mod json;
 pub mod xml;
 
 pub use codec::{
@@ -14,4 +15,5 @@ pub use codec::{
     parse_u64_hex, req_attr, req_child, CodecError,
 };
 pub use doc::{ClientStateDoc, StateFileError};
+pub use json::{parse as parse_json, JsonError, JsonValue, MAX_JSON_DEPTH};
 pub use xml::{parse as parse_xml, XmlError, XmlNode, MAX_NESTING_DEPTH};

@@ -53,7 +53,7 @@ fn build(case: &AllocCase) -> (Hardware, Vec<ShareDemand>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     #[test]
     fn conservation_and_feasibility(case in case()) {

@@ -3,33 +3,34 @@
 //! leave-apps-in-memory preference exactly as the model says.
 
 use boinc_policy_emu::client::{ClientConfig, JobSchedPolicy};
-use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario, ScenarioBuilder};
 use boinc_policy_emu::types::{AppClass, Hardware, Preferences, ProjectSpec, SimDuration};
 
 /// A preemption-heavy scenario: tight-deadline jobs keep displacing a
 /// long-running job, forcing rollbacks when it is not kept in memory.
 fn contended(checkpoint_secs: Option<f64>, leave_in_memory: bool) -> Scenario {
-    Scenario::new("ckpt", Hardware::cpu_only(1, 1e9))
-        .with_seed(67)
-        .with_prefs(Preferences {
+    ScenarioBuilder::new("ckpt", Hardware::cpu_only(1, 1e9))
+        .seed(67)
+        .prefs(Preferences {
             work_buf_min: SimDuration::from_secs(900.0),
             work_buf_extra: SimDuration::from_secs(900.0),
             leave_apps_in_memory: leave_in_memory,
             ..Default::default()
         })
-        .with_project(
+        .project(
             ProjectSpec::new(0, "tight", 100.0).with_app(
                 AppClass::cpu(0, SimDuration::from_secs(600.0), SimDuration::from_secs(1200.0))
                     .with_cv(0.0),
             ),
         )
-        .with_project(
+        .project(
             ProjectSpec::new(1, "long", 100.0).with_app(
                 AppClass::cpu(1, SimDuration::from_secs(20_000.0), SimDuration::from_days(4.0))
                     .with_cv(0.0)
                     .with_checkpoint(checkpoint_secs.map(SimDuration::from_secs)),
             ),
         )
+        .build_unchecked()
 }
 
 fn run(s: Scenario) -> boinc_policy_emu::core::EmulationResult {

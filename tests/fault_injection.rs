@@ -19,7 +19,8 @@ fn scenario_with_files() -> Scenario {
             a.output_bytes = 1e6;
         }
     }
-    s.with_network(NetworkModel::symmetric(1e6))
+    s.network = Some(NetworkModel::symmetric(1e6));
+    s
 }
 
 fn run_at(rate: f64, transfer_retry: Option<RetryPolicy>) -> EmulationResult {

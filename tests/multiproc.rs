@@ -4,7 +4,7 @@
 //! cores and memory").
 
 use boinc_policy_emu::client::ClientConfig;
-use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, ScenarioBuilder};
 use boinc_policy_emu::types::{
     AppClass, AppId, EstErrorModel, Hardware, ProcType, ProjectSpec, ResourceUsage, SimDuration,
 };
@@ -35,13 +35,14 @@ fn app_with_usage(id: u32, usage: ResourceUsage, runtime: f64) -> AppClass {
 fn multithread_jobs_fill_the_host() {
     // 2-CPU jobs on a 4-CPU host: two run concurrently, so throughput per
     // wall second matches four single-CPU jobs of the same total work.
-    let mt = Scenario::new("mt", Hardware::cpu_only(4, 1e9)).with_seed(41).with_project(
-        ProjectSpec::new(0, "mt", 100.0).with_app(app_with_usage(
+    let mt = ScenarioBuilder::new("mt", Hardware::cpu_only(4, 1e9))
+        .seed(41)
+        .project(ProjectSpec::new(0, "mt", 100.0).with_app(app_with_usage(
             0,
             ResourceUsage::cpus(2.0),
             1000.0,
-        )),
-    );
+        )))
+        .build_unchecked();
     let r = Emulator::new(mt, ClientConfig::default(), cfg(1.0)).run();
     // 2 concurrent 1000 s jobs => ~172 jobs/day.
     assert!(
@@ -56,13 +57,14 @@ fn multithread_jobs_fill_the_host() {
 fn three_cpu_jobs_leave_one_cpu_idle() {
     // 3-CPU jobs on a 4-CPU host: only one fits at a time; a quarter of
     // the host idles (no 1-CPU work available to fill the gap).
-    let s = Scenario::new("odd", Hardware::cpu_only(4, 1e9)).with_seed(43).with_project(
-        ProjectSpec::new(0, "odd", 100.0).with_app(app_with_usage(
+    let s = ScenarioBuilder::new("odd", Hardware::cpu_only(4, 1e9))
+        .seed(43)
+        .project(ProjectSpec::new(0, "odd", 100.0).with_app(app_with_usage(
             0,
             ResourceUsage::cpus(3.0),
             1000.0,
-        )),
-    );
+        )))
+        .build_unchecked();
     let r = Emulator::new(s, ClientConfig::default(), cfg(1.0)).run();
     assert!(
         (r.merit.idle_fraction - 0.25).abs() < 0.03,
@@ -75,18 +77,19 @@ fn three_cpu_jobs_leave_one_cpu_idle() {
 fn mixed_widths_backfill() {
     // A 3-CPU app plus a 1-CPU app from another project: the scheduler
     // backfills the spare CPU, pushing idle close to zero.
-    let s = Scenario::new("fill", Hardware::cpu_only(4, 1e9))
-        .with_seed(47)
-        .with_project(ProjectSpec::new(0, "wide", 100.0).with_app(app_with_usage(
+    let s = ScenarioBuilder::new("fill", Hardware::cpu_only(4, 1e9))
+        .seed(47)
+        .project(ProjectSpec::new(0, "wide", 100.0).with_app(app_with_usage(
             0,
             ResourceUsage::cpus(3.0),
             1000.0,
         )))
-        .with_project(ProjectSpec::new(1, "narrow", 100.0).with_app(app_with_usage(
+        .project(ProjectSpec::new(1, "narrow", 100.0).with_app(app_with_usage(
             1,
             ResourceUsage::one_cpu(),
             1000.0,
-        )));
+        )))
+        .build_unchecked();
     let r = Emulator::new(s, ClientConfig::default(), cfg(1.0)).run();
     assert!(r.merit.idle_fraction < 0.05, "idle {:.3}", r.merit.idle_fraction);
     // Both projects complete work.
@@ -97,13 +100,14 @@ fn mixed_widths_backfill() {
 fn fractional_gpu_jobs_share_one_board() {
     // Two 0.5-GPU jobs run concurrently on a single GPU.
     let hw = Hardware::cpu_only(2, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
-    let s = Scenario::new("frac-gpu", hw).with_seed(53).with_project(
-        ProjectSpec::new(0, "halfgpu", 100.0).with_app(app_with_usage(
+    let s = ScenarioBuilder::new("frac-gpu", hw)
+        .seed(53)
+        .project(ProjectSpec::new(0, "halfgpu", 100.0).with_app(app_with_usage(
             0,
             ResourceUsage::gpu(ProcType::NvidiaGpu, 0.5, 0.1),
             1000.0,
-        )),
-    );
+        )))
+        .build_unchecked();
     let r = Emulator::new(s, ClientConfig::default(), cfg(1.0)).run();
     // Two concurrent 1000 s jobs on the GPU => ~172/day.
     assert!(
@@ -117,18 +121,19 @@ fn fractional_gpu_jobs_share_one_board() {
 fn oversized_job_never_runs_but_host_survives() {
     // An 8-CPU app on a 4-CPU host can be fetched but never scheduled;
     // the emulator must not spin or crash, and a sane project still works.
-    let s = Scenario::new("oversize", Hardware::cpu_only(4, 1e9))
-        .with_seed(59)
-        .with_project(ProjectSpec::new(0, "oversize", 100.0).with_app(app_with_usage(
+    let s = ScenarioBuilder::new("oversize", Hardware::cpu_only(4, 1e9))
+        .seed(59)
+        .project(ProjectSpec::new(0, "oversize", 100.0).with_app(app_with_usage(
             0,
             ResourceUsage::cpus(8.0),
             1000.0,
         )))
-        .with_project(ProjectSpec::new(1, "sane", 100.0).with_app(app_with_usage(
+        .project(ProjectSpec::new(1, "sane", 100.0).with_app(app_with_usage(
             1,
             ResourceUsage::one_cpu(),
             1000.0,
-        )));
+        )))
+        .build_unchecked();
     let r = Emulator::new(s, ClientConfig::default(), cfg(0.5)).run();
     assert_eq!(r.projects[0].jobs_completed, 0);
     assert!(r.projects[1].jobs_completed > 0);

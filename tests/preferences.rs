@@ -4,18 +4,22 @@
 
 use boinc_policy_emu::avail::{AvailSpec, OnOffSpec};
 use boinc_policy_emu::client::ClientConfig;
-use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario};
+use boinc_policy_emu::core::{Emulator, EmulatorConfig, Scenario, ScenarioBuilder};
 use boinc_policy_emu::types::{
     AppClass, DailyWindow, Hardware, Preferences, ProcType, ProjectSpec, SimDuration,
 };
 
 fn base_scenario(prefs: Preferences) -> Scenario {
-    Scenario::new("prefs", Hardware::cpu_only(4, 1e9)).with_seed(11).with_prefs(prefs).with_project(
-        ProjectSpec::new(0, "p", 100.0).with_app(
-            AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
-                .with_cv(0.0),
-        ),
-    )
+    ScenarioBuilder::new("prefs", Hardware::cpu_only(4, 1e9))
+        .seed(11)
+        .prefs(prefs)
+        .project(
+            ProjectSpec::new(0, "p", 100.0).with_app(
+                AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
+                    .with_cv(0.0),
+            ),
+        )
+        .build_unchecked()
 }
 
 fn cfg(days: f64) -> EmulatorConfig {
@@ -62,15 +66,16 @@ fn max_ncpus_limits_parallelism() {
 fn gpu_suspension_while_user_active() {
     let mk = |gpu_if_active: bool| {
         let hw = Hardware::cpu_only(1, 1e9).with_group(ProcType::NvidiaGpu, 1, 1e10);
-        let mut s = Scenario::new("gpu-prefs", hw)
-            .with_seed(13)
-            .with_prefs(Preferences { gpu_if_user_active: gpu_if_active, ..Default::default() })
-            .with_project(ProjectSpec::new(0, "g", 100.0).with_app(AppClass::gpu(
+        let mut s = ScenarioBuilder::new("gpu-prefs", hw)
+            .seed(13)
+            .prefs(Preferences { gpu_if_user_active: gpu_if_active, ..Default::default() })
+            .project(ProjectSpec::new(0, "g", 100.0).with_app(AppClass::gpu(
                 0,
                 ProcType::NvidiaGpu,
                 SimDuration::from_secs(1000.0),
                 SimDuration::from_days(2.0),
-            )));
+            )))
+            .build_unchecked();
         // User active half the time in 1-hour stretches.
         s.avail = AvailSpec {
             host: OnOffSpec::AlwaysOn,
@@ -95,13 +100,16 @@ fn memory_limit_serializes_big_jobs() {
     // Two 3 GB jobs cannot run together on a 4 GB host at the 90% idle
     // limit; with big RAM they can.
     let mk = |mem: f64| {
-        Scenario::new("mem", Hardware::cpu_only(2, 1e9).with_mem(mem)).with_seed(17).with_project(
-            ProjectSpec::new(0, "fat", 100.0).with_app(
-                AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
-                    .with_cv(0.0)
-                    .with_working_set(3e9),
-            ),
-        )
+        ScenarioBuilder::new("mem", Hardware::cpu_only(2, 1e9).with_mem(mem))
+            .seed(17)
+            .project(
+                ProjectSpec::new(0, "fat", 100.0).with_app(
+                    AppClass::cpu(0, SimDuration::from_secs(1000.0), SimDuration::from_days(2.0))
+                        .with_cv(0.0)
+                        .with_working_set(3e9),
+                ),
+            )
+            .build_unchecked()
     };
     let small = Emulator::new(mk(4e9), ClientConfig::default(), cfg(1.0)).run();
     let big = Emulator::new(mk(32e9), ClientConfig::default(), cfg(1.0)).run();

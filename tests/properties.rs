@@ -74,7 +74,9 @@ fn build(p: &ScenarioParams) -> Scenario {
     if p.has_gpu {
         hw = hw.with_group(ProcType::NvidiaGpu, 1, p.cpu_flops * 8.0);
     }
-    let mut s = Scenario::new("prop", hw).with_seed(p.seed).with_prefs(Preferences::default());
+    let mut b = boinc_policy_emu::core::ScenarioBuilder::new("prop", hw)
+        .seed(p.seed)
+        .prefs(Preferences::default());
     for i in 0..p.nprojects {
         let runtime = p.runtimes[i % p.runtimes.len()];
         let latency = runtime * p.slack_factors[i % p.slack_factors.len()];
@@ -98,9 +100,9 @@ fn build(p: &ScenarioParams) -> Scenario {
                 .with_cv(0.1),
             );
         }
-        s = s.with_project(spec);
+        b = b.project(spec);
     }
-    s
+    b.build_unchecked()
 }
 
 proptest! {
