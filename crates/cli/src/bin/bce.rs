@@ -6,7 +6,10 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            // Exit-code classes (see CliError): 1 generic, 2 validation,
+            // 3 I/O — so CI distinguishes "bad input" from "sick disk"
+            // without grepping stderr.
+            std::process::exit(e.exit_code);
         }
     }
 }

@@ -4,11 +4,11 @@
 use crate::args::{ArgError, Args};
 use bce_client::{ClientConfig, DeadlineOrder, FetchPolicy, JobSchedPolicy};
 use bce_controller::{
-    compare_policies, population_campaign, population_header, population_study, population_table,
-    run_manifest, standard_policies, standard_population, CampaignManifest, CampaignOptions,
-    Metric, Table,
+    compare_policies, fnv64, population_campaign, population_header, population_study,
+    population_table, run_manifest, standard_policies, standard_population, CampaignError,
+    CampaignManifest, CampaignOptions, Metric, Table,
 };
-use bce_core::{render_timeline, Emulator, EmulatorConfig, FaultConfig, Scenario};
+use bce_core::{render_timeline, CheckpointError, Emulator, EmulatorConfig, FaultConfig, Scenario};
 use bce_fleet::{assign_shares, host_scenarios, run_fleet, Fleet, FleetHost, ShareStrategy};
 use bce_obs::TraceEvent;
 use bce_scenarios::{
@@ -117,6 +117,29 @@ USAGE:
       --scenario REF      default scenario for /run requests that give
                           neither ?scenario= nor a body
 
+  bce chaos [options]
+      prove checkpoint durability: run the standard population campaign
+      under a seeded disk-fault schedule (short writes, EIO, ENOSPC,
+      torn renames, power-cut truncation) with deterministic corruption
+      of the newest checkpoint generation between segments, then assert
+      the recovered final table is bit-identical to a fault-free
+      uninterrupted reference run (exit 1 on mismatch, 3 on I/O failure)
+      --hosts N           population size (default 6)
+      --days N            emulated days (default 1)
+      --seed N            population seed (default 1)
+      --threads N         worker threads (0 = one per CPU)
+      --chaos-seed N      disk-fault schedule seed (default 42)
+      --segments N        kill/resume segments (default 4)
+      --keep-generations N  checkpoint generations to keep (default 3)
+      --torn-rename P     torn-rename probability   (default 0.25)
+      --enospc P          ENOSPC probability        (default 0.25)
+      --eio P             write-EIO probability     (default 0)
+      --power-cut P       power-cut truncation prob (default 0)
+      --read-eio P        read-EIO probability      (default 0)
+      --corrupt P         per-segment probability of corrupting the
+                          newest generation on disk (default 0.5)
+      --dir D             scratch directory (default target/chaos)
+
   bce trace <scenario-ref> [options]
       run with tracing enabled and pretty-print the typed decision log
       --days N        emulated days (default 1)
@@ -132,13 +155,39 @@ USAGE:
   bce help
 ";
 
-/// A command error carrying the message to print on stderr.
+/// A command error carrying the message to print on stderr and the
+/// process exit code, so scripts and CI distinguish failure classes
+/// without grepping stderr:
+///
+/// * `1` — generic failure (bad usage, mismatch, assertion failure)
+/// * `2` — validation failure (the input is wrong)
+/// * `3` — I/O failure (the input may be fine; the filesystem is not)
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    pub message: String,
+    pub exit_code: i32,
+}
+
+impl CliError {
+    /// Generic failure (exit code 1).
+    pub fn msg(message: String) -> Self {
+        CliError { message, exit_code: 1 }
+    }
+
+    /// Validation failure (exit code 2): the input itself is wrong.
+    pub fn validation(message: String) -> Self {
+        CliError { message, exit_code: 2 }
+    }
+
+    /// I/O failure (exit code 3): the filesystem failed, not the input.
+    pub fn io(message: String) -> Self {
+        CliError { message, exit_code: 3 }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -146,7 +195,7 @@ impl std::error::Error for CliError {}
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
-        CliError(e.to_string())
+        CliError::msg(e.to_string())
     }
 }
 
@@ -185,6 +234,16 @@ const VALUE_OPTS: &[&str] = &[
     "checkpoint-dir",
     "chunk",
     "scenario",
+    "chaos-seed",
+    "segments",
+    "keep-generations",
+    "torn-rename",
+    "enospc",
+    "eio",
+    "power-cut",
+    "read-eio",
+    "corrupt",
+    "dir",
 ];
 
 /// Parse and run a full command line (without the program name). Returns
@@ -206,10 +265,11 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "fig" => cmd_fig(&args)?,
         "trace" => cmd_trace(&args)?,
         "serve" => cmd_serve(&args)?,
+        "chaos" => cmd_chaos(&args)?,
         "help" | "--help" => {
             return Ok(HELP.to_string());
         }
-        other => return Err(CliError(format!("unknown command {other:?}\n\n{HELP}"))),
+        other => return Err(CliError::msg(format!("unknown command {other:?}\n\n{HELP}"))),
     };
     args.reject_unknown()?;
     Ok(out)
@@ -220,7 +280,13 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
 /// scenario-spec path, or a `client_state.xml` path. `raw` resolves
 /// through [`ScenarioSource`], so every command shares one error path.
 fn load_source(raw: &str) -> Result<LoadedScenario, CliError> {
-    ScenarioSource::parse(raw).load().map_err(|e| CliError(e.to_string()))
+    ScenarioSource::parse(raw).load().map_err(|e| match e {
+        // Classify for the exit code: a filesystem failure is not the
+        // scenario's fault (exit 3); everything else is the input being
+        // wrong (exit 2).
+        bce_scenarios::SourceError::Io { .. } => CliError::io(e.to_string()),
+        _ => CliError::validation(e.to_string()),
+    })
 }
 
 /// Resolve a command's scenario from `--scenario REF` or the positional
@@ -228,14 +294,14 @@ fn load_source(raw: &str) -> Result<LoadedScenario, CliError> {
 fn resolve_scenario(args: &Args) -> Result<LoadedScenario, CliError> {
     let raw = match (args.positional.get(1).map(String::as_str), args.opt("scenario")) {
         (Some(p), Some(f)) => {
-            return Err(CliError(format!(
+            return Err(CliError::msg(format!(
                 "scenario given twice: positional {p:?} and --scenario {f:?}"
             )));
         }
         (Some(p), None) => p,
         (None, Some(f)) => f,
         (None, None) => {
-            return Err(CliError(
+            return Err(CliError::msg(
                 "expected a scenario reference: a builtin name (scenario1..scenario4), \
                  a JSON scenario spec, or a client_state.xml path"
                     .into(),
@@ -252,7 +318,8 @@ fn resolve_scenario(args: &Args) -> Result<LoadedScenario, CliError> {
 /// Like [`resolve_scenario`], but for commands whose positionals mean
 /// something else (`fig <n>`): only `--scenario REF` is consulted.
 fn resolve_scenario_flag_only(args: &Args) -> Result<LoadedScenario, CliError> {
-    let raw = args.opt("scenario").ok_or_else(|| CliError("expected --scenario REF".into()))?;
+    let raw =
+        args.opt("scenario").ok_or_else(|| CliError::msg("expected --scenario REF".into()))?;
     let mut loaded = load_source(raw)?;
     if let Some(seed) = args.opt_parse::<u64>("seed")? {
         loaded.scenario.seed = seed;
@@ -264,7 +331,7 @@ fn resolve_scenario_flag_only(args: &Args) -> Result<LoadedScenario, CliError> {
 /// spec-carried fault overlay would be silently ignored, so refuse it.
 fn reject_fault_overlay(loaded: &LoadedScenario, why: &str) -> Result<(), CliError> {
     if loaded.faults.is_some() {
-        return Err(CliError(format!(
+        return Err(CliError::msg(format!(
             "{} carries a fault overlay, but {why}; drop the \"faults\" section",
             loaded.origin
         )));
@@ -277,7 +344,7 @@ fn reject_fault_overlay(loaded: &LoadedScenario, why: &str) -> Result<(), CliErr
 /// just the first) comes back as the command error.
 fn validate_all<'a>(scenarios: impl IntoIterator<Item = &'a Scenario>) -> Result<(), CliError> {
     for s in scenarios {
-        s.validate().map_err(|e| CliError(format!("invalid scenario {:?}: {e}", s.name)))?;
+        s.validate().map_err(|e| CliError::msg(format!("invalid scenario {:?}: {e}", s.name)))?;
     }
     Ok(())
 }
@@ -293,7 +360,7 @@ fn parse_sched(name: &str) -> Result<JobSchedPolicy, CliError> {
         "global-dd" => {
             JobSchedPolicy { deadline_order: DeadlineOrder::Density, ..JobSchedPolicy::GLOBAL }
         }
-        other => return Err(CliError(format!("unknown scheduling policy {other:?}"))),
+        other => return Err(CliError::msg(format!("unknown scheduling policy {other:?}"))),
     })
 }
 
@@ -301,7 +368,7 @@ fn parse_fetch(name: &str) -> Result<FetchPolicy, CliError> {
     Ok(match name {
         "orig" => FetchPolicy::Orig,
         "hysteresis" | "hyst" => FetchPolicy::Hysteresis,
-        other => return Err(CliError(format!("unknown fetch policy {other:?}"))),
+        other => return Err(CliError::msg(format!("unknown fetch policy {other:?}"))),
     })
 }
 
@@ -315,7 +382,7 @@ fn client_config(args: &Args) -> Result<ClientConfig, CliError> {
     }
     if let Some(hl) = args.opt_parse::<f64>("half-life")? {
         if hl <= 0.0 {
-            return Err(CliError("--half-life must be positive".into()));
+            return Err(CliError::msg("--half-life must be positive".into()));
         }
         cfg.rec_half_life = SimDuration::from_secs(hl);
     }
@@ -333,13 +400,13 @@ fn parse_deadline_check(v: &str) -> Result<bce_server::DeadlineCheckPolicy, CliE
     if let Some(secs) = v.strip_prefix("grace:") {
         let g: f64 = secs
             .parse()
-            .map_err(|_| CliError(format!("--deadline-check grace:SECS, got {v:?}")))?;
+            .map_err(|_| CliError::msg(format!("--deadline-check grace:SECS, got {v:?}")))?;
         if g < 0.0 {
-            return Err(CliError("--deadline-check grace must be non-negative".into()));
+            return Err(CliError::msg("--deadline-check grace must be non-negative".into()));
         }
         return Ok(DC::Grace(SimDuration::from_secs(g)));
     }
-    Err(CliError(format!("unknown deadline-check policy {v:?}")))
+    Err(CliError::msg(format!("unknown deadline-check policy {v:?}")))
 }
 
 fn cmd_run(args: &Args) -> Result<String, CliError> {
@@ -437,7 +504,7 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
         }
         "validate" => {
             let raw = args.positional.get(2).ok_or_else(|| {
-                CliError("scenario validate: expected a scenario reference".into())
+                CliError::msg("scenario validate: expected a scenario reference".into())
             })?;
             let loaded = load_source(raw)?;
             let s = &loaded.scenario;
@@ -452,10 +519,9 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
             ))
         }
         "print" => {
-            let raw = args
-                .positional
-                .get(2)
-                .ok_or_else(|| CliError("scenario print: expected a scenario reference".into()))?;
+            let raw = args.positional.get(2).ok_or_else(|| {
+                CliError::msg("scenario print: expected a scenario reference".into())
+            })?;
             let loaded = load_source(raw)?;
             let mut spec = ScenarioSpec::new(loaded.scenario);
             if let Some(f) = loaded.faults {
@@ -463,7 +529,7 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
             }
             Ok(spec.to_canonical_json())
         }
-        other => Err(CliError(format!(
+        other => Err(CliError::msg(format!(
             "unknown scenario action {other:?} (expected list, validate or print)"
         ))),
     }
@@ -475,14 +541,14 @@ fn cmd_campaign(args: &Args) -> Result<String, CliError> {
     let path = args
         .positional
         .get(1)
-        .ok_or_else(|| CliError("expected a campaign manifest path".into()))?;
+        .ok_or_else(|| CliError::msg("expected a campaign manifest path".into()))?;
     let threads: usize = args.opt_or("threads", 0usize)?;
     let out_dir = args.opt("out").map(std::path::PathBuf::from);
     let manifest = CampaignManifest::read_from(std::path::Path::new(path))
-        .map_err(|e| CliError(e.to_string()))?;
+        .map_err(|e| CliError::msg(e.to_string()))?;
     let opts = CampaignOptions::default();
     let outcome = run_manifest(&manifest, threads, &opts, out_dir.as_deref())
-        .map_err(|e| CliError(e.to_string()))?;
+        .map_err(|e| CliError::msg(e.to_string()))?;
     let mut out = format!(
         "campaign {:?}: {} days, {} policies, {}/{} runs\n",
         manifest.name,
@@ -515,7 +581,7 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
     let (scenarios, mut out) = if args.opt("scenario").is_some() {
         // Single-scenario study through the unified resolver.
         if args.opt("hosts").is_some() {
-            return Err(CliError(
+            return Err(CliError::msg(
                 "--scenario and --hosts conflict: a referenced scenario \
                                  replaces the sampled population"
                     .into(),
@@ -555,9 +621,13 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
         checkpoint_every_runs: checkpoint_every,
         resume: resume_path.is_some(),
         stop_after_runs: max_runs,
+        ..Default::default()
     };
     let report = population_campaign(&scenarios, &policies, &emu, threads, &opts)
-        .map_err(|e| CliError(e.to_string()))?;
+        .map_err(campaign_cli_error)?;
+    if let Some(rec) = report.recovery.as_ref().filter(|r| r.recovered() || r.legacy) {
+        out.push_str(&format!("# checkpoint recovery: {}\n", rec.describe()));
+    }
     if report.resumed_runs > 0 {
         out.push_str(&format!(
             "# resumed: {}/{} runs restored from checkpoint\n",
@@ -580,6 +650,230 @@ fn cmd_population(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Classify a campaign failure for the exit code: filesystem and
+/// corruption failures are I/O (exit 3); mismatches and malformed
+/// documents are generic (exit 1) — the disk is fine, the request isn't.
+fn campaign_cli_error(e: CampaignError) -> CliError {
+    match &e {
+        CampaignError::Checkpoint(CheckpointError::Io { .. } | CheckpointError::Corrupt { .. }) => {
+            CliError::io(e.to_string())
+        }
+        _ => CliError::msg(e.to_string()),
+    }
+}
+
+/// `bce chaos` — prove the checkpoint store recovers under a seeded
+/// disk-fault schedule.
+///
+/// The harness runs the same standard population campaign twice:
+/// once fault-free and uninterrupted (the reference), then again in
+/// segments over a fault-injecting I/O backend, with deterministic
+/// corruption of the newest checkpoint generation between segments. If
+/// rotation + CRC fallback work, the recovered campaign's final table
+/// is bit-identical to the reference — asserted by FNV fingerprint.
+fn cmd_chaos(args: &Args) -> Result<String, CliError> {
+    let hosts: usize = args.opt_or("hosts", 6usize)?;
+    let days: f64 = args.opt_or("days", 1.0)?;
+    let seed: u64 = args.opt_or("seed", 1u64)?;
+    let threads: usize = args.opt_or("threads", 0usize)?;
+    let chaos_seed: u64 = args.opt_or("chaos-seed", 42u64)?;
+    let segments: usize = args.opt_or("segments", 4usize)?.max(1);
+    let keep: usize = args.opt_or("keep-generations", 3usize)?;
+    let fault_cfg = bce_faults::DiskFaultConfig {
+        write_eio_prob: args.opt_or("eio", 0.0)?,
+        write_enospc_prob: args.opt_or("enospc", 0.25)?,
+        power_cut_prob: args.opt_or("power-cut", 0.0)?,
+        torn_rename_prob: args.opt_or("torn-rename", 0.25)?,
+        read_eio_prob: args.opt_or("read-eio", 0.0)?,
+    };
+    let corrupt_prob: f64 = args.opt_or("corrupt", 0.5)?;
+    for (name, p) in [
+        ("--eio", fault_cfg.write_eio_prob),
+        ("--enospc", fault_cfg.write_enospc_prob),
+        ("--power-cut", fault_cfg.power_cut_prob),
+        ("--torn-rename", fault_cfg.torn_rename_prob),
+        ("--read-eio", fault_cfg.read_eio_prob),
+        ("--corrupt", corrupt_prob),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CliError::validation(format!("{name} must be in [0, 1], got {p}")));
+        }
+    }
+    let scratch = std::path::PathBuf::from(args.opt("dir").unwrap_or("target/chaos").to_string())
+        .join(format!("run-{chaos_seed}"));
+
+    let scenarios = standard_population(hosts, seed);
+    validate_all(scenarios.iter().map(|s| s.as_ref()))?;
+    let policies = standard_policies();
+    let emu = EmulatorConfig { duration: SimDuration::from_days(days), ..Default::default() };
+
+    let mut out = format!(
+        "# chaos: {hosts} hosts x {} policies x {days} days (seed {seed}), \
+         chaos seed {chaos_seed}, {segments} segments\n\
+         # faults: eio {} enospc {} power-cut {} torn-rename {} read-eio {} corrupt {}\n",
+        policies.len(),
+        fault_cfg.write_eio_prob,
+        fault_cfg.write_enospc_prob,
+        fault_cfg.power_cut_prob,
+        fault_cfg.torn_rename_prob,
+        fault_cfg.read_eio_prob,
+        corrupt_prob,
+    );
+
+    // Fault-free, uninterrupted reference.
+    let reference = population_study(&scenarios, &policies, &emu, threads);
+    let ref_table = population_table(&reference).render();
+    let ref_fp = fnv64(ref_table.as_bytes());
+    out.push_str(&format!("# reference fingerprint: {ref_fp:016x}\n"));
+
+    // Fresh scratch store under the fault-injecting backend.
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| CliError::io(format!("cannot create {}: {e}", scratch.display())))?;
+    let base = scratch.join("campaign.ckpt");
+    let faulty = std::sync::Arc::new(bce_statefile::FaultyIo::new(
+        bce_statefile::RealIo,
+        bce_faults::DiskFaultPlan::new(chaos_seed, fault_cfg),
+    ));
+    let io: bce_statefile::SharedIo = faulty.clone();
+    // Un-faulted probe for the harness's own bookkeeping (resume
+    // detection, between-segment corruption) — harness I/O must not
+    // consume fault-schedule draws.
+    let probe = bce_statefile::CheckpointStore::with_real_io(&base, keep);
+    let mut corrupt_rng = bce_sim::Rng::stream(chaos_seed, "chaos-corrupt");
+
+    let total = scenarios.len() * policies.len();
+    let per_segment = total.div_ceil(segments).max(1);
+    let max_attempts = segments * 10 + 20;
+    let mut attempts = 0usize;
+    let mut recoveries = 0u64;
+    let mut write_failures = 0u64;
+    let mut pruned = 0u64;
+
+    let report = loop {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(CliError::io(format!(
+                "chaos campaign did not complete within {max_attempts} attempts — \
+                 the fault schedule starves every checkpoint write; lower the rates"
+            )));
+        }
+        let opts = CampaignOptions {
+            checkpoint_path: Some(base.clone()),
+            checkpoint_every_runs: 1,
+            resume: probe.any_checkpoint_present(),
+            stop_after_runs: Some(per_segment),
+            keep_generations: keep,
+            io: Some(io.clone()),
+        };
+        match population_campaign(&scenarios, &policies, &emu, threads, &opts) {
+            Ok(r) => {
+                write_failures += r.checkpoint_write_failures;
+                pruned += r.generations_pruned;
+                if let Some(rec) = r.recovery.as_ref().filter(|x| x.recovered()) {
+                    recoveries += 1;
+                    out.push_str(&format!("# recovery: {}\n", rec.describe()));
+                }
+                if r.completed_runs >= r.total_runs {
+                    break r;
+                }
+                // Between segments: bit rot strikes the newest
+                // generation, seeded and replayable.
+                if corrupt_prob > 0.0 && corrupt_rng.chance(corrupt_prob) {
+                    corrupt_newest_generation(&probe, &mut corrupt_rng, &mut out)?;
+                }
+            }
+            Err(CampaignError::Checkpoint(e)) => {
+                // A failed checkpoint write or read: note it and retry
+                // the segment from the last good generation. If every
+                // generation is corrupt the store refuses to guess —
+                // the harness restarts the campaign *explicitly*.
+                out.push_str(&format!("# checkpoint failure (segment retried): {e}\n"));
+                if bce_controller::CampaignCheckpoint::read_from(&base).is_err()
+                    && probe.any_checkpoint_present()
+                {
+                    out.push_str(
+                        "# every generation corrupt: clearing store, restarting campaign\n",
+                    );
+                    for gen in probe.generations_on_disk().unwrap_or_default() {
+                        let _ = std::fs::remove_file(probe.generation_path(gen));
+                    }
+                    let _ = std::fs::remove_file(&base);
+                }
+            }
+            Err(e) => return Err(CliError::msg(format!("chaos campaign failed: {e}"))),
+        }
+    };
+
+    let table = population_table(&report.outcomes).render();
+    let fp = fnv64(table.as_bytes());
+    let stats = faulty.stats();
+    out.push_str(&format!(
+        "# injected: {stats}\n\
+         # recoveries: {recoveries}, checkpoint write failures: {write_failures}, \
+         generations pruned: {pruned}, attempts: {attempts}\n"
+    ));
+    out.push_str(&table);
+    if fp == ref_fp {
+        out.push_str(&format!(
+            "# chaos: PASS — recovered fingerprint {fp:016x} matches fault-free reference\n"
+        ));
+        Ok(out)
+    } else {
+        Err(CliError::msg(format!(
+            "chaos: FAIL — recovered table fingerprint {fp:016x} != fault-free \
+             reference {ref_fp:016x}\n{out}"
+        )))
+    }
+}
+
+/// Damage the newest on-disk generation in a seeded, replayable way:
+/// truncate it, flip one bit, or zero-fill a range. Only strikes when a
+/// fallback generation exists — all-corrupt liveness is exercised by the
+/// store's own tests, not the end-to-end fingerprint harness.
+fn corrupt_newest_generation(
+    probe: &bce_statefile::CheckpointStore,
+    rng: &mut bce_sim::Rng,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let gens = probe
+        .generations_on_disk()
+        .map_err(|e| CliError::io(format!("cannot list checkpoint generations: {e}")))?;
+    let Some(&newest) = gens.last() else { return Ok(()) };
+    if gens.len() < 2 {
+        return Ok(());
+    }
+    let path = probe.generation_path(newest);
+    let mut bytes = std::fs::read(&path)
+        .map_err(|e| CliError::io(format!("cannot read {}: {e}", path.display())))?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let what = match rng.below(3) {
+        0 => {
+            let cut = rng.below(bytes.len());
+            bytes.truncate(cut);
+            format!("truncated gen {newest} to {cut} bytes")
+        }
+        1 => {
+            let i = rng.below(bytes.len());
+            let bit = rng.below(8) as u8;
+            bytes[i] ^= 1 << bit;
+            format!("flipped bit {bit} of byte {i} in gen {newest}")
+        }
+        _ => {
+            let from = rng.below(bytes.len());
+            let to = (from + 1 + rng.below(bytes.len() - from)).min(bytes.len());
+            bytes[from..to].fill(0);
+            format!("zero-filled bytes {from}..{to} of gen {newest}")
+        }
+    };
+    std::fs::write(&path, &bytes)
+        .map_err(|e| CliError::io(format!("cannot corrupt {}: {e}", path.display())))?;
+    out.push_str(&format!("# corruption: {what}\n"));
+    Ok(())
+}
+
 fn cmd_export(args: &Args) -> Result<String, CliError> {
     let loaded = resolve_scenario(args)?;
     reject_fault_overlay(&loaded, "client_state.xml cannot express faults")?;
@@ -587,7 +881,7 @@ fn cmd_export(args: &Args) -> Result<String, CliError> {
     match args.opt("out") {
         Some(path) => {
             std::fs::write(path, &xml)
-                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                .map_err(|e| CliError::msg(format!("cannot write {path}: {e}")))?;
             Ok(format!("wrote {path} ({} bytes)\n", xml.len()))
         }
         None => Ok(xml),
@@ -595,8 +889,10 @@ fn cmd_export(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_validate(args: &Args) -> Result<String, CliError> {
-    let raw =
-        args.positional.get(1).ok_or_else(|| CliError("expected a scenario reference".into()))?;
+    let raw = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::msg("expected a scenario reference".into()))?;
     let loaded = load_source(raw)?;
     let scenario = &loaded.scenario;
     Ok(format!(
@@ -708,17 +1004,17 @@ fn parse_rates(args: &Args) -> Result<Vec<f64>, CliError> {
             .map(|r| {
                 r.trim()
                     .parse::<f64>()
-                    .map_err(|_| CliError(format!("--rates: not a number: {r:?}")))
+                    .map_err(|_| CliError::msg(format!("--rates: not a number: {r:?}")))
             })
             .collect::<Result<_, _>>()?,
         None => vec![0.0, 0.05, 0.1, 0.2],
     };
     if rates.is_empty() {
-        return Err(CliError("--rates: expected at least one rate".into()));
+        return Err(CliError::msg("--rates: expected at least one rate".into()));
     }
     for &r in &rates {
         if !(0.0..=1.0).contains(&r) {
-            return Err(CliError(format!("--rates: rate {r} outside [0, 1]")));
+            return Err(CliError::msg(format!("--rates: rate {r} outside [0, 1]")));
         }
     }
     Ok(rates)
@@ -731,7 +1027,7 @@ fn cmd_faults(args: &Args) -> Result<String, CliError> {
     let days: f64 = args.opt_or("days", 2.0)?;
     let rates = parse_rates(args)?;
     let mtbf = match args.opt_parse::<f64>("mtbf")? {
-        Some(m) if m <= 0.0 => return Err(CliError("--mtbf must be positive".into())),
+        Some(m) if m <= 0.0 => return Err(CliError::msg("--mtbf must be positive".into())),
         m => m.map(SimDuration::from_secs),
     };
     let duration = SimDuration::from_days(days);
@@ -805,9 +1101,9 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
     let quick = args.flag("quick");
     let threads: usize = args.opt_or("threads", 0usize)?;
     let population: Option<usize> = match args.opt("population") {
-        Some(p) => {
-            Some(p.parse().map_err(|_| CliError(format!("--population: not a count: {p:?}")))?)
-        }
+        Some(p) => Some(
+            p.parse().map_err(|_| CliError::msg(format!("--population: not a count: {p:?}")))?,
+        ),
         None => None,
     };
     // `--scenario REF` benchmarks that scenario alongside the standard
@@ -833,7 +1129,7 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
     match args.opt("out") {
         Some(path) => {
             std::fs::write(path, &json)
-                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                .map_err(|e| CliError::msg(format!("cannot write {path}: {e}")))?;
             Ok(format!(
                 "benchmark suite ({} mode):\n\n{}\nwrote {path}\n",
                 if quick { "quick" } else { "full" },
@@ -848,9 +1144,9 @@ fn cmd_fig(args: &Args) -> Result<String, CliError> {
     let n: u32 = args
         .positional
         .get(1)
-        .ok_or_else(|| CliError("expected a figure number (1-6)".into()))?
+        .ok_or_else(|| CliError::msg("expected a figure number (1-6)".into()))?
         .parse()
-        .map_err(|_| CliError("expected a figure number (1-6)".into()))?;
+        .map_err(|_| CliError::msg("expected a figure number (1-6)".into()))?;
     let quick = args.flag("quick");
     let mut days: f64 = args.opt_or("days", bce_bench::figs::default_days(n))?;
     if quick {
@@ -861,7 +1157,7 @@ fn cmd_fig(args: &Args) -> Result<String, CliError> {
     let checkpoint_every: Option<f64> = args.opt_parse("checkpoint-every")?;
     if let Some(d) = checkpoint_every {
         if !d.is_finite() || d <= 0.0 {
-            return Err(CliError(format!("--checkpoint-every must be positive, got {d}")));
+            return Err(CliError::msg(format!("--checkpoint-every must be positive, got {d}")));
         }
     }
     // `--scenario REF` replaces the figure's base scenario (figures 3-6).
@@ -882,7 +1178,7 @@ fn cmd_fig(args: &Args) -> Result<String, CliError> {
         scenario3(),
         scenario4(),
     ])?;
-    bce_bench::figs::run_fig(n, &opts).map_err(CliError)
+    bce_bench::figs::run_fig(n, &opts).map_err(CliError::msg)
 }
 
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
@@ -895,7 +1191,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     cfg.workers = args.opt_or("workers", cfg.workers)?;
     cfg.queue_depth = args.opt_or("queue-depth", cfg.queue_depth)?;
     if cfg.queue_depth == 0 {
-        return Err(CliError("--queue-depth must be positive".into()));
+        return Err(CliError::msg("--queue-depth must be positive".into()));
     }
     if let Some(kib) = args.opt_parse::<usize>("max-body-kib")? {
         cfg.max_body_bytes = kib.saturating_mul(1024).max(1);
@@ -905,7 +1201,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     }
     cfg.max_days = args.opt_or("max-days", cfg.max_days)?;
     if !cfg.max_days.is_finite() || cfg.max_days <= 0.0 {
-        return Err(CliError("--max-days must be positive".into()));
+        return Err(CliError::msg("--max-days must be positive".into()));
     }
     if let Some(dir) = args.opt("checkpoint-dir") {
         cfg.checkpoint_dir = std::path::PathBuf::from(dir);
@@ -919,10 +1215,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     }
 
     let server = bce_serve::Server::bind(cfg)
-        .map_err(|e| CliError(format!("cannot bind the listener: {e}")))?;
+        .map_err(|e| CliError::msg(format!("cannot bind the listener: {e}")))?;
     let addr = server
         .local_addr()
-        .map_err(|e| CliError(format!("cannot resolve the bound address: {e}")))?;
+        .map_err(|e| CliError::msg(format!("cannot resolve the bound address: {e}")))?;
     // `run` blocks until drained; announce readiness first so wrappers
     // (and the CI smoke job) can poll for this line.
     println!("bce-serve listening on http://{addr} (SIGTERM or SIGINT drains)");
@@ -942,7 +1238,7 @@ fn parse_name_filter(
     let names: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
     for n in &names {
         if !allowed.contains(&n.as_str()) {
-            return Err(CliError(format!(
+            return Err(CliError::msg(format!(
                 "--{opt}: unknown value {n:?} (expected one of: {})",
                 allowed.join(", ")
             )));
@@ -959,7 +1255,7 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     let days: f64 = args.opt_or("days", 1.0)?;
     let capacity: usize = args.opt_or("capacity", 1_000_000usize)?;
     if capacity == 0 {
-        return Err(CliError("--capacity must be positive".into()));
+        return Err(CliError::msg("--capacity must be positive".into()));
     }
     let kinds = parse_name_filter(args, "kind", TraceEvent::KINDS)?;
     let components = parse_name_filter(args, "component", TraceEvent::COMPONENTS)?;
@@ -986,7 +1282,8 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
 
     if let Some(path) = args.opt("jsonl") {
         let jsonl = to_jsonl(selected.iter().copied());
-        std::fs::write(path, &jsonl).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        std::fs::write(path, &jsonl)
+            .map_err(|e| CliError::msg(format!("cannot write {path}: {e}")))?;
     }
 
     let mut out =
@@ -1010,13 +1307,15 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
         // Round-trip sanity: what we wrote must parse back to the same
         // records. Cheap relative to the emulation, and it keeps the
         // exporter honest in the face of schema drift.
-        let parsed = bce_obs::export::parse_jsonl(&to_jsonl(selected.iter().copied()))
-            .map_err(|e| CliError(format!("internal: exported trace does not re-parse: {e}")))?;
+        let parsed =
+            bce_obs::export::parse_jsonl(&to_jsonl(selected.iter().copied())).map_err(|e| {
+                CliError::msg(format!("internal: exported trace does not re-parse: {e}"))
+            })?;
         debug_assert_eq!(parsed.len(), selected.len());
         if parsed.len() != selected.len()
             || !parsed.iter().zip(&selected).all(|(a, &b)| record_to_json(a) == record_to_json(b))
         {
-            return Err(CliError("internal: exported trace does not round-trip".into()));
+            return Err(CliError::msg("internal: exported trace does not round-trip".into()));
         }
     }
     Ok(out)

@@ -12,9 +12,15 @@
 //! bit-identical to an uninterrupted study — the same oracle discipline
 //! the run-level [`bce_core::CheckpointState`] keeps.
 //!
-//! Files are written with the shared write-temp-then-rename protocol
-//! ([`bce_core::checkpoint::write_atomic`]), so a crash mid-write leaves
-//! the previous checkpoint intact, never a truncated one.
+//! Checkpoints are stored through the generation-rotated
+//! [`bce_statefile::CheckpointStore`]: each write publishes a CRC-64
+//! framed `<path>.<gen>` with the full fsync discipline, the last N
+//! generations are kept, and resume opens the newest generation that
+//! validates — falling back past a corrupt one with a loud
+//! [`RecoveryReport`] instead of failing. A crash mid-write leaves the
+//! previous generation intact; damage *after* a write (bit rot, torn
+//! rename, power-cut truncation) costs at most one checkpoint interval,
+//! not the campaign.
 
 use crate::montecarlo::{population_specs, PolicyAccum, PopulationOutcome};
 use crate::run::{run_supervised, RunError};
@@ -25,7 +31,8 @@ use bce_core::{CheckpointError, EmulatorConfig, Scenario};
 use bce_sim::OnlineStats;
 use bce_statefile::{
     attr_f64_bits, attr_parse, envelope, fmt_f64_bits, open_envelope, parse_u64_hex, req_attr,
-    req_child, CodecError, XmlNode,
+    req_child, CheckpointStore, CodecError, IoOp, RecoveryReport, SharedIo, StoreError,
+    WriteReceipt, XmlNode, DEFAULT_KEEP_GENERATIONS,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -69,18 +76,50 @@ impl From<CodecError> for CampaignError {
     }
 }
 
+/// Map a store failure onto the existing [`CampaignError`] surface, so
+/// retry loops keyed on [`CampaignError::Checkpoint`] keep working:
+/// filesystem failures stay `Io`, corruption becomes `Corrupt`, and a
+/// missing checkpoint stays an `Io` open/NotFound (exactly what the
+/// pre-rotation single-file read produced).
+fn store_error(base: &Path, e: StoreError) -> CampaignError {
+    match e {
+        StoreError::Io { op, path, source } => {
+            CampaignError::Checkpoint(CheckpointError::Io { op, path, source })
+        }
+        StoreError::NoCheckpoint => CampaignError::Checkpoint(CheckpointError::Io {
+            op: IoOp::Open,
+            path: base.to_path_buf(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "no checkpoint found"),
+        }),
+        StoreError::NoValidGeneration { rejected } => {
+            let detail = rejected
+                .iter()
+                .map(|r| format!("gen {}: {}", r.generation, r.reason))
+                .collect::<Vec<_>>()
+                .join("; ");
+            CampaignError::Checkpoint(CheckpointError::Corrupt {
+                path: base.to_path_buf(),
+                reason: format!("every checkpoint generation is corrupt ({detail})"),
+            })
+        }
+    }
+}
+
 /// Checkpointing/resume options for [`population_campaign`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CampaignOptions {
-    /// Where the campaign checkpoint lives. `None` disables
-    /// checkpointing (and `resume` is then meaningless).
+    /// Base path of the campaign checkpoint store; generations live
+    /// beside it as `<path>.<gen>` plus a `<path>.manifest` hint. `None`
+    /// disables checkpointing (and `resume` is then meaningless).
     pub checkpoint_path: Option<PathBuf>,
     /// Write a checkpoint every this many completed runs (0 = only the
     /// final completion checkpoint).
     pub checkpoint_every_runs: usize,
-    /// Resume from `checkpoint_path` if it holds a matching checkpoint.
-    /// An unreadable or mismatched file is an error — silently starting
-    /// over would discard work the user explicitly asked to keep.
+    /// Resume from the newest *valid* generation under `checkpoint_path`
+    /// (a bare legacy file is version-sniffed as a last resort). A
+    /// missing, mismatched, or all-generations-corrupt store is an error
+    /// — silently starting over would discard work the user explicitly
+    /// asked to keep.
     pub resume: bool,
     /// Budgeted execution: stop after this many runs (beyond any resumed
     /// prefix), write the checkpoint, and return the partial report.
@@ -88,6 +127,36 @@ pub struct CampaignOptions {
     /// deterministically — the on-disk state after `stop_after_runs: k`
     /// is exactly what a SIGKILL after run `k` would have left.
     pub stop_after_runs: Option<usize>,
+    /// How many checkpoint generations rotation keeps (clamped to ≥ 1).
+    pub keep_generations: usize,
+    /// I/O backend for checkpoint storage. `None` is the production
+    /// filesystem; chaos tests inject a fault-driven backend here.
+    pub io: Option<SharedIo>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            checkpoint_path: None,
+            checkpoint_every_runs: 0,
+            resume: false,
+            stop_after_runs: None,
+            keep_generations: DEFAULT_KEEP_GENERATIONS,
+            io: None,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The generation store these options describe, if checkpointing is
+    /// enabled. Serve and the CLI use the same construction so "is there
+    /// something to resume?" agrees with what the campaign will open.
+    pub fn store(&self) -> Option<CheckpointStore> {
+        self.checkpoint_path.as_ref().map(|path| match &self.io {
+            Some(io) => CheckpointStore::new(path, self.keep_generations, io.clone()),
+            None => CheckpointStore::with_real_io(path, self.keep_generations),
+        })
+    }
 }
 
 /// What a (possibly resumed) campaign produced.
@@ -106,6 +175,17 @@ pub struct CampaignReport {
     pub completed_runs: usize,
     /// Total runs in the campaign (policies × scenarios).
     pub total_runs: usize,
+    /// How the resume opened the store, when it resumed: which
+    /// generation, whether corrupt newer generations were skipped
+    /// ([`RecoveryReport::recovered`]), whether a legacy unframed file
+    /// was loaded. `None` when the campaign did not resume.
+    pub recovery: Option<RecoveryReport>,
+    /// Mid-flight checkpoint writes that failed (best-effort writes
+    /// degrade crash-safety, not the study — but operators should see
+    /// the count climbing).
+    pub checkpoint_write_failures: u64,
+    /// Old generations removed by rotation during this campaign.
+    pub generations_pruned: u64,
 }
 
 /// One metric's accumulator state: Welford parts plus the retained
@@ -282,15 +362,34 @@ impl CampaignCheckpoint {
         Ok(CampaignCheckpoint { fingerprint, total, completed, errors, accums })
     }
 
-    /// Write atomically (shared temp-then-rename protocol).
+    /// Write a single framed checkpoint file atomically and durably
+    /// (shared temp-fsync-rename-fsync protocol). Campaigns themselves
+    /// use [`CampaignCheckpoint::write_store`] for generation rotation;
+    /// this is the one-file form for tools that manage their own layout.
     pub fn write_atomic(&self, path: &Path) -> Result<(), CampaignError> {
         Ok(write_atomic(path, self.to_xml_string().as_bytes())?)
     }
 
-    /// Read and parse a campaign checkpoint file.
+    /// Publish this checkpoint as the next generation of `store`.
+    pub fn write_store(&self, store: &CheckpointStore) -> Result<WriteReceipt, CampaignError> {
+        store.write(self.to_xml_string().as_bytes()).map_err(|e| store_error(store.base(), e))
+    }
+
+    /// Open the newest generation of `store` that both passes CRC
+    /// validation and parses as a campaign checkpoint, falling back past
+    /// corrupt ones; the [`RecoveryReport`] says what was skipped.
+    pub fn read_store(store: &CheckpointStore) -> Result<(Self, RecoveryReport), CampaignError> {
+        store
+            .open_latest_with(|text| Self::from_xml_str(text).map_err(|e| e.to_string()))
+            .map_err(|e| store_error(store.base(), e))
+    }
+
+    /// Read and parse a campaign checkpoint from the store rooted at
+    /// `path`, newest valid generation first (a bare legacy file still
+    /// loads, version-sniffed).
     pub fn read_from(path: &Path) -> Result<Self, CampaignError> {
-        let src = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
-        Self::from_xml_str(&src)
+        let store = CheckpointStore::with_real_io(path, DEFAULT_KEEP_GENERATIONS);
+        Self::read_store(&store).map(|(ckpt, _)| ckpt)
     }
 
     fn capture(
@@ -387,14 +486,17 @@ pub fn population_campaign(
     let mut accums: Vec<PolicyAccum> = policies.iter().map(|_| PolicyAccum::new(n)).collect();
     let mut errors: Vec<RunError> = Vec::new();
     let mut start = 0usize;
+    let mut recovery: Option<RecoveryReport> = None;
+    let store = opts.store();
 
     if opts.resume {
-        let Some(path) = &opts.checkpoint_path else {
+        let Some(store) = &store else {
             return Err(CampaignError::Mismatch(
                 "resume requested without a checkpoint path".into(),
             ));
         };
-        let ckpt = CampaignCheckpoint::read_from(path)?;
+        let (ckpt, report) = CampaignCheckpoint::read_store(store)?;
+        recovery = Some(report);
         if ckpt.fingerprint != fingerprint {
             return Err(CampaignError::Mismatch(
                 "fingerprint differs (other scenarios, policies or horizon)".into(),
@@ -415,6 +517,8 @@ pub fn population_campaign(
 
     let stop = opts.stop_after_runs.map_or(total, |k| start.saturating_add(k).min(total));
     let every = opts.checkpoint_every_runs;
+    let mut write_failures = 0u64;
+    let mut pruned = 0u64;
     run_supervised(&specs[start..stop], threads, |j, _, outcome| {
         let i = start + j;
         match outcome {
@@ -422,23 +526,28 @@ pub fn population_campaign(
             Err(e) => errors.push(RunError { index: i, ..e }),
         }
         let completed = i + 1;
-        if let Some(path) = &opts.checkpoint_path {
+        if let Some(store) = &store {
             if every > 0 && completed.is_multiple_of(every) && completed < stop {
                 let ckpt =
                     CampaignCheckpoint::capture(fingerprint, total, completed, &errors, &accums);
                 // Best-effort mid-flight: a failed write degrades
-                // crash-safety, not the study.
-                let _ = ckpt.write_atomic(path);
+                // crash-safety, not the study — but it is counted, so a
+                // sick disk shows up in the report and serve's metrics.
+                match ckpt.write_store(store) {
+                    Ok(receipt) => pruned += receipt.pruned,
+                    Err(_) => write_failures += 1,
+                }
             }
         }
     });
 
-    if let Some(path) = &opts.checkpoint_path {
+    if let Some(store) = &store {
         // The final checkpoint (completion, or the stop point under a
         // run budget) is not best-effort: it is the artifact a
         // `--resume` reads.
-        CampaignCheckpoint::capture(fingerprint, total, stop, &errors, &accums)
-            .write_atomic(path)?;
+        let receipt = CampaignCheckpoint::capture(fingerprint, total, stop, &errors, &accums)
+            .write_store(store)?;
+        pruned += receipt.pruned;
     }
 
     let outcomes = policies
@@ -455,5 +564,8 @@ pub fn population_campaign(
         resumed_runs: start,
         completed_runs: stop,
         total_runs: total,
+        recovery,
+        checkpoint_write_failures: write_failures,
+        generations_pruned: pruned,
     })
 }

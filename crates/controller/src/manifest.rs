@@ -506,6 +506,7 @@ pub fn summary_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::CampaignCheckpoint;
     use crate::montecarlo::{population_study, standard_population};
 
     fn minimal(scenarios: &str, extra: &str) -> String {
@@ -606,7 +607,9 @@ mod tests {
         assert_eq!(summary, out.summary);
         let parsed = parse_json(&summary).unwrap();
         assert_eq!(parsed.get("format").and_then(|v| v.as_str()), Some("bce-campaign-summary"));
-        assert!(dir.join("campaign.ckpt").exists());
+        // Rotation writes generation files, not the bare base path.
+        assert!(dir.join("campaign.ckpt.1").exists());
+        assert!(CampaignCheckpoint::read_from(&dir.join("campaign.ckpt")).is_ok());
         assert!(dir.join("table.txt").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }

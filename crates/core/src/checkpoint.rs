@@ -37,8 +37,8 @@ use bce_faults::RetryState;
 use bce_server::{ServerSnapshot, ServerStats};
 use bce_sim::{Component, Level, LogEntry, Occupancy, Rng, Segment};
 use bce_statefile::{
-    attr_f64_bits, attr_parse, envelope, fmt_f64_bits, fmt_u64_hex, open_envelope, parse_u64_hex,
-    req_attr, req_child, CodecError, XmlNode,
+    attr_f64_bits, attr_parse, envelope, fmt_f64_bits, fmt_u64_hex, frame, open_envelope,
+    parse_u64_hex, req_attr, req_child, CodecError, IoOp, RealIo, StateIo, XmlNode,
 };
 use bce_types::{
     AppId, InstanceId, JobId, JobSpec, ProcMap, ProcType, ProjectId, ResourceUsage, SimDuration,
@@ -60,8 +60,13 @@ pub enum CheckpointError {
     /// The document failed to decode (malformed XML, wrong root, newer
     /// version, missing or malformed field).
     Codec(CodecError),
-    /// Reading or (atomically) writing the checkpoint file failed.
-    Io(std::io::Error),
+    /// A filesystem operation failed. Carries which operation and which
+    /// path, so a daemon log line is actionable without strace.
+    Io { op: IoOp, path: std::path::PathBuf, source: std::io::Error },
+    /// The file's checksummed frame failed validation — truncation, bit
+    /// rot, or a torn rename. Distinct from [`CheckpointError::Codec`]:
+    /// the *storage* is damaged, not the document schema.
+    Corrupt { path: std::path::PathBuf, reason: String },
     /// The checkpoint was taken from a different scenario (name or seed
     /// differ); resuming it here could not be bit-identical to anything.
     ScenarioMismatch { expected: String, found: String },
@@ -70,11 +75,22 @@ pub enum CheckpointError {
     ConfigMismatch(String),
 }
 
+impl CheckpointError {
+    fn io(op: IoOp, path: &Path, source: std::io::Error) -> Self {
+        CheckpointError::Io { op, path: path.to_path_buf(), source }
+    }
+}
+
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Codec(e) => write!(f, "checkpoint decode error: {e}"),
-            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Io { op, path, source } => {
+                write!(f, "checkpoint i/o error: {op} {}: {source}", path.display())
+            }
+            CheckpointError::Corrupt { path, reason } => {
+                write!(f, "checkpoint corrupt: {}: {reason}", path.display())
+            }
             CheckpointError::ScenarioMismatch { expected, found } => {
                 write!(f, "checkpoint is for scenario {found}, emulator runs {expected}")
             }
@@ -84,16 +100,18 @@ impl std::fmt::Display for CheckpointError {
         }
     }
 }
-impl std::error::Error for CheckpointError {}
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<CodecError> for CheckpointError {
     fn from(e: CodecError) -> Self {
         CheckpointError::Codec(e)
-    }
-}
-impl From<std::io::Error> for CheckpointError {
-    fn from(e: std::io::Error) -> Self {
-        CheckpointError::Io(e)
     }
 }
 
@@ -190,17 +208,20 @@ impl CheckpointState {
         Ok(Self::from_xml(&root)?)
     }
 
-    /// Write the checkpoint to `path` atomically: serialize to a
-    /// temporary file in the same directory, then rename over the target,
-    /// so a crash mid-write can never leave a truncated checkpoint under
-    /// the real name.
+    /// Write the checkpoint to `path` atomically and durably: the
+    /// serialized document is wrapped in a CRC-64 frame, fsynced in a
+    /// same-directory temp file, renamed over the target, and the parent
+    /// directory fsynced — a crash at any point leaves either the old
+    /// checkpoint or the new one, never a truncated file, and later
+    /// corruption is detectable on read.
     pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
         write_atomic(path, self.to_xml_string().as_bytes())
     }
 
-    /// Read and parse a checkpoint file.
+    /// Read and parse a checkpoint file (framed, or legacy unframed —
+    /// see [`read_checkpoint_text`]).
     pub fn read_from(path: &Path) -> Result<Self, CheckpointError> {
-        let src = std::fs::read_to_string(path)?;
+        let (src, _legacy) = read_checkpoint_text(path)?;
         Self::from_xml_str(&src)
     }
 
@@ -555,13 +576,27 @@ pub struct CheckpointPolicy {
     pub every: SimDuration,
 }
 
-/// Write `bytes` to `path` atomically (same-directory temp file, then
-/// rename). Shared by run checkpoints and campaign checkpoints: a crash
-/// mid-write can never leave a truncated document under the real name.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+/// Write `payload` to `path` atomically and durably. Shared by run
+/// checkpoints and campaign checkpoints. The payload is wrapped in a
+/// CRC-64 frame ([`bce_statefile::frame`]), then published with the full
+/// durability discipline the temp+rename contract actually requires:
+/// fsync the temp file *before* the rename (otherwise the rename can
+/// publish a name whose data never hit the platter) and fsync the parent
+/// directory *after* (otherwise the new name itself can vanish in a
+/// crash).
+pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
+    write_atomic_io(path, payload, &RealIo)
+}
+
+/// [`write_atomic`] over an injectable I/O backend (chaos tests).
+pub fn write_atomic_io(
+    path: &Path,
+    payload: &[u8],
+    io: &dyn StateIo,
+) -> Result<(), CheckpointError> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().ok_or_else(|| {
-        CheckpointError::Io(std::io::Error::other("checkpoint path has no file name"))
+        CheckpointError::io(IoOp::Open, path, std::io::Error::other("path has no file name"))
     })?;
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
@@ -569,13 +604,52 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
         Some(d) => d.join(&tmp_name),
         None => std::path::PathBuf::from(&tmp_name),
     };
-    std::fs::write(&tmp, bytes)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(CheckpointError::Io(e))
-        }
+    let framed = frame::encode(payload);
+    if let Err(e) = io.write_durable(&tmp, &framed) {
+        let _ = io.remove_file(&tmp);
+        return Err(CheckpointError::io(IoOp::Write, &tmp, e));
+    }
+    if let Err(e) = io.rename(&tmp, path) {
+        let _ = io.remove_file(&tmp);
+        return Err(CheckpointError::io(IoOp::Rename, path, e));
+    }
+    let dir = dir.map(Path::to_path_buf).unwrap_or_else(|| std::path::PathBuf::from("."));
+    io.sync_dir(&dir).map_err(|e| CheckpointError::io(IoOp::Fsync, &dir, e))
+}
+
+/// Read a checkpoint file's text payload, verifying the CRC-64 frame.
+///
+/// Legacy checkpoints written before framing are bare XML; they are
+/// version-sniffed (no `BCEFRAME` magic) and still load, returning
+/// `true` in the second slot so callers can surface a deprecation note —
+/// an unframed file has no corruption detection and should be rewritten
+/// by the next save.
+pub fn read_checkpoint_text(path: &Path) -> Result<(String, bool), CheckpointError> {
+    read_checkpoint_text_io(path, &RealIo)
+}
+
+/// [`read_checkpoint_text`] over an injectable I/O backend.
+pub fn read_checkpoint_text_io(
+    path: &Path,
+    io: &dyn StateIo,
+) -> Result<(String, bool), CheckpointError> {
+    let bytes = io.read(path).map_err(|e| CheckpointError::io(IoOp::Read, path, e))?;
+    match frame::decode(&bytes) {
+        Ok(payload) => match std::str::from_utf8(payload) {
+            Ok(text) => Ok((text.to_string(), false)),
+            Err(_) => Err(CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                reason: "framed payload is not valid UTF-8".into(),
+            }),
+        },
+        Err(frame::FrameError::NotFramed) => match String::from_utf8(bytes) {
+            Ok(text) => Ok((text, true)),
+            Err(_) => Err(CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                reason: "legacy checkpoint is not valid UTF-8".into(),
+            }),
+        },
+        Err(e) => Err(CheckpointError::Corrupt { path: path.to_path_buf(), reason: e.to_string() }),
     }
 }
 

@@ -16,9 +16,13 @@
 //!   created or sampled and no behaviour changes: metrics match an emulator
 //!   without fault plumbing exactly.
 
+pub mod disk;
 mod plan;
 mod retry;
 
+pub use disk::{
+    DiskFaultConfig, DiskFaultPlan, DiskFaultStats, ReadFault, RenameFault, WriteFault,
+};
 pub use plan::{CrashProcess, FaultConfig, RpcFaultInjector, TransferFaultModel};
 pub use retry::{Backoff, RetryPolicy, RetryState, RetryVerdict};
 

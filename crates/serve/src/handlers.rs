@@ -315,13 +315,21 @@ fn campaign(req: &Request, shared: &Shared) -> Response {
         let opts = CampaignOptions {
             checkpoint_path: Some(ckpt.clone()),
             checkpoint_every_runs: 0,
-            resume: ckpt.exists(),
+            resume: false,
             stop_after_runs: Some(chunk),
+            ..Default::default()
         };
+        // Resume iff the generation store holds anything — including a
+        // corrupt newest generation (the store falls back) or a legacy
+        // pre-rotation file (version-sniffed).
+        let store = opts.store().expect("checkpoint path was just set");
+        let opts = CampaignOptions { resume: store.any_checkpoint_present(), ..opts };
         // A failed checkpoint *write* (CampaignError::Checkpoint on I/O)
         // is retried on the shared policy: the chunk re-runs from the
-        // last good checkpoint. Mismatch is never retried — it means the
-        // id is being reused for different parameters.
+        // last good checkpoint — which rotation keeps several generations
+        // of, so a torn newest generation still resumes. Mismatch is
+        // never retried — it means the id is being reused for different
+        // parameters.
         let mut retry = WallRetry::new(CHECKPOINT_RETRY);
         let chunk_report = loop {
             match population_campaign(&scenarios, &policies, &emu, threads, &opts) {
@@ -336,10 +344,15 @@ fn campaign(req: &Request, shared: &Shared) -> Response {
                         ),
                     );
                 }
-                Err(e @ CampaignError::Checkpoint(_)) => match retry.fail() {
-                    Some(delay) => std::thread::sleep(delay),
-                    None => break Err(e),
-                },
+                Err(e @ CampaignError::Checkpoint(_)) => {
+                    // The typed error names the operation and path, so
+                    // the daemon log is actionable without strace.
+                    eprintln!("bce-serve: campaign {id}: {e}; retrying");
+                    match retry.fail() {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => break Err(e),
+                    }
+                }
             }
         };
         let chunk_report = match chunk_report {
@@ -347,6 +360,12 @@ fn campaign(req: &Request, shared: &Shared) -> Response {
             Err(e) => return Response::text(500, format!("campaign failed: {e}\n")),
         };
         shared.inc(shared.ids.campaign_chunks);
+        shared.add(shared.ids.ckpt_write_failures, chunk_report.checkpoint_write_failures);
+        shared.add(shared.ids.ckpt_generations_pruned, chunk_report.generations_pruned);
+        if let Some(rec) = chunk_report.recovery.as_ref().filter(|r| r.recovered() || r.legacy) {
+            shared.inc(shared.ids.ckpt_recoveries);
+            eprintln!("bce-serve: campaign {id}: checkpoint recovery: {}", rec.describe());
+        }
         if first_resumed.is_none() {
             first_resumed = Some(chunk_report.resumed_runs);
         }

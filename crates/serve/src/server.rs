@@ -127,6 +127,14 @@ pub(crate) struct Ids {
     pub campaign_chunks: CounterId,
     pub campaigns_completed: CounterId,
     pub campaigns_parked: CounterId,
+    /// Mid-flight campaign checkpoint writes that failed (best-effort
+    /// writes; crash-safety degraded, study unaffected).
+    pub ckpt_write_failures: CounterId,
+    /// Resumes that had to fall back past a corrupt checkpoint
+    /// generation (or loaded a deprecated legacy file).
+    pub ckpt_recoveries: CounterId,
+    /// Old checkpoint generations removed by rotation.
+    pub ckpt_generations_pruned: CounterId,
     pub queue_depth: GaugeId,
     pub draining: GaugeId,
     pub uptime_seconds: GaugeId,
@@ -154,6 +162,9 @@ impl Ids {
             campaign_chunks: reg.counter("serve", "campaign_chunks"),
             campaigns_completed: reg.counter("serve", "campaigns_completed"),
             campaigns_parked: reg.counter("serve", "campaigns_parked"),
+            ckpt_write_failures: reg.counter("checkpoint", "write_failures"),
+            ckpt_recoveries: reg.counter("checkpoint", "recoveries"),
+            ckpt_generations_pruned: reg.counter("checkpoint", "generations_pruned"),
             queue_depth: reg.gauge("serve", "queue_depth"),
             draining: reg.gauge("serve", "draining"),
             uptime_seconds: reg.gauge("serve", "uptime_seconds"),

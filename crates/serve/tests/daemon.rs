@@ -185,7 +185,7 @@ fn campaign_parks_on_deadline_and_resumes_bit_identically_across_restart() {
     assert_eq!(status, 503, "{body}");
     assert_eq!(header(&headers, "retry-after"), Some("1"));
     assert!(body.contains("parked after 2/8 runs"), "{body}");
-    assert!(dir.join("study-a.ckpt").exists(), "park must persist the checkpoint");
+    assert!(dir.join("study-a.ckpt.1").exists(), "park must persist the checkpoint generation");
 
     // Kill this daemon entirely; a fresh one (same checkpoint dir, as
     // after a restart) must finish the campaign from the checkpoint.
@@ -230,7 +230,7 @@ fn drain_parks_a_running_campaign_at_a_chunk_boundary() {
     });
     // Wait until the campaign has provably started (first checkpoint
     // lands after chunk 1), then drain mid-flight.
-    let ckpt = dir.join("long.ckpt");
+    let ckpt = dir.join("long.ckpt.1");
     let waited = Instant::now();
     while !ckpt.exists() {
         assert!(waited.elapsed() < Duration::from_secs(120), "campaign never started");

@@ -7,7 +7,10 @@
 
 pub mod codec;
 pub mod doc;
+pub mod frame;
+pub mod io;
 pub mod json;
+pub mod store;
 pub mod xml;
 
 pub use codec::{
@@ -15,5 +18,11 @@ pub use codec::{
     parse_u64_hex, req_attr, req_child, CodecError,
 };
 pub use doc::{ClientStateDoc, StateFileError};
+pub use frame::{crc64, FrameError, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
+pub use io::{FaultyIo, IoOp, RealIo, SharedIo, StateIo};
 pub use json::{parse as parse_json, JsonError, JsonValue, MAX_JSON_DEPTH};
+pub use store::{
+    CheckpointStore, RecoveryReport, RejectedGeneration, StoreError, WriteReceipt,
+    DEFAULT_KEEP_GENERATIONS,
+};
 pub use xml::{parse as parse_xml, XmlError, XmlNode, MAX_NESTING_DEPTH};

@@ -1,7 +1,7 @@
 //! Property tests for the state-file ingest path: arbitrary documents must
 //! round-trip exactly, and the XML layer must survive hostile text.
 
-use bce_statefile::{parse_xml, ClientStateDoc, XmlNode};
+use bce_statefile::{parse_xml, CheckpointStore, ClientStateDoc, StoreError, XmlNode};
 use bce_types::{
     AppClass, DailyWindow, EstErrorModel, Hardware, Preferences, ProcType, ProjectSpec,
     ResourceUsage, SimDuration,
@@ -146,5 +146,90 @@ proptest! {
         let input = format!("{}{}", "<x>".repeat(depth), "</x>".repeat(closes));
         let _ = parse_xml(&input);
         let _ = ClientStateDoc::parse_str(&input);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint-store corruption properties: arbitrary damage to the newest
+// generation must fall back to the previous one with an accurate
+// RecoveryReport — never a panic, never a silent restart from scratch.
+
+static STORE_DIR: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn scratch_store() -> (std::path::PathBuf, CheckpointStore) {
+    let n = STORE_DIR.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("bce-prop-store-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = CheckpointStore::with_real_io(dir.join("state.ckpt"), 3);
+    (dir, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96 })]
+
+    /// Truncate, bit-flip, or zero-fill the newest generation at an
+    /// arbitrary position: if the bytes actually changed, the store
+    /// opens the previous generation and reports exactly one rejected
+    /// generation; if the damage was a no-op, it opens the newest.
+    /// Wrecking every generation afterwards must yield the typed
+    /// `NoValidGeneration` error, not an `Ok` that forgets history.
+    #[test]
+    fn corrupted_newest_generation_falls_back(
+        kind in 0usize..3,
+        pos in 0usize..4096,
+        span in 1usize..96,
+        bit in 0u32..8,
+    ) {
+        let (dir, store) = scratch_store();
+        for i in 1..=3u32 {
+            store.write(format!("generation payload {i}").as_bytes()).unwrap();
+        }
+        let gens = store.generations_on_disk().unwrap();
+        prop_assert_eq!(gens.len(), 3);
+        let newest = *gens.last().unwrap();
+        let prev = gens[gens.len() - 2];
+        let path = store.generation_path(newest);
+        let original = std::fs::read(&path).unwrap();
+
+        let mut bytes = original.clone();
+        let i = pos % bytes.len();
+        match kind {
+            0 => bytes.truncate(i), // i < len: strictly shorter
+            1 => bytes[i] ^= 1 << bit,
+            _ => {
+                let end = (i + span).min(bytes.len());
+                bytes[i..end].fill(0);
+            }
+        }
+        let damaged = bytes != original;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (payload, report) = store.read_latest().unwrap();
+        if damaged {
+            prop_assert_eq!(report.opened_generation, Some(prev));
+            prop_assert!(report.recovered());
+            prop_assert_eq!(payload, b"generation payload 2".to_vec());
+            prop_assert_eq!(report.rejected.len(), 1);
+            prop_assert_eq!(report.rejected[0].generation, newest);
+            prop_assert!(!report.rejected[0].reason.is_empty());
+        } else {
+            prop_assert_eq!(report.opened_generation, Some(newest));
+            prop_assert!(!report.recovered());
+            prop_assert!(report.rejected.is_empty());
+        }
+
+        // Wreck every generation: the store must refuse to guess.
+        for &g in &gens {
+            let keep = bytes.len().min(8);
+            std::fs::write(store.generation_path(g), &bytes[..keep]).unwrap();
+        }
+        match store.read_latest() {
+            Err(StoreError::NoValidGeneration { rejected }) => {
+                prop_assert_eq!(rejected.len(), gens.len());
+            }
+            other => prop_assert!(false, "expected NoValidGeneration, got {:?}", other.map(|(_, r)| r)),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
